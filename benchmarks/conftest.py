@@ -1,0 +1,26 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated tables alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: str, rows) -> None:
+    """Render one regenerated paper artifact to stdout."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(header)
+    print("-" * 72)
+    for row in rows:
+        print(row)
+    print("=" * 72)

@@ -1,0 +1,65 @@
+"""Experiment E4 — Figure 9: fraction of static instructions instrumented.
+
+For every Table 1 workload, the fraction of static PTX instructions that
+carry instrumentation, before (unpruned) and after the intra-basic-block
+redundant-logging optimization of §4.1.  The reproduced shape: arithmetic
+instructions dominate kernels, so the fraction stays below ~50%, and
+pruning lowers it further on kernels that re-access the same address
+registers.
+"""
+
+from conftest import print_table
+
+from repro.bench import ALL_WORKLOADS
+from repro.instrument import Instrumenter
+
+
+def _sweep():
+    rows = []
+    for w in ALL_WORKLOADS:
+        module = w.compile()
+        _m, unpruned = Instrumenter(prune=False).instrument_module(module)
+        _m, pruned = Instrumenter(prune=True).instrument_module(module)
+        rows.append((w.name, unpruned.unpruned_fraction, pruned.instrumented_fraction))
+    return rows
+
+
+def test_figure9(benchmark):
+    from repro.bench.figures import paired_bar_chart
+
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    chart = paired_bar_chart(
+        [(name, before * 100, after * 100) for name, before, after in rows],
+        legend=("unoptimized", "optimized"),
+        unit="%",
+    )
+    print_table(
+        "Figure 9: % of static PTX instructions instrumented",
+        "",
+        chart,
+    )
+    for name, before, after in rows:
+        # Arithmetic dominates: never more than ~half instrumented.
+        assert before <= 0.5, name
+        # Pruning never increases the instrumented fraction.
+        assert after <= before, name
+    # Pruning helps on at least some benchmarks (the Figure 9 deltas).
+    assert any(after < before for _name, before, after in rows)
+
+
+def test_pruning_preserves_verdicts(benchmark):
+    """Ablation: the optimization must not change race findings."""
+    from repro.bench import run_workload
+    from repro.runtime import BarracudaSession
+
+    def verdicts(prune):
+        out = {}
+        for w in ALL_WORKLOADS:
+            session = BarracudaSession(prune=prune)
+            result = run_workload(w, session=session, compare_native=False)
+            out[w.name] = result.races > 0
+        return out
+
+    with_pruning = benchmark.pedantic(verdicts, args=(True,), rounds=1, iterations=1)
+    without_pruning = verdicts(False)
+    assert with_pruning == without_pruning

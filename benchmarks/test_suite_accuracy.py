@@ -1,0 +1,101 @@
+"""Experiment E2 — §6.1: the 66-program concurrency suite.
+
+Regenerates the paper's accuracy comparison: BARRACUDA reports correctly
+on all 66 programs; the Racecheck model is correct on a minority (the
+paper measured 19/66 on its suite; our composition yields 30/66), with
+the same failure modes — global-memory blindness, intra-warp false
+positives, and hangs on spin-synchronization tests.
+"""
+
+from conftest import print_table
+
+from repro.baselines import run_ldetector, run_racecheck
+from repro.suite import ALL_PROGRAMS, run_program
+
+
+def _barracuda_sweep():
+    return [(p, run_program(p)) for p in ALL_PROGRAMS]
+
+
+def _racecheck_sweep():
+    return [(p, run_racecheck(p)) for p in ALL_PROGRAMS]
+
+
+def _ldetector_sweep():
+    return [(p, run_ldetector(p)) for p in ALL_PROGRAMS]
+
+
+def test_barracuda_accuracy(benchmark):
+    results = benchmark.pedantic(_barracuda_sweep, rounds=1, iterations=1)
+    correct = sum(v.matches(p) for p, v in results)
+    by_category = {}
+    for p, v in results:
+        ok, total = by_category.get(p.category, (0, 0))
+        by_category[p.category] = (ok + v.matches(p), total + 1)
+    rows = [f"{cat:<10} {ok:>3}/{total}" for cat, (ok, total) in sorted(by_category.items())]
+    rows.append(f"{'TOTAL':<10} {correct:>3}/{len(ALL_PROGRAMS)}   (paper: 66/66)")
+    print_table("§6.1: BARRACUDA on the concurrency suite", "category   correct", rows)
+    assert correct == 66
+
+
+def test_racecheck_accuracy(benchmark):
+    results = benchmark.pedantic(_racecheck_sweep, rounds=1, iterations=1)
+    correct = sum(v.matches(p) for p, v in results)
+    hangs = sum(v.hang for p, v in results)
+    false_positives = [
+        p.name for p, v in results
+        if p.expected.value == "no-race" and v.races > 0
+    ]
+    missed_global = [
+        p.name for p, v in results
+        if p.expected.value == "race" and p.race_space == "global" and v.races == 0
+        and not v.hang
+    ]
+    rows = [
+        f"correct verdicts : {correct}/66   (paper: 19/66)",
+        f"hangs            : {hangs}        ('hanging on the tests involving spinlocks')",
+        f"false positives  : {len(false_positives)} ({', '.join(false_positives)})",
+        f"missed global    : {len(missed_global)} programs",
+    ]
+    print_table("§6.1: CUDA-Racecheck model on the concurrency suite", "", rows)
+    assert correct < 66 / 2
+    assert hangs > 0
+    assert false_positives  # intra-warp synchronization false alarms
+    assert missed_global  # global memory is invisible to it
+
+
+def test_three_way_comparison(benchmark):
+    """BARRACUDA vs the two related-work baselines, per category.
+
+    The §7 axes: Racecheck covers shared memory only; LDetector covers
+    both spaces but is value-blind (misses silent overwrites and all
+    read-write races) and has no atomics/fence model; BARRACUDA handles
+    all of it.
+    """
+    def sweep():
+        barracuda = {p.name: run_program(p).matches(p) for p in ALL_PROGRAMS}
+        ldetector = {p.name: run_ldetector(p).matches(p) for p in ALL_PROGRAMS}
+        racecheck = {p.name: run_racecheck(p).matches(p) for p in ALL_PROGRAMS}
+        return barracuda, ldetector, racecheck
+
+    barracuda, ldetector, racecheck = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    categories = sorted({p.category for p in ALL_PROGRAMS})
+    rows = []
+    for category in categories:
+        names = [p.name for p in ALL_PROGRAMS if p.category == category]
+        rows.append(
+            f"{category:<10} {sum(barracuda[n] for n in names):>9}/{len(names):<3}"
+            f"{sum(ldetector[n] for n in names):>9}/{len(names):<3}"
+            f"{sum(racecheck[n] for n in names):>9}/{len(names):<3}"
+        )
+    totals = (
+        sum(barracuda.values()), sum(ldetector.values()), sum(racecheck.values())
+    )
+    rows.append(f"{'TOTAL':<10} {totals[0]:>9}/66 {totals[1]:>9}/66 {totals[2]:>9}/66")
+    print_table(
+        "§6.1/§7: three-way detector comparison (correct verdicts)",
+        f"{'category':<10} {'BARRACUDA':>13} {'LDetector':>12} {'Racecheck':>12}",
+        rows,
+    )
+    assert totals[0] == 66
+    assert totals[0] > totals[1] > totals[2]

@@ -1,0 +1,52 @@
+"""Experiment E3 — Table 1: the benchmark characteristics table.
+
+Regenerates Table 1 over the 26 workload stand-ins: static PTX
+instructions, total threads, global memory used, and the races found
+(count and memory space).  Sizes are laptop-scale; the *findings* —
+which benchmarks are racy and in which memory space — match the paper
+row for row, with dxtc's 120, threadFenceReduction's 12 and DWT2D's 3
+matching exactly.
+"""
+
+from conftest import print_table
+
+from repro.bench import ALL_WORKLOADS, run_workload
+
+
+def _sweep():
+    return [(w, run_workload(w, compare_native=False)) for w in ALL_WORKLOADS]
+
+
+def test_table1(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for w, r in results:
+        spaces = "/".join(r.race_spaces) if r.races else ""
+        races = f"{r.races} {spaces}" if r.races else "-"
+        paper = f"{w.paper_races} {w.expected_race_space}" if w.paper_races else "-"
+        rows.append(
+            f"{w.name:<34} {r.static_insns:>6} {w.total_threads:>8} "
+            f"{r.global_mem_bytes:>9} {races:>12} {paper:>12}"
+        )
+    print_table(
+        "Table 1: benchmarks (measured on the stand-ins)",
+        f"{'benchmark':<34} {'insns':>6} {'threads':>8} {'glob B':>9} "
+        f"{'races found':>12} {'paper':>12}",
+        rows,
+    )
+    for w, r in results:
+        assert (r.races > 0) == (w.paper_races > 0), w.name
+        if w.paper_races:
+            assert w.expected_race_space in r.race_spaces, w.name
+
+
+def test_exact_race_counts(benchmark):
+    """Three benchmarks reproduce the paper's exact race counts."""
+    def counts():
+        by_name = {w.name: run_workload(w, compare_native=False).races
+                   for w in ALL_WORKLOADS
+                   if w.name in ("dxtc", "threadfence_reduction", "dwt2d")}
+        return by_name
+
+    by_name = benchmark.pedantic(counts, rounds=1, iterations=1)
+    assert by_name == {"dxtc": 120, "threadfence_reduction": 12, "dwt2d": 3}

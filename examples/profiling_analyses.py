@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Other dynamic analyses on the BARRACUDA instrumentation framework.
+
+The paper's last contribution: the binary instrumentation framework "can
+serve as a foundation for other CUDA dynamic analyses as well".  Here
+two classic profilers consume the *same* warp-granularity record stream
+the race detector reads — no new instrumentation needed:
+
+* a memory-coalescing analyzer (transactions per warp access), and
+* a branch-divergence profiler (path splits per static branch).
+
+Run:  python examples/profiling_analyses.py
+"""
+
+from repro.analyses import CoalescingAnalysis, DivergenceAnalysis, run_analyses
+from repro.cudac import compile_cuda
+
+KERNEL = """
+__global__ void image_filter(int* image, int* lut, int* out, int width) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    int pixel = image[tid];                 // coalesced: lane i -> word i
+    int transposed = image[(tid % 16) * 16 + tid / 16];  // strided gather
+    int mapped = lut[pixel % 64];           // data-dependent gather
+    if (pixel % 4 == 0) {                   // divergent: 1/4 of lanes
+        out[tid] = mapped + transposed;
+    } else {
+        out[tid] = mapped - transposed;
+    }
+}
+"""
+
+
+def main() -> None:
+    coalescing = CoalescingAnalysis()
+    divergence = DivergenceAnalysis()
+    run_analyses(
+        compile_cuda(KERNEL), "image_filter", grid=2, block=128,
+        analyses=[coalescing, divergence],
+        params={"width": 16},
+        buffers={
+            "image": [(i * 37) % 251 for i in range(256)],
+            "lut": [i * 2 for i in range(64)],
+            "out": [0] * 256,
+        },
+    )
+
+    print("== memory coalescing (one transaction per warp = ideal) ==")
+    print(coalescing.summary())
+    print(f"\noverall: {coalescing.total_transactions} transactions for "
+          f"{sum(s.executions for s in coalescing.sites.values())} warp accesses "
+          f"-> {coalescing.overall_efficiency:.0%} of ideal")
+
+    print("\n== branch divergence ==")
+    print(divergence.summary())
+
+    worst = coalescing.worst_sites(1)[0]
+    print(f"\nThe transposed gather (pc {worst.pc}) costs "
+          f"{worst.average_transactions:.0f}x the ideal transaction count — "
+          "the analysis pinpoints\nexactly the access the kernel should "
+          "restructure, from the same event stream\nBARRACUDA uses for "
+          "race detection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: find a data race in a CUDA kernel in ~20 lines.
+
+Compiles a small CUDA kernel with the bundled mini CUDA-C compiler, runs
+it on the simulated GPU under a BARRACUDA session (binary instrumentation
++ host-side race detection), and prints what the detector found.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cudac import compile_cuda
+from repro.runtime import BarracudaSession
+
+KERNEL = """
+__global__ void histogram(int* data, int* bins, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        bins[data[tid] % 8] = bins[data[tid] % 8] + 1;   // oops: not atomic
+    }
+}
+"""
+
+
+def main() -> None:
+    session = BarracudaSession()
+    module = compile_cuda(KERNEL)
+    handle = session.register_module(module)
+
+    report = session.instrumentation_report(handle)
+    print(f"instrumented {report.kernels[0].instrumented_sites} of "
+          f"{report.kernels[0].static_instructions} static PTX instructions")
+
+    n = 128
+    data = session.device.alloc(n * 4)
+    bins = session.device.alloc(8 * 4)
+    session.device.memcpy_to_device(data, [i * 3 for i in range(n)])
+
+    launch = session.launch(
+        "histogram", grid=2, block=64,
+        params={"data": data, "bins": bins, "n": n},
+    )
+
+    print(f"\n{len(launch.races)} race(s) detected:")
+    for race in launch.races[:5]:
+        print(f"  {race}")
+    if len(launch.races) > 5:
+        print(f"  ... and {len(launch.races) - 5} more")
+
+    print("\nThe fix: use atomicAdd(&bins[data[tid] % 8], 1).")
+    fixed = compile_cuda(KERNEL.replace(
+        "bins[data[tid] % 8] = bins[data[tid] % 8] + 1;   // oops: not atomic",
+        "atomicAdd(&bins[data[tid] % 8], 1);",
+    ).replace("histogram", "histogram_fixed"))
+    session.register_module(fixed)
+    bins2 = session.device.alloc(8 * 4)
+    launch = session.launch(
+        "histogram_fixed", grid=2, block=64,
+        params={"data": data, "bins": bins2, "n": n},
+    )
+    print(f"fixed kernel: {len(launch.races)} race(s) — "
+          f"bins = {session.device.memcpy_from_device(bins2, 8)}")
+    assert not launch.races
+
+
+if __name__ == "__main__":
+    main()

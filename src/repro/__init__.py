@@ -1,0 +1,79 @@
+"""BARRACUDA reproduction: binary-level race detection for CUDA programs.
+
+A from-scratch Python reproduction of "BARRACUDA: Binary-level Analysis
+of Runtime RAces in CUDA programs" (Eizenberg et al., PLDI 2017),
+including every substrate the paper depends on: a PTX parser and
+interpreter with SIMT lockstep-warp execution, a weak-memory model with
+per-architecture profiles, a binary instrumentation engine with
+acquire/release inference, GPU-to-host event queues, a mini CUDA-C
+compiler, the compressed-vector-clock race detection algorithm, the
+66-program concurrency suite, a CUDA-Racecheck-style baseline, and
+benchmark harnesses regenerating every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import BarracudaSession, compile_cuda
+
+    session = BarracudaSession()
+    session.register_module(compile_cuda(kernel_source))
+    data = session.device.alloc(512)
+    launch = session.launch("my_kernel", grid=4, block=64,
+                            params={"data": data})
+    for race in launch.races:
+        print(race)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .core import (
+    AccessType,
+    BarracudaDetector,
+    BarrierDivergenceReport,
+    DetectorConfig,
+    RaceKind,
+    RaceReport,
+    ReferenceDetector,
+)
+from .cudac import compile_cuda, parse_cuda
+from .gpu import (
+    Dim3,
+    GpuDevice,
+    KEPLER_K520,
+    LaunchConfig,
+    MAXWELL_TITANX,
+)
+from .instrument import FatBinary, Instrumenter, intercept_fat_binary
+from .ptx import parse_ptx
+from .runtime import BarracudaSession, SessionLaunch
+from .trace import GridLayout, Scope, Space
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "BarracudaDetector",
+    "BarracudaSession",
+    "BarrierDivergenceReport",
+    "DetectorConfig",
+    "Dim3",
+    "FatBinary",
+    "GpuDevice",
+    "GridLayout",
+    "Instrumenter",
+    "KEPLER_K520",
+    "LaunchConfig",
+    "MAXWELL_TITANX",
+    "RaceKind",
+    "RaceReport",
+    "ReferenceDetector",
+    "Scope",
+    "SessionLaunch",
+    "Space",
+    "compile_cuda",
+    "intercept_fat_binary",
+    "parse_cuda",
+    "parse_ptx",
+    "__version__",
+]

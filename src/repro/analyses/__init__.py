@@ -1,0 +1,12 @@
+"""Other dynamic analyses on the instrumentation framework (§1, §4.1).
+
+The paper positions the binary instrumentation framework as reusable
+beyond race detection; these analyses consume the very same record
+stream: a memory-coalescing analyzer, a shared-memory bank-conflict
+analyzer, and a branch-divergence profiler.
+"""
+
+from .banks import BankConflictAnalysis, BankSiteStats
+from .base import RecordAnalysis, run_analyses
+from .coalescing import AccessSiteStats, CoalescingAnalysis
+from .divergence import BranchSiteStats, DivergenceAnalysis

@@ -1,0 +1,102 @@
+"""Shared-memory bank-conflict analysis on the record stream.
+
+Shared memory is divided into 32 four-byte banks; a warp access
+serializes when multiple lanes touch *different* addresses in the same
+bank (same-address broadcasts are free).  Another classic Ocelot/Lynx-
+style analysis that falls straight out of BARRACUDA's warp-granularity
+records: the per-lane addresses are already in every record.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..events import LogRecord, MEMORY_KINDS
+from ..trace.operations import Space
+from .base import RecordAnalysis
+
+#: Shared-memory banks on every architecture the paper targets.
+NUM_BANKS = 32
+#: Bank width in bytes.
+BANK_BYTES = 4
+
+
+@dataclass
+class BankSiteStats:
+    """Bank behaviour of one static shared-memory instruction (pc)."""
+
+    pc: int
+    kind: str
+    executions: int = 0
+    #: Serialized passes the hardware needs (1 per execution = ideal).
+    passes: int = 0
+    worst_passes: int = 0
+
+    @property
+    def average_passes(self) -> float:
+        return self.passes / self.executions if self.executions else 0.0
+
+    @property
+    def conflict_free(self) -> bool:
+        return self.passes == self.executions
+
+
+class BankConflictAnalysis(RecordAnalysis):
+    """Counts serialized shared-memory passes per static access site."""
+
+    name = "bank-conflicts"
+
+    def __init__(self, num_banks: int = NUM_BANKS, bank_bytes: int = BANK_BYTES) -> None:
+        self.num_banks = num_banks
+        self.bank_bytes = bank_bytes
+        self.sites: Dict[int, BankSiteStats] = {}
+
+    def _passes(self, addresses) -> int:
+        """Serialized passes: the max number of *distinct* addresses any
+        single bank must service (same-address lanes broadcast)."""
+        per_bank = defaultdict(set)
+        for addr in addresses:
+            bank = (addr // self.bank_bytes) % self.num_banks
+            per_bank[bank].add(addr)
+        return max((len(unique) for unique in per_bank.values()), default=0)
+
+    def consume(self, record: LogRecord) -> None:
+        if record.kind not in MEMORY_KINDS or not record.addrs:
+            return
+        shared_addresses = [
+            addr for space, addr in record.addrs.values() if space is Space.SHARED
+        ]
+        if not shared_addresses:
+            return
+        site = self.sites.get(record.pc)
+        if site is None:
+            site = BankSiteStats(pc=record.pc, kind=record.kind.value)
+            self.sites[record.pc] = site
+        passes = self._passes(shared_addresses)
+        site.executions += 1
+        site.passes += passes
+        site.worst_passes = max(site.worst_passes, passes)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_conflicting_sites(self) -> int:
+        return sum(1 for site in self.sites.values() if not site.conflict_free)
+
+    def worst_sites(self, limit: int = 5) -> List[BankSiteStats]:
+        return sorted(
+            self.sites.values(), key=lambda s: s.average_passes, reverse=True
+        )[:limit]
+
+    def summary(self) -> str:
+        lines = [
+            f"bank conflicts: {len(self.sites)} shared-memory sites, "
+            f"{self.total_conflicting_sites} with conflicts"
+        ]
+        for site in self.worst_sites(3):
+            lines.append(
+                f"  pc {site.pc}: {site.kind}, avg {site.average_passes:.1f} "
+                f"passes/warp (worst {site.worst_passes})"
+            )
+        return "\n".join(lines)

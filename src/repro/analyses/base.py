@@ -1,0 +1,72 @@
+"""Shared plumbing for dynamic analyses built on the record stream.
+
+The paper's final contribution claim: "Our binary instrumentation
+framework can serve as a foundation for other CUDA dynamic analyses as
+well."  This package cashes that claim in: an analysis is anything that
+consumes :class:`repro.events.LogRecord` streams, and
+:func:`run_analyses` runs a kernel once under the standard
+instrumentation and feeds every analysis the same stream the race
+detector would see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..events import LogRecord
+from ..gpu.device import DEFAULT_MAX_STEPS, GpuDevice
+from ..gpu.interpreter import ListSink
+from ..instrument.passes import Instrumenter
+from ..ptx.ast import Module
+from ..trace.layout import GridLayout
+
+
+class RecordAnalysis:
+    """Base interface: consume records, then summarize."""
+
+    name = "analysis"
+
+    def consume(self, record: LogRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def summary(self) -> str:  # pragma: no cover
+        raise NotImplementedError
+
+
+def run_analyses(
+    module: Module,
+    kernel: str,
+    grid,
+    block,
+    analyses: Sequence[RecordAnalysis],
+    params: Optional[Dict[str, int]] = None,
+    buffers: Optional[Dict[str, List[int]]] = None,
+    warp_size: int = 32,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    prune: bool = False,
+) -> Tuple[GridLayout, List[LogRecord]]:
+    """Instrument, run, and feed the record stream to every analysis.
+
+    Pruning defaults to *off*: profiling analyses usually want every
+    access, whereas the race detector can exploit redundancy.  Returns
+    the layout and the raw records so callers can run further passes.
+    """
+    instrumented, _report = Instrumenter(prune=prune).instrument_module(module)
+    device = GpuDevice()
+    device.load_module(instrumented)
+    run_params = dict(params or {})
+    for name, values in (buffers or {}).items():
+        addr = device.alloc(len(values) * 4)
+        device.memcpy_to_device(addr, values)
+        run_params[name] = addr
+    sink = ListSink()
+    from ..gpu.hierarchy import LaunchConfig
+
+    device.launch(
+        instrumented, kernel, grid=grid, block=block, warp_size=warp_size,
+        params=run_params, sink=sink, instrumented=True, max_steps=max_steps,
+    )
+    for analysis in analyses:
+        for record in sink.records:
+            analysis.consume(record)
+    return LaunchConfig.of(grid, block, warp_size).layout(), sink.records

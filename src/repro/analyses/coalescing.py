@@ -1,0 +1,102 @@
+"""Memory-coalescing analysis on the BARRACUDA record stream.
+
+A classic GPU dynamic analysis (the kind GPU Ocelot/Lynx shipped): for
+every memory instruction, how many memory transactions does one warp
+access generate?  The hardware services a warp's loads/stores in aligned
+segments (128 bytes here); a perfectly coalesced access (consecutive
+lanes → consecutive words) costs one transaction, a strided or scattered
+access costs up to one per lane.
+
+The input is exactly the race detector's event stream: warp-granularity
+records with one address per active lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..events import LogRecord, MEMORY_KINDS
+from .base import RecordAnalysis
+
+#: Memory transaction segment size in bytes.
+SEGMENT_BYTES = 128
+
+
+@dataclass
+class AccessSiteStats:
+    """Coalescing behaviour of one static memory instruction (pc)."""
+
+    pc: int
+    kind: str
+    executions: int = 0
+    lanes: int = 0
+    transactions: int = 0
+    worst_transactions: int = 0
+
+    @property
+    def average_transactions(self) -> float:
+        return self.transactions / self.executions if self.executions else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the ideal (one-transaction) case achieved."""
+        if self.transactions == 0:
+            return 1.0
+        ideal = self.executions  # one transaction per warp execution
+        return ideal / self.transactions
+
+
+class CoalescingAnalysis(RecordAnalysis):
+    """Counts memory transactions per static access site."""
+
+    name = "coalescing"
+
+    def __init__(self, segment_bytes: int = SEGMENT_BYTES) -> None:
+        self.segment_bytes = segment_bytes
+        self.sites: Dict[int, AccessSiteStats] = {}
+
+    def consume(self, record: LogRecord) -> None:
+        if record.kind not in MEMORY_KINDS or not record.addrs:
+            return
+        segments = {
+            addr // self.segment_bytes for _space, addr in record.addrs.values()
+        }
+        site = self.sites.get(record.pc)
+        if site is None:
+            site = AccessSiteStats(pc=record.pc, kind=record.kind.value)
+            self.sites[record.pc] = site
+        site.executions += 1
+        site.lanes += len(record.addrs)
+        site.transactions += len(segments)
+        site.worst_transactions = max(site.worst_transactions, len(segments))
+
+    # ------------------------------------------------------------------
+    @property
+    def total_transactions(self) -> int:
+        return sum(site.transactions for site in self.sites.values())
+
+    @property
+    def overall_efficiency(self) -> float:
+        executions = sum(site.executions for site in self.sites.values())
+        transactions = self.total_transactions
+        return executions / transactions if transactions else 1.0
+
+    def worst_sites(self, limit: int = 5) -> List[AccessSiteStats]:
+        return sorted(
+            self.sites.values(), key=lambda s: s.average_transactions, reverse=True
+        )[:limit]
+
+    def summary(self) -> str:
+        lines = [
+            f"coalescing: {len(self.sites)} access sites, "
+            f"{self.total_transactions} transactions, "
+            f"{self.overall_efficiency:.0%} of ideal"
+        ]
+        for site in self.worst_sites(3):
+            lines.append(
+                f"  pc {site.pc}: {site.kind}, avg "
+                f"{site.average_transactions:.1f} transactions/warp "
+                f"(worst {site.worst_transactions})"
+            )
+        return "\n".join(lines)

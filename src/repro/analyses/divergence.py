@@ -1,0 +1,96 @@
+"""Branch-divergence profiling on the BARRACUDA record stream.
+
+Divergent branches serialize a warp's paths (§2); heavy divergence is a
+first-order GPU performance problem.  The instrumentation already emits
+``BRANCH_IF`` records with the runtime path split at every divergence,
+so a profiler is a small consumer of the same stream the race detector
+reads — the "foundation for other dynamic analyses" claim in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..events import LogRecord, RecordKind
+from .base import RecordAnalysis
+
+
+@dataclass
+class BranchSiteStats:
+    """Divergence behaviour of one static branch (pc)."""
+
+    pc: int
+    divergent_executions: int = 0
+    then_lanes: int = 0
+    else_lanes: int = 0
+    min_minority: float = 1.0
+
+    @property
+    def imbalance(self) -> float:
+        """Average fraction of lanes on the smaller path (0 = uniform,
+        0.5 = perfect split)."""
+        total = self.then_lanes + self.else_lanes
+        if not total:
+            return 0.0
+        minority = min(self.then_lanes, self.else_lanes)
+        return minority / total
+
+
+class DivergenceAnalysis(RecordAnalysis):
+    """Counts divergent executions and path splits per static branch.
+
+    Only *divergent* executions reach the stream (a uniform branch emits
+    no ``if``), so the profile shows exactly the serialization the SIMT
+    stack performed.
+    """
+
+    name = "divergence"
+
+    def __init__(self) -> None:
+        self.sites: Dict[int, BranchSiteStats] = {}
+        self.reconvergences = 0
+
+    def consume(self, record: LogRecord) -> None:
+        if record.kind is RecordKind.BRANCH_IF:
+            site = self.sites.get(record.pc)
+            if site is None:
+                site = BranchSiteStats(pc=record.pc)
+                self.sites[record.pc] = site
+            then_lanes = len(record.then_mask)
+            else_lanes = len(record.active) - then_lanes
+            site.divergent_executions += 1
+            site.then_lanes += then_lanes
+            site.else_lanes += else_lanes
+            if record.active:
+                site.min_minority = min(
+                    site.min_minority,
+                    min(then_lanes, else_lanes) / len(record.active),
+                )
+        elif record.kind is RecordKind.BRANCH_FI:
+            self.reconvergences += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_divergent_executions(self) -> int:
+        return sum(site.divergent_executions for site in self.sites.values())
+
+    def hottest_sites(self, limit: int = 5) -> List[BranchSiteStats]:
+        return sorted(
+            self.sites.values(),
+            key=lambda s: s.divergent_executions,
+            reverse=True,
+        )[:limit]
+
+    def summary(self) -> str:
+        lines = [
+            f"divergence: {len(self.sites)} divergent branch sites, "
+            f"{self.total_divergent_executions} divergent executions, "
+            f"{self.reconvergences} reconvergences"
+        ]
+        for site in self.hottest_sites(3):
+            lines.append(
+                f"  pc {site.pc}: {site.divergent_executions} divergent "
+                f"executions, path imbalance {site.imbalance:.0%}"
+            )
+        return "\n".join(lines)

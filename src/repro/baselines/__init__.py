@@ -1,0 +1,4 @@
+"""Baseline detectors the paper compares against (§6.1, §7)."""
+
+from .ldetector import LDetector, ValueConflict, run_ldetector
+from .racecheck import Hazard, RacecheckDetector, run_racecheck

@@ -1,0 +1,5 @@
+"""Benchmark harnesses regenerating the paper's tables and figures."""
+
+from .litmus import LitmusResult, format_figure4, run_figure4, run_mp
+from .workload_model import Workload, WorkloadResult, run_workload
+from .workloads import ALL_WORKLOADS, workload

@@ -1,0 +1,95 @@
+"""Text rendering of the paper's figures.
+
+The evaluation figures are bar charts (Figure 9: two bars per benchmark;
+Figure 10: one bar per benchmark on a log axis).  These helpers render
+the same shapes as terminal text so ``pytest benchmarks/ -s`` regenerates
+the figures, not just the underlying numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+#: Glyphs for the one-eighth bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A left-aligned bar of ``value / scale`` of ``width`` cells."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, min(1.0, value / scale)) * width
+    full, fraction = divmod(cells, 1)
+    bar = "█" * int(full)
+    eighth = int(fraction * 8)
+    if eighth:
+        bar += _BLOCKS[eighth]
+    return bar
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+    fmt: str = "{:.1f}",
+) -> List[str]:
+    """Render ``(label, value)`` rows as a horizontal bar chart."""
+    if not rows:
+        return []
+    scale = max(value for _label, value in rows) or 1.0
+    label_width = max(len(label) for label, _value in rows)
+    lines = []
+    for label, value in rows:
+        rendered = fmt.format(value) + unit
+        lines.append(
+            f"{label:<{label_width}} |{_bar(value, scale, width):<{width}}| {rendered}"
+        )
+    return lines
+
+
+def paired_bar_chart(
+    rows: Sequence[Tuple[str, float, float]],
+    width: int = 36,
+    legend: Tuple[str, str] = ("before", "after"),
+    unit: str = "",
+    fmt: str = "{:.1f}",
+) -> List[str]:
+    """Render ``(label, a, b)`` rows as paired bars (the Figure 9 shape)."""
+    if not rows:
+        return []
+    scale = max(max(a, b) for _label, a, b in rows) or 1.0
+    label_width = max(len(label) for label, _a, _b in rows)
+    lines = [f"{'':<{label_width}}  ▓ {legend[0]}   █ {legend[1]}"]
+    for label, a, b in rows:
+        bar_a = _bar(a, scale, width).replace("█", "▓").replace("▉", "▓")
+        lines.append(
+            f"{label:<{label_width}} ▓{bar_a:<{width}} {fmt.format(a)}{unit}"
+        )
+        lines.append(
+            f"{'':<{label_width}} █{_bar(b, scale, width):<{width}} {fmt.format(b)}{unit}"
+        )
+    return lines
+
+
+def log_bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "x",
+    floor: float = 1.0,
+) -> List[str]:
+    """Render values on a log axis (the Figure 10 shape)."""
+    if not rows:
+        return []
+    top = max(value for _label, value in rows)
+    scale = math.log(max(top / floor, 1.000001))
+    label_width = max(len(label) for label, _value in rows)
+    lines = []
+    for label, value in rows:
+        magnitude = math.log(max(value / floor, 1.0))
+        lines.append(
+            f"{label:<{label_width}} |{_bar(magnitude, scale, width):<{width}}| "
+            f"{value:.1f}{unit}"
+        )
+    lines.append(f"{'':<{label_width}}  (log scale, floor {floor:g}{unit})")
+    return lines

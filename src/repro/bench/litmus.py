@@ -1,0 +1,174 @@
+"""Memory-fence litmus tests (paper §3.3.3, Figure 4).
+
+Runs the message-passing (mp) litmus test with the four
+``membar.cta``/``membar.gl`` fence combinations on the two simulated
+architecture profiles.  The two test threads run in distinct thread
+blocks, variables live in global memory, and we use the randomized
+scheduling and store-drain "memory stress" strategy to provoke weak
+behaviour, mirroring the methodology the paper borrows from Alglave et
+al.
+
+The paper's result (observations per 1M runs):
+
+====================  ============  ======  ===========
+fence1 (writer)       fence2        K520    GTX Titan X
+====================  ============  ======  ===========
+membar.cta            membar.cta    7,253   0
+membar.cta            membar.gl     0       0
+membar.gl             membar.cta    0       0
+membar.gl             membar.gl     0       0
+====================  ============  ======  ===========
+
+The reproduced *shape*: the cta/cta combination exhibits a non-zero weak
+count on the Kepler profile and zero everywhere else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..gpu import GpuDevice, RandomScheduler
+from ..gpu.memory import ArchProfile, KEPLER_K520, MAXWELL_TITANX
+from ..ptx import parse_ptx
+
+#: Fence spellings accepted by :func:`build_mp_module`.
+FENCES = ("membar.cta", "membar.gl")
+
+
+def build_mp_source(fence1: str, fence2: str, delay: int = 4) -> str:
+    """PTX for the mp litmus test with the given fences.
+
+    Thread block 0 runs the writer (``st x; fence1; st y``), thread
+    block 1 the reader (``ld y; fence2; ld x``), as in Figure 4 where
+    "each test thread runs in a distinct thread block".  Results land in
+    the ``result`` global array as (r1, r2).
+
+    The reader spins ``delay`` iterations before its first load — the
+    "memory stress" strategy (§3.3.3): it widens the window in which the
+    writer's stores sit in its block's store queue, which is where the
+    weak behaviour lives.
+    """
+    for fence in (fence1, fence2):
+        if fence not in FENCES:
+            raise ValueError(f"unsupported fence {fence!r}")
+    return f"""
+.version 4.3
+.target sm_35
+.address_size 64
+
+.global .align 4 .b8 x[4];
+.global .align 4 .b8 y[4];
+.global .align 4 .b8 result[8];
+
+.visible .entry mp(
+    .param .u32 dummy
+)
+{{
+    .reg .u32 %r<8>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<3>;
+
+    mov.u32 %r1, %ctaid.x;
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra $L_reader;
+    // writer: st x, fence1, st y
+    mov.u32 %r2, 1;
+    st.global.cg.u32 [x], %r2;
+    {fence1};
+    st.global.cg.u32 [y], %r2;
+    bra.uni $L_end;
+$L_reader:
+    // memory-stress delay loop
+    mov.u32 %r5, 0;
+$L_spin:
+    setp.ge.u32 %p2, %r5, {delay};
+    @%p2 bra $L_read;
+    add.u32 %r5, %r5, 1;
+    bra.uni $L_spin;
+$L_read:
+    // reader: ld y, fence2, ld x
+    ld.global.cg.u32 %r3, [y];
+    {fence2};
+    ld.global.cg.u32 %r4, [x];
+    st.global.u32 [result], %r3;
+    st.global.u32 [result+4], %r4;
+$L_end:
+    ret;
+}}
+"""
+
+
+@dataclass(frozen=True)
+class LitmusResult:
+    """Outcome counts of one litmus configuration."""
+
+    arch: str
+    fence1: str
+    fence2: str
+    runs: int
+    weak: int  # r1 == 1 and r2 == 0 (the forbidden-under-SC outcome)
+
+    @property
+    def weak_rate(self) -> float:
+        return self.weak / self.runs if self.runs else 0.0
+
+
+def run_mp(
+    arch: ArchProfile,
+    fence1: str,
+    fence2: str,
+    runs: int = 200,
+    seed: int = 0,
+    delay: int = 4,
+) -> LitmusResult:
+    """Run the mp litmus ``runs`` times; count weak (r1=1, r2=0) outcomes."""
+    module = parse_ptx(build_mp_source(fence1, fence2, delay=delay))
+    rng = random.Random(seed)
+    weak = 0
+    for _ in range(runs):
+        device = GpuDevice(arch)
+        device.load_module(module)
+        scheduler = RandomScheduler(
+            rng=random.Random(rng.randrange(1 << 30)), drain_probability=0.1
+        )
+        device.launch(module, "mp", grid=2, block=1, params={}, scheduler=scheduler)
+        base = device.global_symbols["result"]
+        r1 = device.global_mem.host_read(base, 4)
+        r2 = device.global_mem.host_read(base + 4, 4)
+        if r1 == 1 and r2 == 0:
+            weak += 1
+    return LitmusResult(
+        arch=arch.name, fence1=fence1, fence2=fence2, runs=runs, weak=weak
+    )
+
+
+def run_figure4(runs: int = 200, seed: int = 0) -> List[LitmusResult]:
+    """All eight (fence1, fence2, arch) rows of Figure 4."""
+    results = []
+    for fence1 in FENCES:
+        for fence2 in FENCES:
+            for arch in (KEPLER_K520, MAXWELL_TITANX):
+                results.append(run_mp(arch, fence1, fence2, runs=runs, seed=seed))
+    return results
+
+
+def format_figure4(results: List[LitmusResult]) -> str:
+    """Render results as the Figure 4 table."""
+    by_key: Dict[Tuple[str, str], Dict[str, LitmusResult]] = {}
+    for result in results:
+        by_key.setdefault((result.fence1, result.fence2), {})[result.arch] = result
+    lines = [
+        f"observations per {next(iter(results)).runs} runs",
+        f"{'fence1':<14} {'fence2':<14} {'K520':>8} {'GTX Titan X':>12}",
+    ]
+    for (fence1, fence2), per_arch in sorted(by_key.items()):
+        k520 = per_arch.get(KEPLER_K520.name)
+        titan = per_arch.get(MAXWELL_TITANX.name)
+        lines.append(
+            f"{fence1:<14} {fence2:<14} "
+            f"{k520.weak if k520 else '-':>8} "
+            f"{titan.weak if titan else '-':>12}"
+        )
+    return "\n".join(lines)

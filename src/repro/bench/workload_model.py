@@ -1,0 +1,110 @@
+"""Workload definitions for the paper's benchmark table (Table 1).
+
+Each :class:`Workload` is a laptop-scale stand-in for one of the paper's
+26 benchmarks, written in mini CUDA-C (or PTX) to use the same
+synchronization idioms — tiled shared-memory phases with barriers,
+atomic work distribution, fence-based publication, fine-grained locks —
+and seeded with the same *kind* of races the paper reports for it
+(column 5 of Table 1).  Grid sizes are scaled down so a Python-level
+simulation finishes in seconds; thread counts and instruction counts are
+reported as measured on our stand-ins, and EXPERIMENTS.md compares the
+shapes against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..cudac import compile_cuda
+from ..gpu.device import DEFAULT_MAX_STEPS
+from ..ptx import parse_ptx
+from ..ptx.ast import Module
+from ..runtime.session import BarracudaSession, SessionLaunch
+from ..suite.model import Buffer
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One Table 1 benchmark stand-in."""
+
+    name: str
+    suite: str  # Rodinia 3.1 / GPU-TM / SHOC / CUDA SDK / CUB
+    description: str
+    source: str
+    is_ptx: bool = False
+    grid: int = 4
+    block: int = 64
+    warp_size: int = 32
+    buffers: Tuple[Buffer, ...] = ()
+    scalars: Tuple[Tuple[str, int], ...] = ()
+    #: Space of the races the paper reports for this benchmark (column 5
+    #: of Table 1); None for benchmarks with no reported races.
+    expected_race_space: Optional[str] = None
+    #: Races the paper found (0 when column 5 is empty).
+    paper_races: int = 0
+    paper_static_insns: int = 0
+    paper_threads: int = 0
+    max_steps: int = DEFAULT_MAX_STEPS
+
+    def compile(self) -> Module:
+        if self.is_ptx:
+            return parse_ptx(self.source)
+        return compile_cuda(self.source)
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid * self.block
+
+
+@dataclass
+class WorkloadResult:
+    """Measurements from one monitored workload run."""
+
+    workload: Workload
+    launch: SessionLaunch
+    static_insns: int
+    global_mem_bytes: int
+
+    @property
+    def races(self) -> int:
+        return len(self.launch.races)
+
+    @property
+    def race_spaces(self):
+        return sorted({r.loc.space.value for r in self.launch.races})
+
+
+def run_workload(
+    workload: Workload,
+    session: Optional[BarracudaSession] = None,
+    compare_native: bool = True,
+) -> WorkloadResult:
+    """Run one workload under a full BARRACUDA session."""
+    session = session or BarracudaSession()
+    module = workload.compile()
+    static_insns = module.static_instruction_count()
+    session.register_module(module)
+    params: Dict[str, int] = {}
+    for buffer in workload.buffers:
+        addr = session.device.alloc(buffer.words * 4)
+        values = list(buffer.init) + [0] * (buffer.words - len(buffer.init))
+        session.device.memcpy_to_device(addr, values)
+        params[buffer.name] = addr
+    for name, value in workload.scalars:
+        params[name] = value
+    launch = session.launch(
+        module.kernels[0].name,
+        grid=workload.grid,
+        block=workload.block,
+        warp_size=workload.warp_size,
+        params=params,
+        max_steps=workload.max_steps,
+        compare_native=compare_native,
+    )
+    return WorkloadResult(
+        workload=workload,
+        launch=launch,
+        static_insns=static_insns,
+        global_mem_bytes=session.device.global_mem.allocated_bytes,
+    )

@@ -1,0 +1,21 @@
+"""The full Table 1 workload registry."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .workload_model import Workload, WorkloadResult, run_workload
+from .workloads_cuda import CUDA_WORKLOADS
+from .workloads_cub import CUB_WORKLOADS
+from .workloads_rodinia import RODINIA_WORKLOADS
+
+#: All 26 benchmarks, in Table 1 order.
+ALL_WORKLOADS: List[Workload] = RODINIA_WORKLOADS + CUDA_WORKLOADS + CUB_WORKLOADS
+
+
+def workload(name: str) -> Workload:
+    """Look up a workload by its Table 1 name."""
+    for entry in ALL_WORKLOADS:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)

@@ -1,0 +1,375 @@
+"""CUB SDK sample stand-ins (Table 1, rows 17–26).
+
+CUB's block- and device-level primitives are heavily synchronized and
+race-free; the paper reports no races for any of them.  Each stand-in
+implements the primitive's actual algorithm shape: shared-memory ranking
+and scans behind barriers for the block primitives, atomic work
+distribution for the device primitives.
+"""
+
+from __future__ import annotations
+
+from ..suite.model import Buffer
+from .workload_model import Workload
+
+
+def _data(count: int, stride: int = 7, mod: int = 64):
+    return tuple((i * stride + 3) % mod for i in range(count))
+
+
+CUB_WORKLOADS = [
+    Workload(
+        name="block_radix_sort",
+        suite="CUB",
+        description="One 1-bit split pass of a block radix sort: shared "
+        "flags, a Hillis-Steele scan for ranks, barriers throughout.",
+        source="""
+__global__ void radix_split(int* keys, int* out, int bit) {
+    __shared__ int flags[64];
+    __shared__ int scan[64];
+    int tid = threadIdx.x;
+    int key = keys[blockIdx.x * blockDim.x + tid];
+    flags[tid] = (key >> bit) & 1;
+    scan[tid] = flags[tid];
+    __syncthreads();
+    for (int offset = 1; offset < 64; offset = offset * 2) {
+        int add = 0;
+        if (tid >= offset) {
+            add = scan[tid - offset];
+        }
+        __syncthreads();
+        scan[tid] = scan[tid] + add;
+        __syncthreads();
+    }
+    int ones_before = scan[tid] - flags[tid];
+    int total_zeros = 64 - scan[63];
+    int rank = 0;
+    if (flags[tid] == 1) {
+        rank = total_zeros + ones_before;
+    } else {
+        rank = tid - ones_before;
+    }
+    out[blockIdx.x * blockDim.x + rank] = key;
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(Buffer("keys", 128, init=_data(128)), Buffer("out", 128)),
+        scalars=(("bit", 0),),
+        paper_static_insns=2_174,
+        paper_threads=128,
+    ),
+    Workload(
+        name="block_reduce",
+        suite="CUB",
+        description="Block-wide tree reduction with per-level barriers.",
+        source="""
+__global__ void block_reduce(int* data, int* out) {
+    __shared__ int s[64];
+    int tid = threadIdx.x;
+    s[tid] = data[blockIdx.x * blockDim.x + tid];
+    __syncthreads();
+    for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+        if (tid < stride) {
+            s[tid] = s[tid] + s[tid + stride];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        out[blockIdx.x] = s[0];
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(Buffer("data", 128, init=_data(128)), Buffer("out", 2)),
+        paper_static_insns=2_456,
+        paper_threads=1_024,
+    ),
+    Workload(
+        name="block_scan",
+        suite="CUB",
+        description="Inclusive Hillis-Steele block scan, double-step with "
+        "barriers between the read and write halves of each level.",
+        source="""
+__global__ void block_scan(int* data, int* out) {
+    __shared__ int s[64];
+    int tid = threadIdx.x;
+    s[tid] = data[blockIdx.x * blockDim.x + tid];
+    __syncthreads();
+    for (int offset = 1; offset < 64; offset = offset * 2) {
+        int add = 0;
+        if (tid >= offset) {
+            add = s[tid - offset];
+        }
+        __syncthreads();
+        s[tid] = s[tid] + add;
+        __syncthreads();
+    }
+    out[blockIdx.x * blockDim.x + tid] = s[tid];
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(Buffer("data", 128, init=_data(128, mod=9)), Buffer("out", 128)),
+        paper_static_insns=4_451,
+        paper_threads=128,
+    ),
+    Workload(
+        name="device_partition_flagged",
+        suite="CUB",
+        description="Flagged partition: selected items go to atomically "
+        "allocated slots at the front, rejected ones at the back.",
+        source="""
+__global__ void partition_flagged(int* data, int* flags, int* out,
+                                  int* cursors, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        int value = data[gid];
+        if (flags[gid] == 1) {
+            int slot = atomicAdd(&cursors[0], 1);
+            out[slot] = value;
+        } else {
+            int slot = atomicAdd(&cursors[1], 1);
+            out[n - 1 - slot] = value;
+        }
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            Buffer("data", 128, init=_data(128)),
+            Buffer("flags", 128, init=tuple(i % 3 == 0 and 1 or 0 for i in range(128))),
+            Buffer("out", 128),
+            Buffer("cursors", 2),
+        ),
+        scalars=(("n", 128),),
+        paper_static_insns=2_834,
+        paper_threads=128,
+    ),
+    Workload(
+        name="device_reduce",
+        suite="CUB",
+        description="Device-wide reduction: block partials in shared "
+        "memory, then the correctly fenced last-block pattern.",
+        source="""
+__global__ void device_reduce(int* data, int* partial, int* count, int* out) {
+    __shared__ int s[64];
+    int tid = threadIdx.x;
+    s[tid] = data[blockIdx.x * blockDim.x + tid];
+    __syncthreads();
+    for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+        if (tid < stride) {
+            s[tid] = s[tid] + s[tid + stride];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        partial[blockIdx.x] = s[0];
+        __threadfence();
+        int arrived = atomicAdd(&count[0], 1);
+        __threadfence();
+        if (arrived == gridDim.x - 1) {
+            int total = 0;
+            for (int b = 0; b < gridDim.x; b = b + 1) {
+                total = total + partial[b];
+            }
+            out[0] = total;
+        }
+    }
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("data", 256, init=_data(256, mod=11)),
+            Buffer("partial", 4),
+            Buffer("count", 4),
+            Buffer("out", 4),
+        ),
+        paper_static_insns=2_397,
+        paper_threads=128,
+    ),
+    Workload(
+        name="device_scan",
+        suite="CUB",
+        description="Device scan, tile phase: each block scans its tile "
+        "in shared memory and publishes the tile aggregate.",
+        source="""
+__global__ void device_scan_tiles(int* data, int* out, int* aggregates) {
+    __shared__ int s[64];
+    int tid = threadIdx.x;
+    s[tid] = data[blockIdx.x * blockDim.x + tid];
+    __syncthreads();
+    for (int offset = 1; offset < 64; offset = offset * 2) {
+        int add = 0;
+        if (tid >= offset) {
+            add = s[tid - offset];
+        }
+        __syncthreads();
+        s[tid] = s[tid] + add;
+        __syncthreads();
+    }
+    out[blockIdx.x * blockDim.x + tid] = s[tid];
+    if (tid == blockDim.x - 1) {
+        aggregates[blockIdx.x] = s[tid];
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            Buffer("data", 128, init=_data(128, mod=5)),
+            Buffer("out", 128),
+            Buffer("aggregates", 2),
+        ),
+        paper_static_insns=1_661,
+        paper_threads=128,
+    ),
+    Workload(
+        name="device_select_flagged",
+        suite="CUB",
+        description="Select items whose flag is set, compacting through "
+        "an atomic cursor.",
+        source="""
+__global__ void select_flagged(int* data, int* flags, int* out, int* cursor, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        if (flags[gid] == 1) {
+            int slot = atomicAdd(&cursor[0], 1);
+            out[slot] = data[gid];
+        }
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            Buffer("data", 128, init=_data(128)),
+            Buffer("flags", 128, init=tuple(i % 2 for i in range(128))),
+            Buffer("out", 128),
+            Buffer("cursor", 4),
+        ),
+        scalars=(("n", 128),),
+        paper_static_insns=2_615,
+        paper_threads=128,
+    ),
+    Workload(
+        name="device_select_if",
+        suite="CUB",
+        description="Select items matching a predicate (value below a "
+        "threshold), compacting through an atomic cursor.",
+        source="""
+__global__ void select_if(int* data, int* out, int* cursor, int n, int threshold) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        int value = data[gid];
+        if (value < threshold) {
+            int slot = atomicAdd(&cursor[0], 1);
+            out[slot] = value;
+        }
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            Buffer("data", 128, init=_data(128)),
+            Buffer("out", 128),
+            Buffer("cursor", 4),
+        ),
+        scalars=(("n", 128), ("threshold", 30)),
+        paper_static_insns=2_508,
+        paper_threads=128,
+    ),
+    Workload(
+        name="device_select_unique",
+        suite="CUB",
+        description="Run-boundary detection for unique-compaction: each "
+        "thread compares its (read-only) element with its predecessor "
+        "and appends boundaries through an atomic cursor.",
+        source="""
+__global__ void select_unique(int* data, int* out, int* cursor, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        int value = data[gid];
+        int is_head = 0;
+        if (gid == 0) {
+            is_head = 1;
+        } else {
+            if (data[gid - 1] != value) {
+                is_head = 1;
+            }
+        }
+        if (is_head == 1) {
+            int slot = atomicAdd(&cursor[0], 1);
+            out[slot] = value;
+        }
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            Buffer("data", 128, init=tuple(i // 4 for i in range(128))),
+            Buffer("out", 128),
+            Buffer("cursor", 4),
+        ),
+        scalars=(("n", 128),),
+        paper_static_insns=2_484,
+        paper_threads=128,
+    ),
+    Workload(
+        name="device_sort_find_non_trivial_runs",
+        suite="CUB",
+        description="Find non-trivial sorted runs: detect run heads, "
+        "measure run lengths by walking the (read-only) input, and "
+        "append runs longer than one through an atomic cursor.",
+        source="""
+__global__ void find_runs(int* data, int* run_offsets, int* run_lengths,
+                          int* cursor, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        int value = data[gid];
+        int is_head = 0;
+        if (gid == 0) {
+            is_head = 1;
+        } else {
+            if (data[gid - 1] != value) {
+                is_head = 1;
+            }
+        }
+        if (is_head == 1) {
+            int length = 1;
+            int next = gid + 1;
+            while (next < n && data[next] == value) {
+                length = length + 1;
+                next = next + 1;
+            }
+            if (length > 1) {
+                int slot = atomicAdd(&cursor[0], 1);
+                run_offsets[slot] = gid;
+                run_lengths[slot] = length;
+            }
+        }
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            # One sentinel word of padding: the run-length walk's loop
+            # condition evaluates data[next] at next == n (the mini
+            # compiler's && does not short-circuit), and that probe must
+            # not alias the next allocation.
+            Buffer("data", 132, init=tuple(i // 3 for i in range(128)) + (999,)),
+            Buffer("run_offsets", 64),
+            Buffer("run_lengths", 64),
+            Buffer("cursor", 4),
+        ),
+        scalars=(("n", 128),),
+        paper_static_insns=16_479,
+        paper_threads=128,
+    ),
+]

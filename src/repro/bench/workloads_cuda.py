@@ -1,0 +1,194 @@
+"""SHOC, GPU-TM and CUDA SDK benchmark stand-ins (Table 1, rows 13–16).
+
+These four carry the paper's most interesting findings: the SHOC BFS and
+GPU-TM hashtable global-memory bugs described in §6.3, the dxtc
+shared-memory races, and threadFenceReduction.
+"""
+
+from __future__ import annotations
+
+from ..suite.model import Buffer
+from .workload_model import Workload
+
+
+def _shoc_graph():
+    """A frontier of 128 nodes whose children are disjoint except for two
+    shared children (nodes 200 and 201), each with one parent per block —
+    the unsynchronized cross-block distance updates of §6.3."""
+    n = 256
+    row_offsets = []
+    columns = []
+    for node in range(n):
+        row_offsets.append(len(columns))
+        if node < 128:
+            if node == 5 or node == 70:
+                columns.append(200)
+            elif node == 6 or node == 71:
+                columns.append(201)
+            else:
+                columns.append(128 + node % 64)
+    row_offsets.append(len(columns))
+    return tuple(row_offsets), tuple(columns)
+
+
+_SHOC_ROW, _SHOC_COL = _shoc_graph()
+
+CUDA_WORKLOADS = [
+    Workload(
+        name="bfs_shoc",
+        suite="SHOC",
+        description="SHOC-style BFS: frontier threads update neighbor "
+        "costs and a 'changed' flag in global memory with no atomics or "
+        "fences.  Two children are reachable from both blocks, and the "
+        "flag is set from both blocks: the cross-block updates race "
+        "(§6.3; the paper reports 3 global races).",
+        source="""
+__global__ void bfs_shoc(int* row_offsets, int* columns, int* cost,
+                         int* flag, int frontier_size) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < frontier_size) {
+        int my_cost = cost[tid];
+        int touched_shared_child = 0;
+        for (int e = row_offsets[tid]; e < row_offsets[tid + 1]; e = e + 1) {
+            int nb = columns[e];
+            cost[nb] = my_cost + 1;
+            if (nb >= 200) {
+                touched_shared_child = 1;
+            }
+        }
+        if (touched_shared_child == 1) {
+            flag[0] = 1;
+        }
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            Buffer("row_offsets", len(_SHOC_ROW), init=_SHOC_ROW),
+            Buffer("columns", len(_SHOC_COL), init=_SHOC_COL),
+            Buffer("cost", 256),
+            Buffer("flag", 4),
+        ),
+        scalars=(("frontier_size", 128),),
+        expected_race_space="global",
+        paper_races=3,
+        paper_static_insns=770,
+        paper_threads=1_024,
+    ),
+    Workload(
+        name="hashtable",
+        suite="GPU-TM",
+        description="The buggy GPU-TM hashtable of §6.3: per-bucket locks "
+        "taken with an unfenced atomicCAS and released with a plain "
+        "store, all in global memory (the paper reports 3 global races, "
+        "invisible to shared-memory-only tools).",
+        source="""
+__global__ void hashtable_insert(int* locks, int* table, int* keys) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int bucket = keys[gid] % 4;
+    int done = 0;
+    while (done == 0) {
+        if (atomicCAS(&locks[bucket], 0, 1) == 0) {
+            table[bucket] = table[bucket] + keys[gid];
+            locks[bucket] = 0;
+            done = 1;
+        }
+    }
+}
+""",
+        grid=2,
+        block=32,
+        buffers=(
+            Buffer("locks", 4),
+            Buffer("table", 4),
+            Buffer("keys", 64, init=tuple((i * 7 + 1) % 32 for i in range(64))),
+        ),
+        expected_race_space="global",
+        paper_races=3,
+        paper_static_insns=193,
+        paper_threads=64,
+        max_steps=2_000_000,
+    ),
+    Workload(
+        name="dxtc",
+        suite="CUDA SDK",
+        description="DXT compression stand-in: all 64 threads of a block "
+        "vote a shared 4-entry palette in one unsynchronized instruction "
+        "— 15 write-write conflicts per cell per block, 120 shared races "
+        "total, exactly the count the paper reports.",
+        source="""
+__global__ void dxtc_compress(int* pixels, int* out) {
+    __shared__ int palette[4];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + tid;
+    palette[tid % 4] = pixels[gid];
+    __syncthreads();
+    out[gid] = pixels[gid] - palette[tid % 4];
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            Buffer("pixels", 128, init=tuple(i * 3 + 1 for i in range(128))),
+            Buffer("out", 128),
+        ),
+        expected_race_space="shared",
+        paper_races=120,
+        paper_static_insns=1_578,
+        paper_threads=1_048_576,
+    ),
+    Workload(
+        name="threadfence_reduction",
+        suite="CUDA SDK",
+        description="threadFenceReduction: block-level shared reduction "
+        "followed by the fence + atomic last-block pattern in global "
+        "memory.  A 12-lane unbarriered fix-up in block 0 reads cells "
+        "another warp just wrote: 12 shared races, exactly the paper's "
+        "count; the global last-block protocol itself is correctly "
+        "fenced.",
+        source="""
+__global__ void tf_reduction(int* data, int* partial, int* count, int* out) {
+    __shared__ int s[128];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + tid;
+    s[tid] = data[gid];
+    if (blockIdx.x == 0 && tid < 12) {
+        s[tid] = s[tid] + s[tid + 64];
+    }
+    __syncthreads();
+    for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+        if (tid < stride) {
+            s[tid] = s[tid] + s[tid + stride];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        partial[blockIdx.x] = s[0];
+        __threadfence();
+        int arrived = atomicAdd(&count[0], 1);
+        __threadfence();
+        if (arrived == gridDim.x - 1) {
+            int total = 0;
+            for (int b = 0; b < gridDim.x; b = b + 1) {
+                total = total + partial[b];
+            }
+            out[0] = total;
+        }
+    }
+}
+""",
+        grid=2,
+        block=128,
+        buffers=(
+            Buffer("data", 256, init=tuple(i % 13 for i in range(256))),
+            Buffer("partial", 2),
+            Buffer("count", 4),
+            Buffer("out", 4),
+        ),
+        expected_race_space="shared",
+        paper_races=12,
+        paper_static_insns=5_037,
+        paper_threads=16_384,
+    ),
+]

@@ -1,0 +1,432 @@
+"""Rodinia 3.1 benchmark stand-ins (Table 1, rows 1–12).
+
+Each workload reproduces the synchronization structure of the Rodinia
+kernel it stands in for — and, for DWT2D, Hybridsort and Pathfinder, a
+seeded race of the kind and memory space the paper reports (column 5).
+"""
+
+from __future__ import annotations
+
+from ..suite.model import Buffer
+from .workload_model import Workload
+
+
+def _binary_tree_csr(levels: int = 8):
+    """CSR arrays for a complete binary tree (Rodinia-style BFS input)."""
+    n = (1 << levels) - 1  # 255 nodes; internal nodes have children 2i+1, 2i+2
+    internal = (1 << (levels - 1)) - 1  # 127
+    row_offsets = [2 * i if i <= internal else 2 * internal for i in range(n + 1)]
+    columns = [e + 1 for e in range(2 * internal)]
+    return n, tuple(row_offsets), tuple(columns)
+
+
+_BFS_N, _BFS_ROW, _BFS_COL = _binary_tree_csr()
+#: Frontier: the second-to-last tree level (64 nodes, disjoint children).
+_BFS_MASK = tuple(1 if 63 <= i <= 126 else 0 for i in range(_BFS_N))
+_BFS_VISITED = tuple(1 if i <= 126 else 0 for i in range(_BFS_N))
+_BFS_COST = tuple(6 if 63 <= i <= 126 else 0 for i in range(_BFS_N))
+
+
+RODINIA_WORKLOADS = [
+    Workload(
+        name="bfs",
+        suite="Rodinia 3.1",
+        description="Level-synchronous BFS over a CSR graph; the frontier "
+        "expands into disjoint children (mask/updating-mask style, no "
+        "atomics needed).",
+        source="""
+__global__ void bfs_kernel(int* row_offsets, int* columns, int* mask,
+                           int* updating, int* cost, int* visited, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        if (mask[tid] == 1) {
+            mask[tid] = 0;
+            int my_cost = cost[tid];
+            for (int e = row_offsets[tid]; e < row_offsets[tid + 1]; e = e + 1) {
+                int nb = columns[e];
+                if (visited[nb] == 0) {
+                    cost[nb] = my_cost + 1;
+                    updating[nb] = 1;
+                }
+            }
+        }
+    }
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("row_offsets", _BFS_N + 1, init=_BFS_ROW),
+            Buffer("columns", len(_BFS_COL), init=_BFS_COL),
+            Buffer("mask", _BFS_N, init=_BFS_MASK),
+            Buffer("updating", _BFS_N),
+            Buffer("cost", _BFS_N, init=_BFS_COST),
+            Buffer("visited", _BFS_N, init=_BFS_VISITED),
+        ),
+        scalars=(("n", _BFS_N),),
+        paper_static_insns=281,
+        paper_threads=1_000_448,
+    ),
+    Workload(
+        name="backprop",
+        suite="Rodinia 3.1",
+        description="Neural-net layer forward pass: one block per hidden "
+        "unit, weighted inputs reduced in shared memory with barriers.",
+        source="""
+__global__ void backprop_forward(int* input, int* weights, int* hidden, int n_in) {
+    __shared__ int partial[64];
+    int tid = threadIdx.x;
+    int unit = blockIdx.x;
+    partial[tid] = input[tid] * weights[unit * n_in + tid];
+    __syncthreads();
+    for (int s = blockDim.x / 2; s > 0; s = s / 2) {
+        if (tid < s) {
+            partial[tid] = partial[tid] + partial[tid + s];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        hidden[unit] = partial[0];
+    }
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("input", 64, init=tuple(range(64))),
+            Buffer("weights", 256, init=tuple(i % 7 for i in range(256))),
+            Buffer("hidden", 4),
+        ),
+        scalars=(("n_in", 64),),
+        paper_static_insns=272,
+        paper_threads=1_048_576,
+    ),
+    Workload(
+        name="dwt2d",
+        suite="Rodinia 3.1",
+        description="1-D wavelet pass with a halo bug: every block but the "
+        "first rewrites its left neighbor's last output element, giving "
+        "one inter-block write-write race per interior tile boundary "
+        "(the paper reports 3 global races).",
+        source="""
+__global__ void dwt_pass(int* src, int* dst, int total) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int a = src[gid];
+    int b = src[(gid + 1) % total];
+    dst[gid] = (a + b) / 2;
+    if (threadIdx.x == 0 && blockIdx.x > 0) {
+        dst[gid - 1] = (src[gid - 1] + a) / 2;
+    }
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("src", 256, init=tuple((i * 13) % 101 for i in range(256))),
+            Buffer("dst", 256),
+        ),
+        scalars=(("total", 256),),
+        expected_race_space="global",
+        paper_races=3,
+        paper_static_insns=35_385,
+        paper_threads=2_304,
+    ),
+    Workload(
+        name="gaussian",
+        suite="Rodinia 3.1",
+        description="One Gaussian-elimination update step: rows below the "
+        "pivot update disjoint cells from the (read-only) pivot row.",
+        source="""
+__global__ void gaussian_step(int* matrix, int* multipliers, int width, int k) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int row = gid / width;
+    int col = gid % width;
+    if (row > k && col >= k) {
+        int pivot = matrix[k * width + col];
+        matrix[row * width + col] =
+            matrix[row * width + col] - multipliers[row] * pivot / 100;
+    }
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("matrix", 256, init=tuple((i * 7 + 3) % 50 for i in range(256))),
+            Buffer("multipliers", 16, init=tuple(range(16))),
+        ),
+        scalars=(("width", 16), ("k", 0)),
+        paper_static_insns=246,
+        paper_threads=1_048_576,
+    ),
+    Workload(
+        name="hotspot",
+        suite="Rodinia 3.1",
+        description="1-D heat stencil with shared tiles: interior loads "
+        "plus halo loads by the edge lanes, barrier, then the update.",
+        source="""
+__global__ void hotspot(int* temp_in, int* temp_out, int* power, int total) {
+    __shared__ int tile[66];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + tid;
+    tile[tid + 1] = temp_in[gid];
+    if (tid == 0) {
+        if (gid > 0) {
+            tile[0] = temp_in[gid - 1];
+        } else {
+            tile[0] = 0;
+        }
+    }
+    if (tid == blockDim.x - 1) {
+        if (gid < total - 1) {
+            tile[tid + 2] = temp_in[gid + 1];
+        } else {
+            tile[tid + 2] = 0;
+        }
+    }
+    __syncthreads();
+    temp_out[gid] = (tile[tid] + tile[tid + 1] + tile[tid + 2] + power[gid]) / 3;
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("temp_in", 256, init=tuple((i * 3) % 90 for i in range(256))),
+            Buffer("temp_out", 256),
+            Buffer("power", 256, init=tuple(i % 5 for i in range(256))),
+        ),
+        scalars=(("total", 256),),
+        paper_static_insns=338,
+        paper_threads=473_344,
+    ),
+    Workload(
+        name="hybridsort",
+        suite="Rodinia 3.1",
+        description="Bucket-count phase: shared histogram built with "
+        "atomics and barriers, plus an unbarriered fix-up write to one "
+        "histogram cell that races with the block total (the paper "
+        "reports 1 shared race).",
+        source="""
+__global__ void bucket_count(int* data, int* counts, int n) {
+    __shared__ int hist[16];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + tid;
+    if (tid < 16) {
+        hist[tid] = 0;
+    }
+    __syncthreads();
+    if (gid < n) {
+        atomicAdd(&hist[data[gid] % 16], 1);
+    }
+    __syncthreads();
+    if (tid == 32) {
+        hist[0] = hist[0] + 1;
+    }
+    if (tid == 0) {
+        int total = 0;
+        for (int i = 0; i < 16; i = i + 1) {
+            total = total + hist[i];
+        }
+        counts[blockIdx.x] = total;
+    }
+}
+""",
+        grid=2,
+        block=64,
+        buffers=(
+            Buffer("data", 128, init=tuple((i * 11) % 64 for i in range(128))),
+            Buffer("counts", 2),
+        ),
+        scalars=(("n", 128),),
+        expected_race_space="shared",
+        paper_races=1,
+        paper_static_insns=906,
+        paper_threads=32_768,
+    ),
+    Workload(
+        name="kmeans",
+        suite="Rodinia 3.1",
+        description="Assignment step: each point scans the (read-only) "
+        "centroids and writes its own membership slot.",
+        source="""
+__global__ void kmeans_assign(int* points, int* centroids, int* membership,
+                              int n_points, int n_clusters) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n_points) {
+        int p = points[gid];
+        int best = 0;
+        int best_dist = 1000000;
+        for (int c = 0; c < n_clusters; c = c + 1) {
+            int d = p - centroids[c];
+            if (d < 0) {
+                d = 0 - d;
+            }
+            if (d < best_dist) {
+                best_dist = d;
+                best = c;
+            }
+        }
+        membership[gid] = best;
+    }
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("points", 256, init=tuple((i * 17) % 256 for i in range(256))),
+            Buffer("centroids", 8, init=(10, 40, 80, 120, 160, 200, 230, 250)),
+            Buffer("membership", 256),
+        ),
+        scalars=(("n_points", 256), ("n_clusters", 8)),
+        paper_static_insns=384,
+        paper_threads=495_616,
+    ),
+    Workload(
+        name="lavamd",
+        suite="Rodinia 3.1",
+        description="Per-box particle interactions: positions staged into "
+        "shared memory behind a barrier, then an all-pairs force loop.",
+        source="""
+__global__ void lavamd_forces(int* positions, int* forces) {
+    __shared__ int pos[64];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + tid;
+    pos[tid] = positions[gid];
+    __syncthreads();
+    int force = 0;
+    for (int j = 0; j < 64; j = j + 1) {
+        force = force + (pos[tid] - pos[j]) * (pos[tid] - pos[j]) / 16;
+    }
+    forces[gid] = force;
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("positions", 256, init=tuple((i * 29) % 128 for i in range(256))),
+            Buffer("forces", 256),
+        ),
+        paper_static_insns=1_320,
+        paper_threads=128_000,
+    ),
+    Workload(
+        name="needle",
+        suite="Rodinia 3.1",
+        description="Needleman-Wunsch wavefront: a shared DP row advanced "
+        "one anti-diagonal per barrier.",
+        source="""
+__global__ void needle_dp(int* reference, int* out, int rounds) {
+    __shared__ int row[64];
+    int tid = threadIdx.x;
+    row[tid] = reference[blockIdx.x * blockDim.x + tid];
+    __syncthreads();
+    for (int r = 0; r < rounds; r = r + 1) {
+        int left = 0;
+        if (tid > 0) {
+            left = row[tid - 1];
+        }
+        __syncthreads();
+        row[tid] = row[tid] + left + r;
+        __syncthreads();
+    }
+    out[blockIdx.x * blockDim.x + tid] = row[tid];
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("reference", 256, init=tuple(i % 9 for i in range(256))),
+            Buffer("out", 256),
+        ),
+        scalars=(("rounds", 4),),
+        paper_static_insns=1_006,
+        paper_threads=495_616,
+    ),
+    Workload(
+        name="nn",
+        suite="Rodinia 3.1",
+        description="Nearest-neighbor distances: pure map over read-only "
+        "records into private output slots, written in the naive "
+        "re-read-the-element style the logging pruner thrives on.",
+        source="""
+__global__ void nn_distance(int* lat, int* lng, int* dist, int qlat, int qlng) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    dist[gid] = (lat[gid] - qlat) * (lat[gid] - qlat)
+              + (lng[gid] - qlng) * (lng[gid] - qlng);
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("lat", 256, init=tuple((i * 3) % 180 for i in range(256))),
+            Buffer("lng", 256, init=tuple((i * 5) % 360 for i in range(256))),
+            Buffer("dist", 256),
+        ),
+        scalars=(("qlat", 90), ("qlng", 180)),
+        paper_static_insns=234,
+        paper_threads=43_008,
+    ),
+    Workload(
+        name="pathfinder",
+        suite="Rodinia 3.1",
+        description="Row-relaxation DP in shared memory; one iteration is "
+        "missing its barrier, so lanes read neighbor cells another warp "
+        "is rewriting (the paper reports 7 shared races).",
+        source="""
+__global__ void pathfinder_rows(int* wall, int* result, int rounds) {
+    __shared__ int prev[128];
+    int tid = threadIdx.x;
+    prev[tid] = wall[tid];
+    __syncthreads();
+    for (int r = 0; r < rounds; r = r + 1) {
+        int best = prev[tid];
+        if (tid > 0) {
+            int left = prev[tid - 1];
+            if (left < best) {
+                best = left;
+            }
+        }
+        if (tid < blockDim.x - 1) {
+            int right = prev[tid + 1];
+            if (right < best) {
+                best = right;
+            }
+        }
+        prev[tid] = best + wall[tid] % 10;
+    }
+    result[tid] = prev[tid];
+}
+""",
+        grid=1,
+        block=128,
+        buffers=(
+            Buffer("wall", 128, init=tuple((i * 31) % 97 for i in range(128))),
+            Buffer("result", 128),
+        ),
+        scalars=(("rounds", 1),),
+        expected_race_space="shared",
+        paper_races=7,
+        paper_static_insns=285,
+        paper_threads=118_528,
+    ),
+    Workload(
+        name="streamcluster",
+        suite="Rodinia 3.1",
+        description="Cost accumulation: per-point squared distance to the "
+        "current center, summed grid-wide with atomicAdd.",
+        source="""
+__global__ void streamcluster_cost(int* points, int* cost, int center) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    atomicAdd(&cost[0], (points[gid] - center) * (points[gid] - center) / 100);
+}
+""",
+        grid=4,
+        block=64,
+        buffers=(
+            Buffer("points", 256, init=tuple((i * 23) % 200 for i in range(256))),
+            Buffer("cost", 4),
+        ),
+        scalars=(("center", 100),),
+        paper_static_insns=299,
+        paper_threads=65_536,
+    ),
+]

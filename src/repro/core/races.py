@@ -1,0 +1,140 @@
+"""Race reports and their classification (§4.3.3).
+
+When the host-side detector flags a race it examines the offending TIDs to
+classify it as a *divergence* (intra-warp) race, an *intra-block* race or
+an *inter-block* race.  Same-warp races between threads on different
+branch paths are additionally tagged as *branch ordering* races, the new
+bug class the paper identifies (§3.3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from ..trace.layout import GridLayout
+from ..trace.operations import Location
+
+
+class AccessType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    ATOMIC = "atomic"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RaceKind(enum.Enum):
+    """Classification by the relationship of the racing threads."""
+
+    DIVERGENCE = "divergence"  # same warp
+    INTRA_BLOCK = "intra-block"  # same block, different warps
+    INTER_BLOCK = "inter-block"  # different blocks
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One detected data race.
+
+    ``prior`` describes the access recorded in shadow memory that the
+    ``current`` access conflicted with.
+    """
+
+    loc: Location
+    current_tid: int
+    current_access: AccessType
+    prior_tid: int
+    prior_access: AccessType
+    kind: RaceKind
+    #: True when the racing threads are in the same warp but on different
+    #: branch paths — a branch ordering race.
+    branch_ordering: bool = False
+    current_pc: int = -1
+    prior_pc: int = -1
+
+    def __str__(self) -> str:
+        tag = " (branch ordering)" if self.branch_ordering else ""
+        return (
+            f"{self.kind} race{tag} on {self.loc}: "
+            f"{self.prior_access} by t{self.prior_tid} vs "
+            f"{self.current_access} by t{self.current_tid}"
+        )
+
+
+@dataclass(frozen=True)
+class BarrierDivergenceReport:
+    """``bar.sync`` executed while some threads of the block were inactive.
+
+    Nvidia documents this as likely "to hang or produce unintended side
+    effects"; BARRACUDA reports it as an error (§3.3.2).
+    """
+
+    block: int
+    missing: FrozenSet[int]
+    pc: int = -1
+
+    def __str__(self) -> str:
+        return (
+            f"barrier divergence in block {self.block}: threads "
+            f"{sorted(self.missing)} inactive at bar.sync"
+        )
+
+
+def classify(
+    layout: GridLayout,
+    loc: Location,
+    current_tid: int,
+    current_access: AccessType,
+    prior_tid: int,
+    prior_access: AccessType,
+    current_amask: Optional[FrozenSet[int]] = None,
+    current_pc: int = -1,
+    prior_pc: int = -1,
+) -> RaceReport:
+    """Build a classified :class:`RaceReport` from the offending TIDs."""
+    same_warp = layout.warp_of(current_tid) == layout.warp_of(prior_tid)
+    if same_warp:
+        kind = RaceKind.DIVERGENCE
+    elif layout.block_of(current_tid) == layout.block_of(prior_tid):
+        kind = RaceKind.INTRA_BLOCK
+    else:
+        kind = RaceKind.INTER_BLOCK
+    branch_ordering = bool(
+        same_warp and current_amask is not None and prior_tid not in current_amask
+    )
+    return RaceReport(
+        loc=loc,
+        current_tid=current_tid,
+        current_access=current_access,
+        prior_tid=prior_tid,
+        prior_access=prior_access,
+        kind=kind,
+        branch_ordering=branch_ordering,
+        current_pc=current_pc,
+        prior_pc=prior_pc,
+    )
+
+
+@dataclass
+class DetectorReports:
+    """Accumulated findings of one detector run."""
+
+    races: List[RaceReport] = field(default_factory=list)
+    barrier_divergences: List[BarrierDivergenceReport] = field(default_factory=list)
+    #: Same-value intra-warp write-write conflicts that were filtered as
+    #: benign (kept for introspection and the filtering ablation).
+    filtered_same_value: int = 0
+
+    @property
+    def racy_locations(self):
+        return {race.loc for race in self.races}
+
+    def clear(self) -> None:
+        self.races.clear()
+        self.barrier_divergences.clear()
+        self.filtered_same_value = 0

@@ -1,0 +1,4 @@
+"""A mini CUDA-C compiler targeting the PTX subset."""
+
+from .codegen import compile_cuda
+from .frontend import parse_cuda

@@ -1,0 +1,236 @@
+"""AST for the mini CUDA-C language.
+
+The subset covers what the paper's benchmarks and concurrency suite need:
+``__global__`` kernels with pointer/int parameters, ``__shared__`` and
+``__device__`` arrays, integer arithmetic, pointer indexing, control flow
+(``if``/``else``/``while``/``for``), CUDA builtins (``threadIdx`` etc.,
+``__syncthreads``, the ``__threadfence`` family) and the atomic
+functions.  Everything is ``int``/``unsigned int`` (32-bit) or a pointer
+(64-bit); that matches the 4-byte-granularity accesses of essentially all
+the paper's benchmarks (§4.3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+class MemSpace(enum.Enum):
+    GLOBAL = "global"
+    SHARED = "shared"
+
+
+# ----------------------------------------------------------------------
+# Types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntType:
+    signed: bool = True
+
+    def __str__(self) -> str:
+        return "int" if self.signed else "unsigned int"
+
+
+@dataclass(frozen=True)
+class PtrType:
+    space: MemSpace = MemSpace.GLOBAL
+
+    def __str__(self) -> str:
+        return f"int*/{self.space.value}"
+
+
+Type = Union[IntType, PtrType]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """``threadIdx.x`` and friends."""
+
+    name: str  # threadIdx, blockIdx, blockDim, gridDim
+    dim: str  # x, y, z
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # - ! ~
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # + - * / % & | ^ << >> < <= > >= == != && ||
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Index:
+    """``base[index]`` where base is a pointer or array name."""
+
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class AddressOf:
+    """``&lvalue`` — used for atomics."""
+
+    target: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    """Builtin function call (atomics, fences, syncthreads)."""
+
+    name: str
+    args: Tuple["Expr", ...]
+
+
+Expr = Union[IntLit, VarRef, Builtin, Unary, Binary, Index, AddressOf, Call]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class VarDecl:
+    name: str
+    type: Type
+    init: Optional[Expr] = None
+
+
+@dataclass
+class SharedDeclStmt:
+    """``__shared__ int name[N];``"""
+
+    name: str
+    count: int
+
+
+@dataclass
+class Assign:
+    """``lvalue = expr`` (lvalue: variable or index expression)."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: List["Stmt"]
+
+
+@dataclass
+class For:
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: List["Stmt"]
+
+
+@dataclass
+class InlineAsm:
+    """``asm("ptx text");`` — raw PTX spliced into the kernel.
+
+    The paper's instrumentation "naturally handles inline PTX assembly
+    code, which appears in several of our benchmarks" (§1): because the
+    rewriting happens at the PTX level, spliced instructions are
+    classified and logged exactly like compiler-emitted ones.
+    """
+
+    text: str
+
+
+@dataclass
+class Return:
+    pass
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+Stmt = Union[
+    VarDecl, SharedDeclStmt, Assign, ExprStmt, If, While, For, Return, Break,
+    Continue, InlineAsm,
+]
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass
+class Param:
+    name: str
+    type: Type
+
+
+@dataclass
+class KernelDef:
+    """``__global__ void name(params) { body }``"""
+
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+
+
+@dataclass
+class DeviceFunc:
+    """``__device__ void name(params) { body }`` — a callable helper.
+
+    Compiled to a PTX ``.func``; the instrumentation threads the unique
+    TID through it as an extra argument (§4.1).
+    """
+
+    name: str
+    params: List["Param"]
+    body: List[Stmt]
+
+
+@dataclass
+class DeviceVar:
+    """``__device__ int name[N];`` — a module-scope global array."""
+
+    name: str
+    count: int
+
+
+@dataclass
+class Program:
+    device_vars: List[DeviceVar] = field(default_factory=list)
+    device_funcs: List[DeviceFunc] = field(default_factory=list)
+    kernels: List[KernelDef] = field(default_factory=list)

@@ -1,0 +1,593 @@
+"""Code generation: mini CUDA-C AST → PTX.
+
+The generated code mirrors nvcc's shape where it matters to BARRACUDA:
+
+* conditional branches jump to the else/end label on the *negated*
+  condition, so the then path is the fall-through and executes first
+  (the convention of the paper's Figure 1);
+* ``__syncthreads()`` becomes ``bar.sync 0``, the fence intrinsics become
+  ``membar.{cta,gl,sys}``, and the ``atomic*`` functions become
+  ``atom.{space}.{op}.u32`` — the exact instruction forms the
+  acquire/release inference (§3.1) pattern-matches;
+* one ``.entry`` per ``__global__`` function, parameters through
+  ``.param`` space, ``__shared__`` arrays as ``.shared`` declarations and
+  ``__device__`` arrays as module-scope ``.global`` declarations.
+
+Known simplifications (documented limitations): ``&&``/``||`` evaluate
+both sides (no short-circuit), all integers are 32-bit, array elements
+are 4 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import CudaCTypeError
+from ..ptx.ast import (
+    GlobalDecl,
+    ImmOperand,
+    Instruction,
+    Kernel,
+    Label,
+    MemOperand,
+    Module,
+    Operand,
+    ParamDecl,
+    RegDecl,
+    RegOperand,
+    SharedDecl,
+    SpecialRegOperand,
+    SymbolOperand,
+)
+from . import ast
+
+_BUILTIN_SPECIALS = {
+    "threadIdx": "%tid",
+    "blockIdx": "%ctaid",
+    "blockDim": "%ntid",
+    "gridDim": "%nctaid",
+}
+
+_ATOMIC_FUNCTIONS = {
+    "atomicAdd": "add",
+    "atomicSub": "sub",
+    "atomicExch": "exch",
+    "atomicCAS": "cas",
+    "atomicMin": "min",
+    "atomicMax": "max",
+    "atomicAnd": "and",
+    "atomicOr": "or",
+    "atomicXor": "xor",
+    "atomicInc": "inc",
+    "atomicDec": "dec",
+}
+
+_FENCE_FUNCTIONS = {
+    "__threadfence": ("membar", ("gl",)),
+    "__threadfence_block": ("membar", ("cta",)),
+    "__threadfence_system": ("membar", ("sys",)),
+}
+
+_COMPARE_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+
+_INT_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+}
+
+
+@dataclass
+class _Value:
+    """A compiled expression: an operand plus its language type."""
+
+    operand: Operand
+    type: ast.Type
+
+
+class _KernelCompiler:
+    def __init__(
+        self,
+        kernel,
+        device_vars: List[ast.DeviceVar],
+        device_funcs=(),
+        kind: str = "entry",
+    ) -> None:
+        self.kernel = kernel
+        self.kind = kind
+        self.device_vars = {v.name for v in device_vars}
+        self.device_funcs = {f.name: f for f in device_funcs}
+        self.body: List[Union[Instruction, Label]] = []
+        self.shared: List[SharedDecl] = []
+        self.shared_names: Dict[str, int] = {}
+        self.vars: Dict[str, _Value] = {}
+        self._r = 0  # u32 temporaries and variables
+        self._a = 0  # u64 address registers
+        self._p = 0  # predicates
+        self._label = 0
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break) labels
+        self.end_label = "$L__end"
+        # Address CSE: repeated ``base[index]`` with unchanged operands
+        # reuses the computed address register, as nvcc's register
+        # allocation does.  This is what gives the §4.1 redundant-logging
+        # pruning (Figure 9's "optimized" bars) something to prune.
+        self._addr_cache: Dict[tuple, Tuple[str, RegOperand]] = {}
+
+    # ------------------------------------------------------------------
+    # Register and label allocation
+    # ------------------------------------------------------------------
+    def _new_r(self) -> RegOperand:
+        self._r += 1
+        return RegOperand(f"%r{self._r}")
+
+    def _new_a(self) -> RegOperand:
+        self._a += 1
+        return RegOperand(f"%rd{self._a}")
+
+    def _new_p(self) -> RegOperand:
+        self._p += 1
+        return RegOperand(f"%p{self._p}")
+
+    def _new_label(self, hint: str) -> str:
+        self._label += 1
+        return f"$L_{hint}_{self._label}"
+
+    def _emit_label(self, name: str) -> None:
+        # Control flow may join here: cached addresses were computed on
+        # one path only, so the CSE table must not survive the label.
+        self._addr_cache.clear()
+        self.body.append(Label(name))
+
+    # ------------------------------------------------------------------
+    # Address CSE bookkeeping
+    # ------------------------------------------------------------------
+    def _expr_key(self, expr: ast.Expr):
+        """A structural key for side-effect-free index expressions."""
+        if isinstance(expr, ast.IntLit):
+            return ("lit", expr.value)
+        if isinstance(expr, ast.VarRef):
+            return ("var", expr.name)
+        if isinstance(expr, ast.Builtin):
+            return ("builtin", expr.name, expr.dim)
+        if isinstance(expr, ast.Unary) and expr.op in ("-", "~"):
+            inner = self._expr_key(expr.operand)
+            return None if inner is None else ("unary", expr.op, inner)
+        if isinstance(expr, ast.Binary) and expr.op in _INT_OPS:
+            left = self._expr_key(expr.left)
+            right = self._expr_key(expr.right)
+            if left is None or right is None:
+                return None
+            return ("binary", expr.op, left, right)
+        return None
+
+    def _invalidate_var(self, name: str) -> None:
+        """Drop cached addresses whose key mentions variable ``name``."""
+
+        def mentions(key) -> bool:
+            if isinstance(key, tuple):
+                return any(mentions(part) for part in key)
+            return key == name
+
+        self._addr_cache = {
+            key: value for key, value in self._addr_cache.items() if not mentions(key)
+        }
+
+    def _emit(self, opcode: str, modifiers: Tuple[str, ...], *operands: Operand,
+              pred: Optional[Tuple[str, bool]] = None) -> None:
+        self.body.append(
+            Instruction(opcode=opcode, modifiers=modifiers, operands=tuple(operands), pred=pred)
+        )
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def compile(self) -> Kernel:
+        for param in self.kernel.params:
+            if isinstance(param.type, ast.PtrType):
+                reg = self._new_a()
+                self._emit("ld", ("param", "u64"), reg, MemOperand(param.name))
+            else:
+                reg = self._new_r()
+                self._emit("ld", ("param", "u32"), reg, MemOperand(param.name))
+            self.vars[param.name] = _Value(reg, param.type)
+        self._compile_body(self.kernel.body)
+        self._emit_label(self.end_label)
+        self._emit("ret", ())
+        return Kernel(
+            name=self.kernel.name,
+            kind=self.kind,
+            params=[
+                ParamDecl(
+                    type_name="u64" if isinstance(p.type, ast.PtrType) else "u32",
+                    name=p.name,
+                )
+                for p in self.kernel.params
+            ],
+            regs=[
+                RegDecl(type_name="u32", prefix="%r", count=self._r + 1),
+                RegDecl(type_name="u64", prefix="%rd", count=self._a + 1),
+                RegDecl(type_name="pred", prefix="%p", count=self._p + 1),
+            ],
+            shared=self.shared,
+            body=self.body,
+        )
+
+    def _compile_body(self, statements: List[ast.Stmt]) -> None:
+        for statement in statements:
+            self._compile_statement(statement)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _compile_statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.SharedDeclStmt):
+            self.shared.append(
+                SharedDecl(name=statement.name, size_bytes=statement.count * 4)
+            )
+            self.shared_names[statement.name] = statement.count
+        elif isinstance(statement, ast.VarDecl):
+            if isinstance(statement.type, ast.PtrType):
+                reg = self._new_a()
+            else:
+                reg = self._new_r()
+            self.vars[statement.name] = _Value(reg, statement.type)
+            self._invalidate_var(statement.name)
+            if statement.init is not None:
+                value = self._compile_expr(statement.init)
+                self._move(reg, value)
+            else:
+                mods = ("u64",) if isinstance(statement.type, ast.PtrType) else ("u32",)
+                self._emit("mov", mods, reg, ImmOperand(0))
+        elif isinstance(statement, ast.Assign):
+            self._compile_assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            self._compile_expr(statement.expr)
+        elif isinstance(statement, ast.If):
+            self._compile_if(statement)
+        elif isinstance(statement, ast.While):
+            self._compile_while(statement)
+        elif isinstance(statement, ast.For):
+            self._compile_for(statement)
+        elif isinstance(statement, ast.InlineAsm):
+            self._compile_inline_asm(statement)
+        elif isinstance(statement, ast.Return):
+            self._emit("bra", ("uni",), SymbolOperand(self.end_label))
+        elif isinstance(statement, ast.Break):
+            if not self._loop_stack:
+                raise CudaCTypeError("break outside a loop")
+            self._emit("bra", ("uni",), SymbolOperand(self._loop_stack[-1][1]))
+        elif isinstance(statement, ast.Continue):
+            if not self._loop_stack:
+                raise CudaCTypeError("continue outside a loop")
+            self._emit("bra", ("uni",), SymbolOperand(self._loop_stack[-1][0]))
+        else:  # pragma: no cover - defensive
+            raise CudaCTypeError(f"unknown statement {statement!r}")
+
+    def _compile_inline_asm(self, statement: ast.InlineAsm) -> None:
+        """Splice raw PTX statements into the body.
+
+        The text is parsed with the real PTX parser (wrapped in a
+        throwaway kernel), so syntax errors surface at compile time and
+        the spliced instructions are first-class objects downstream.
+        Escaped newlines (``\n``) separate instructions, as in CUDA.
+        """
+        from ..errors import CudaCSyntaxError, PTXSyntaxError
+        from ..ptx.parser import parse_ptx
+
+        text = statement.text.replace("\\n", "\n").replace("\\t", " ")
+        wrapper = (
+            ".version 4.3\n.target sm_35\n.address_size 64\n"
+            ".visible .entry __asm(.param .u32 __d)\n{\n" + text + "\n}\n"
+        )
+        try:
+            kernel = parse_ptx(wrapper).kernels[0]
+        except PTXSyntaxError as exc:
+            raise CudaCSyntaxError(f"bad inline PTX: {exc}") from exc
+        # Spliced code may clobber anything: cached addresses die.
+        self._addr_cache.clear()
+        self.body.extend(kernel.body)
+
+    def _move(self, reg: RegOperand, value: _Value) -> None:
+        mods = ("u64",) if isinstance(value.type, ast.PtrType) else ("u32",)
+        self._emit("mov", mods, reg, value.operand)
+
+    def _compile_assign(self, statement: ast.Assign) -> None:
+        value = self._compile_expr(statement.value)
+        target = statement.target
+        if isinstance(target, ast.VarRef):
+            slot = self.vars.get(target.name)
+            if slot is None:
+                raise CudaCTypeError(f"assignment to undeclared variable {target.name!r}")
+            self._move(slot.operand, value)
+            self._invalidate_var(target.name)
+        elif isinstance(target, ast.Index):
+            space, addr = self._compile_address(target)
+            self._emit("st", (space, "u32"), MemOperand(addr.name), value.operand)
+        else:
+            raise CudaCTypeError(f"cannot assign to {target!r}")
+
+    def _compile_if(self, statement: ast.If) -> None:
+        pred = self._compile_cond(statement.cond)
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        # Negated branch to else: the then path is the fall-through and
+        # executes first (paper Figure 1).
+        self._emit("bra", (), SymbolOperand(else_label), pred=(pred.name, True))
+        self._compile_body(statement.then_body)
+        if statement.else_body:
+            self._emit("bra", ("uni",), SymbolOperand(end_label))
+            self._emit_label(else_label)
+            self._compile_body(statement.else_body)
+            self._emit_label(end_label)
+        else:
+            self._emit_label(else_label)
+
+    def _compile_while(self, statement: ast.While) -> None:
+        head = self._new_label("while")
+        end = self._new_label("endwhile")
+        self._emit_label(head)
+        pred = self._compile_cond(statement.cond)
+        self._emit("bra", (), SymbolOperand(end), pred=(pred.name, True))
+        self._loop_stack.append((head, end))
+        self._compile_body(statement.body)
+        self._loop_stack.pop()
+        self._emit("bra", ("uni",), SymbolOperand(head))
+        self._emit_label(end)
+
+    def _compile_for(self, statement: ast.For) -> None:
+        if statement.init is not None:
+            self._compile_statement(statement.init)
+        head = self._new_label("for")
+        step_label = self._new_label("forstep")
+        end = self._new_label("endfor")
+        self._emit_label(head)
+        if statement.cond is not None:
+            pred = self._compile_cond(statement.cond)
+            self._emit("bra", (), SymbolOperand(end), pred=(pred.name, True))
+        self._loop_stack.append((step_label, end))
+        self._compile_body(statement.body)
+        self._loop_stack.pop()
+        self._emit_label(step_label)
+        if statement.step is not None:
+            self._compile_statement(statement.step)
+        self._emit("bra", ("uni",), SymbolOperand(head))
+        self._emit_label(end)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _compile_cond(self, expr: ast.Expr) -> RegOperand:
+        """Compile a condition to a predicate register."""
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARE_OPS:
+            left = self._compile_expr(expr.left)
+            right = self._compile_expr(expr.right)
+            pred = self._new_p()
+            self._emit(
+                "setp", (_COMPARE_OPS[expr.op], "s32"), pred, left.operand, right.operand
+            )
+            return pred
+        if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+            left = self._compile_cond(expr.left)
+            right = self._compile_cond(expr.right)
+            pred = self._new_p()
+            opcode = "and" if expr.op == "&&" else "or"
+            self._emit(opcode, ("pred",), pred, left, right)
+            return pred
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            inner = self._compile_cond(expr.operand)
+            pred = self._new_p()
+            self._emit("not", ("pred",), pred, inner)
+            return pred
+        value = self._compile_expr(expr)
+        pred = self._new_p()
+        self._emit("setp", ("ne", "s32"), pred, value.operand, ImmOperand(0))
+        return pred
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _compile_expr(self, expr: ast.Expr) -> _Value:
+        if isinstance(expr, ast.IntLit):
+            return _Value(ImmOperand(expr.value & 0xFFFFFFFF), ast.IntType())
+        if isinstance(expr, ast.VarRef):
+            slot = self.vars.get(expr.name)
+            if slot is not None:
+                return slot
+            if expr.name in self.shared_names:
+                reg = self._new_a()
+                self._emit("mov", ("u64",), reg, SymbolOperand(expr.name))
+                return _Value(reg, ast.PtrType(space=ast.MemSpace.SHARED))
+            if expr.name in self.device_vars:
+                reg = self._new_a()
+                self._emit("mov", ("u64",), reg, SymbolOperand(expr.name))
+                return _Value(reg, ast.PtrType(space=ast.MemSpace.GLOBAL))
+            raise CudaCTypeError(f"undeclared identifier {expr.name!r}")
+        if isinstance(expr, ast.Builtin):
+            reg = self._new_r()
+            self._emit(
+                "mov", ("u32",), reg, SpecialRegOperand(_BUILTIN_SPECIALS[expr.name], expr.dim)
+            )
+            return _Value(reg, ast.IntType(signed=False))
+        if isinstance(expr, ast.Unary):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.Index):
+            space, addr = self._compile_address(expr)
+            reg = self._new_r()
+            self._emit("ld", (space, "u32"), reg, MemOperand(addr.name))
+            return _Value(reg, ast.IntType())
+        if isinstance(expr, ast.Call):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.AddressOf):
+            raise CudaCTypeError("'&' is only supported as an atomic argument")
+        raise CudaCTypeError(f"unknown expression {expr!r}")
+
+    def _compile_unary(self, expr: ast.Unary) -> _Value:
+        if expr.op == "!":
+            pred = self._compile_cond(expr.operand)
+            reg = self._new_r()
+            self._emit("selp", ("u32",), reg, ImmOperand(0), ImmOperand(1), pred)
+            return _Value(reg, ast.IntType())
+        value = self._compile_expr(expr.operand)
+        reg = self._new_r()
+        if expr.op == "-":
+            self._emit("neg", ("s32",), reg, value.operand)
+        elif expr.op == "~":
+            self._emit("not", ("b32",), reg, value.operand)
+        else:
+            raise CudaCTypeError(f"unknown unary operator {expr.op!r}")
+        return _Value(reg, ast.IntType())
+
+    def _compile_binary(self, expr: ast.Binary) -> _Value:
+        if expr.op in _COMPARE_OPS or expr.op in ("&&", "||"):
+            pred = self._compile_cond(expr)
+            reg = self._new_r()
+            self._emit("selp", ("u32",), reg, ImmOperand(1), ImmOperand(0), pred)
+            return _Value(reg, ast.IntType())
+        left = self._compile_expr(expr.left)
+        right = self._compile_expr(expr.right)
+        if isinstance(left.type, ast.PtrType) or isinstance(right.type, ast.PtrType):
+            return self._compile_pointer_arith(expr.op, left, right)
+        reg = self._new_r()
+        opcode = _INT_OPS[expr.op]
+        if opcode == "mul":
+            self._emit("mul", ("lo", "s32"), reg, left.operand, right.operand)
+        elif opcode in ("div", "rem"):
+            self._emit(opcode, ("s32",), reg, left.operand, right.operand)
+        elif opcode == "shl":
+            self._emit("shl", ("b32",), reg, left.operand, right.operand)
+        elif opcode == "shr":
+            self._emit("shr", ("s32",), reg, left.operand, right.operand)
+        elif opcode in ("and", "or", "xor"):
+            self._emit(opcode, ("b32",), reg, left.operand, right.operand)
+        else:
+            self._emit(opcode, ("s32",), reg, left.operand, right.operand)
+        return _Value(reg, ast.IntType())
+
+    def _compile_pointer_arith(self, op: str, left: _Value, right: _Value) -> _Value:
+        """``ptr + int`` / ``int + ptr`` / ``ptr - int`` (elements of 4 bytes)."""
+        if op not in ("+", "-"):
+            raise CudaCTypeError(f"unsupported pointer operation {op!r}")
+        if isinstance(right.type, ast.PtrType):
+            if op == "-" or isinstance(left.type, ast.PtrType):
+                raise CudaCTypeError("pointer-pointer arithmetic is not supported")
+            left, right = right, left
+        offset = self._scale_index(right)
+        reg = self._new_a()
+        self._emit("add" if op == "+" else "sub", ("s64",), reg, left.operand, offset)
+        return _Value(reg, left.type)
+
+    def _scale_index(self, index: _Value) -> RegOperand:
+        wide = self._new_a()
+        self._emit("cvt", ("s64", "s32"), wide, index.operand)
+        scaled = self._new_a()
+        self._emit("mul", ("lo", "s64"), scaled, wide, ImmOperand(4))
+        return scaled
+
+    def _compile_address(self, expr: ast.Index) -> Tuple[str, RegOperand]:
+        """Compile ``base[index]`` to (space, address register).
+
+        Structurally identical addresses whose operands have not been
+        reassigned reuse the previously computed register (address CSE).
+        """
+        base_key = self._expr_key(expr.base)
+        index_key = self._expr_key(expr.index)
+        cache_key = None
+        if base_key is not None and index_key is not None:
+            cache_key = (base_key, index_key)
+            cached = self._addr_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        base = self._compile_expr(expr.base)
+        if not isinstance(base.type, ast.PtrType):
+            raise CudaCTypeError("indexing a non-pointer value")
+        index = self._compile_expr(expr.index)
+        offset = self._scale_index(index)
+        addr = self._new_a()
+        self._emit("add", ("s64",), addr, base.operand, offset)
+        result = (base.type.space.value, addr)
+        if cache_key is not None:
+            self._addr_cache[cache_key] = result
+        return result
+
+    def _compile_call(self, expr: ast.Call) -> _Value:
+        name = expr.name
+        if name == "__syncthreads":
+            self._emit("bar", ("sync",), ImmOperand(0))
+            return _Value(ImmOperand(0), ast.IntType())
+        if name in _FENCE_FUNCTIONS:
+            opcode, modifiers = _FENCE_FUNCTIONS[name]
+            self._emit(opcode, modifiers)
+            return _Value(ImmOperand(0), ast.IntType())
+        if name in _ATOMIC_FUNCTIONS:
+            return self._compile_atomic(name, expr.args)
+        if name in self.device_funcs:
+            return self._compile_device_call(self.device_funcs[name], expr.args)
+        raise CudaCTypeError(f"unknown function {name!r}")
+
+    def _compile_device_call(self, func, args) -> _Value:
+        if len(args) != len(func.params):
+            raise CudaCTypeError(
+                f"{func.name} expects {len(func.params)} argument(s), "
+                f"got {len(args)}"
+            )
+        operands = []
+        for param, arg in zip(func.params, args):
+            value = self._compile_expr(arg)
+            if isinstance(param.type, ast.PtrType) != isinstance(
+                value.type, ast.PtrType
+            ):
+                raise CudaCTypeError(
+                    f"{func.name}: argument {param.name!r} type mismatch"
+                )
+            operands.append(value.operand)
+        # The callee may touch arbitrary memory through its pointers.
+        self._addr_cache.clear()
+        self._emit(
+            "call", ("uni",), SymbolOperand(func.name), *operands
+        )
+        return _Value(ImmOperand(0), ast.IntType())
+
+    def _compile_atomic(self, name: str, args: Tuple[ast.Expr, ...]) -> _Value:
+        operation = _ATOMIC_FUNCTIONS[name]
+        expected = 3 if operation == "cas" else 2
+        if len(args) != expected:
+            raise CudaCTypeError(f"{name} expects {expected} arguments")
+        target = args[0]
+        if not isinstance(target, ast.AddressOf) or not isinstance(
+            target.target, ast.Index
+        ):
+            raise CudaCTypeError(f"{name}'s first argument must be &array[index]")
+        space, addr = self._compile_address(target.target)
+        values = [self._compile_expr(a) for a in args[1:]]
+        dst = self._new_r()
+        operands = [dst, MemOperand(addr.name)] + [v.operand for v in values]
+        type_mod = "b32" if operation in ("cas", "exch", "and", "or", "xor") else "u32"
+        self._emit("atom", (space, operation, type_mod), *operands)
+        return _Value(dst, ast.IntType(signed=False))
+
+
+def compile_cuda(source_or_program, arch: str = "sm_35") -> Module:
+    """Compile mini CUDA-C source (or a parsed program) to a PTX module."""
+    from .frontend import parse_cuda
+
+    program = (
+        source_or_program
+        if isinstance(source_or_program, ast.Program)
+        else parse_cuda(source_or_program)
+    )
+    module = Module(target=arch)
+    for var in program.device_vars:
+        module.globals.append(GlobalDecl(name=var.name, size_bytes=var.count * 4))
+    for func in program.device_funcs:
+        module.functions.append(
+            _KernelCompiler(
+                func, program.device_vars, program.device_funcs, kind="func"
+            ).compile()
+        )
+    for kernel in program.kernels:
+        module.kernels.append(
+            _KernelCompiler(kernel, program.device_vars, program.device_funcs).compile()
+        )
+    return module

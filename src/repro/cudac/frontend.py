@@ -1,0 +1,369 @@
+"""Lexer and parser for the mini CUDA-C language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import CudaCSyntaxError
+from . import ast
+
+_KEYWORDS = {
+    "__global__", "__device__", "__shared__", "void", "int", "unsigned",
+    "if", "else", "while", "for", "return", "break", "continue",
+}
+
+_BUILTIN_INDICES = {"threadIdx", "blockIdx", "blockDim", "gridDim"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*|/\*.*?\*/)
+  | (?P<HEX>0[xX][0-9a-fA-F]+)
+  | (?P<NUMBER>\d+)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\+\+|--|[-+*/%&|^!~<>=(){}\[\];,.])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CudaCSyntaxError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("WS", "COMMENT"):
+            line += text.count("\n")
+        elif kind == "HEX":
+            tokens.append(Token("NUMBER", text, line))
+        elif kind == "STRING":
+            tokens.append(Token("STRING", text[1:-1], line))
+        else:
+            tokens.append(Token(kind, text, line))
+        pos = match.end()
+    tokens.append(Token("EOF", "", line))
+    return tokens
+
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_OPS = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.text != text:
+            raise CudaCSyntaxError(
+                f"expected {text!r}, found {token.text!r}", token.line
+            )
+        return token
+
+    def _accept(self, text: str) -> bool:
+        if self._peek().text == text:
+            self._next()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self._peek().kind != "EOF":
+            token = self._peek()
+            if token.text == "__device__":
+                if self._peek(1).text == "void":
+                    program.device_funcs.append(self._parse_device_func())
+                else:
+                    program.device_vars.append(self._parse_device_var())
+            elif token.text == "__global__":
+                program.kernels.append(self._parse_kernel())
+            else:
+                raise CudaCSyntaxError(
+                    f"expected __global__ or __device__, found {token.text!r}",
+                    token.line,
+                )
+        return program
+
+    def _parse_device_var(self) -> ast.DeviceVar:
+        self._expect("__device__")
+        self._parse_base_type()
+        name = self._next().text
+        count = 1
+        if self._accept("["):
+            count = int(self._next().text, 0)
+            self._expect("]")
+        self._expect(";")
+        return ast.DeviceVar(name=name, count=count)
+
+    def _parse_device_func(self) -> ast.DeviceFunc:
+        self._expect("__device__")
+        self._expect("void")
+        name = self._next().text
+        self._expect("(")
+        params: List[ast.Param] = []
+        while not self._accept(")"):
+            param_type = self._parse_type()
+            param_name = self._next().text
+            params.append(ast.Param(name=param_name, type=param_type))
+            self._accept(",")
+        return ast.DeviceFunc(name=name, params=params, body=self._parse_block())
+
+    def _parse_kernel(self) -> ast.KernelDef:
+        self._expect("__global__")
+        self._expect("void")
+        name = self._next().text
+        self._expect("(")
+        params: List[ast.Param] = []
+        while not self._accept(")"):
+            param_type = self._parse_type()
+            param_name = self._next().text
+            params.append(ast.Param(name=param_name, type=param_type))
+            self._accept(",")
+        body = self._parse_block()
+        return ast.KernelDef(name=name, params=params, body=body)
+
+    def _parse_base_type(self) -> ast.IntType:
+        signed = True
+        if self._accept("unsigned"):
+            signed = False
+            self._accept("int")
+            return ast.IntType(signed=False)
+        self._expect("int")
+        return ast.IntType(signed=signed)
+
+    def _parse_type(self) -> ast.Type:
+        base = self._parse_base_type()
+        if self._accept("*"):
+            return ast.PtrType(space=ast.MemSpace.GLOBAL)
+        return base
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect("{")
+        body: List[ast.Stmt] = []
+        while not self._accept("}"):
+            body.append(self._parse_statement())
+        return body
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.text == "__shared__":
+            self._next()
+            self._parse_base_type()
+            name = self._next().text
+            self._expect("[")
+            count = int(self._next().text, 0)
+            self._expect("]")
+            self._expect(";")
+            return ast.SharedDeclStmt(name=name, count=count)
+        if token.text in ("int", "unsigned"):
+            return self._parse_var_decl()
+        if token.text == "if":
+            return self._parse_if()
+        if token.text == "while":
+            return self._parse_while()
+        if token.text == "for":
+            return self._parse_for()
+        if token.text == "return":
+            self._next()
+            self._expect(";")
+            return ast.Return()
+        if token.text == "break":
+            self._next()
+            self._expect(";")
+            return ast.Break()
+        if token.text == "continue":
+            self._next()
+            self._expect(";")
+            return ast.Continue()
+        if token.text == "asm":
+            self._next()
+            self._expect("(")
+            text_token = self._next()
+            if text_token.kind != "STRING":
+                raise CudaCSyntaxError("asm() takes a string literal", text_token.line)
+            self._expect(")")
+            self._expect(";")
+            return ast.InlineAsm(text=text_token.text)
+        if token.text == "{":
+            # Anonymous block: flatten into an if(1) for simplicity.
+            return ast.If(cond=ast.IntLit(1), then_body=self._parse_block())
+        statement = self._parse_simple_statement()
+        self._expect(";")
+        return statement
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        var_type = self._parse_type()
+        name = self._next().text
+        init = None
+        if self._accept("="):
+            init = self._parse_expression()
+        self._expect(";")
+        return ast.VarDecl(name=name, type=var_type, init=init)
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Assignment, compound assignment, ++/--, or expression."""
+        expr = self._parse_expression()
+        token = self._peek()
+        if token.text == "=":
+            self._next()
+            return ast.Assign(target=expr, value=self._parse_expression())
+        if token.text in _COMPOUND_OPS:
+            self._next()
+            op = token.text[:-1]
+            return ast.Assign(
+                target=expr, value=ast.Binary(op, expr, self._parse_expression())
+            )
+        if token.text in ("++", "--"):
+            self._next()
+            op = "+" if token.text == "++" else "-"
+            return ast.Assign(target=expr, value=ast.Binary(op, expr, ast.IntLit(1)))
+        return ast.ExprStmt(expr=expr)
+
+    def _parse_if(self) -> ast.If:
+        self._expect("if")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        then_body = self._parse_body_or_statement()
+        else_body: List[ast.Stmt] = []
+        if self._accept("else"):
+            else_body = self._parse_body_or_statement()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> ast.While:
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        return ast.While(cond=cond, body=self._parse_body_or_statement())
+
+    def _parse_for(self) -> ast.For:
+        self._expect("for")
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._accept(";"):
+            if self._peek().text in ("int", "unsigned"):
+                init = self._parse_var_decl()  # consumes the ';'
+            else:
+                init = self._parse_simple_statement()
+                self._expect(";")
+        cond: Optional[ast.Expr] = None
+        if not self._accept(";"):
+            cond = self._parse_expression()
+            self._expect(";")
+        step: Optional[ast.Stmt] = None
+        if self._peek().text != ")":
+            step = self._parse_simple_statement()
+        self._expect(")")
+        return ast.For(init=init, cond=cond, step=step, body=self._parse_body_or_statement())
+
+    def _parse_body_or_statement(self) -> List[ast.Stmt]:
+        if self._peek().text == "{":
+            return self._parse_block()
+        return [self._parse_statement()]
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expression(self, min_precedence: int = 1) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            op = self._peek().text
+            precedence = _PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._next()
+            right = self._parse_expression(precedence + 1)
+            left = ast.Binary(op, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.text in ("-", "!", "~"):
+            self._next()
+            return ast.Unary(token.text, self._parse_unary())
+        if token.text == "&":
+            self._next()
+            return ast.AddressOf(self._parse_unary())
+        if token.text == "(":
+            self._next()
+            expr = self._parse_expression()
+            self._expect(")")
+            return self._parse_postfix(expr)
+        if token.kind == "NUMBER":
+            self._next()
+            return ast.IntLit(int(token.text, 0))
+        if token.kind == "IDENT":
+            self._next()
+            name = token.text
+            if name in _BUILTIN_INDICES:
+                self._expect(".")
+                dim = self._next().text
+                if dim not in ("x", "y", "z"):
+                    raise CudaCSyntaxError(f"bad builtin dimension .{dim}", token.line)
+                return self._parse_postfix(ast.Builtin(name=name, dim=dim))
+            if self._peek().text == "(":
+                self._next()
+                args: List[ast.Expr] = []
+                while not self._accept(")"):
+                    args.append(self._parse_expression())
+                    self._accept(",")
+                return ast.Call(name=name, args=tuple(args))
+            return self._parse_postfix(ast.VarRef(name=name))
+        raise CudaCSyntaxError(f"cannot parse expression at {token.text!r}", token.line)
+
+    def _parse_postfix(self, expr: ast.Expr) -> ast.Expr:
+        while self._accept("["):
+            index = self._parse_expression()
+            self._expect("]")
+            expr = ast.Index(base=expr, index=index)
+        return expr
+
+
+def parse_cuda(source: str) -> ast.Program:
+    """Parse mini CUDA-C source into an :class:`ast.Program`."""
+    return Parser(tokenize(source)).parse_program()

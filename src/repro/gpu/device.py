@@ -1,0 +1,127 @@
+"""The simulated GPU device: module loading and kernel launching.
+
+This stands in for the physical GPU of the paper's testbed (a GTX Titan X
+by default; the litmus experiments also use the Kepler K520 profile).
+Kernels run through :class:`repro.gpu.interpreter.KernelExecution` under
+a pluggable scheduler; global memory persists across launches so
+multi-kernel applications (and host-side result checks) work naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import DeadlockError, StepLimitExceeded
+from ..ptx.ast import Module
+from .hierarchy import LaunchConfig
+from .interpreter import EventSink, KernelExecution, LaunchResult
+from .memory import ArchProfile, GlobalMemory, MAXWELL_TITANX
+from .scheduler import RoundRobinScheduler, Scheduler
+
+#: Default per-launch step budget; generous for benchmarks, small enough
+#: to surface hangs (spinlocks under a serializing scheduler) quickly.
+DEFAULT_MAX_STEPS = 4_000_000
+
+
+class GpuDevice:
+    """One simulated GPU with persistent global memory."""
+
+    def __init__(self, arch: ArchProfile = MAXWELL_TITANX) -> None:
+        self.arch = arch
+        self.global_mem = GlobalMemory(arch)
+        self.global_symbols: Dict[str, int] = {}
+        self._loaded_modules: List[Module] = []
+
+    # ------------------------------------------------------------------
+    # Host-side API (the cuda* entry points of a real runtime)
+    # ------------------------------------------------------------------
+    def load_module(self, module: Module) -> None:
+        """Allocate and zero the module's ``.global`` arrays."""
+        self._loaded_modules.append(module)
+        for decl in module.globals:
+            if decl.name not in self.global_symbols:
+                addr = self.global_mem.alloc(decl.size_bytes, decl.align)
+                self.global_symbols[decl.name] = addr
+                for i in range(decl.size_bytes):
+                    self.global_mem.main.write_byte(addr + i, 0)
+
+    def alloc(self, size: int, align: int = 8) -> int:
+        """``cudaMalloc``: allocate device global memory."""
+        return self.global_mem.alloc(size, align)
+
+    def memcpy_to_device(self, addr: int, values, width: int = 4) -> None:
+        self.global_mem.host_write_array(addr, values, width)
+
+    def memcpy_from_device(self, addr: int, count: int, width: int = 4) -> List[int]:
+        return self.global_mem.host_read_array(addr, count, width)
+
+    def reset(self) -> None:
+        """``cudaDeviceReset``: drop all device state."""
+        self.global_mem = GlobalMemory(self.arch)
+        self.global_symbols = {}
+        modules, self._loaded_modules = self._loaded_modules, []
+        for module in modules:
+            self.load_module(module)
+
+    # ------------------------------------------------------------------
+    # Launching
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        module: Module,
+        kernel_name: str,
+        grid,
+        block,
+        params: Optional[Dict[str, int]] = None,
+        warp_size: int = 32,
+        sink: Optional[EventSink] = None,
+        instrumented: bool = False,
+        scheduler: Optional[Scheduler] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> LaunchResult:
+        """Run one kernel to completion and return its measurements.
+
+        Raises :class:`StepLimitExceeded` if the kernel does not finish
+        within ``max_steps`` warp-instruction slots (e.g. a spinlock that
+        never observes its release) and :class:`DeadlockError` if no warp
+        can make progress.
+        """
+        if module not in self._loaded_modules:
+            self.load_module(module)
+        kernel = module.kernel(kernel_name)
+        config = LaunchConfig.of(grid, block, warp_size)
+        execution = KernelExecution(
+            module=module,
+            kernel=kernel,
+            config=config,
+            params=params or {},
+            global_mem=self.global_mem,
+            global_symbols=self.global_symbols,
+            sink=sink,
+            instrumented=instrumented,
+        )
+        scheduler = scheduler or RoundRobinScheduler()
+        steps = 0
+        while not execution.finished():
+            execution.try_release_barriers()
+            runnable = [w for w in execution.warps if execution.runnable(w)]
+            if not runnable:
+                if execution.finished():
+                    break
+                raise DeadlockError(
+                    f"kernel {kernel_name!r}: no warp can make progress"
+                )
+            warp = scheduler.pick(runnable)
+            execution.step(warp)
+            scheduler.after_step(execution)
+            steps += 1
+            if steps > max_steps:
+                raise StepLimitExceeded(
+                    f"kernel {kernel_name!r} exceeded {max_steps} steps; "
+                    "likely a hang (spinlock never released?)"
+                )
+        # Kernel completion is a device-wide synchronization point: all
+        # pending stores become visible to the host and later kernels.
+        self.global_mem.drain_all()
+        execution.result.steps = steps
+        return execution.result

@@ -1,0 +1,313 @@
+"""Device memory with a configurable weak-consistency model.
+
+The paper's Figure 4 litmus tests show that on a Kepler K520 a
+``membar.cta`` in each thread of a message-passing pair is *not* enough
+to prevent non-SC outcomes across thread blocks, while a ``membar.gl`` in
+either thread is; a Maxwell Titan X showed no weak outcomes at all.
+
+We model the mechanism with per-block store queues in front of a single
+coherence point (main memory):
+
+* a global store enters its block's queue; threads of the same block
+  forward from the queue (intra-block program order is always visible);
+* queue entries drain to main memory lazily — in FIFO order on strong
+  architectures (the Titan X profile), in relaxed order on weak ones
+  (the K520 profile), except that two stores to the same address always
+  drain in order (per-location coherence);
+* ``membar.gl`` (and ``membar.sys``) drains *every* queue: a global
+  fence on either side of a message-passing pair therefore restores SC,
+  matching Figure 4 exactly;
+* ``membar.cta`` does nothing here — it only orders visibility within
+  the block, which store forwarding already provides;
+* atomics operate at the coherence point, draining queued stores to
+  their address first.
+
+Shared memory is private to a block (§2) and strongly ordered.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+
+#: Base device address of the global-memory heap.  Non-zero so that a
+#: null pointer never aliases an allocation.
+GLOBAL_HEAP_BASE = 0x1000_0000
+
+
+@dataclass(frozen=True)
+class ArchProfile:
+    """Memory-model strength of a simulated GPU."""
+
+    name: str
+    #: Relaxed (non-FIFO) draining of global store queues: the K520
+    #: behaviour that makes ``membar.cta``-only message passing unsound.
+    relaxed_store_drain: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The two GPUs of the paper's litmus study (§3.3.3).
+KEPLER_K520 = ArchProfile(name="GRID K520 (Kepler)", relaxed_store_drain=True)
+MAXWELL_TITANX = ArchProfile(name="GTX Titan X (Maxwell)", relaxed_store_drain=False)
+
+
+class ByteStore:
+    """A sparse byte-addressable memory (little-endian multi-byte access)."""
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self) -> None:
+        self._bytes: Dict[int, int] = {}
+
+    def read(self, addr: int, width: int) -> int:
+        value = 0
+        for i in range(width):
+            value |= self._bytes.get(addr + i, 0) << (8 * i)
+        return value
+
+    def write(self, addr: int, width: int, value: int) -> None:
+        for i in range(width):
+            self._bytes[addr + i] = (value >> (8 * i)) & 0xFF
+
+    def read_byte(self, addr: int) -> int:
+        return self._bytes.get(addr, 0)
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._bytes[addr] = value & 0xFF
+
+
+@dataclass
+class _QueuedStore:
+    """One store waiting in a block's queue."""
+
+    addr: int
+    width: int
+    value: int
+    seq: int
+
+
+class GlobalMemory:
+    """Global memory: main store + per-block store queues."""
+
+    def __init__(self, arch: ArchProfile = MAXWELL_TITANX) -> None:
+        self.arch = arch
+        self.main = ByteStore()
+        self._queues: Dict[int, List[_QueuedStore]] = {}
+        self._seq = 0
+        self._alloc_cursor = GLOBAL_HEAP_BASE
+        self._allocations: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation (the cudaMalloc face of the device)
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, align: int = 8) -> int:
+        """Bump-allocate ``size`` bytes of device global memory."""
+        if size <= 0:
+            raise SimulationError(f"cannot allocate {size} bytes")
+        cursor = -(-self._alloc_cursor // align) * align
+        self._alloc_cursor = cursor + size
+        self._allocations[cursor] = size
+        return cursor
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    # ------------------------------------------------------------------
+    # Device accesses
+    # ------------------------------------------------------------------
+    def store(self, block: int, addr: int, width: int, value: int) -> None:
+        """A device store from ``block``: enters the block's queue."""
+        queue = self._queues.setdefault(block, [])
+        queue.append(_QueuedStore(addr=addr, width=width, value=value, seq=self._seq))
+        self._seq += 1
+
+    def load(self, block: int, addr: int, width: int) -> int:
+        """A device load from ``block``: forwards from the block's own
+        queued stores byte by byte, falling back to main memory."""
+        queue = self._queues.get(block)
+        value = 0
+        for i in range(width):
+            byte_addr = addr + i
+            byte = None
+            if queue:
+                for entry in reversed(queue):
+                    if entry.addr <= byte_addr < entry.addr + entry.width:
+                        byte = (entry.value >> (8 * (byte_addr - entry.addr))) & 0xFF
+                        break
+            if byte is None:
+                byte = self.main.read_byte(byte_addr)
+            value |= byte << (8 * i)
+        return value
+
+    def atomic(self, block: int, addr: int, width: int, operation) -> int:
+        """An atomic RMW at the coherence point.
+
+        Queued stores to the target address (from any block) drain first,
+        then ``operation(old) -> new`` runs on main memory.  Returns the
+        old value.
+        """
+        for queue_block in list(self._queues):
+            self._drain_address(queue_block, addr, width)
+        old = self.main.read(addr, width)
+        new = operation(old)
+        if new is not None:
+            self.main.write(addr, width, new)
+        return old
+
+    # ------------------------------------------------------------------
+    # Draining (visibility)
+    # ------------------------------------------------------------------
+    def _commit(self, entry: _QueuedStore) -> None:
+        self.main.write(entry.addr, entry.width, entry.value)
+
+    def _drain_address(self, block: int, addr: int, width: int) -> None:
+        """Drain all queued stores of ``block`` overlapping an address
+        range, in per-address order; on strong architectures this drains
+        the whole FIFO prefix to preserve total store order."""
+        queue = self._queues.get(block)
+        if not queue:
+            return
+        if self.arch.relaxed_store_drain:
+            # Drain the overlap *closure*, committing in queue order: a
+            # store overlapping the probed range may itself overlap other
+            # queued stores on different bytes, and committing any subset
+            # out of order would let an older store later clobber a newer
+            # one (per-location coherence).  Membership needs a fixpoint
+            # because an older entry can overlap a range contributed by a
+            # newer closure member.
+            ranges = [(addr, addr + width)]
+            members = set()
+            changed = True
+            while changed:
+                changed = False
+                for index, entry in enumerate(queue):
+                    if index in members:
+                        continue
+                    if any(entry.addr < hi and lo < entry.addr + entry.width
+                           for lo, hi in ranges):
+                        members.add(index)
+                        ranges.append((entry.addr, entry.addr + entry.width))
+                        changed = True
+            if not members:
+                return
+            for index in sorted(members):
+                self._commit(queue[index])
+            for index in sorted(members, reverse=True):
+                del queue[index]
+        else:
+            overlapping = [
+                e for e in queue if e.addr < addr + width and addr < e.addr + e.width
+            ]
+            if not overlapping:
+                return
+            last = max(queue.index(e) for e in overlapping)
+            for entry in queue[: last + 1]:
+                self._commit(entry)
+            del queue[: last + 1]
+
+    def drain_one(self, block: int, rng: Optional[random.Random] = None) -> bool:
+        """Drain one store of ``block``'s queue; returns False if empty.
+
+        Weak architectures may pick any entry whose address has no older
+        queued store (per-location coherence); strong ones drain the
+        FIFO head.
+        """
+        queue = self._queues.get(block)
+        if not queue:
+            return False
+        if self.arch.relaxed_store_drain and rng is not None:
+            eligible = []
+            seen_addrs = set()
+            for entry in queue:
+                key = (entry.addr, entry.width)
+                overlap = any(
+                    entry.addr < a + w and a < entry.addr + entry.width
+                    for a, w in seen_addrs
+                )
+                if not overlap:
+                    eligible.append(entry)
+                seen_addrs.add(key)
+            entry = rng.choice(eligible)
+            queue.remove(entry)
+        else:
+            entry = queue.pop(0)
+        self._commit(entry)
+        return True
+
+    def drain_block(self, block: int) -> None:
+        """Drain a block's whole queue in order (its own ``membar.gl``)."""
+        queue = self._queues.get(block)
+        if queue:
+            for entry in queue:
+                self._commit(entry)
+            queue.clear()
+
+    def drain_all(self) -> None:
+        """A global fence by anyone drains every queue (see module doc)."""
+        for block in list(self._queues):
+            self.drain_block(block)
+
+    def pending_stores(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (used to run a kernel twice on identical state,
+    # e.g. the native-vs-instrumented comparison of Figure 10)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[int, int]:
+        """Capture the drained memory image."""
+        self.drain_all()
+        return dict(self.main._bytes)
+
+    def restore(self, image: Dict[int, int]) -> None:
+        """Restore a previously captured image (queues are dropped)."""
+        self._queues.clear()
+        self.main._bytes = dict(image)
+
+    # ------------------------------------------------------------------
+    # Host accesses (cudaMemcpy-style; always coherent)
+    # ------------------------------------------------------------------
+    def host_read(self, addr: int, width: int) -> int:
+        self.drain_all()
+        return self.main.read(addr, width)
+
+    def host_write(self, addr: int, width: int, value: int) -> None:
+        self.drain_all()
+        self.main.write(addr, width, value)
+
+    def host_write_array(self, addr: int, values, width: int = 4) -> None:
+        self.drain_all()
+        for index, value in enumerate(values):
+            self.main.write(addr + index * width, width, int(value))
+
+    def host_read_array(self, addr: int, count: int, width: int = 4) -> List[int]:
+        self.drain_all()
+        return [self.main.read(addr + i * width, width) for i in range(count)]
+
+
+class SharedMemory:
+    """Per-block shared memory: strongly ordered, block-private (§2)."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, ByteStore] = {}
+
+    def store(self, block: int, addr: int, width: int, value: int) -> None:
+        self._blocks.setdefault(block, ByteStore()).write(addr, width, value)
+
+    def load(self, block: int, addr: int, width: int) -> int:
+        store = self._blocks.get(block)
+        return store.read(addr, width) if store else 0
+
+    def atomic(self, block: int, addr: int, width: int, operation) -> int:
+        store = self._blocks.setdefault(block, ByteStore())
+        old = store.read(addr, width)
+        new = operation(old)
+        if new is not None:
+            store.write(addr, width, new)
+        return old

@@ -1,0 +1,89 @@
+"""Warp schedulers for the simulated device.
+
+The choice of scheduler is part of the experimental methodology:
+
+* :class:`RoundRobinScheduler` — fair interleaving; the default for
+  running benchmarks and the bug suite.
+* :class:`RandomScheduler` — randomized warp selection plus randomized
+  store-queue draining, the "memory stress and thread randomization"
+  strategy the paper borrows from Alglave et al. to provoke weak
+  behaviour in the litmus tests (§3.3.3).
+* :class:`WarpSerializingScheduler` — runs one warp to completion before
+  the next.  This models the execution regime under which Nvidia's
+  Racecheck hangs on spinlock tests (§6.1): a warp spinning on a lock
+  held by an unscheduled warp never yields.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .interpreter import KernelExecution, WarpState
+
+
+class Scheduler:
+    """Picks the next warp and applies inter-step memory effects."""
+
+    def pick(self, runnable: List[WarpState]) -> WarpState:  # pragma: no cover
+        raise NotImplementedError
+
+    def after_step(self, execution: KernelExecution) -> None:
+        """Hook for memory-system activity between warp steps."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle fairly through runnable warps; drain stores steadily."""
+
+    def __init__(self, drain_interval: int = 4) -> None:
+        self._cursor = 0
+        self._steps = 0
+        self.drain_interval = drain_interval
+
+    def pick(self, runnable: List[WarpState]) -> WarpState:
+        self._cursor = (self._cursor + 1) % len(runnable)
+        return runnable[self._cursor]
+
+    def after_step(self, execution: KernelExecution) -> None:
+        self._steps += 1
+        if self.drain_interval and self._steps % self.drain_interval == 0:
+            for block in range(execution.layout.num_blocks):
+                execution.global_mem.drain_one(block)
+
+
+class RandomScheduler(Scheduler):
+    """Randomized scheduling + randomized draining (litmus-test mode)."""
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        drain_probability: float = 0.4,
+        flush_interval: int = 256,
+    ) -> None:
+        self.rng = rng or random.Random(0)
+        self.drain_probability = drain_probability
+        self.flush_interval = flush_interval
+        self._steps = 0
+
+    def pick(self, runnable: List[WarpState]) -> WarpState:
+        return self.rng.choice(runnable)
+
+    def after_step(self, execution: KernelExecution) -> None:
+        self._steps += 1
+        if self.rng.random() < self.drain_probability:
+            block = self.rng.randrange(execution.layout.num_blocks)
+            execution.global_mem.drain_one(block, self.rng)
+        if self.flush_interval and self._steps % self.flush_interval == 0:
+            # Progress guarantee: pending stores eventually become visible
+            # even under adversarial randomization.
+            execution.global_mem.drain_all()
+
+
+class WarpSerializingScheduler(Scheduler):
+    """Run the lowest-index runnable warp until it blocks or finishes."""
+
+    def pick(self, runnable: List[WarpState]) -> WarpState:
+        return min(runnable, key=lambda w: w.warp)
+
+    def after_step(self, execution: KernelExecution) -> None:
+        execution.global_mem.drain_all()

@@ -1,0 +1,5 @@
+"""Binary instrumentation: inference, rewriting passes, fat binaries."""
+
+from .fatbinary import EntryKind, FatBinary, FatBinaryEntry, intercept_fat_binary
+from .inference import AccessClass, Classification, classify_kernel
+from .passes import InstrumentationReport, Instrumenter, KernelReport

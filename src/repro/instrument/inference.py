@@ -1,0 +1,214 @@
+"""Acquire/release inference from static PTX (paper §3.1).
+
+CUDA has no high-level acquire/release operations — even the CUDA C/C++
+API defines synchronization in terms of fences plus loads/stores/atomics
+— so BARRACUDA infers them from static instruction patterns:
+
+* a store immediately preceded by a fence  → *release* (scope = fence);
+* a load immediately followed by a fence   → *acquire*;
+* an atomic sandwiched between fences      → *acquire-release*;
+* ``atom.cas`` followed by a fence         → *acquire* (lock take);
+* ``atom.exch`` preceded by a fence        → *release* (lock free);
+* any other atomic                         → standalone ``atm``;
+* a bare fence contributes no trace operation of its own.
+
+An atomic (other than cas/exch) with a fence on only one side is treated
+as a release (fence before) or acquire (fence after) respectively — the
+natural one-sided reading of the sandwich rule.
+
+"Immediately" is interpreted modulo intervening non-memory instructions:
+compiled lock idioms interleave address arithmetic, ``setp`` and the
+spin-loop's conditional branch between the atomic and its fence
+(``while (atomicCAS(..)) {} __threadfence();`` puts the fence after the
+loop's exit branch), so the scan skips arithmetic and conditional
+branches and stops at memory operations, barriers, labels (control may
+join there without passing the fence), unconditional branches, and
+returns.  The inference is necessarily approximate (§3.1): the paper
+tunes it on litmus tests and SDK examples like threadFenceReduction, and
+so do we (the 66-program suite exercises it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..ptx.ast import Instruction, Kernel, Label
+from ..ptx.isa import (
+    ATOMIC_OPCODES,
+    BARRIER_OPCODES,
+    FENCE_OPCODES,
+    LOAD_OPCODES,
+    LOCK_ACQUIRE_ATOMS,
+    LOCK_RELEASE_ATOMS,
+    STORE_OPCODES,
+)
+from ..trace.operations import Scope
+
+
+class AccessClass(enum.Enum):
+    """What a memory/sync instruction becomes in the event stream."""
+
+    LOAD = "load"
+    STORE = "store"
+    ATOMIC = "atomic"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    ACQREL = "acqrel"
+    BARRIER = "barrier"
+    FENCE = "fence"  # bare fence: native effect only, no trace operation
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The inferred class of one instruction, plus its fence scope."""
+
+    access: AccessClass
+    scope: Optional[Scope] = None
+
+
+def _fence_scope(insn: Instruction) -> Scope:
+    """``membar.cta`` is block scope; ``gl`` and ``sys`` are global
+    (system fences are treated as global, §3.1 footnote)."""
+    return Scope.BLOCK if insn.has_modifier("cta") else Scope.GLOBAL
+
+
+def _widest(a: Optional[Scope], b: Optional[Scope]) -> Scope:
+    if a is Scope.GLOBAL or b is Scope.GLOBAL:
+        return Scope.GLOBAL
+    return Scope.BLOCK
+
+
+def classify_kernel(kernel: Kernel) -> Dict[int, Classification]:
+    """Classify every memory/sync statement of a kernel.
+
+    Returns a map from statement index (position in ``kernel.body``) to
+    :class:`Classification`.  Unlisted statements need no logging.
+    """
+    body = kernel.body
+    labels = kernel.label_index()
+    result: Dict[int, Classification] = {}
+
+    memory_like = LOAD_OPCODES | STORE_OPCODES | ATOMIC_OPCODES | BARRIER_OPCODES
+
+    def _transparent(statement: Instruction) -> bool:
+        """Thread-private accesses and arithmetic never break a pattern."""
+        if statement.opcode in ("ld", "st", "ldu"):
+            return statement.state_space().value in ("local", "param")
+        return statement.opcode not in memory_like and statement.opcode not in (
+            "ret",
+            "exit",
+            "call",
+            "bra",
+        ) and statement.opcode not in FENCE_OPCODES
+
+    def fence_after(index: int, budget: int = 32) -> Optional[Scope]:
+        """Scope of a fence reachable after ``index`` before any other
+        memory operation, following branch edges (spin-loop exits put the
+        fence behind the loop's exit branch)."""
+        worklist = [index + 1]
+        visited = set()
+        found: Optional[Scope] = None
+        steps = 0
+        while worklist and steps < budget:
+            j = worklist.pop()
+            while 0 <= j < len(body) and steps < budget:
+                steps += 1
+                if j in visited:
+                    break
+                visited.add(j)
+                statement = body[j]
+                if isinstance(statement, Label):
+                    j += 1
+                    continue
+                opcode = statement.opcode
+                if opcode in FENCE_OPCODES:
+                    scope = _fence_scope(statement)
+                    found = scope if found is None else _widest(found, scope)
+                    break
+                if opcode == "bra":
+                    target = labels.get(statement.branch_target(), None)
+                    if target is not None:
+                        worklist.append(target)
+                    if statement.pred is None:
+                        break
+                    j += 1
+                    continue
+                if _transparent(statement):
+                    j += 1
+                    continue
+                break  # memory operation, barrier, return: pattern broken
+        return found
+
+    def fence_before(index: int) -> Optional[Scope]:
+        """Scope of a fence preceding ``index`` with only transparent
+        instructions between.  Stops at labels: control may join there
+        without having executed the fence."""
+        j = index - 1
+        while j >= 0:
+            statement = body[j]
+            if isinstance(statement, Label):
+                return None
+            if statement.opcode in FENCE_OPCODES:
+                return _fence_scope(statement)
+            if not _transparent(statement):
+                return None
+            j -= 1
+        return None
+
+    for index, statement in enumerate(body):
+        if not isinstance(statement, Instruction):
+            continue
+        opcode = statement.opcode
+        if opcode in BARRIER_OPCODES:
+            result[index] = Classification(AccessClass.BARRIER)
+            continue
+        if opcode in FENCE_OPCODES:
+            result[index] = Classification(AccessClass.FENCE, _fence_scope(statement))
+            continue
+        before_scope = fence_before(index)
+        after_scope = fence_after(index)
+        if opcode in STORE_OPCODES and statement.state_space().value not in (
+            "local",
+            "param",
+        ):
+            if before_scope is not None:
+                result[index] = Classification(AccessClass.RELEASE, before_scope)
+            else:
+                result[index] = Classification(AccessClass.STORE)
+        elif opcode in LOAD_OPCODES and statement.state_space().value not in (
+            "local",
+            "param",
+        ):
+            if after_scope is not None:
+                result[index] = Classification(AccessClass.ACQUIRE, after_scope)
+            else:
+                result[index] = Classification(AccessClass.LOAD)
+        elif opcode in ATOMIC_OPCODES:
+            operation = statement.atomic_operation()
+            if before_scope is not None and after_scope is not None:
+                result[index] = Classification(
+                    AccessClass.ACQREL, _widest(before_scope, after_scope)
+                )
+            elif operation in LOCK_ACQUIRE_ATOMS and after_scope is not None:
+                # atom.cas + fence: taking a lock (§3.1).
+                result[index] = Classification(AccessClass.ACQUIRE, after_scope)
+            elif operation in LOCK_RELEASE_ATOMS and before_scope is not None:
+                # fence + atom.exch: freeing a lock (§3.1).
+                result[index] = Classification(AccessClass.RELEASE, before_scope)
+            elif after_scope is not None:
+                result[index] = Classification(AccessClass.ACQUIRE, after_scope)
+            elif before_scope is not None:
+                result[index] = Classification(AccessClass.RELEASE, before_scope)
+            else:
+                result[index] = Classification(AccessClass.ATOMIC)
+    return result
+
+
+def count_sync_inferences(classes: Dict[int, Classification]) -> Dict[AccessClass, int]:
+    """Histogram of inferred classes (diagnostics for tuning)."""
+    histogram: Dict[AccessClass, int] = {}
+    for classification in classes.values():
+        histogram[classification.access] = histogram.get(classification.access, 0) + 1
+    return histogram

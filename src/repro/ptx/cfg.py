@@ -1,0 +1,195 @@
+"""Control-flow graphs and reconvergence analysis for PTX kernels.
+
+Branch divergence is handled by the hardware via a SIMT stack whose
+entries reconverge at the branch's *immediate post-dominator* (paper §2,
+§3.3.1, citing Fung et al.).  The simulator needs those reconvergence
+points to emit ``if``/``else``/``fi`` trace operations, and the
+instrumentation engine needs them to place logging calls at "branch
+convergence points" (§4.1).
+
+PCs here are *statement indices* into ``kernel.body`` (labels included),
+which keeps instruction rewriting and execution in one address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import ReproError
+from .ast import Instruction, Kernel, Label
+from .isa import BRANCH_OPCODES, EXIT_OPCODES
+
+#: Virtual exit node id (the post-dominator of everything).
+EXIT_BLOCK = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line statement range ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"BB{self.index}[{self.start}:{self.end}]->{self.successors}"
+
+
+class CFG:
+    """The control-flow graph of one kernel, with post-dominance."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.blocks: List[BasicBlock] = []
+        self._block_of_statement: Dict[int, int] = {}
+        self._build()
+        self._ipdom = self._compute_ipdoms()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        body = self.kernel.body
+        labels = self.kernel.label_index()
+        leaders: Set[int] = {0} if body else set()
+        for index, statement in enumerate(body):
+            if isinstance(statement, Label):
+                leaders.add(index)
+            elif statement.opcode in BRANCH_OPCODES or statement.opcode in EXIT_OPCODES:
+                if index + 1 < len(body):
+                    leaders.add(index + 1)
+                target = statement.branch_target()
+                if target is not None:
+                    if target not in labels:
+                        raise ReproError(
+                            f"branch to undefined label {target!r} in kernel "
+                            f"{self.kernel.name!r}"
+                        )
+                    leaders.add(labels[target])
+        ordered = sorted(leaders)
+        for block_index, start in enumerate(ordered):
+            end = ordered[block_index + 1] if block_index + 1 < len(ordered) else len(body)
+            block = BasicBlock(index=block_index, start=start, end=end)
+            self.blocks.append(block)
+            for statement_index in range(start, end):
+                self._block_of_statement[statement_index] = block_index
+        for block in self.blocks:
+            self._connect(block, labels)
+        for block in self.blocks:
+            for successor in block.successors:
+                if successor != EXIT_BLOCK:
+                    self.blocks[successor].predecessors.append(block.index)
+
+    def _connect(self, block: BasicBlock, labels: Dict[str, int]) -> None:
+        body = self.kernel.body
+        terminator: Optional[Instruction] = None
+        for index in range(block.end - 1, block.start - 1, -1):
+            statement = body[index]
+            if isinstance(statement, Instruction):
+                terminator = statement
+                break
+        fallthrough = (
+            self._block_of_statement.get(block.end)
+            if block.end < len(body)
+            else EXIT_BLOCK
+        )
+        if terminator is None:
+            block.successors = [fallthrough] if fallthrough is not None else []
+            return
+        if terminator.opcode in EXIT_OPCODES and terminator.pred is None:
+            block.successors = [EXIT_BLOCK]
+        elif terminator.opcode in BRANCH_OPCODES:
+            target_block = self._block_of_statement[labels[terminator.branch_target()]]
+            if terminator.pred is None:
+                block.successors = [target_block]
+            else:
+                block.successors = [target_block]
+                if fallthrough is not None:
+                    block.successors.append(fallthrough)
+        else:
+            if fallthrough is not None:
+                block.successors = [fallthrough]
+        # A predicated exit also falls through.
+        if (
+            terminator.opcode in EXIT_OPCODES
+            and terminator.pred is not None
+            and fallthrough is not None
+        ):
+            block.successors = [EXIT_BLOCK, fallthrough]
+
+    # ------------------------------------------------------------------
+    # Post-dominance
+    # ------------------------------------------------------------------
+    def _compute_ipdoms(self) -> Dict[int, int]:
+        """Immediate post-dominators via iterative set dataflow.
+
+        Kernel CFGs are small (Table 1 tops out at ~35k instructions but
+        block counts stay modest), so the simple O(n^2) set algorithm is
+        plenty.
+        """
+        nodes = [b.index for b in self.blocks]
+        all_nodes = set(nodes) | {EXIT_BLOCK}
+        pdom: Dict[int, Set[int]] = {EXIT_BLOCK: {EXIT_BLOCK}}
+        for node in nodes:
+            pdom[node] = set(all_nodes)
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(self.blocks):
+                successors = block.successors or [EXIT_BLOCK]
+                meet: Optional[Set[int]] = None
+                for successor in successors:
+                    candidate = pdom[successor]
+                    meet = set(candidate) if meet is None else meet & candidate
+                updated = (meet or set()) | {block.index}
+                if updated != pdom[block.index]:
+                    pdom[block.index] = updated
+                    changed = True
+        # Immediate post-dominator: the strict post-dominator that is
+        # post-dominated by every other strict post-dominator.
+        ipdom: Dict[int, int] = {}
+        for node in nodes:
+            strict = pdom[node] - {node}
+            best = None
+            for candidate in strict:
+                others = strict - {candidate}
+                if all(other in pdom.get(candidate, {EXIT_BLOCK}) for other in others):
+                    best = candidate
+                    break
+            ipdom[node] = EXIT_BLOCK if best is None else best
+        return ipdom
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def block_of(self, statement_index: int) -> BasicBlock:
+        return self.blocks[self._block_of_statement[statement_index]]
+
+    def ipdom_of(self, block_index: int) -> int:
+        return self._ipdom[block_index]
+
+    def reconvergence_pc(self, statement_index: int) -> int:
+        """The statement index where a branch at ``statement_index``
+        reconverges; ``len(body)`` means "end of kernel"."""
+        block = self.block_of(statement_index)
+        ipdom = self._ipdom[block.index]
+        if ipdom == EXIT_BLOCK:
+            return len(self.kernel.body)
+        return self.blocks[ipdom].start
+
+    def convergence_points(self) -> List[int]:
+        """Statement indices that are reconvergence targets of some
+        divergent-capable (predicated) branch — where the §4.1
+        instrumentation adds branch-convergence logging calls."""
+        points: Set[int] = set()
+        for index, statement in enumerate(self.kernel.body):
+            if (
+                isinstance(statement, Instruction)
+                and statement.opcode in BRANCH_OPCODES
+                and statement.pred is not None
+            ):
+                points.add(self.reconvergence_pc(index))
+        return sorted(points)

@@ -1,0 +1,72 @@
+"""Tokenizer for PTX assembly text."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import PTXSyntaxError
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # NUMBER, FLOAT, IDENT, PUNCT, EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>[ \t\r]+)
+  | (?P<NEWLINE>\n)
+  | (?P<LINE_COMMENT>//[^\n]*)
+  | (?P<BLOCK_COMMENT>/\*.*?\*/)
+  | (?P<FLOAT>\d+\.\d+(?:[eE][-+]?\d+)?)
+  | (?P<HEX>0[xX][0-9a-fA-F]+U?)
+  | (?P<NUMBER>\d+U?)
+  | (?P<IDENT>[%$_A-Za-z][A-Za-z0-9_$]*)
+  | (?P<PUNCT>[.,;:\[\](){}<>+@!\-=*/])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize PTX source, raising :class:`PTXSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise PTXSyntaxError(
+                f"unexpected character {source[pos]!r}", line, column
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = pos - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+        elif kind == "BLOCK_COMMENT":
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + text.rfind("\n") + 1
+        elif kind in ("WS", "LINE_COMMENT"):
+            pass
+        elif kind == "HEX":
+            tokens.append(Token("NUMBER", text, line, column))
+        else:
+            tokens.append(Token(kind, text, line, column))
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens

@@ -1,0 +1,255 @@
+"""Recursive-descent parser for the PTX subset.
+
+Produces the :mod:`repro.ptx.ast` structures.  The grammar covers what
+the paper's pipeline needs: module directives, module-scope ``.global``
+arrays, ``.entry`` kernels with parameters, register/shared declarations,
+labels, predicated instructions, and the full operand zoo (registers,
+special registers, immediates, memory references, symbols).
+
+``parse_ptx(str(module)) == module`` is property-tested — the
+instrumentation framework depends on printing rewritten modules back to
+loadable text (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..errors import PTXSyntaxError
+from .ast import (
+    GlobalDecl,
+    ImmOperand,
+    Instruction,
+    Kernel,
+    Label,
+    MemOperand,
+    Module,
+    Operand,
+    ParamDecl,
+    RegDecl,
+    RegOperand,
+    SharedDecl,
+    SpecialRegOperand,
+    SymbolOperand,
+    VectorOperand,
+)
+from .isa import SPECIAL_REGISTERS
+from .lexer import Token, tokenize
+
+_DIMS = ("x", "y", "z")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> PTXSyntaxError:
+        token = token or self._peek()
+        return PTXSyntaxError(message, token.line, token.column)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise self._error(f"expected {wanted!r}, found {token.text!r}", token)
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    # ------------------------------------------------------------------
+    # Module level
+    # ------------------------------------------------------------------
+    def parse_module(self) -> Module:
+        module = Module()
+        while self._peek().kind != "EOF":
+            if self._accept("PUNCT", "."):
+                directive = self._expect("IDENT").text
+                if directive == "version":
+                    module.version = self._next().text
+                elif directive == "target":
+                    module.target = self._expect("IDENT").text
+                elif directive == "address_size":
+                    module.address_size = int(self._expect("NUMBER").text, 0)
+                elif directive == "global":
+                    module.globals.append(self._parse_array_decl(GlobalDecl))
+                elif directive == "visible":
+                    self._expect("PUNCT", ".")
+                    entry = self._expect("IDENT").text
+                    if entry == "entry":
+                        module.kernels.append(self._parse_kernel())
+                    elif entry == "func":
+                        module.functions.append(self._parse_kernel(kind="func"))
+                    else:
+                        raise self._error(
+                            f"expected 'entry' or 'func', found {entry!r}"
+                        )
+                elif directive == "entry":
+                    module.kernels.append(self._parse_kernel())
+                elif directive == "func":
+                    module.functions.append(self._parse_kernel(kind="func"))
+                else:
+                    raise self._error(f"unknown module directive .{directive}")
+            else:
+                raise self._error(f"unexpected token {self._peek().text!r}")
+        return module
+
+    def _parse_array_decl(self, cls) -> Union[GlobalDecl, SharedDecl]:
+        align = 4
+        if self._accept("PUNCT", "."):
+            keyword = self._expect("IDENT").text
+            if keyword == "align":
+                align = int(self._expect("NUMBER").text, 0)
+                self._expect("PUNCT", ".")
+                keyword = self._expect("IDENT").text
+            if keyword != "b8":
+                raise self._error(f"array declarations must be .b8, found .{keyword}")
+        name = self._expect("IDENT").text
+        self._expect("PUNCT", "[")
+        size = int(self._expect("NUMBER").text, 0)
+        self._expect("PUNCT", "]")
+        self._expect("PUNCT", ";")
+        return cls(name=name, size_bytes=size, align=align)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def _parse_kernel(self, kind: str = "entry") -> Kernel:
+        name = self._expect("IDENT").text
+        kernel = Kernel(name=name, kind=kind)
+        self._expect("PUNCT", "(")
+        while not self._accept("PUNCT", ")"):
+            self._expect("PUNCT", ".")
+            keyword = self._expect("IDENT").text
+            if keyword != "param":
+                raise self._error(f"expected .param, found .{keyword}")
+            self._expect("PUNCT", ".")
+            type_name = self._expect("IDENT").text
+            param_name = self._expect("IDENT").text
+            kernel.params.append(ParamDecl(type_name=type_name, name=param_name))
+            self._accept("PUNCT", ",")
+        self._expect("PUNCT", "{")
+        while not self._accept("PUNCT", "}"):
+            self._parse_kernel_statement(kernel)
+        return kernel
+
+    def _parse_kernel_statement(self, kernel: Kernel) -> None:
+        token = self._peek()
+        if token.kind == "PUNCT" and token.text == ".":
+            self._next()
+            keyword = self._expect("IDENT").text
+            if keyword == "reg":
+                kernel.regs.append(self._parse_reg_decl())
+            elif keyword == "shared":
+                kernel.shared.append(self._parse_array_decl(SharedDecl))
+            else:
+                raise self._error(f"unknown kernel directive .{keyword}")
+            return
+        if token.kind == "IDENT" and self._peek(1).text == ":":
+            label = self._next()
+            self._next()  # colon
+            kernel.body.append(Label(name=label.text, line=label.line))
+            return
+        kernel.body.append(self._parse_instruction())
+
+    def _parse_reg_decl(self) -> RegDecl:
+        self._expect("PUNCT", ".")
+        type_name = self._expect("IDENT").text
+        prefix = self._expect("IDENT").text
+        count = 1
+        if self._accept("PUNCT", "<"):
+            count = int(self._expect("NUMBER").text, 0)
+            self._expect("PUNCT", ">")
+        self._expect("PUNCT", ";")
+        return RegDecl(type_name=type_name, prefix=prefix, count=count)
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+    def _parse_instruction(self) -> Instruction:
+        pred: Optional[Tuple[str, bool]] = None
+        token = self._peek()
+        line = token.line
+        if self._accept("PUNCT", "@"):
+            negated = self._accept("PUNCT", "!") is not None
+            pred = (self._expect("IDENT").text, negated)
+        opcode = self._expect("IDENT").text
+        modifiers: List[str] = []
+        while self._peek().text == "." and self._peek(1).kind in ("IDENT", "NUMBER"):
+            self._next()
+            modifiers.append(self._next().text)
+        operands: List[Operand] = []
+        if not self._accept("PUNCT", ";"):
+            operands.append(self._parse_operand())
+            while self._accept("PUNCT", ","):
+                operands.append(self._parse_operand())
+            self._expect("PUNCT", ";")
+        return Instruction(
+            opcode=opcode,
+            modifiers=tuple(modifiers),
+            operands=tuple(operands),
+            pred=pred,
+            line=line,
+        )
+
+    def _parse_operand(self) -> Operand:
+        if self._accept("PUNCT", "{"):
+            regs = [self._expect("IDENT").text]
+            while self._accept("PUNCT", ","):
+                regs.append(self._expect("IDENT").text)
+            self._expect("PUNCT", "}")
+            return VectorOperand(regs=tuple(regs))
+        if self._accept("PUNCT", "["):
+            base = self._expect("IDENT").text
+            offset = 0
+            if self._accept("PUNCT", "+"):
+                offset = int(self._expect("NUMBER").text, 0)
+            elif self._accept("PUNCT", "-"):
+                offset = -int(self._expect("NUMBER").text, 0)
+            self._expect("PUNCT", "]")
+            return MemOperand(base=base, offset=offset)
+        if self._accept("PUNCT", "-"):
+            token = self._next()
+            if token.kind == "FLOAT":
+                return ImmOperand(-float(token.text))
+            if token.kind == "NUMBER":
+                return ImmOperand(-int(token.text.rstrip("U"), 0))
+            raise self._error("expected number after '-'", token)
+        token = self._next()
+        if token.kind == "FLOAT":
+            return ImmOperand(float(token.text))
+        if token.kind == "NUMBER":
+            return ImmOperand(int(token.text.rstrip("U"), 0))
+        if token.kind == "IDENT":
+            name = token.text
+            if name in SPECIAL_REGISTERS:
+                dim = None
+                if self._peek().text == "." and self._peek(1).text in _DIMS:
+                    self._next()
+                    dim = self._next().text
+                return SpecialRegOperand(name=name, dim=dim)
+            if name.startswith("%"):
+                return RegOperand(name=name)
+            return SymbolOperand(name=name)
+        raise self._error(f"cannot parse operand starting at {token.text!r}", token)
+
+
+def parse_ptx(source: str) -> Module:
+    """Parse PTX source text into a :class:`repro.ptx.ast.Module`."""
+    return _Parser(tokenize(source)).parse_module()

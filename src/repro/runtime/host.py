@@ -1,0 +1,86 @@
+"""The host-side race detector (paper §4.3).
+
+Each GPU queue is allocated a corresponding host consumer; queue draining
+mirrors the device logging algorithm, with the read head advancing over
+committed records.  Records are expanded back into §3.1 trace operations
+and fed to the BARRACUDA detector.
+
+Two consumption modes are provided:
+
+* ``in_order`` (default) — records are merged across queues by their
+  device commit stamp, which makes analysis runs deterministic;
+* round-robin batches — the paper's concurrent-consumers regime, where
+  cross-queue interleaving is approximate (per-location locking on the
+  real system makes this safe there; our detector processes records
+  atomically so it is safe here too).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.detector import BarracudaDetector
+from ..core.races import DetectorReports
+from ..core.reference import DetectorConfig
+from ..trace.layout import GridLayout
+from .queue import QueueSet
+from ..events import LogRecord, record_to_ops
+
+
+class HostDetector:
+    """Consumes log records and runs the BARRACUDA analysis."""
+
+    def __init__(
+        self,
+        layout: GridLayout,
+        config: Optional[DetectorConfig] = None,
+        in_order: bool = True,
+        batch_size: int = 64,
+    ) -> None:
+        self.layout = layout
+        self.detector = BarracudaDetector(layout, config)
+        self.granularity = (config or DetectorConfig()).granularity_bytes
+        self.in_order = in_order
+        self.batch_size = batch_size
+        self.records_processed = 0
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def consume(self, records: Iterable[LogRecord]) -> None:
+        for record in records:
+            self.records_processed += 1
+            for op in record_to_ops(record, self.layout, self.granularity):
+                self.detector.process(op)
+
+    def drain(self, queues: QueueSet) -> int:
+        """Drain everything currently committed; returns records eaten."""
+        before = self.records_processed
+        if self.in_order:
+            self.consume(queues.drain_in_order())
+        else:
+            while queues.pending():
+                self.consume(queues.drain_round_robin(self.batch_size))
+        return self.records_processed - before
+
+    def drain_some(self, queues: QueueSet, queue_index: int) -> None:
+        """Free space in one full queue (the producer-stall path §4.2).
+
+        Draining strictly in commit order may require eating records from
+        other queues first; that is what the real host threads are doing
+        concurrently anyway.
+        """
+        if self.in_order:
+            target = queues.queues[queue_index]
+            freed_from = target.read_head
+            while target.read_head == freed_from and target.pending():
+                self.consume(queues.drain_in_order(limit=self.batch_size))
+        else:
+            self.consume(queues.queues[queue_index].pop_batch(self.batch_size))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def reports(self) -> DetectorReports:
+        return self.detector.reports

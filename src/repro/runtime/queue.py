@@ -1,0 +1,223 @@
+"""GPU-to-host event queues (paper §4.2, Figure 6).
+
+Each queue is a ring of fixed-size records tracked by three virtual
+(monotonically increasing) indices:
+
+* ``write_head`` — next entry available for writing by the GPU logging
+  code;
+* ``commit_index`` — entries made visible to the host;
+* ``read_head`` — entries consumed by the host race detector.
+
+Virtual indices map to physical slots modulo the queue size; the queue is
+full when the write head is a full queue-size ahead of the read head, in
+which case the producing warp stalls until the host drains.
+
+BARRACUDA allocates multiple queues (~1.1–1.5 per SM) and maps each
+thread block to one queue, which lets the host process shared-memory
+traffic of a block without locking.  :class:`QueueSet` reproduces that
+organization and doubles as the :class:`repro.gpu.interpreter.EventSink`
+the instrumented kernels log into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..errors import QueueError
+from ..gpu.interpreter import EventSink
+from ..events import RECORD_BYTES, LogRecord
+
+#: Default queue capacity in records.  The paper reserves ~50% of GPU
+#: memory for queues; scaled to simulation size.
+DEFAULT_CAPACITY = 4096
+
+#: Modeled stall cycles per record the host must drain to free space.
+STALL_CYCLES_PER_RECORD = 2
+
+
+@dataclass
+class QueueStats:
+    """Occupancy and throughput accounting for one queue."""
+
+    pushed: int = 0
+    max_depth: int = 0
+    stalls: int = 0
+    stall_cycles: int = 0
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.pushed * RECORD_BYTES
+
+
+class LogQueue:
+    """One lock-free-style ring of fixed-size records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise QueueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._slots: List[Optional[LogRecord]] = [None] * capacity
+        self._seqs: List[int] = [0] * capacity
+        self.write_head = 0
+        self.commit_index = 0
+        self.read_head = 0
+        self.stats = QueueStats()
+
+    # ------------------------------------------------------------------
+    # GPU side
+    # ------------------------------------------------------------------
+    def full(self) -> bool:
+        return self.write_head - self.read_head >= self.capacity
+
+    def push(self, record: LogRecord, seq: int = 0) -> None:
+        """Reserve a slot, fill it, and bump the commit index.
+
+        The real device does these as three separate steps performed
+        cooperatively by the warp (§4.2); in-process they collapse into
+        one call, but the three indices keep the same meaning.  ``seq``
+        is the device-wide commit stamp used for deterministic cross-
+        queue ordering on the host.
+        """
+        if self.full():
+            raise QueueError("push on full queue; drain first")
+        slot = self.write_head % self.capacity
+        self._slots[slot] = record
+        self._seqs[slot] = seq
+        self.write_head += 1
+        self.commit_index = self.write_head
+        self.stats.pushed += 1
+        depth = self.write_head - self.read_head
+        if depth > self.stats.max_depth:
+            self.stats.max_depth = depth
+
+    def head_seq(self) -> Optional[int]:
+        """Commit stamp of the oldest unread record, or None if drained."""
+        if self.read_head >= self.commit_index:
+            return None
+        return self._seqs[self.read_head % self.capacity]
+
+    # ------------------------------------------------------------------
+    # Host side
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        return self.commit_index - self.read_head
+
+    def pop(self) -> Optional[LogRecord]:
+        """Consume the oldest committed record, or None if drained."""
+        if self.read_head >= self.commit_index:
+            return None
+        slot = self.read_head % self.capacity
+        record = self._slots[slot]
+        self._slots[slot] = None
+        self.read_head += 1
+        return record
+
+    def pop_batch(self, limit: int) -> List[LogRecord]:
+        batch: List[LogRecord] = []
+        while len(batch) < limit:
+            record = self.pop()
+            if record is None:
+                break
+            batch.append(record)
+        return batch
+
+
+class QueueSet(EventSink):
+    """All queues of one launch, with the block-to-queue mapping.
+
+    ``on_full`` is invoked when a producer finds its queue full — the
+    in-process equivalent of the GPU warp waiting for the CPU to drain
+    entries.  It must consume at least one record or the push fails.
+    """
+
+    def __init__(
+        self,
+        num_queues: int = 4,
+        capacity: int = DEFAULT_CAPACITY,
+        block_of_record: Optional[Callable[[LogRecord], int]] = None,
+        on_full: Optional[Callable[["QueueSet", int], None]] = None,
+    ) -> None:
+        if num_queues < 1:
+            raise QueueError(f"need at least one queue, got {num_queues}")
+        self.queues = [LogQueue(capacity) for _ in range(num_queues)]
+        self._block_of_record = block_of_record
+        self.on_full = on_full
+        self._seq = 0
+
+    def queue_for_block(self, block: int) -> int:
+        """Each thread block logs to exactly one queue (§4.2)."""
+        return block % len(self.queues)
+
+    def _block_of(self, record: LogRecord) -> int:
+        if self._block_of_record is not None:
+            return self._block_of_record(record)
+        # Without a resolver, fall back to the record's warp/block id
+        # (exact for BARRIER records; an arbitrary-but-stable mapping
+        # otherwise — fine for tests that don't care about block
+        # affinity).
+        return record.warp
+
+    def emit(self, record: LogRecord) -> int:
+        queue_index = self.queue_for_block(self._block_of(record))
+        queue = self.queues[queue_index]
+        stall = 0
+        while queue.full():
+            if self.on_full is None:
+                raise QueueError(
+                    f"queue {queue_index} full ({queue.capacity} records) and "
+                    "no host consumer attached"
+                )
+            before = queue.read_head
+            self.on_full(self, queue_index)
+            drained = queue.read_head - before
+            if drained <= 0 and queue.full():
+                raise QueueError(
+                    f"host consumer failed to drain full queue {queue_index}"
+                )
+            stall += max(drained, 1) * STALL_CYCLES_PER_RECORD
+            queue.stats.stalls += 1
+        queue.push(record, seq=self._seq)
+        self._seq += 1
+        queue.stats.stall_cycles += stall
+        return stall
+
+    # ------------------------------------------------------------------
+    # Host-side draining
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        return sum(q.pending() for q in self.queues)
+
+    def drain_round_robin(self, batch: int = 64) -> List[LogRecord]:
+        """One host pass: a batch from each queue in turn.
+
+        This is the paper's concurrent-consumers regime; cross-queue
+        order within a pass is approximate, as on the real system.
+        """
+        records: List[LogRecord] = []
+        for queue in self.queues:
+            records.extend(queue.pop_batch(batch))
+        return records
+
+    def drain_in_order(self, limit: Optional[int] = None) -> List[LogRecord]:
+        """Drain across queues in device commit order (deterministic)."""
+        records: List[LogRecord] = []
+        while limit is None or len(records) < limit:
+            best = None
+            best_seq = None
+            for queue in self.queues:
+                seq = queue.head_seq()
+                if seq is not None and (best_seq is None or seq < best_seq):
+                    best, best_seq = queue, seq
+            if best is None:
+                break
+            records.append(best.pop())
+        return records
+
+    @property
+    def total_pushed(self) -> int:
+        return sum(q.stats.pushed for q in self.queues)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(q.stats.bytes_transferred for q in self.queues)

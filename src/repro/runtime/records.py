@@ -1,0 +1,9 @@
+"""Compatibility shim: log records live in :mod:`repro.events`."""
+
+from ..events import (  # noqa: F401
+    MEMORY_KINDS,
+    RECORD_BYTES,
+    LogRecord,
+    RecordKind,
+    record_to_ops,
+)

@@ -1,0 +1,161 @@
+"""Record-stream capture and offline replay.
+
+The GPU-side logging and the host-side analysis are decoupled by design
+(§4: the queues are the only interface), which makes the record stream a
+natural artifact: capture it once, then re-run the detector offline —
+with different configurations (same-value filtering on/off), against a
+different detector (the uncompressed reference), or on another machine.
+
+The format is JSON lines: one header object, then one object per
+record.  It is deliberately self-describing so captures survive code
+evolution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional, Tuple
+
+from ..core.races import DetectorReports
+from ..core.reference import DetectorConfig
+from ..errors import ReproError
+from ..events import LogRecord, RecordKind
+from ..gpu.interpreter import EventSink
+from ..trace.layout import GridLayout
+from ..trace.operations import Scope, Space
+
+FORMAT_VERSION = 1
+
+
+class RecordingSink(EventSink):
+    """An event sink that both forwards to another sink and captures.
+
+    Wrap the session's queue set with this to keep live detection while
+    producing a replayable capture.
+    """
+
+    def __init__(self, inner: Optional[EventSink] = None) -> None:
+        self.inner = inner
+        self.records: List[LogRecord] = []
+
+    def emit(self, record: LogRecord) -> int:
+        self.records.append(record)
+        if self.inner is not None:
+            return self.inner.emit(record)
+        return 0
+
+
+def _record_to_json(record: LogRecord) -> dict:
+    payload = {
+        "kind": record.kind.value,
+        "warp": record.warp,
+        "active": sorted(record.active),
+        "pc": record.pc,
+    }
+    if record.addrs:
+        payload["addrs"] = {
+            str(tid): [space.value, addr] for tid, (space, addr) in record.addrs.items()
+        }
+    if record.values:
+        payload["values"] = {str(t): v for t, v in record.values.items()}
+    if record.scope is not None:
+        payload["scope"] = record.scope.value
+    if record.then_mask:
+        payload["then_mask"] = sorted(record.then_mask)
+    if record.width != 4:
+        payload["width"] = record.width
+    return payload
+
+
+def _record_from_json(payload: dict) -> LogRecord:
+    try:
+        return LogRecord(
+            kind=RecordKind(payload["kind"]),
+            warp=payload["warp"],
+            active=frozenset(payload["active"]),
+            addrs={
+                int(tid): (Space(space), addr)
+                for tid, (space, addr) in payload.get("addrs", {}).items()
+            },
+            values={int(t): v for t, v in payload.get("values", {}).items()},
+            scope=Scope(payload["scope"]) if "scope" in payload else None,
+            then_mask=frozenset(payload.get("then_mask", ())),
+            width=payload.get("width", 4),
+            pc=payload.get("pc", -1),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ReproError(f"malformed capture record: {exc}") from exc
+
+
+def save_capture(
+    stream: IO[str],
+    layout: GridLayout,
+    records: Iterable[LogRecord],
+    kernel: str = "",
+) -> int:
+    """Write a capture; returns the number of records written."""
+    header = {
+        "format": "barracuda-capture",
+        "version": FORMAT_VERSION,
+        "kernel": kernel,
+        "layout": {
+            "num_blocks": layout.num_blocks,
+            "threads_per_block": layout.threads_per_block,
+            "warp_size": layout.warp_size,
+        },
+    }
+    stream.write(json.dumps(header) + "\n")
+    count = 0
+    for record in records:
+        stream.write(json.dumps(_record_to_json(record)) + "\n")
+        count += 1
+    return count
+
+
+def load_capture(stream: IO[str]) -> Tuple[GridLayout, str, List[LogRecord]]:
+    """Read a capture back; returns (layout, kernel name, records)."""
+    header_line = stream.readline()
+    if not header_line:
+        raise ReproError("empty capture")
+    header = json.loads(header_line)
+    if header.get("format") != "barracuda-capture":
+        raise ReproError("not a barracuda capture")
+    if header.get("version") != FORMAT_VERSION:
+        raise ReproError(f"unsupported capture version {header.get('version')}")
+    layout = GridLayout(
+        num_blocks=header["layout"]["num_blocks"],
+        threads_per_block=header["layout"]["threads_per_block"],
+        warp_size=header["layout"]["warp_size"],
+    )
+    records = [_record_from_json(json.loads(line)) for line in stream if line.strip()]
+    return layout, header.get("kernel", ""), records
+
+
+def replay(
+    layout: GridLayout,
+    records: Iterable[LogRecord],
+    config: Optional[DetectorConfig] = None,
+    reference: bool = False,
+) -> DetectorReports:
+    """Run the detector over a captured record stream.
+
+    ``reference=True`` replays through the uncompressed reference
+    detector instead of the production one — the capture format is how
+    the two are cross-checked on real workloads, not just on random
+    traces.
+    """
+    from ..events import record_to_ops
+
+    granularity = (config or DetectorConfig()).granularity_bytes
+    if reference:
+        from ..core.reference import ReferenceDetector
+
+        detector = ReferenceDetector(layout, config)
+    else:
+        from ..core.detector import BarracudaDetector
+
+        detector = BarracudaDetector(layout, config)
+    for record in records:
+        for op in record_to_ops(record, layout, granularity):
+            detector.process(op)
+    return detector.reports

@@ -1,0 +1,222 @@
+"""End-to-end BARRACUDA sessions (the ``LD_PRELOAD`` library, §4).
+
+A :class:`BarracudaSession` plays the role of the injected shared
+library: it intercepts fat-binary registration, strips and instruments
+the PTX, reserves GPU memory for the event queues, launches kernels on
+the simulated device with logging attached, and runs the host-side race
+detector over the queues.  ``device_reset`` reproduces the §4.1 care
+around ``cudaDeviceReset``: the reset is delayed until the queues are
+fully drained, and the session reinitializes on the next call.
+
+For overhead measurements (Figure 10) every registered binary keeps its
+pristine module too, so the same kernel can be launched natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.races import BarrierDivergenceReport, DetectorReports, RaceReport
+from ..core.reference import DetectorConfig
+from ..errors import InstrumentationError
+from ..gpu.device import DEFAULT_MAX_STEPS, GpuDevice
+from ..gpu.interpreter import LaunchResult
+from ..gpu.memory import ArchProfile, MAXWELL_TITANX
+from ..gpu.scheduler import Scheduler
+from ..instrument.fatbinary import FatBinary, intercept_fat_binary
+from ..instrument.passes import InstrumentationReport, Instrumenter
+from ..ptx.ast import Module
+from ..trace.layout import GridLayout
+from .host import HostDetector
+from .queue import DEFAULT_CAPACITY, QueueSet
+from ..events import RecordKind
+
+
+@dataclass
+class SessionLaunch:
+    """Everything one monitored launch produced."""
+
+    kernel: str
+    native: Optional[LaunchResult]
+    instrumented: LaunchResult
+    reports: DetectorReports
+    records: int
+    queue_bytes: int
+
+    @property
+    def races(self) -> List[RaceReport]:
+        return self.reports.races
+
+    @property
+    def barrier_divergences(self) -> List[BarrierDivergenceReport]:
+        return self.reports.barrier_divergences
+
+    @property
+    def overhead(self) -> float:
+        """Instrumented-to-native cycle ratio (the Figure 10 metric)."""
+        if self.native is None or self.native.total_cycles == 0:
+            return float("nan")
+        return self.instrumented.total_cycles / self.native.total_cycles
+
+
+class BarracudaSession:
+    """One process running under the BARRACUDA shared library."""
+
+    def __init__(
+        self,
+        arch: ArchProfile = MAXWELL_TITANX,
+        num_queues: int = 4,
+        queue_capacity: int = DEFAULT_CAPACITY,
+        prune: bool = True,
+        detector_config: Optional[DetectorConfig] = None,
+        in_order_host: bool = True,
+    ) -> None:
+        self.device = GpuDevice(arch)
+        self.num_queues = num_queues
+        self.queue_capacity = queue_capacity
+        self.instrumenter = Instrumenter(prune=prune)
+        self.detector_config = detector_config
+        self.in_order_host = in_order_host
+        # handle -> (pristine module, instrumented module, report)
+        self._binaries: Dict[int, tuple] = {}
+        self._next_handle = 1
+        self._needs_reinit = False
+        self.launches: List[SessionLaunch] = []
+
+    # ------------------------------------------------------------------
+    # Registration (the __cudaRegisterFatBinary interception)
+    # ------------------------------------------------------------------
+    def register_fat_binary(self, fatbin: FatBinary) -> int:
+        """Intercept a fat-binary registration; returns a handle."""
+        self._maybe_reinit()
+        pristine_ptx = fatbin.ptx_entry().decompress_ptx()
+        from ..ptx.parser import parse_ptx
+
+        pristine = parse_ptx(pristine_ptx)
+        _new_fatbin, instrumented, report = intercept_fat_binary(
+            fatbin, self.instrumenter
+        )
+        handle = self._next_handle
+        self._next_handle += 1
+        self._binaries[handle] = (pristine, instrumented, report)
+        self.device.load_module(instrumented)
+        return handle
+
+    def register_module(self, module: Module) -> int:
+        """Convenience: register a module as nvcc's fat binary would be."""
+        return self.register_fat_binary(FatBinary.from_module(module))
+
+    def instrumentation_report(self, handle: int) -> InstrumentationReport:
+        return self._binaries[handle][2]
+
+    def _find_handle(self, kernel_name: str) -> int:
+        for handle, (pristine, _instrumented, _report) in self._binaries.items():
+            if any(k.name == kernel_name for k in pristine.kernels):
+                return handle
+        raise InstrumentationError(f"no registered binary has kernel {kernel_name!r}")
+
+    # ------------------------------------------------------------------
+    # Launching
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel_name: str,
+        grid,
+        block,
+        params: Optional[Dict[str, int]] = None,
+        warp_size: int = 32,
+        scheduler: Optional[Scheduler] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        compare_native: bool = False,
+        native_scheduler: Optional[Scheduler] = None,
+    ) -> SessionLaunch:
+        """Launch a kernel under race detection.
+
+        With ``compare_native`` the pristine kernel runs first against a
+        snapshot of device global memory, which is restored before the
+        monitored run so both executions observe identical initial state
+        (the Figure 10 native-vs-instrumented comparison).
+        """
+        self._maybe_reinit()
+        handle = self._find_handle(kernel_name)
+        pristine, instrumented, _report = self._binaries[handle]
+        native_result: Optional[LaunchResult] = None
+        if compare_native:
+            image = self.device.global_mem.snapshot()
+            native_result = self.device.launch(
+                pristine,
+                kernel_name,
+                grid,
+                block,
+                params=params,
+                warp_size=warp_size,
+                scheduler=native_scheduler,
+                max_steps=max_steps,
+            )
+            self.device.global_mem.restore(image)
+        from ..gpu.hierarchy import LaunchConfig
+
+        layout: GridLayout = LaunchConfig.of(grid, block, warp_size).layout()
+        host = HostDetector(
+            layout, config=self.detector_config, in_order=self.in_order_host
+        )
+        queues = QueueSet(
+            num_queues=self.num_queues,
+            capacity=self.queue_capacity,
+            block_of_record=lambda record: (
+                record.warp
+                if record.kind is RecordKind.BARRIER
+                else layout.block_of_warp(record.warp)
+            ),
+            on_full=lambda queue_set, index: host.drain_some(queue_set, index),
+        )
+        result = self.device.launch(
+            instrumented,
+            kernel_name,
+            grid,
+            block,
+            params=params,
+            warp_size=warp_size,
+            sink=queues,
+            instrumented=True,
+            scheduler=scheduler,
+            max_steps=max_steps,
+        )
+        host.drain(queues)
+        launch = SessionLaunch(
+            kernel=kernel_name,
+            native=native_result,
+            instrumented=result,
+            reports=host.reports,
+            records=queues.total_pushed,
+            queue_bytes=queues.total_bytes,
+        )
+        self.launches.append(launch)
+        return launch
+
+    # ------------------------------------------------------------------
+    # Device management
+    # ------------------------------------------------------------------
+    def device_reset(self) -> None:
+        """``cudaDeviceReset``: delayed until queues are drained (§4.1).
+
+        Our queues are drained synchronously at the end of every launch,
+        so the delay is trivially satisfied; the reinit flag is still
+        raised so the next CUDA call reinitializes BARRACUDA state.
+        """
+        self.device.reset()
+        self._needs_reinit = True
+
+    def _maybe_reinit(self) -> None:
+        if self._needs_reinit:
+            self._needs_reinit = False
+            for _handle, (_pristine, instrumented, _report) in self._binaries.items():
+                self.device.load_module(instrumented)
+
+    # ------------------------------------------------------------------
+    # Aggregate results
+    # ------------------------------------------------------------------
+    @property
+    def all_races(self) -> List[RaceReport]:
+        return [race for launch in self.launches for race in launch.races]

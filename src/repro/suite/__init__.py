@@ -1,0 +1,30 @@
+"""The 66-program CUDA concurrency bug suite (paper §6.1)."""
+
+from .model import Buffer, Expected, SuiteProgram, Verdict, run_program
+from .programs_atomics import ATOMIC_PROGRAMS
+from .programs_branch import BRANCH_PROGRAMS
+from .programs_fences import FENCE_PROGRAMS
+from .programs_grid import GRID_PROGRAMS
+from .programs_locks import LOCK_PROGRAMS
+from .programs_memory import MEMORY_PROGRAMS
+from .programs_warp import MISC_PROGRAMS, WARP_PROGRAMS
+
+#: All 66 programs, in suite order.
+ALL_PROGRAMS = (
+    MEMORY_PROGRAMS
+    + BRANCH_PROGRAMS
+    + ATOMIC_PROGRAMS
+    + FENCE_PROGRAMS
+    + LOCK_PROGRAMS
+    + GRID_PROGRAMS
+    + WARP_PROGRAMS
+    + MISC_PROGRAMS
+)
+
+
+def program(name: str) -> SuiteProgram:
+    """Look up a suite program by name."""
+    for entry in ALL_PROGRAMS:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)

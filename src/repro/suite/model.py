@@ -1,0 +1,162 @@
+"""The concurrency bug suite framework (paper §6.1).
+
+The paper validates BARRACUDA against a hand-built suite of 66 small CUDA
+programs covering "subtle data races or race-free behavior via global
+memory, shared memory, within and across warps and blocks, and using a
+variety of atomic and memory fence instructions to implement locks,
+whole-grid barriers and flag synchronization".
+
+Each :class:`SuiteProgram` carries its source (mini CUDA-C, or PTX for
+the cases that need instruction-level control such as predication), its
+launch geometry, buffer setup, and the expected verdict.  The runner
+executes a program under a full :class:`BarracudaSession` and reduces the
+reports to a :class:`Verdict` for comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..cudac import compile_cuda
+from ..errors import SimulationError, StepLimitExceeded
+from ..gpu.scheduler import Scheduler
+from ..ptx import parse_ptx
+from ..ptx.ast import Module
+from ..runtime.session import BarracudaSession, SessionLaunch
+
+
+class Expected(enum.Enum):
+    """The ground-truth verdict of a suite program."""
+
+    RACE = "race"
+    NO_RACE = "no-race"
+    BARRIER_DIVERGENCE = "barrier-divergence"
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One device buffer parameter: allocated and initialized per run."""
+
+    name: str
+    words: int
+    init: Tuple[int, ...] = ()  # leading words; rest zeroed
+
+    def __post_init__(self) -> None:
+        if len(self.init) > self.words:
+            raise ValueError(
+                f"buffer {self.name!r}: {len(self.init)} init values for "
+                f"{self.words} words"
+            )
+
+
+@dataclass(frozen=True)
+class SuiteProgram:
+    """One concurrency-suite test case."""
+
+    name: str
+    category: str
+    description: str
+    source: str
+    expected: Expected
+    #: Memory space the expected race lives in ("global"/"shared"), for
+    #: the Table 1-style classification; None for race-free programs.
+    race_space: Optional[str] = None
+    is_ptx: bool = False
+    grid: int = 2
+    block: int = 64
+    warp_size: int = 32
+    buffers: Tuple[Buffer, ...] = ()
+    scalars: Tuple[Tuple[str, int], ...] = ()
+    max_steps: int = 400_000
+
+    def compile(self) -> Module:
+        if self.is_ptx:
+            return parse_ptx(self.source)
+        return compile_cuda(self.source)
+
+    @property
+    def kernel_name(self) -> str:
+        module = self.compile()
+        return module.kernels[0].name
+
+
+@dataclass
+class Verdict:
+    """What one detector concluded about one program."""
+
+    program: str
+    races: int = 0
+    race_spaces: frozenset = frozenset()
+    barrier_divergences: int = 0
+    hang: bool = False
+    error: Optional[str] = None
+
+    @property
+    def observed(self) -> Expected:
+        if self.barrier_divergences:
+            return Expected.BARRIER_DIVERGENCE
+        if self.races:
+            return Expected.RACE
+        return Expected.NO_RACE
+
+    def matches(self, program: SuiteProgram) -> bool:
+        """Did the detector report correctly for this program?
+
+        A hang or internal error is never correct.  For racy programs the
+        detector must flag a race in the expected memory space; for
+        race-free programs it must stay silent (a barrier-divergence
+        report on a clean program is a false alarm).
+        """
+        if self.hang or self.error:
+            return False
+        if program.expected is Expected.BARRIER_DIVERGENCE:
+            return self.barrier_divergences > 0
+        if program.expected is Expected.RACE:
+            if self.races == 0:
+                return False
+            if program.race_space is not None:
+                return program.race_space in self.race_spaces
+            return True
+        return self.races == 0 and self.barrier_divergences == 0
+
+
+def run_program(
+    program: SuiteProgram,
+    session: Optional[BarracudaSession] = None,
+    scheduler: Optional[Scheduler] = None,
+) -> Verdict:
+    """Run one suite program under BARRACUDA and summarize the verdict."""
+    session = session or BarracudaSession()
+    module = program.compile()
+    session.register_module(module)
+    params: Dict[str, int] = {}
+    for buffer in program.buffers:
+        addr = session.device.alloc(buffer.words * 4)
+        values = list(buffer.init) + [0] * (buffer.words - len(buffer.init))
+        session.device.memcpy_to_device(addr, values)
+        params[buffer.name] = addr
+    for name, value in program.scalars:
+        params[name] = value
+    verdict = Verdict(program=program.name)
+    try:
+        launch: SessionLaunch = session.launch(
+            module.kernels[0].name,
+            grid=program.grid,
+            block=program.block,
+            warp_size=program.warp_size,
+            params=params,
+            scheduler=scheduler,
+            max_steps=program.max_steps,
+        )
+    except StepLimitExceeded:
+        verdict.hang = True
+        return verdict
+    except SimulationError as exc:
+        verdict.error = str(exc)
+        return verdict
+    verdict.races = len(launch.races)
+    verdict.race_spaces = frozenset(r.loc.space.value for r in launch.races)
+    verdict.barrier_divergences = len(launch.barrier_divergences)
+    return verdict

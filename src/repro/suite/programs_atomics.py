@@ -1,0 +1,170 @@
+"""Suite programs 23–30: atomics and their (non-)synchronization.
+
+Per the paper (§3.3.2): atomics do not race with each other, but they
+also do not act as fences — they imply no synchronization or ordering —
+and mixing atomic and non-atomic accesses to one location is a race.
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+ATOMIC_PROGRAMS = [
+    SuiteProgram(
+        name="atomic_counter",
+        category="atomics",
+        description="Every thread of the grid atomicAdds one counter: "
+        "atomics never race with atomics.",
+        source="""
+__global__ void atomic_counter(int* counter) {
+    atomicAdd(&counter[0], 1);
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=(Buffer("counter", 4),),
+    ),
+    SuiteProgram(
+        name="atomic_vs_plain_write",
+        category="atomics",
+        description="One block atomically updates a word another block "
+        "plainly overwrites: PTX gives no atomicity guarantee "
+        "against normal stores (§3.3.2).",
+        source="""
+__global__ void atomic_vs_write(int* data) {
+    if (threadIdx.x == 0) {
+        if (blockIdx.x == 0) {
+            atomicAdd(&data[0], 1);
+        } else {
+            data[0] = 5;
+        }
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="atomic_vs_plain_read_intra_block",
+        category="atomics",
+        description="A plain read concurrent with an atomic update in "
+        "the same block, no barrier: a race (atomics are not "
+        "reads' friends either).",
+        source="""
+__global__ void atomic_vs_read(int* data, int* out) {
+    if (threadIdx.x == 0) {
+        atomicAdd(&data[0], 1);
+    }
+    if (threadIdx.x == 32) {
+        out[0] = data[0];
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        grid=1,
+        buffers=(Buffer("data", 4), Buffer("out", 4)),
+    ),
+    SuiteProgram(
+        name="atomic_then_read_after_barrier",
+        category="atomics",
+        description="Atomics followed by __syncthreads followed by a "
+        "read: the barrier provides the ordering the atomics "
+        "do not.",
+        source="""
+__global__ void atomic_barrier_read(int* data, int* out) {
+    atomicAdd(&data[0], 1);
+    __syncthreads();
+    if (threadIdx.x == 0) {
+        out[0] = data[0];
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        buffers=(Buffer("data", 4), Buffer("out", 4)),
+    ),
+    SuiteProgram(
+        name="atomic_inter_block_read_no_sync",
+        category="atomics",
+        description="Block 0 atomically updates, block 1 reads, nothing "
+        "synchronizes the blocks.",
+        source="""
+__global__ void atomic_inter_block(int* data, int* out) {
+    if (threadIdx.x == 0) {
+        if (blockIdx.x == 0) {
+            atomicAdd(&data[0], 7);
+        } else {
+            out[0] = data[0];
+        }
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 4), Buffer("out", 4)),
+    ),
+    SuiteProgram(
+        name="cas_lock_no_fences",
+        category="atomics",
+        description="A try-lock built from bare atomicCAS/atomicExch with "
+        "no fences: atomics alone imply no synchronization, so "
+        "the critical sections race (§3.3.2).",
+        source="""
+__global__ void lock_no_fences(int* lock, int* data) {
+    if (threadIdx.x == 0) {
+        int done = 0;
+        while (done == 0) {
+            if (atomicCAS(&lock[0], 0, 1) == 0) {
+                data[0] = data[0] + blockIdx.x + 1;
+                atomicExch(&lock[0], 0);
+                done = 1;
+            }
+        }
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("lock", 4), Buffer("data", 4)),
+    ),
+    SuiteProgram(
+        name="cas_lock_with_fences",
+        category="atomics",
+        description="The same try-lock with a fence after the successful "
+        "CAS (acquire) and before the Exch (release): properly "
+        "synchronized (§3.1's lock idioms).",
+        source="""
+__global__ void lock_with_fences(int* lock, int* data) {
+    if (threadIdx.x == 0) {
+        int done = 0;
+        while (done == 0) {
+            if (atomicCAS(&lock[0], 0, 1) == 0) {
+                __threadfence();
+                data[0] = data[0] + blockIdx.x + 1;
+                __threadfence();
+                atomicExch(&lock[0], 0);
+                done = 1;
+            }
+        }
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=(Buffer("lock", 4), Buffer("data", 4)),
+    ),
+    SuiteProgram(
+        name="atomic_slot_allocation",
+        category="atomics",
+        description="atomicAdd hands every thread a unique slot to write: "
+        "the classic race-free work-queue idiom.",
+        source="""
+__global__ void slot_alloc(int* cursor, int* data) {
+    int slot = atomicAdd(&cursor[0], 1);
+    data[slot] = threadIdx.x;
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=(Buffer("cursor", 4), Buffer("data", 128)),
+    ),
+]

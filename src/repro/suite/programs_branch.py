@@ -1,0 +1,161 @@
+"""Suite programs 17–22: branch ordering races and barrier divergence.
+
+Branch ordering races are the bug class the paper identifies (§3.3.1):
+the two sides of a divergent branch execute in an order chosen by the
+hardware SIMT stack, so a program whose result depends on that order is
+relying on an architecture-specific serialization.
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+BRANCH_PROGRAMS = [
+    SuiteProgram(
+        name="branch_ordering_write_vs_read",
+        category="branch",
+        description="The then path writes a shared word the else path "
+        "reads; which value the else path sees depends on the "
+        "SIMT serialization order.",
+        source="""
+__global__ void branch_wr(int* out) {
+    __shared__ int s[32];
+    s[0] = 0;
+    if (threadIdx.x < 16) {
+        s[0] = 1;
+    } else {
+        out[threadIdx.x] = s[0];
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+    SuiteProgram(
+        name="branch_ordering_ww_same_value",
+        category="branch",
+        description="Both paths store the same value from *different* "
+        "instructions: still a branch ordering race — the "
+        "same-value exemption covers only lockstep stores from "
+        "one instruction, and the paper's modeling deliberately "
+        "does not exempt commutative paths.",
+        source="""
+__global__ void branch_ww_same(int* out) {
+    __shared__ int s[32];
+    if (threadIdx.x < 16) {
+        s[0] = 5;
+    } else {
+        s[0] = 5;
+    }
+    __syncthreads();
+    out[0] = s[0];
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 4),),
+    ),
+    SuiteProgram(
+        name="branch_disjoint_paths",
+        category="branch",
+        description="The two paths of a divergent branch touch disjoint "
+        "locations: concurrent but conflict-free.",
+        source="""
+__global__ void branch_disjoint(int* out) {
+    __shared__ int s[64];
+    if (threadIdx.x < 16) {
+        s[threadIdx.x] = 1;
+    } else {
+        s[threadIdx.x + 16] = 2;
+    }
+    __syncthreads();
+    out[threadIdx.x] = s[threadIdx.x];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+    SuiteProgram(
+        name="nested_branch_ordering_race",
+        category="branch",
+        description="Nested divergence: the inner-then path writes what "
+        "the outer-else path reads.",
+        source="""
+__global__ void nested_branch(int* out) {
+    __shared__ int s[32];
+    s[0] = 0;
+    if (threadIdx.x < 16) {
+        if (threadIdx.x < 8) {
+            s[0] = threadIdx.x + 1;
+        }
+    } else {
+        out[threadIdx.x] = s[0];
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+    SuiteProgram(
+        name="predicated_store_race",
+        category="branch",
+        description="A predicated store (authored in PTX): the "
+        "instrumentation converts the predication into a branch "
+        "so logging is guarded (§4.1); lane 0 of each block "
+        "stores a different value to the same word.",
+        is_ptx=True,
+        source="""
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry pred_store(
+    .param .u64 data
+)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<3>;
+    .reg .pred %p<2>;
+
+    mov.u32 %r1, %tid.x;
+    setp.eq.u32 %p1, %r1, 0;
+    mov.u32 %r2, %ctaid.x;
+    ld.param.u64 %rd1, [data];
+    @%p1 st.global.u32 [%rd1], %r2;
+    ret;
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="barrier_in_divergent_branch",
+        category="branch",
+        description="__syncthreads executed while half the warp is "
+        "inactive: barrier divergence (§3.3.2), likely to hang "
+        "real hardware.",
+        source="""
+__global__ void barrier_divergence(int* out) {
+    if (threadIdx.x < 16) {
+        __syncthreads();
+    }
+    out[threadIdx.x] = threadIdx.x;
+}
+""",
+        expected=Expected.BARRIER_DIVERGENCE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+]

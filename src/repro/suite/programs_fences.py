@@ -1,0 +1,184 @@
+"""Suite programs 31–40: memory fences and flag synchronization.
+
+These mirror the paper's litmus study (§3.3.3) at the race-detection
+level: ``membar.cta`` only synchronizes within a thread block, a global
+fence on *either* side of a release/acquire pair suffices across blocks,
+and a fence on only one side synchronizes nothing.
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+
+def _mp_source(writer_fence: str, reader_fence: str, writer_block: int = 1) -> str:
+    """Message passing: data write, fence, flag set / flag spin, fence,
+    data read.  The reader spins so the read always happens."""
+    reader_block = 1 - writer_block
+    wf = f"{writer_fence}();" if writer_fence else ""
+    rf = f"{reader_fence}();" if reader_fence else ""
+    return f"""
+__global__ void mp(int* data, int* flag, int* out) {{
+    if (blockIdx.x == {writer_block}) {{
+        if (threadIdx.x == 0) {{
+            data[0] = 42;
+            {wf}
+            flag[0] = 1;
+        }}
+    }} else {{
+        if (threadIdx.x == 0) {{
+            while (flag[0] == 0) {{ }}
+            {rf}
+            out[0] = data[0];
+        }}
+    }}
+}}
+"""
+
+
+_MP_BUFFERS = (Buffer("data", 4), Buffer("flag", 4), Buffer("out", 4))
+
+FENCE_PROGRAMS = [
+    SuiteProgram(
+        name="mp_global_fences",
+        category="fences",
+        description="Message passing across blocks with __threadfence on "
+        "both sides: release/acquire at global scope.",
+        source=_mp_source("__threadfence", "__threadfence"),
+        expected=Expected.NO_RACE,
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="mp_block_fences_across_blocks",
+        category="fences",
+        description="The same message passing with __threadfence_block on "
+        "both sides: block-scope fences do not synchronize "
+        "across blocks (the Figure 4 cta/cta row).",
+        source=_mp_source("__threadfence_block", "__threadfence_block"),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="mp_block_fences_same_block",
+        category="fences",
+        description="Block-scope fences between two warps of one block: "
+        "sufficient at block scope.",
+        source="""
+__global__ void mp_same_block(int* data, int* flag, int* out) {
+    if (threadIdx.x == 32) {
+        data[0] = 42;
+        __threadfence_block();
+        flag[0] = 1;
+    }
+    if (threadIdx.x == 0) {
+        while (flag[0] == 0) { }
+        __threadfence_block();
+        out[0] = data[0];
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="mp_no_fences",
+        category="fences",
+        description="Flag message passing with no fences at all: the "
+        "flag store is no release and the spin no acquire.",
+        source=_mp_source("", ""),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="mp_release_only",
+        category="fences",
+        description="Writer fences, reader does not: the reader's loads "
+        "may still be satisfied early; no synchronization edge.",
+        source=_mp_source("__threadfence", ""),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="mp_acquire_only",
+        category="fences",
+        description="Reader fences, writer does not: there is no release "
+        "to acquire from.",
+        source=_mp_source("", "__threadfence"),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="mp_global_release_block_acquire",
+        category="fences",
+        description="Global-scope release, block-scope acquire, across "
+        "blocks: one global fence suffices (the ACQGLOBAL/"
+        "RELGLOBAL rules; Figure 4's gl/cta row).",
+        source=_mp_source("__threadfence", "__threadfence_block"),
+        expected=Expected.NO_RACE,
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="mp_block_release_global_acquire",
+        category="fences",
+        description="Block-scope release, global-scope acquire, across "
+        "blocks: again one global fence suffices (cta/gl row).",
+        source=_mp_source("__threadfence_block", "__threadfence"),
+        expected=Expected.NO_RACE,
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="flag_conditional_read",
+        category="fences",
+        description="A non-spinning reader that only touches the data "
+        "when it observed the flag, with correct fences.",
+        source="""
+__global__ void conditional_read(int* data, int* flag, int* out) {
+    if (blockIdx.x == 0) {
+        if (threadIdx.x == 0) {
+            data[0] = 99;
+            __threadfence();
+            flag[0] = 1;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            int seen = flag[0];
+            __threadfence();
+            if (seen == 1) {
+                out[0] = data[0];
+            }
+        }
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=_MP_BUFFERS,
+    ),
+    SuiteProgram(
+        name="fence_without_flag",
+        category="fences",
+        description="A fence with no flag handshake orders nothing "
+        "between threads: the data read still races.",
+        source="""
+__global__ void fence_no_flag(int* data, int* out) {
+    if (blockIdx.x == 0) {
+        if (threadIdx.x == 0) {
+            data[0] = 13;
+            __threadfence();
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            out[0] = data[0];
+        }
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 4), Buffer("out", 4)),
+    ),
+]

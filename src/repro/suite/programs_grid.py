@@ -1,0 +1,135 @@
+"""Suite programs 49–54: whole-grid barriers and last-block patterns.
+
+__syncthreads cannot synchronize a grid; CUDA programs build grid-wide
+barriers from atomics and fences (the threadFenceReduction SDK sample the
+paper tunes its inference on).  These programs cover the correct pattern
+and the subtle ways it decays when a fence is dropped.
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+
+def _grid_barrier_source(release_fence: bool, acquire_fence: bool) -> str:
+    rf = "__threadfence();" if release_fence else ""
+    af = "__threadfence();" if acquire_fence else ""
+    return f"""
+__global__ void grid_barrier(int* count, int* data, int* out) {{
+    if (threadIdx.x == 0) {{
+        data[blockIdx.x] = blockIdx.x + 10;
+        {rf}
+        atomicAdd(&count[0], 1);
+        while (count[0] < gridDim.x) {{ }}
+        {af}
+        out[blockIdx.x] = data[1 - blockIdx.x];
+    }}
+}}
+"""
+
+
+GRID_PROGRAMS = [
+    SuiteProgram(
+        name="grid_barrier_correct",
+        category="grid",
+        description="A grid barrier from fence + atomicAdd (release) and "
+        "spin + fence (acquire): blocks may read each other's "
+        "pre-barrier writes.",
+        source=_grid_barrier_source(release_fence=True, acquire_fence=True),
+        expected=Expected.NO_RACE,
+        buffers=(Buffer("count", 4), Buffer("data", 4), Buffer("out", 4)),
+    ),
+    SuiteProgram(
+        name="grid_barrier_missing_release_fence",
+        category="grid",
+        description="No fence before the arrival atomic: the pre-barrier "
+        "write is never released.",
+        source=_grid_barrier_source(release_fence=False, acquire_fence=True),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("count", 4), Buffer("data", 4), Buffer("out", 4)),
+    ),
+    SuiteProgram(
+        name="grid_barrier_missing_acquire_fence",
+        category="grid",
+        description="No fence after the spin: the departure is never an "
+        "acquire, so post-barrier reads race.",
+        source=_grid_barrier_source(release_fence=True, acquire_fence=False),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("count", 4), Buffer("data", 4), Buffer("out", 4)),
+    ),
+    SuiteProgram(
+        name="last_block_reduction_correct",
+        category="grid",
+        description="threadFenceReduction's last-block pattern with the "
+        "arrival atomic fenced on both sides (acquire-release): "
+        "the last block may read every partial.",
+        source="""
+__global__ void last_block(int* count, int* partial, int* out) {
+    if (threadIdx.x == 0) {
+        partial[blockIdx.x] = blockIdx.x + 100;
+        __threadfence();
+        int arrived = atomicAdd(&count[0], 1);
+        __threadfence();
+        if (arrived == gridDim.x - 1) {
+            int total = 0;
+            for (int b = 0; b < gridDim.x; b = b + 1) {
+                total = total + partial[b];
+            }
+            out[0] = total;
+        }
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=(Buffer("count", 4), Buffer("partial", 4), Buffer("out", 4)),
+    ),
+    SuiteProgram(
+        name="last_block_reduction_release_only",
+        category="grid",
+        description="The same pattern with no fence after the arrival "
+        "atomic: the last block's reads are not an acquire and "
+        "race with the other blocks' partial writes.",
+        source="""
+__global__ void last_block_bad(int* count, int* partial, int* out) {
+    if (threadIdx.x == 0) {
+        partial[blockIdx.x] = blockIdx.x + 100;
+        __threadfence();
+        int arrived = atomicAdd(&count[0], 1);
+        if (arrived == gridDim.x - 1) {
+            int total = 0;
+            for (int b = 0; b < gridDim.x; b = b + 1) {
+                total = total + partial[b];
+            }
+            out[0] = total;
+        }
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("count", 4), Buffer("partial", 4), Buffer("out", 4)),
+    ),
+    SuiteProgram(
+        name="syncthreads_is_not_a_grid_barrier",
+        category="grid",
+        description="Writing per-block partials, __syncthreads, then "
+        "block 0 reads all partials: the block barrier orders "
+        "nothing across blocks.",
+        source="""
+__global__ void fake_grid_barrier(int* partial, int* out) {
+    if (threadIdx.x == 0) {
+        partial[blockIdx.x] = blockIdx.x + 1;
+    }
+    __syncthreads();
+    if (blockIdx.x == 0 && threadIdx.x == 0) {
+        out[0] = partial[0] + partial[1];
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("partial", 4), Buffer("out", 4)),
+    ),
+]

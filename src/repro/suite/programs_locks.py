@@ -1,0 +1,193 @@
+"""Suite programs 41–48: spinlocks at both scopes, and the hashtable bugs.
+
+The lock idioms here are exactly the ones the paper's inference targets:
+``atomicCAS`` + fence to take a lock, fence + ``atomicExch`` to free it
+(§3.1), at global or block fence scope.  Two programs reproduce the
+GPU-TM hashtable bugs of §6.3: a CAS with no fence can be reordered with
+the protected accesses, and releasing a lock through a plain unfenced
+store is no release at all.  All locks use the SIMT-safe try-lock shape
+(critical section inside the winning branch) so that the lockstep warp
+semantics cannot livelock a correct program.
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+
+def _lock_source(
+    acquire_fence: str, release_fence: str, unlock: str, taker: str = "threadIdx.x == 0"
+) -> str:
+    af = f"{acquire_fence}();" if acquire_fence else ""
+    rf = f"{release_fence}();" if release_fence else ""
+    return f"""
+__global__ void locked(int* lock, int* data) {{
+    if ({taker}) {{
+        int done = 0;
+        while (done == 0) {{
+            if (atomicCAS(&lock[0], 0, 1) == 0) {{
+                {af}
+                data[0] = data[0] + 1;
+                {rf}
+                {unlock}
+                done = 1;
+            }}
+        }}
+    }}
+}}
+"""
+
+
+_LOCK_BUFFERS = (Buffer("lock", 4), Buffer("data", 4))
+
+LOCK_PROGRAMS = [
+    SuiteProgram(
+        name="spinlock_global_correct",
+        category="locks",
+        description="A correctly fenced global spinlock: blocks take "
+        "turns mutating shared state.",
+        source=_lock_source(
+            "__threadfence", "__threadfence", "atomicExch(&lock[0], 0);"
+        ),
+        expected=Expected.NO_RACE,
+        buffers=_LOCK_BUFFERS,
+    ),
+    SuiteProgram(
+        name="spinlock_missing_acquire_fence",
+        category="locks",
+        description="Hashtable bug #1 (§6.3): no fence after the CAS, so "
+        "the protected accesses can be reordered into/above the "
+        "lock acquisition.",
+        source=_lock_source("", "__threadfence", "atomicExch(&lock[0], 0);"),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=_LOCK_BUFFERS,
+    ),
+    SuiteProgram(
+        name="spinlock_plain_store_unlock",
+        category="locks",
+        description="Hashtable bug #2 (§6.3): the lock is freed by a "
+        "plain unfenced store — no release, and the unlock "
+        "stores race with each other too.",
+        source=_lock_source("__threadfence", "", "lock[0] = 0;"),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=_LOCK_BUFFERS,
+    ),
+    SuiteProgram(
+        name="spinlock_block_fences_across_blocks",
+        category="locks",
+        description="Lock fenced with __threadfence_block but contended "
+        "across blocks: block-scope fences cannot implement "
+        "inter-block synchronization (§3.3.3).",
+        source=_lock_source(
+            "__threadfence_block",
+            "__threadfence_block",
+            "atomicExch(&lock[0], 0);",
+        ),
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=_LOCK_BUFFERS,
+    ),
+    SuiteProgram(
+        name="spinlock_block_fences_within_block",
+        category="locks",
+        description="The same block-scope-fenced lock contended only "
+        "within one block: block scope suffices.",
+        source=_lock_source(
+            "__threadfence_block",
+            "__threadfence_block",
+            "atomicExch(&lock[0], 0);",
+            taker="threadIdx.x % 32 == 0",
+        ),
+        expected=Expected.NO_RACE,
+        grid=1,
+        buffers=_LOCK_BUFFERS,
+    ),
+    SuiteProgram(
+        name="per_bucket_locks_correct",
+        category="locks",
+        description="Fine-grained per-bucket locks (the fixed hashtable): "
+        "every thread locks its bucket with correct fences.",
+        source="""
+__global__ void buckets(int* locks, int* table, int* keys) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int bucket = keys[gid] % 8;
+    int done = 0;
+    while (done == 0) {
+        if (atomicCAS(&locks[bucket], 0, 1) == 0) {
+            __threadfence();
+            table[bucket] = table[bucket] + gid;
+            __threadfence();
+            atomicExch(&locks[bucket], 0);
+            done = 1;
+        }
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=2,
+        block=32,
+        buffers=(
+            Buffer("locks", 8),
+            Buffer("table", 8),
+            Buffer("keys", 64, init=tuple(range(64))),
+        ),
+        max_steps=2_000_000,
+    ),
+    SuiteProgram(
+        name="lock_protects_two_words_correct",
+        category="locks",
+        description="A coarse lock guarding two words; all accesses go "
+        "through the lock.",
+        source="""
+__global__ void coarse(int* lock, int* data) {
+    if (threadIdx.x == 0) {
+        int done = 0;
+        while (done == 0) {
+            if (atomicCAS(&lock[0], 0, 1) == 0) {
+                __threadfence();
+                data[0] = data[0] + 1;
+                data[1] = data[1] + 2;
+                __threadfence();
+                atomicExch(&lock[0], 0);
+                done = 1;
+            }
+        }
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=_LOCK_BUFFERS,
+    ),
+    SuiteProgram(
+        name="lock_incomplete_coverage",
+        category="locks",
+        description="One word is mutated under the lock by block 0 but "
+        "accessed without it by block 1: the lock only protects "
+        "what every access path takes.",
+        source="""
+__global__ void uncovered(int* lock, int* data) {
+    if (threadIdx.x == 0) {
+        if (blockIdx.x == 0) {
+            int done = 0;
+            while (done == 0) {
+                if (atomicCAS(&lock[0], 0, 1) == 0) {
+                    __threadfence();
+                    data[0] = data[0] + 1;
+                    __threadfence();
+                    atomicExch(&lock[0], 0);
+                    done = 1;
+                }
+            }
+        } else {
+            data[0] = 77;
+        }
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=_LOCK_BUFFERS,
+    ),
+]

@@ -1,0 +1,336 @@
+"""Suite programs 1–16: basic global- and shared-memory races (§6.1)."""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+MEMORY_PROGRAMS = [
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+    SuiteProgram(
+        name="global_ww_inter_block",
+        category="global",
+        description="Thread 0 of each block writes the same global word "
+        "with different values; no synchronization crosses blocks.",
+        source="""
+__global__ void ww_inter_block(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = blockIdx.x + 1;
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="global_rw_inter_block",
+        category="global",
+        description="Block 0 writes a global word, block 1 reads it; "
+        "nothing orders the two blocks.",
+        source="""
+__global__ void rw_inter_block(int* data) {
+    if (blockIdx.x == 0) {
+        if (threadIdx.x == 0) {
+            data[0] = 7;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            data[1] = data[0];
+        }
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="global_ww_intra_block",
+        category="global",
+        description="Two threads in different warps of one block write "
+        "the same global word without a barrier between them.",
+        source="""
+__global__ void ww_intra_block(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = 1;
+    }
+    if (threadIdx.x == 32) {
+        data[0] = 2;
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        grid=1,
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="global_ww_intra_warp_diff_values",
+        category="global",
+        description="All lanes of one warp store different values to the "
+        "same global word in one instruction: an intra-warp "
+        "(divergence) race with architecture-defined outcome.",
+        source="""
+__global__ void ww_intra_warp(int* data) {
+    data[0] = threadIdx.x;
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        grid=1,
+        block=32,
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="global_ww_intra_warp_same_value",
+        category="global",
+        description="All lanes store the *same* value to one word in one "
+        "instruction; CUDA defines the outcome, BARRACUDA "
+        "filters it (§3.3.1).",
+        source="""
+__global__ void ww_same_value(int* data) {
+    data[0] = 7;
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="global_disjoint_slots",
+        category="global",
+        description="The embarrassingly parallel pattern: every thread "
+        "owns one element.",
+        source="""
+__global__ void disjoint(int* data) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    data[gid] = gid * 2;
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=(Buffer("data", 128),),
+    ),
+    SuiteProgram(
+        name="global_ww_barrier_ordered",
+        category="global",
+        description="Writes to one global word from different warps of a "
+        "block, separated by __syncthreads: well-ordered.",
+        source="""
+__global__ void ww_barrier(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = 1;
+    }
+    __syncthreads();
+    if (threadIdx.x == 33) {
+        data[0] = 2;
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="global_syncthreads_not_grid_wide",
+        category="global",
+        description="__syncthreads is block-local: a cross-block "
+        "write/read around it still races.",
+        source="""
+__global__ void sync_not_grid(int* data) {
+    if (blockIdx.x == 0 && threadIdx.x == 0) {
+        data[0] = 5;
+    }
+    __syncthreads();
+    if (blockIdx.x == 1 && threadIdx.x == 0) {
+        data[1] = data[0];
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 4),),
+    ),
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+    SuiteProgram(
+        name="shared_ww_intra_block",
+        category="shared",
+        description="Two warps of a block write one shared word with no "
+        "barrier between them.",
+        source="""
+__global__ void shared_ww(int* out) {
+    __shared__ int s[64];
+    if (threadIdx.x == 0) {
+        s[0] = 1;
+    }
+    if (threadIdx.x == 32) {
+        s[0] = 2;
+    }
+    __syncthreads();
+    if (threadIdx.x == 0) {
+        out[0] = s[0];
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        buffers=(Buffer("out", 4),),
+    ),
+    SuiteProgram(
+        name="shared_neighbor_read_no_barrier",
+        category="shared",
+        description="Each thread writes its slot and reads its left "
+        "neighbor without a barrier: races across the warp "
+        "boundary (lockstep saves only intra-warp pairs).",
+        source="""
+__global__ void neighbor_no_barrier(int* out) {
+    __shared__ int s[64];
+    s[threadIdx.x] = threadIdx.x;
+    int left = 0;
+    if (threadIdx.x > 0) {
+        left = s[threadIdx.x - 1];
+    }
+    out[threadIdx.x] = left;
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        buffers=(Buffer("out", 64),),
+    ),
+    SuiteProgram(
+        name="shared_neighbor_read_with_barrier",
+        category="shared",
+        description="The same neighbor exchange with __syncthreads "
+        "between write and read: race-free.",
+        source="""
+__global__ void neighbor_with_barrier(int* out) {
+    __shared__ int s[64];
+    s[threadIdx.x] = threadIdx.x;
+    __syncthreads();
+    int left = 0;
+    if (threadIdx.x > 0) {
+        left = s[threadIdx.x - 1];
+    }
+    out[threadIdx.x] = left;
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        buffers=(Buffer("out", 64),),
+    ),
+    SuiteProgram(
+        name="shared_reduction_correct",
+        category="shared",
+        description="Classic tree reduction in shared memory with a "
+        "barrier at each level.",
+        source="""
+__global__ void reduction_ok(int* data, int* out) {
+    __shared__ int s[128];
+    int tid = threadIdx.x;
+    s[tid] = data[blockIdx.x * blockDim.x + tid];
+    __syncthreads();
+    for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+        if (tid < stride) {
+            s[tid] = s[tid] + s[tid + stride];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        out[blockIdx.x] = s[0];
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        block=128,
+        buffers=(Buffer("data", 256), Buffer("out", 2)),
+    ),
+    SuiteProgram(
+        name="shared_reduction_missing_barrier",
+        category="shared",
+        description="The same reduction with the per-level barrier "
+        "removed: at the 64-to-32 level transition, warp 0 "
+        "reads partial sums another warp wrote un-barriered.",
+        source="""
+__global__ void reduction_bad(int* data, int* out) {
+    __shared__ int s[128];
+    int tid = threadIdx.x;
+    s[tid] = data[blockIdx.x * blockDim.x + tid];
+    __syncthreads();
+    for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+        if (tid < stride) {
+            s[tid] = s[tid] + s[tid + stride];
+        }
+    }
+    __syncthreads();
+    if (tid == 0) {
+        out[blockIdx.x] = s[0];
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        block=128,
+        buffers=(Buffer("data", 256), Buffer("out", 2)),
+    ),
+    SuiteProgram(
+        name="shared_ww_intra_warp_diff_values",
+        category="shared",
+        description="One warp stores lane ids to one shared word in a "
+        "single instruction: intra-warp shared-memory race.",
+        source="""
+__global__ void shared_intra_warp(int* out) {
+    __shared__ int s[32];
+    s[0] = threadIdx.x;
+    __syncthreads();
+    out[0] = s[0];
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 4),),
+    ),
+    SuiteProgram(
+        name="shared_ww_intra_warp_same_value",
+        category="shared",
+        description="One warp stores the same constant to one shared "
+        "word: benign by the CUDA documentation, filtered.",
+        source="""
+__global__ void shared_same_value(int* out) {
+    __shared__ int s[32];
+    s[0] = 3;
+    __syncthreads();
+    out[0] = s[0];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 4),),
+    ),
+    SuiteProgram(
+        name="shared_stencil_with_barrier",
+        category="shared",
+        description="Ring stencil: write own slot, barrier, read the "
+        "wrap-around right neighbor.",
+        source="""
+__global__ void stencil(int* out) {
+    __shared__ int s[64];
+    int tid = threadIdx.x;
+    s[tid] = tid * 3;
+    __syncthreads();
+    out[tid] = s[(tid + 1) % 64];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        buffers=(Buffer("out", 64),),
+    ),
+]

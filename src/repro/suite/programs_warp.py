@@ -1,0 +1,239 @@
+"""Suite programs 55–60: warp-lockstep semantics.
+
+Warps execute one common instruction at a time (§3.3.1): operations from
+instruction *i* complete before instruction *i+1* begins, so cross-lane
+communication *between* instructions of one warp is ordered — which is
+why CUDA-Racecheck's interval analysis false-positives on it — while
+same-instruction write-write conflicts are real races unless every lane
+stores the same value.
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+WARP_PROGRAMS = [
+    SuiteProgram(
+        name="warp_lockstep_write_then_read",
+        category="warp",
+        description="Each lane writes its slot, then reads its neighbor's "
+        "slot in the *next* instruction: lockstep execution "
+        "orders the instructions, so this is race-free (and a "
+        "classic Racecheck false positive).",
+        source="""
+__global__ void lockstep_wr(int* out) {
+    __shared__ int s[32];
+    s[threadIdx.x] = threadIdx.x * 2;
+    out[threadIdx.x] = s[(threadIdx.x + 1) % 32];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+    SuiteProgram(
+        name="warp_lockstep_write_then_write",
+        category="warp",
+        description="The whole warp stores to one word twice, in two "
+        "consecutive instructions (each same-value): ordered by "
+        "lockstep, benign within each instruction.",
+        source="""
+__global__ void lockstep_ww(int* out) {
+    __shared__ int s[4];
+    s[0] = 1;
+    s[0] = 2;
+    __syncthreads();
+    out[0] = s[0];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 4),),
+    ),
+    SuiteProgram(
+        name="warp_pairwise_collision",
+        category="warp",
+        description="Lane pairs collide on shared slots with different "
+        "values in a single instruction: an intra-warp race.",
+        source="""
+__global__ void pairwise(int* out) {
+    __shared__ int s[16];
+    s[threadIdx.x / 2] = threadIdx.x;
+    __syncthreads();
+    out[threadIdx.x] = s[threadIdx.x / 2];
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+    SuiteProgram(
+        name="warp_divergent_ww_diff_values",
+        category="warp",
+        description="The two paths of a divergent branch store different "
+        "values to one word: a branch ordering race (§3.3.1).",
+        source="""
+__global__ void divergent_ww(int* out) {
+    __shared__ int s[4];
+    if (threadIdx.x % 2 == 0) {
+        s[0] = 1;
+    } else {
+        s[0] = 2;
+    }
+    __syncthreads();
+    out[0] = s[0];
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 4),),
+    ),
+    SuiteProgram(
+        name="warp_permutation_disjoint",
+        category="warp",
+        description="Each lane writes a distinct slot through a "
+        "permutation, then reads its own slot next instruction: "
+        "disjoint writes plus lockstep ordering.",
+        source="""
+__global__ void permutation(int* out) {
+    __shared__ int s[32];
+    s[(threadIdx.x + 16) % 32] = threadIdx.x;
+    out[threadIdx.x] = s[threadIdx.x];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+    SuiteProgram(
+        name="partial_tail_warp",
+        category="warp",
+        description="A block of 40 threads: the second warp is only "
+        "one-quarter full; per-thread slots stay race-free with "
+        "partial active masks.",
+        source="""
+__global__ void tail_warp(int* out) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    out[gid] = gid + 1;
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=2,
+        block=40,
+        buffers=(Buffer("out", 80),),
+    ),
+]
+
+MISC_PROGRAMS = [
+    SuiteProgram(
+        name="concurrent_readers",
+        category="misc",
+        description="Everybody reads one word, writes private slots: "
+        "reads never race with reads (exercises the shared "
+        "read-map inflation).",
+        source="""
+__global__ void readers(int* data, int* out) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    out[gid] = data[0] + gid;
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=(Buffer("data", 4, init=(5,)), Buffer("out", 128)),
+    ),
+    SuiteProgram(
+        name="same_thread_read_after_write",
+        category="misc",
+        description="One thread writes then reads its own data: program "
+        "order is synchronization enough.",
+        source="""
+__global__ void raw_same_thread(int* data) {
+    if (threadIdx.x == 3) {
+        data[0] = 11;
+        data[1] = data[0] + 1;
+        data[0] = data[1];
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="one_racy_location_among_many",
+        category="misc",
+        description="A mostly clean kernel with exactly one cross-block "
+        "collision: the detector must flag that location and "
+        "stay quiet on the rest.",
+        source="""
+__global__ void one_bad_apple(int* data, int* shared_word) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    data[gid] = gid;
+    if (threadIdx.x == 7) {
+        shared_word[0] = blockIdx.x;
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 128), Buffer("shared_word", 4)),
+    ),
+    SuiteProgram(
+        name="barrier_in_both_branch_paths",
+        category="misc",
+        description="__syncthreads in both sides of a divergent branch: "
+        "each execution is a divergent barrier, the classic "
+        "'it compiles to two different barriers' bug.",
+        source="""
+__global__ void barrier_both_paths(int* out) {
+    if (threadIdx.x % 2 == 0) {
+        __syncthreads();
+    } else {
+        __syncthreads();
+    }
+    out[threadIdx.x] = 1;
+}
+""",
+        expected=Expected.BARRIER_DIVERGENCE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+    SuiteProgram(
+        name="empty_kernel",
+        category="misc",
+        description="No memory traffic at all: nothing to report.",
+        source="""
+__global__ void empty(int* data) {
+    int x = threadIdx.x + blockIdx.x;
+}
+""",
+        expected=Expected.NO_RACE,
+        buffers=(Buffer("data", 4),),
+    ),
+    SuiteProgram(
+        name="block_boundary_overlap",
+        category="misc",
+        description="Each block writes its tile plus one element of the "
+        "next block's tile: a write-write race at every tile "
+        "boundary.",
+        source="""
+__global__ void boundary(int* data) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    data[gid] = blockIdx.x;
+    if (threadIdx.x == 0 && blockIdx.x == 0) {
+        data[gid + blockDim.x] = 100;
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        buffers=(Buffer("data", 192),),
+    ),
+]

@@ -1,0 +1,54 @@
+"""Execution traces: the abstraction race detection operates on (§3.1)."""
+
+from .layout import DEFAULT_WARP_SIZE, GridLayout
+from .operations import (
+    AcqRel,
+    Acquire,
+    AnyOp,
+    Atomic,
+    Barrier,
+    Else,
+    EndInsn,
+    Fi,
+    If,
+    Location,
+    Read,
+    Release,
+    Scope,
+    Space,
+    Write,
+    global_loc,
+    is_conflicting,
+    shared_loc,
+    tids_of,
+)
+from .stack import WarpStackSet
+from .trace import Trace, TraceBuilder, check_feasible
+
+__all__ = [
+    "DEFAULT_WARP_SIZE",
+    "GridLayout",
+    "AcqRel",
+    "Acquire",
+    "AnyOp",
+    "Atomic",
+    "Barrier",
+    "Else",
+    "EndInsn",
+    "Fi",
+    "If",
+    "Location",
+    "Read",
+    "Release",
+    "Scope",
+    "Space",
+    "Write",
+    "global_loc",
+    "is_conflicting",
+    "shared_loc",
+    "tids_of",
+    "WarpStackSet",
+    "Trace",
+    "TraceBuilder",
+    "check_feasible",
+]

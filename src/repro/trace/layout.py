@@ -1,0 +1,162 @@
+"""Grid layout: the thread hierarchy that traces and detectors share.
+
+CUDA organizes runtime threads into a grid of thread blocks, each block
+subdivided into warps of (up to) 32 threads (paper §2).  The detector's
+PTVC compression (§4.3.1) leans on this structure, so both the simulator
+and the detector agree on a single numbering scheme:
+
+* the global thread id (TID) of thread ``i`` of block ``b`` is
+  ``b * threads_per_block + i`` — mirroring the unique-TID computation the
+  instrumentation adds to every kernel (§4.1);
+* global warp ``w`` covers TIDs ``[w * warp_size, (w + 1) * warp_size)``.
+
+Multi-dimensional launches are flattened by :mod:`repro.gpu.hierarchy`
+before reaching this layer; the paper likewise discusses 1-D layouts and
+handles 2-/3-D by flattening.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List
+
+from ..errors import LaunchConfigError
+
+#: Warp size on every Nvidia architecture the paper targets.
+DEFAULT_WARP_SIZE = 32
+
+
+class GridLayout:
+    """The shape of one kernel launch, flattened to 1-D.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of thread blocks in the grid.
+    threads_per_block:
+        Threads per block.  The last warp of each block may be partially
+        full; the detector's initial active masks account for that
+        (paper §3.3: "the last warp of each thread block may be only
+        partially full").
+    warp_size:
+        Threads per warp; 32 on real hardware but configurable so tests can
+        use small warps, exactly as the paper's worked example (Figure 7)
+        uses 3-thread warps.
+    """
+
+    __slots__ = ("num_blocks", "threads_per_block", "warp_size")
+
+    def __init__(
+        self,
+        num_blocks: int,
+        threads_per_block: int,
+        warp_size: int = DEFAULT_WARP_SIZE,
+    ) -> None:
+        if num_blocks < 1 or threads_per_block < 1 or warp_size < 1:
+            raise LaunchConfigError(
+                f"invalid launch configuration: {num_blocks} blocks x "
+                f"{threads_per_block} threads (warp size {warp_size})"
+            )
+        self.num_blocks = num_blocks
+        self.threads_per_block = threads_per_block
+        self.warp_size = warp_size
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per block, counting a trailing partial warp."""
+        return -(-self.threads_per_block // self.warp_size)
+
+    @property
+    def total_warps(self) -> int:
+        return self.num_blocks * self.warps_per_block
+
+    # ------------------------------------------------------------------
+    # Id conversions
+    # ------------------------------------------------------------------
+    def tid(self, block: int, thread_in_block: int) -> int:
+        """Global TID of ``thread_in_block`` within ``block``."""
+        if not 0 <= block < self.num_blocks:
+            raise LaunchConfigError(f"block {block} out of range")
+        if not 0 <= thread_in_block < self.threads_per_block:
+            raise LaunchConfigError(f"thread {thread_in_block} out of range")
+        return block * self.threads_per_block + thread_in_block
+
+    def block_of(self, tid: int) -> int:
+        """The block containing global thread ``tid``."""
+        return tid // self.threads_per_block
+
+    def thread_in_block(self, tid: int) -> int:
+        return tid % self.threads_per_block
+
+    def warp_of(self, tid: int) -> int:
+        """The *global* warp id containing ``tid``."""
+        block = self.block_of(tid)
+        lane_block = self.thread_in_block(tid)
+        return block * self.warps_per_block + lane_block // self.warp_size
+
+    def lane_of(self, tid: int) -> int:
+        """The lane (position within its warp) of ``tid``."""
+        return self.thread_in_block(tid) % self.warp_size
+
+    def block_of_warp(self, warp: int) -> int:
+        return warp // self.warps_per_block
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def warp_tids(self, warp: int) -> List[int]:
+        """All TIDs in global warp ``warp`` (partial last warp respected)."""
+        block = self.block_of_warp(warp)
+        warp_in_block = warp % self.warps_per_block
+        start = warp_in_block * self.warp_size
+        end = min(start + self.warp_size, self.threads_per_block)
+        base = block * self.threads_per_block
+        return [base + i for i in range(start, end)]
+
+    def block_tids(self, block: int) -> List[int]:
+        base = block * self.threads_per_block
+        return [base + i for i in range(self.threads_per_block)]
+
+    def block_warps(self, block: int) -> List[int]:
+        base = block * self.warps_per_block
+        return [base + w for w in range(self.warps_per_block)]
+
+    def all_tids(self) -> Iterator[int]:
+        return iter(range(self.total_threads))
+
+    def all_warps(self) -> Iterator[int]:
+        return iter(range(self.total_warps))
+
+    def initial_active_mask(self, warp: int) -> FrozenSet[int]:
+        """The launch-time active mask of ``warp`` (§3.3 initial state).
+
+        All threads of the warp that actually exist in the launch; with a
+        1-D flattened layout every warp except possibly the last of each
+        block is full.
+        """
+        return frozenset(self.warp_tids(warp))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GridLayout):
+            return NotImplemented
+        return (
+            self.num_blocks == other.num_blocks
+            and self.threads_per_block == other.threads_per_block
+            and self.warp_size == other.warp_size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_blocks, self.threads_per_block, self.warp_size))
+
+    def __repr__(self) -> str:
+        return (
+            f"GridLayout(blocks={self.num_blocks}, "
+            f"threads_per_block={self.threads_per_block}, "
+            f"warp_size={self.warp_size})"
+        )

@@ -1,0 +1,212 @@
+"""The framework-reuse analyses: coalescing and divergence profiling."""
+
+from repro.analyses import (
+    CoalescingAnalysis,
+    DivergenceAnalysis,
+    run_analyses,
+)
+from repro.cudac import compile_cuda
+from repro.events import LogRecord, RecordKind
+from repro.trace import Space
+
+
+def _mem_record(addrs, pc=1, kind=RecordKind.LOAD):
+    return LogRecord(
+        kind=kind,
+        warp=0,
+        active=frozenset(addrs),
+        addrs={tid: (Space.GLOBAL, addr) for tid, addr in addrs.items()},
+        pc=pc,
+    )
+
+
+class TestCoalescingUnit:
+    def test_consecutive_addresses_one_transaction(self):
+        analysis = CoalescingAnalysis()
+        analysis.consume(_mem_record({t: 0x1000 + 4 * t for t in range(32)}))
+        site = analysis.sites[1]
+        assert site.transactions == 1
+        assert site.efficiency == 1.0
+
+    def test_scattered_addresses_many_transactions(self):
+        analysis = CoalescingAnalysis()
+        analysis.consume(_mem_record({t: 0x1000 + 512 * t for t in range(8)}))
+        assert analysis.sites[1].transactions == 8
+
+    def test_same_address_broadcast_is_one_transaction(self):
+        analysis = CoalescingAnalysis()
+        analysis.consume(_mem_record({t: 0x2000 for t in range(32)}))
+        assert analysis.sites[1].transactions == 1
+
+    def test_sites_keyed_by_pc(self):
+        analysis = CoalescingAnalysis()
+        analysis.consume(_mem_record({0: 0}, pc=5))
+        analysis.consume(_mem_record({0: 0}, pc=9))
+        assert set(analysis.sites) == {5, 9}
+
+    def test_branch_records_ignored(self):
+        analysis = CoalescingAnalysis()
+        analysis.consume(LogRecord(kind=RecordKind.BRANCH_IF, warp=0,
+                                   active=frozenset({0}), then_mask=frozenset()))
+        assert analysis.sites == {}
+
+
+class TestDivergenceUnit:
+    def test_split_accounted(self):
+        analysis = DivergenceAnalysis()
+        analysis.consume(LogRecord(
+            kind=RecordKind.BRANCH_IF, warp=0,
+            active=frozenset(range(32)), then_mask=frozenset(range(8)), pc=3,
+        ))
+        site = analysis.sites[3]
+        assert site.divergent_executions == 1
+        assert site.then_lanes == 8 and site.else_lanes == 24
+        assert site.imbalance == 0.25
+
+    def test_reconvergences_counted(self):
+        analysis = DivergenceAnalysis()
+        analysis.consume(LogRecord(kind=RecordKind.BRANCH_FI, warp=0,
+                                   active=frozenset()))
+        assert analysis.reconvergences == 1
+
+
+class TestEndToEnd:
+    SOURCE = """
+__global__ void mixed(int* a, int* b, int* out) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    int coalesced = a[tid];
+    int strided = b[tid * 8 % 256];
+    if (tid % 3 == 0) {
+        out[tid] = coalesced + strided;
+    } else {
+        out[tid] = coalesced - strided;
+    }
+}
+"""
+
+    def _run(self):
+        coalescing = CoalescingAnalysis()
+        divergence = DivergenceAnalysis()
+        run_analyses(
+            compile_cuda(self.SOURCE), "mixed", grid=2, block=64,
+            analyses=[coalescing, divergence],
+            buffers={"a": list(range(256)), "b": list(range(256)),
+                     "out": [0] * 256},
+        )
+        return coalescing, divergence
+
+    def test_strided_site_stands_out(self):
+        coalescing, _ = self._run()
+        worst = coalescing.worst_sites(1)[0]
+        assert worst.average_transactions == 8.0  # stride 8 ints = 8 segments
+        best = min(coalescing.sites.values(), key=lambda s: s.average_transactions)
+        assert best.average_transactions == 1.0
+
+    def test_divergent_branch_profiled(self):
+        _, divergence = self._run()
+        assert len(divergence.sites) == 1
+        site = next(iter(divergence.sites.values()))
+        assert site.divergent_executions == 4  # one per warp
+        # tid % 3 == 0: ~1/3 of lanes on the then path.
+        assert 0.2 < site.imbalance < 0.45
+
+    def test_uniform_branches_produce_no_sites(self):
+        uniform = """
+__global__ void uniform(int* out) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (blockIdx.x == 0) {
+        out[tid] = 1;
+    } else {
+        out[tid] = 2;
+    }
+}
+"""
+        divergence = DivergenceAnalysis()
+        run_analyses(compile_cuda(uniform), "uniform", grid=2, block=64,
+                     analyses=[divergence], buffers={"out": [0] * 128})
+        assert divergence.sites == {}
+
+    def test_summaries_render(self):
+        coalescing, divergence = self._run()
+        assert "access sites" in coalescing.summary()
+        assert "divergent branch sites" in divergence.summary()
+
+
+class TestBankConflicts:
+    def _shared_record(self, addrs, pc=1):
+        from repro.analyses import BankConflictAnalysis  # noqa: F401
+        return LogRecord(
+            kind=RecordKind.LOAD,
+            warp=0,
+            active=frozenset(addrs),
+            addrs={tid: (Space.SHARED, addr) for tid, addr in addrs.items()},
+            pc=pc,
+        )
+
+    def test_stride_one_is_conflict_free(self):
+        from repro.analyses import BankConflictAnalysis
+
+        analysis = BankConflictAnalysis()
+        analysis.consume(self._shared_record({t: 4 * t for t in range(32)}))
+        site = analysis.sites[1]
+        assert site.passes == 1
+        assert site.conflict_free
+
+    def test_stride_two_is_two_way_conflict(self):
+        from repro.analyses import BankConflictAnalysis
+
+        analysis = BankConflictAnalysis()
+        analysis.consume(self._shared_record({t: 8 * t for t in range(32)}))
+        assert analysis.sites[1].passes == 2
+
+    def test_stride_thirtytwo_serializes_fully(self):
+        from repro.analyses import BankConflictAnalysis
+
+        analysis = BankConflictAnalysis()
+        analysis.consume(self._shared_record({t: 128 * t for t in range(32)}))
+        assert analysis.sites[1].passes == 32
+
+    def test_broadcast_is_free(self):
+        from repro.analyses import BankConflictAnalysis
+
+        analysis = BankConflictAnalysis()
+        analysis.consume(self._shared_record({t: 0x40 for t in range(32)}))
+        assert analysis.sites[1].passes == 1
+
+    def test_global_accesses_ignored(self):
+        from repro.analyses import BankConflictAnalysis
+
+        analysis = BankConflictAnalysis()
+        analysis.consume(_mem_record({t: 4 * t for t in range(32)}))
+        assert analysis.sites == {}
+
+    def test_end_to_end_padding_fixes_conflicts(self):
+        from repro.analyses import BankConflictAnalysis
+
+        conflicted = """
+__global__ void transpose_bad(int* out) {
+    __shared__ int tile[1024];
+    int tid = threadIdx.x;
+    tile[tid * 32] = tid;          // column access: 32-way conflict
+    __syncthreads();
+    out[tid] = tile[tid * 32];
+}
+"""
+        padded = """
+__global__ void transpose_good(int* out) {
+    __shared__ int tile[1056];
+    int tid = threadIdx.x;
+    tile[tid * 33] = tid;          // padded stride: conflict-free
+    __syncthreads();
+    out[tid] = tile[tid * 33];
+}
+"""
+        results = {}
+        for name, source in (("bad", conflicted), ("good", padded)):
+            analysis = BankConflictAnalysis()
+            run_analyses(compile_cuda(source), f"transpose_{name}", grid=1,
+                         block=32, analyses=[analysis],
+                         buffers={"out": [0] * 32})
+            results[name] = max(s.average_passes for s in analysis.sites.values())
+        assert results["bad"] == 32.0
+        assert results["good"] == 1.0

@@ -1,0 +1,164 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+RACY = """
+__global__ void racy(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = blockIdx.x + 1;
+    }
+}
+"""
+
+CLEAN = """
+__global__ void clean(int* data) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    data[gid] = gid;
+}
+"""
+
+HANGING = """
+__global__ void spin(int* flag) {
+    while (flag[0] == 0) { }
+}
+"""
+
+DIVERGENT_BARRIER = """
+__global__ void diverge(int* data) {
+    if (threadIdx.x < 16) {
+        __syncthreads();
+    }
+    data[threadIdx.x] = 1;
+}
+"""
+
+
+@pytest.fixture
+def source(tmp_path):
+    def write(text, name="kernel.cu"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+def run_cli(args):
+    return main(args)
+
+
+class TestExitCodes:
+    def test_racy_kernel_exits_nonzero(self, source, capsys):
+        code = run_cli([source(RACY), "--grid", "2", "--buffer", "data:4"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "race report" in out
+        assert "inter-block" in out
+
+    def test_clean_kernel_exits_zero(self, source, capsys):
+        code = run_cli([source(CLEAN), "--grid", "2", "--block", "64",
+                        "--buffer", "data:128"])
+        assert code == 0
+        assert "no races detected" in capsys.readouterr().out
+
+    def test_hang_exits_3(self, source, capsys):
+        code = run_cli([source(HANGING), "--buffer", "flag:1",
+                        "--max-steps", "5000"])
+        assert code == 3
+        assert "HANG" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        code = run_cli(["/nonexistent.cu"])
+        assert code == 2
+
+    def test_barrier_divergence_reported(self, source, capsys):
+        code = run_cli([source(DIVERGENT_BARRIER), "--block", "32",
+                        "--buffer", "data:32"])
+        assert code == 1
+        assert "barrier divergence" in capsys.readouterr().out
+
+
+class TestOptions:
+    def test_buffer_init_and_dump(self, source, capsys):
+        code = run_cli([source(CLEAN), "--block", "4", "--buffer",
+                        "data:4:9,9", "--dump-buffers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "data = [0, 1, 2, 3]" in out
+
+    def test_stats(self, source, capsys):
+        run_cli([source(CLEAN), "--block", "4", "--buffer", "data:4",
+                 "--stats"])
+        out = capsys.readouterr().out
+        assert "instrumented sites" in out
+        assert "log records emitted" in out
+
+    def test_scalar_parameters(self, source, capsys):
+        guarded = """
+__global__ void k(int* data, int n) {
+    int tid = threadIdx.x;
+    if (tid < n) { data[tid] = 1; }
+}
+"""
+        code = run_cli([source(guarded), "--block", "8",
+                        "--buffer", "data:8", "--scalar", "n:4",
+                        "--dump-buffers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "data = [1, 1, 1, 1, 0, 0, 0, 0]" in out
+
+    def test_ptx_input(self, source, capsys):
+        ptx = """
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k(.param .u64 data)
+{
+    .reg .u32 %r<3>;
+    .reg .u64 %rd<2>;
+    ld.param.u64 %rd1, [data];
+    mov.u32 %r1, 7;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+"""
+        code = run_cli([source(ptx, "kernel.ptx"), "--block", "1",
+                        "--buffer", "data:1", "--dump-buffers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "data = [7]" in out
+
+    def test_no_filter_same_value(self, source, capsys):
+        same_value = """
+__global__ void sv(int* data) { data[0] = 7; }
+"""
+        path = source(same_value)
+        assert run_cli([path, "--block", "32", "--buffer", "data:1"]) == 0
+        assert run_cli([path, "--block", "32", "--buffer", "data:1",
+                        "--no-filter-same-value"]) == 1
+
+    def test_narrow_warp_exposes_latent_race(self, source):
+        # Two unbarriered tail levels: the second level reads what the
+        # first wrote, which is lockstep-safe only while both levels'
+        # threads share a warp.
+        tail = """
+__global__ void tail(int* data, int* out) {
+    __shared__ int s[32];
+    int tid = threadIdx.x;
+    s[tid] = data[tid];
+    __syncthreads();
+    if (tid < 16) { s[tid] = s[tid] + s[tid + 16]; }
+    if (tid < 8)  { s[tid] = s[tid] + s[tid + 8]; }
+    if (tid == 0) { out[0] = s[0]; }
+}
+"""
+        path = source(tail)
+        base = ["--block", "32", "--buffer", "data:32:1,2,3", "--buffer", "out:1"]
+        assert run_cli([path] + base) == 0
+        assert run_cli([path, "--warp-size", "8"] + base) == 1
+
+    def test_bad_buffer_spec_rejected(self, source):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([source(CLEAN), "--buffer", "data"])

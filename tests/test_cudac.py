@@ -1,0 +1,293 @@
+"""The mini CUDA-C compiler: parsing, codegen, and end-to-end semantics."""
+
+import pytest
+
+from repro.cudac import compile_cuda, parse_cuda
+from repro.cudac import ast
+from repro.errors import CudaCSyntaxError, CudaCTypeError
+from repro.gpu import GpuDevice
+
+
+def run_kernel(source, grid=1, block=8, buffers=None, scalars=None, warp_size=4):
+    """Compile, allocate buffers, launch; return a reader closure."""
+    module = compile_cuda(source)
+    device = GpuDevice()
+    params = dict(scalars or {})
+    addrs = {}
+    for name, values in (buffers or {}).items():
+        addr = device.alloc(4 * len(values))
+        device.memcpy_to_device(addr, values)
+        params[name] = addr
+        addrs[name] = (addr, len(values))
+    device.launch(module, module.kernels[0].name, grid=grid, block=block,
+                  warp_size=warp_size, params=params)
+
+    def read(name):
+        addr, count = addrs[name]
+        return device.memcpy_from_device(addr, count)
+
+    return read
+
+
+class TestParser:
+    def test_program_structure(self):
+        program = parse_cuda(
+            "__device__ int g[4];\n"
+            "__global__ void k(int* p, int n) { int x = n; }"
+        )
+        assert program.device_vars[0].name == "g"
+        assert program.device_vars[0].count == 4
+        kernel = program.kernels[0]
+        assert isinstance(kernel.params[0].type, ast.PtrType)
+        assert isinstance(kernel.params[1].type, ast.IntType)
+
+    def test_precedence(self):
+        program = parse_cuda("__global__ void k(int n) { int x = 1 + 2 * 3; }")
+        init = program.kernels[0].body[0].init
+        assert isinstance(init, ast.Binary) and init.op == "+"
+        assert isinstance(init.right, ast.Binary) and init.right.op == "*"
+
+    def test_compound_assignment_desugars(self):
+        program = parse_cuda("__global__ void k(int n) { int x = 0; x += n; }")
+        assign = program.kernels[0].body[1]
+        assert isinstance(assign.value, ast.Binary) and assign.value.op == "+"
+
+    def test_increment_desugars(self):
+        program = parse_cuda("__global__ void k(int n) { int x = 0; x++; }")
+        assign = program.kernels[0].body[1]
+        assert assign.value.op == "+" and assign.value.right.value == 1
+
+    def test_builtin_dims(self):
+        program = parse_cuda("__global__ void k(int n) { int x = threadIdx.y; }")
+        assert program.kernels[0].body[0].init == ast.Builtin("threadIdx", "y")
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(CudaCSyntaxError):
+            parse_cuda("__global__ void k(int n) { int x = threadIdx.w; }")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(CudaCSyntaxError):
+            parse_cuda("__global__ void k(int n) { int x = 1 }")
+
+
+class TestCodegenErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CudaCTypeError):
+            compile_cuda("__global__ void k(int n) { x = 1; }")
+
+    def test_indexing_non_pointer(self):
+        with pytest.raises(CudaCTypeError):
+            compile_cuda("__global__ void k(int n) { int x = n[0]; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CudaCTypeError):
+            compile_cuda("__global__ void k(int n) { break; }")
+
+    def test_atomic_requires_address_of(self):
+        with pytest.raises(CudaCTypeError):
+            compile_cuda("__global__ void k(int* p) { atomicAdd(p[0], 1); }")
+
+    def test_unknown_function(self):
+        with pytest.raises(CudaCTypeError):
+            compile_cuda("__global__ void k(int n) { frob(n); }")
+
+
+class TestSemantics:
+    def test_arithmetic_and_indexing(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data) {
+    int tid = threadIdx.x;
+    data[tid] = (tid + 1) * 3 - tid / 2;
+}
+""",
+            buffers={"data": [0] * 8},
+        )
+        assert read("data") == [(t + 1) * 3 - t // 2 for t in range(8)]
+
+    def test_for_loop_and_break_continue(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data) {
+    int tid = threadIdx.x;
+    int total = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i == 3) { continue; }
+        if (i > 6) { break; }
+        total += i;
+    }
+    data[tid] = total;
+}
+""",
+            buffers={"data": [0] * 8},
+        )
+        assert read("data") == [0 + 1 + 2 + 4 + 5 + 6] * 8
+
+    def test_while_loop(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data) {
+    int tid = threadIdx.x;
+    int n = tid;
+    int steps = 0;
+    while (n > 0) {
+        n = n / 2;
+        steps++;
+    }
+    data[tid] = steps;
+}
+""",
+            buffers={"data": [0] * 8},
+        )
+        assert read("data") == [0, 1, 2, 2, 3, 3, 3, 3]
+
+    def test_early_return_guard(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data, int n) {
+    int tid = threadIdx.x;
+    if (tid >= n) { return; }
+    data[tid] = 1;
+}
+""",
+            buffers={"data": [0] * 8},
+            scalars={"n": 5},
+        )
+        assert read("data") == [1] * 5 + [0] * 3
+
+    def test_shared_memory_exchange(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data) {
+    __shared__ int s[8];
+    int tid = threadIdx.x;
+    s[tid] = tid * 10;
+    __syncthreads();
+    data[tid] = s[7 - tid];
+}
+""",
+            buffers={"data": [0] * 8},
+        )
+        assert read("data") == [70, 60, 50, 40, 30, 20, 10, 0]
+
+    def test_device_global_array(self):
+        module = compile_cuda(
+            """
+__device__ int counter[1];
+__global__ void k(int* data) {
+    atomicAdd(&counter[0], 1);
+}
+"""
+        )
+        device = GpuDevice()
+        device.load_module(module)
+        data = device.alloc(4)
+        device.launch(module, "k", grid=2, block=8, warp_size=4, params={"data": data})
+        addr = device.global_symbols["counter"]
+        assert device.global_mem.host_read(addr, 4) == 16
+
+    def test_atomic_cas_and_exch(self):
+        read = run_kernel(
+            """
+__global__ void k(int* cell, int* out) {
+    int tid = threadIdx.x;
+    if (tid == 0) {
+        out[0] = atomicCAS(&cell[0], 0, 5);
+        out[1] = atomicCAS(&cell[0], 0, 9);
+        out[2] = atomicExch(&cell[0], 7);
+        out[3] = cell[0];
+    }
+}
+""",
+            buffers={"cell": [0], "out": [0] * 4},
+        )
+        assert read("out") == [0, 5, 5, 7]
+
+    def test_atomic_min_max(self):
+        read = run_kernel(
+            """
+__global__ void k(int* cells) {
+    int tid = threadIdx.x;
+    atomicMin(&cells[0], tid + 1);
+    atomicMax(&cells[1], tid + 1);
+}
+""",
+            buffers={"cells": [100, 0]},
+        )
+        assert read("cells") == [1, 8]
+
+    def test_logical_operators(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data) {
+    int tid = threadIdx.x;
+    if (tid > 1 && tid < 6 || tid == 7) {
+        data[tid] = 1;
+    }
+    if (!(tid == 0)) {
+        data[tid] = data[tid] + 10;
+    }
+}
+""",
+            buffers={"data": [0] * 8},
+        )
+        assert read("data") == [0, 10, 11, 11, 11, 11, 10, 11]
+
+    def test_negative_numbers_and_unary(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data) {
+    int tid = threadIdx.x;
+    data[tid] = -(tid - 4);
+}
+""",
+            buffers={"data": [0] * 8},
+        )
+        values = read("data")
+        # Values are stored as 32-bit two's complement.
+        signed = [v if v < 1 << 31 else v - (1 << 32) for v in values]
+        assert signed == [4, 3, 2, 1, 0, -1, -2, -3]
+
+    def test_grid_dim_builtin(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data) {
+    if (threadIdx.x == 0) {
+        data[blockIdx.x] = gridDim.x * 100 + blockDim.x;
+    }
+}
+""",
+            grid=3,
+            block=8,
+            buffers={"data": [0] * 3},
+        )
+        assert read("data") == [308, 308, 308]
+
+    def test_fences_execute(self):
+        read = run_kernel(
+            """
+__global__ void k(int* data) {
+    data[threadIdx.x] = 1;
+    __threadfence();
+    __threadfence_block();
+    __threadfence_system();
+    data[threadIdx.x] = data[threadIdx.x] + 1;
+}
+""",
+            buffers={"data": [0] * 8},
+        )
+        assert read("data") == [2] * 8
+
+    def test_compiled_module_round_trips_through_ptx_text(self):
+        from repro.ptx import parse_ptx
+
+        module = compile_cuda(
+            """
+__global__ void k(int* data, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) { data[tid] = tid; }
+}
+"""
+        )
+        printed = str(module)
+        assert str(parse_ptx(printed)) == printed

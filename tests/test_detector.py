@@ -1,0 +1,159 @@
+"""Unit tests for the production detector's rule-level behavior."""
+
+import pytest
+
+from repro.core import BarracudaDetector, RaceKind
+from repro.core.races import AccessType
+from repro.trace import GridLayout, Scope, TraceBuilder, global_loc, shared_loc
+
+LAYOUT = GridLayout(num_blocks=2, threads_per_block=8, warp_size=4)
+X = global_loc(0)
+FLAG = global_loc(8)
+
+
+def run(fn, layout=LAYOUT):
+    builder = TraceBuilder(layout)
+    fn(builder)
+    detector = BarracudaDetector(layout)
+    return detector, detector.process_trace(builder.build())
+
+
+class TestClassification:
+    def test_intra_warp_race_is_divergence_kind(self):
+        _d, reports = run(lambda b: b.write(0, X, value={t: t for t in range(4)}))
+        assert reports.races
+        assert all(r.kind is RaceKind.DIVERGENCE for r in reports.races)
+
+    def test_intra_block_kind(self):
+        _d, reports = run(lambda b: (b.write(0, X, value=1), b.write(1, X, value=2)))
+        assert {r.kind for r in reports.races} == {RaceKind.INTRA_BLOCK}
+
+    def test_inter_block_kind(self):
+        _d, reports = run(lambda b: (b.write(0, X, value=1), b.write(2, X, value=2)))
+        assert {r.kind for r in reports.races} == {RaceKind.INTER_BLOCK}
+
+    def test_branch_ordering_flag(self):
+        def scenario(b):
+            b.branch_if(0, [0, 1])
+            b.write(0, X, value=1)
+            b.branch_else(0)
+            b.read(0, X)
+            b.branch_fi(0)
+
+        _d, reports = run(scenario)
+        assert reports.races
+        assert all(r.branch_ordering for r in reports.races)
+        assert all(r.kind is RaceKind.DIVERGENCE for r in reports.races)
+
+    def test_access_types_recorded(self):
+        _d, reports = run(lambda b: (b.write(0, X, value=1), b.read(2, X)))
+        race = reports.races[0]
+        assert race.prior_access is AccessType.WRITE
+        assert race.current_access is AccessType.READ
+
+
+class TestSameValueFilter:
+    def test_same_instruction_same_value_filtered(self):
+        _d, reports = run(lambda b: b.write(0, X, value=7))
+        assert reports.races == []
+        assert reports.filtered_same_value == 3
+
+    def test_different_values_not_filtered(self):
+        _d, reports = run(lambda b: b.write(0, X, value={0: 1, 1: 1, 2: 2, 3: 1}))
+        assert reports.races
+
+    def test_cross_warp_same_value_not_filtered(self):
+        _d, reports = run(lambda b: (b.write(0, X, value=7), b.write(1, X, value=7)))
+        assert reports.races
+
+    def test_unknown_values_not_filtered(self):
+        _d, reports = run(lambda b: b.write(0, X, value=None))
+        assert reports.races
+
+
+class TestReadMetadata:
+    def test_concurrent_reads_then_ordered_write_is_clean(self):
+        def scenario(b):
+            b.read(0, X)
+            b.read(1, X)  # concurrent with warp 0's read: inflate to map
+            b.barrier(0)
+            b.write(0, {t: global_loc(100 + 4 * t) for t in LAYOUT.warp_tids(0)})
+            b.write(1, X, value=1)
+
+        _d, reports = run(scenario)
+        assert reports.races == []
+
+    def test_write_races_with_every_unordered_reader(self):
+        def scenario(b):
+            b.read(0, X)
+            b.read(1, X)
+            b.write(2, X, value=1)  # block 1: unordered with both readers
+
+        _d, reports = run(scenario)
+        readers = {r.prior_tid for r in reports.races}
+        # At least one reader from each of warps 0 and 1 is implicated.
+        assert any(t in readers for t in (0, 1, 2, 3))
+        assert any(t in readers for t in (4, 5, 6, 7))
+
+
+class TestSynchronizationState:
+    def test_sync_location_tracked_separately(self):
+        def scenario(b):
+            b.write(0, FLAG, value=1)  # data access first: shadow exists
+            b.barrier(0)
+            b.release(0, FLAG, Scope.GLOBAL)
+            b.acquire(2, FLAG, Scope.GLOBAL)
+
+        detector, reports = run(scenario)
+        assert reports.races == []
+        assert detector.sync.is_sync_location(FLAG)
+        assert detector.shadow.peek(FLAG).sync_loc
+
+    def test_shadow_pages_allocated_on_demand(self):
+        def scenario(b):
+            b.write(0, global_loc(0), value=1)
+            b.write(0, global_loc(5 << 20), value=1)
+
+        detector, _reports = run(scenario)
+        assert detector.shadow.stats.global_pages == 2
+
+    def test_shared_locations_tracked_per_block(self):
+        def scenario(b):
+            b.write(0, shared_loc(0, 0), value=1)
+            b.write(2, shared_loc(1, 0), value=2)  # different block: no race
+
+        _d, reports = run(scenario)
+        assert reports.races == []
+
+
+class TestBarrierDivergence:
+    def test_divergent_barrier_reported_with_missing_threads(self):
+        def scenario(b):
+            b.branch_if(0, [0])
+            b.barrier(0)
+            b.branch_else(0)
+            b.branch_fi(0)
+
+        _d, reports = run(scenario)
+        assert len(reports.barrier_divergences) == 1
+        assert reports.barrier_divergences[0].missing == frozenset({1, 2, 3})
+
+    def test_full_barrier_not_reported(self):
+        _d, reports = run(lambda b: b.barrier(0))
+        assert reports.barrier_divergences == []
+
+
+class TestInactiveThreads:
+    def test_detector_ignores_ops_by_inactive_threads(self):
+        from repro.trace.operations import Read
+
+        builder = TraceBuilder(LAYOUT)
+        builder.branch_if(0, [0, 1])
+        trace = builder.build()
+        detector = BarracudaDetector(LAYOUT)
+        for op in trace.ops:
+            detector.process(op)
+        # A stray operation by an inactive thread is a NOP.
+        detector.process(Read(tid=2, loc=X))
+        assert detector.reports.races == []
+        assert detector.shadow.peek(X) is None

@@ -1,0 +1,109 @@
+"""The Theorem 1 property tests: three implementations, one verdict.
+
+Three independently-implemented detectors must agree on every feasible
+trace:
+
+* the *visible-race oracle* (:func:`find_visible_races`): a declarative
+  simulation of which conflicting pairs the algorithm's shadow metadata
+  can observe, with ordering computed by explicit graph reachability;
+* the *reference detector*: the paper's operational semantics with
+  uncompressed per-thread vector clocks;
+* the *production detector*: compressed PTVCs, structured clocks, shadow
+  memory with a page table.
+
+Additionally, against the fully declarative §3.2 oracle
+(:func:`find_races`):
+
+* no false positives: every reported race is a real racing pair;
+* completeness: a declaratively race-free trace produces no reports
+  (this is the "well-synchronized ⟹ no race detected" direction of
+  Theorem 1; the converse holds exactly up to the documented
+  atomic-shadowing approximation).
+"""
+
+from hypothesis import given, settings
+
+from repro.core import BarracudaDetector, ReferenceDetector
+from repro.core.reference import DetectorConfig
+from repro.core.syncorder import find_barrier_divergence, find_races, find_visible_races
+from tracegen import feasible_traces
+
+
+def _pairs(trace, spec_races):
+    return {
+        (r.loc, frozenset((trace.ops[r.first_index].tid, trace.ops[r.second_index].tid)))
+        for r in spec_races
+    }
+
+
+def _report_pairs(reports):
+    return {(r.loc, frozenset((r.prior_tid, r.current_tid))) for r in reports.races}
+
+
+@settings(max_examples=200, deadline=None)
+@given(feasible_traces())
+def test_three_detectors_agree_pair_for_pair(trace):
+    visible = _pairs(trace, find_visible_races(trace))
+    reference = ReferenceDetector(trace.layout).process_trace(trace)
+    production = BarracudaDetector(trace.layout).process_trace(trace)
+    assert _report_pairs(reference) == visible
+    assert _report_pairs(production) == visible
+
+
+@settings(max_examples=200, deadline=None)
+@given(feasible_traces())
+def test_no_false_positives_against_declarative_oracle(trace):
+    declarative = _pairs(trace, find_races(trace))
+    production = BarracudaDetector(trace.layout).process_trace(trace)
+    assert _report_pairs(production) <= declarative
+
+
+@settings(max_examples=200, deadline=None)
+@given(feasible_traces())
+def test_race_free_traces_stay_silent(trace):
+    if find_races(trace):
+        return
+    reports = BarracudaDetector(trace.layout).process_trace(trace)
+    assert reports.races == []
+
+
+@settings(max_examples=150, deadline=None)
+@given(feasible_traces())
+def test_barrier_divergence_agreement(trace):
+    expected = len(find_barrier_divergence(trace))
+    reference = ReferenceDetector(trace.layout).process_trace(trace)
+    production = BarracudaDetector(trace.layout).process_trace(trace)
+    assert len(reference.barrier_divergences) == expected
+    assert len(production.barrier_divergences) == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(feasible_traces())
+def test_same_value_filter_agreement(trace):
+    """With the filter disabled, all three still agree."""
+    config = DetectorConfig(filter_same_value=False)
+    visible = _pairs(trace, find_visible_races(trace, filter_same_value=False))
+    reference = ReferenceDetector(trace.layout, config).process_trace(trace)
+    production = BarracudaDetector(trace.layout, config).process_trace(trace)
+    assert _report_pairs(reference) == visible
+    assert _report_pairs(production) == visible
+
+
+@settings(max_examples=150, deadline=None)
+@given(feasible_traces())
+def test_filter_only_removes_same_value_write_pairs(trace):
+    """The filtered detector reports a subset of the unfiltered one, and
+    the difference consists of write-write pairs only."""
+    filtered = BarracudaDetector(trace.layout).process_trace(trace)
+    unfiltered = BarracudaDetector(
+        trace.layout, DetectorConfig(filter_same_value=False)
+    ).process_trace(trace)
+    filtered_pairs = _report_pairs(filtered)
+    unfiltered_pairs = _report_pairs(unfiltered)
+    assert filtered_pairs <= unfiltered_pairs
+    removed_kinds = {
+        (r.prior_access.value, r.current_access.value)
+        for r in unfiltered.races
+        if (r.loc, frozenset((r.prior_tid, r.current_tid))) not in filtered_pairs
+    }
+    assert removed_kinds <= {("write", "write")}

@@ -1,0 +1,150 @@
+"""The device layer: module loading, resets, schedulers, determinism."""
+
+import pytest
+
+from repro.cudac import compile_cuda
+from repro.errors import StepLimitExceeded
+from repro.gpu import (
+    GpuDevice,
+    RandomScheduler,
+    RoundRobinScheduler,
+    WarpSerializingScheduler,
+)
+from repro.ptx import parse_ptx
+
+COUNTER = """
+__device__ int counter[1];
+__global__ void bump(int* dummy) {
+    atomicAdd(&counter[0], 1);
+}
+"""
+
+SPIN_ON_LATER_WARP = """
+__global__ void handoff(int* flag, int* out) {
+    if (blockIdx.x == 0) {
+        if (threadIdx.x == 0) {
+            while (flag[0] == 0) { }
+            out[0] = 1;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            flag[0] = 1;
+        }
+    }
+}
+"""
+
+
+class TestModuleLoading:
+    def test_globals_allocated_and_zeroed(self):
+        device = GpuDevice()
+        module = compile_cuda(COUNTER)
+        device.load_module(module)
+        addr = device.global_symbols["counter"]
+        assert device.global_mem.host_read(addr, 4) == 0
+
+    def test_reload_does_not_move_symbols(self):
+        device = GpuDevice()
+        module = compile_cuda(COUNTER)
+        device.load_module(module)
+        addr = device.global_symbols["counter"]
+        device.load_module(module)
+        assert device.global_symbols["counter"] == addr
+
+    def test_launch_autoloads_module(self):
+        device = GpuDevice()
+        module = compile_cuda(COUNTER)
+        device.launch(module, "bump", grid=2, block=4, warp_size=4,
+                      params={"dummy": 0})
+        addr = device.global_symbols["counter"]
+        assert device.global_mem.host_read(addr, 4) == 8
+
+
+class TestReset:
+    def test_reset_clears_global_state(self):
+        device = GpuDevice()
+        module = compile_cuda(COUNTER)
+        device.launch(module, "bump", grid=1, block=4, warp_size=4,
+                      params={"dummy": 0})
+        device.reset()
+        addr = device.global_symbols["counter"]
+        assert device.global_mem.host_read(addr, 4) == 0
+
+    def test_reset_reloads_registered_modules(self):
+        device = GpuDevice()
+        module = compile_cuda(COUNTER)
+        device.load_module(module)
+        device.reset()
+        assert "counter" in device.global_symbols
+        device.launch(module, "bump", grid=1, block=4, warp_size=4,
+                      params={"dummy": 0})
+
+
+class TestSchedulers:
+    def _run_handoff(self, scheduler, max_steps=60_000):
+        device = GpuDevice()
+        module = compile_cuda(SPIN_ON_LATER_WARP)
+        flag = device.alloc(4)
+        out = device.alloc(4)
+        device.launch(module, "handoff", grid=2, block=32,
+                      params={"flag": flag, "out": out},
+                      scheduler=scheduler, max_steps=max_steps)
+        return device.memcpy_from_device(out, 1)[0]
+
+    def test_round_robin_makes_progress_through_spins(self):
+        assert self._run_handoff(RoundRobinScheduler()) == 1
+
+    def test_random_scheduler_makes_progress(self):
+        import random
+
+        assert self._run_handoff(RandomScheduler(rng=random.Random(5))) == 1
+
+    def test_serializing_scheduler_hangs_on_forward_dependency(self):
+        with pytest.raises(StepLimitExceeded):
+            self._run_handoff(WarpSerializingScheduler(), max_steps=10_000)
+
+    def test_kernel_results_independent_of_scheduler(self):
+        import random
+
+        module = compile_cuda(COUNTER)
+        results = []
+        for scheduler in (RoundRobinScheduler(), RandomScheduler(random.Random(9))):
+            device = GpuDevice()
+            device.launch(module, "bump", grid=4, block=32, params={"dummy": 0},
+                          scheduler=scheduler)
+            addr = device.global_symbols["counter"]
+            results.append(device.global_mem.host_read(addr, 4))
+        assert results == [128, 128]
+
+
+class TestDeterminism:
+    def test_same_seed_same_race_reports(self):
+        import random
+
+        from repro.runtime import BarracudaSession
+
+        racy = """
+__global__ void racy(int* data) {
+    data[0] = threadIdx.x + blockIdx.x * 100;
+}
+"""
+        def run(seed):
+            session = BarracudaSession()
+            session.register_module(compile_cuda(racy))
+            data = session.device.alloc(4)
+            launch = session.launch(
+                "racy", grid=2, block=8, warp_size=4, params={"data": data},
+                scheduler=RandomScheduler(rng=random.Random(seed)),
+            )
+            return [(str(r.loc), r.prior_tid, r.current_tid) for r in launch.races]
+
+        assert run(7) == run(7)
+
+    def test_step_and_cycle_accounting(self):
+        device = GpuDevice()
+        module = compile_cuda(COUNTER)
+        result = device.launch(module, "bump", grid=1, block=4, warp_size=4,
+                               params={"dummy": 0})
+        assert result.steps == result.instructions > 0
+        assert result.cycles >= result.instructions
+        assert result.records_emitted == 0  # native run

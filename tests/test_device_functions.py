@@ -1,0 +1,232 @@
+"""Device functions and ``call``: frames, TID threading (§4.1)."""
+
+import pytest
+
+from repro.cudac import compile_cuda
+from repro.errors import CudaCTypeError, SimulationError
+from repro.gpu import GpuDevice, ListSink
+from repro.instrument import Instrumenter
+from repro.ptx import parse_ptx
+from repro.ptx.ast import MemOperand, RegOperand
+from repro.runtime import BarracudaSession
+
+HEADER = ".version 4.3\n.target sm_35\n.address_size 64\n"
+
+CALL_PTX = HEADER + """
+.visible .func bump(
+    .param .u64 ptr
+)
+{
+    .reg .u32 %r<3>;
+    .reg .u64 %rd<3>;
+    ld.param.u64 %rd1, [ptr];
+    ld.global.u32 %r1, [%rd1];
+    add.u32 %r1, %r1, 1;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+
+.visible .entry k(
+    .param .u64 out
+)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<4>;
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r1, %r2, %r3, %r1;
+    ld.param.u64 %rd1, [out];
+    cvt.u64.u32 %rd2, %r1;
+    mul.lo.u64 %rd2, %rd2, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    call.uni bump, %rd3;
+    call.uni bump, %rd3;
+    ret;
+}
+"""
+
+
+class TestPtxCalls:
+    def test_func_round_trips(self):
+        module = parse_ptx(CALL_PTX)
+        assert [f.name for f in module.functions] == ["bump"]
+        printed = str(module)
+        assert ".visible .func bump(" in printed
+        assert str(parse_ptx(printed)) == printed
+
+    def test_call_executes_per_thread_arguments(self):
+        module = parse_ptx(CALL_PTX)
+        device = GpuDevice()
+        out = device.alloc(64)
+        device.launch(module, "k", grid=2, block=8, warp_size=4,
+                      params={"out": out})
+        assert device.memcpy_from_device(out, 16) == [2] * 16
+
+    def test_callee_registers_are_private(self):
+        # The callee clobbers %r1..%r3 internally; the caller's registers
+        # survive because frames have their own files.
+        source = HEADER + """
+.visible .func clobber(
+    .param .u32 v
+)
+{
+    .reg .u32 %r<4>;
+    mov.u32 %r1, 999;
+    mov.u32 %r2, 999;
+    mov.u32 %r3, 999;
+    ret;
+}
+
+.visible .entry k(
+    .param .u64 out
+)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<2>;
+    mov.u32 %r1, 5;
+    call.uni clobber, %r1;
+    ld.param.u64 %rd1, [out];
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+"""
+        device = GpuDevice()
+        out = device.alloc(4)
+        device.launch(parse_ptx(source), "k", grid=1, block=1,
+                      params={"out": out})
+        assert device.memcpy_from_device(out, 1) == [5]
+
+    def test_unknown_callee_rejected(self):
+        source = HEADER + """
+.visible .entry k(.param .u32 d)
+{
+    call.uni missing;
+    ret;
+}
+"""
+        with pytest.raises(SimulationError):
+            GpuDevice().launch(parse_ptx(source), "k", grid=1, block=1,
+                               params={"d": 0})
+
+    def test_arity_mismatch_rejected(self):
+        module = parse_ptx(CALL_PTX)
+        bad = str(module).replace("call.uni bump, %rd3;", "call.uni bump;", 1)
+        with pytest.raises(SimulationError):
+            GpuDevice().launch(parse_ptx(bad), "k", grid=1, block=1,
+                               params={"out": 0})
+
+
+class TestInstrumentedCalls:
+    def test_tid_parameter_threaded(self):
+        instrumented, _ = Instrumenter().instrument_module(parse_ptx(CALL_PTX))
+        function = instrumented.functions[0]
+        assert function.params[-1].name == "__bcuda_tid"
+        # The function loads the TID for its own (potential) calls.
+        first = function.instructions[0]
+        assert first.opcode == "ld" and first.operands[1] == MemOperand("__bcuda_tid")
+        # Every call site passes the TID register along.
+        kernel = instrumented.kernels[0]
+        calls = [i for i in kernel.instructions if i.opcode == "call"]
+        assert calls and all(
+            i.operands[-1] == RegOperand("%_utid") for i in calls
+        )
+
+    def test_accesses_inside_functions_are_logged(self):
+        from repro.events import RecordKind
+
+        instrumented, report = Instrumenter().instrument_module(parse_ptx(CALL_PTX))
+        device = GpuDevice()
+        out = device.alloc(64)
+        sink = ListSink()
+        device.launch(instrumented, "k", grid=2, block=8, warp_size=4,
+                      params={"out": out}, sink=sink, instrumented=True)
+        kinds = [r.kind for r in sink.records]
+        assert kinds.count(RecordKind.LOAD) == 8  # 2 calls x 4 warps
+        assert kinds.count(RecordKind.STORE) == 8
+        assert device.memcpy_from_device(out, 16) == [2] * 16
+        by_name = {k.name: k.instrumented_sites for k in report.kernels}
+        assert by_name["bump"] == 2
+
+
+class TestCudaCDeviceFunctions:
+    def test_nested_calls_compute_correctly(self):
+        source = """
+__device__ void add_to(int* dst, int slot, int amount) {
+    atomicAdd(&dst[slot], amount);
+}
+
+__device__ void tally(int* bins, int value) {
+    add_to(bins, value % 4, 1);
+}
+
+__global__ void count(int* data, int* bins, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        tally(bins, data[tid]);
+    }
+}
+"""
+        session = BarracudaSession()
+        session.register_module(compile_cuda(source))
+        data = session.device.alloc(64 * 4)
+        bins = session.device.alloc(16)
+        session.device.memcpy_to_device(data, range(64))
+        launch = session.launch("count", grid=2, block=32,
+                                params={"data": data, "bins": bins, "n": 64})
+        assert session.device.memcpy_from_device(bins, 4) == [16] * 4
+        assert launch.races == []
+
+    def test_race_inside_device_function_detected(self):
+        source = """
+__device__ void bump(int* dst) {
+    dst[0] = dst[0] + 1;
+}
+
+__global__ void racy(int* data) {
+    if (threadIdx.x == 0) {
+        bump(data);
+    }
+}
+"""
+        session = BarracudaSession()
+        session.register_module(compile_cuda(source))
+        data = session.device.alloc(4)
+        launch = session.launch("racy", grid=4, block=32, params={"data": data})
+        assert launch.races
+        assert all(r.loc.space.value == "global" for r in launch.races)
+
+    def test_arity_checked_at_compile_time(self):
+        with pytest.raises(CudaCTypeError):
+            compile_cuda("""
+__device__ void f(int* p, int x) { p[0] = x; }
+__global__ void k(int* p) { f(p); }
+""")
+
+    def test_pointer_int_mismatch_rejected(self):
+        with pytest.raises(CudaCTypeError):
+            compile_cuda("""
+__device__ void f(int* p) { p[0] = 1; }
+__global__ void k(int* p) { f(7); }
+""")
+
+    def test_early_return_in_device_function(self):
+        source = """
+__device__ void guarded(int* out, int tid, int n) {
+    if (tid >= n) { return; }
+    out[tid] = tid + 1;
+}
+
+__global__ void k(int* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    guarded(out, tid, n);
+}
+"""
+        session = BarracudaSession()
+        session.register_module(compile_cuda(source))
+        out = session.device.alloc(64 * 4)
+        launch = session.launch("k", grid=2, block=32,
+                                params={"out": out, "n": 40})
+        values = session.device.memcpy_from_device(out, 64)
+        assert values == [t + 1 for t in range(40)] + [0] * 24
+        assert launch.races == []

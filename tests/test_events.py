@@ -1,0 +1,106 @@
+"""Record-to-trace-operation expansion (the host side of §4.2)."""
+
+from repro.events import LogRecord, RecordKind, record_to_ops
+from repro.trace import (
+    Barrier,
+    Else,
+    EndInsn,
+    Fi,
+    GridLayout,
+    If,
+    Read,
+    Scope,
+    Space,
+    Write,
+)
+from repro.trace.operations import AcqRel, Acquire, Atomic, Release
+
+LAYOUT = GridLayout(num_blocks=2, threads_per_block=8, warp_size=4)
+
+
+def test_load_record_expands_to_reads_plus_endi():
+    record = LogRecord(
+        kind=RecordKind.LOAD,
+        warp=1,
+        active=frozenset({4, 6}),
+        addrs={4: (Space.GLOBAL, 0x10), 6: (Space.GLOBAL, 0x20)},
+    )
+    ops = record_to_ops(record, LAYOUT)
+    assert [type(op) for op in ops] == [Read, Read, EndInsn]
+    assert ops[0].tid == 4 and ops[0].loc.offset == 0x10
+    assert ops[2].amask == frozenset({4, 6})
+
+
+def test_store_record_carries_values():
+    record = LogRecord(
+        kind=RecordKind.STORE,
+        warp=0,
+        active=frozenset({0}),
+        addrs={0: (Space.GLOBAL, 0x10)},
+        values={0: 42},
+    )
+    ops = record_to_ops(record, LAYOUT)
+    assert isinstance(ops[0], Write) and ops[0].value == 42
+
+
+def test_shared_addresses_resolve_to_the_thread_block():
+    record = LogRecord(
+        kind=RecordKind.STORE,
+        warp=2,  # block 1
+        active=frozenset({8}),
+        addrs={8: (Space.SHARED, 0x4)},
+        values={8: 1},
+    )
+    ops = record_to_ops(record, LAYOUT)
+    assert ops[0].loc.space is Space.SHARED
+    assert ops[0].loc.block == 1
+
+
+def test_atomic_and_sync_records():
+    for kind, expected in (
+        (RecordKind.ATOMIC, Atomic),
+        (RecordKind.ACQUIRE, Acquire),
+        (RecordKind.RELEASE, Release),
+        (RecordKind.ACQREL, AcqRel),
+    ):
+        record = LogRecord(
+            kind=kind,
+            warp=0,
+            active=frozenset({0}),
+            addrs={0: (Space.GLOBAL, 0)},
+            scope=Scope.GLOBAL,
+        )
+        ops = record_to_ops(record, LAYOUT)
+        assert isinstance(ops[0], expected)
+        if expected is not Atomic:
+            assert ops[0].scope is Scope.GLOBAL
+
+
+def test_branch_records():
+    branch = LogRecord(
+        kind=RecordKind.BRANCH_IF,
+        warp=0,
+        active=frozenset({0, 1, 2, 3}),
+        then_mask=frozenset({0, 1}),
+    )
+    [op] = record_to_ops(branch, LAYOUT)
+    assert isinstance(op, If)
+    assert op.then_mask == frozenset({0, 1})
+    assert op.else_mask == frozenset({2, 3})
+    [op] = record_to_ops(LogRecord(kind=RecordKind.BRANCH_ELSE, warp=0, active=frozenset()), LAYOUT)
+    assert isinstance(op, Else)
+    [op] = record_to_ops(LogRecord(kind=RecordKind.BRANCH_FI, warp=0, active=frozenset()), LAYOUT)
+    assert isinstance(op, Fi)
+
+
+def test_barrier_record_uses_block_id():
+    record = LogRecord(kind=RecordKind.BARRIER, warp=1, active=frozenset(range(8, 16)))
+    [op] = record_to_ops(record, LAYOUT)
+    assert isinstance(op, Barrier)
+    assert op.block == 1
+    assert op.active == frozenset(range(8, 16))
+
+
+def test_record_size_matches_paper():
+    record = LogRecord(kind=RecordKind.LOAD, warp=0, active=frozenset())
+    assert record.size_bytes() == 16 + 8 * 32 == 272

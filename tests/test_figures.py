@@ -1,0 +1,56 @@
+"""Text figure rendering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.figures import bar_chart, log_bar_chart, paired_bar_chart
+
+
+def test_bar_chart_scales_to_maximum():
+    lines = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+    assert "10.0" in lines[0]
+
+
+def test_bar_chart_empty():
+    assert bar_chart([]) == []
+
+
+def test_paired_chart_has_legend_and_two_bars_per_row():
+    lines = paired_bar_chart([("k", 4.0, 2.0)], legend=("x", "y"))
+    assert "x" in lines[0] and "y" in lines[0]
+    assert len(lines) == 3
+
+
+def test_log_chart_orders_by_magnitude():
+    lines = log_bar_chart([("big", 100.0), ("small", 2.0)], width=20)
+    assert lines[0].count("█") > lines[1].count("█")
+    assert "log scale" in lines[-1]
+
+
+_labels = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+rows = st.lists(
+    st.tuples(_labels, st.floats(0.1, 1e6)),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(rows)
+def test_bars_never_overflow_width(chart_rows):
+    width = 25
+    for line in bar_chart(chart_rows, width=width):
+        left = line.index("|")
+        right = line.index("|", left + 1)
+        assert right - left - 1 == width
+
+
+@given(rows)
+def test_log_chart_total_lines(chart_rows):
+    lines = log_bar_chart(chart_rows)
+    assert len(lines) == len(chart_rows) + 1

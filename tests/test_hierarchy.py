@@ -1,0 +1,89 @@
+"""Launch geometry: Dim3, multi-dimensional flattening, special registers."""
+
+import pytest
+
+from repro.errors import LaunchConfigError
+from repro.gpu import Dim3, LaunchConfig
+
+
+class TestDim3:
+    def test_flatten_unflatten_round_trip(self):
+        extent = Dim3(4, 3, 2)
+        for flat in range(extent.count):
+            assert extent.flatten(extent.unflatten(flat)) == flat
+
+    def test_row_major_order(self):
+        extent = Dim3(4, 3, 2)
+        assert extent.flatten(Dim3(1, 0, 0)) == 1
+        assert extent.flatten(Dim3(0, 1, 0)) == 4
+        assert extent.flatten(Dim3(0, 0, 1)) == 12
+
+    def test_negative_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            Dim3(-1, 1, 1)
+
+
+class TestLaunchConfig:
+    def test_of_accepts_ints_and_tuples(self):
+        config = LaunchConfig.of(4, (8, 8))
+        assert config.grid == Dim3(4)
+        assert config.block == Dim3(8, 8)
+        assert config.total_threads == 4 * 64
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig.of(0, 32)
+
+    def test_layout_flattening(self):
+        config = LaunchConfig.of((2, 2), (4, 4), warp_size=8)
+        layout = config.layout()
+        assert layout.num_blocks == 4
+        assert layout.threads_per_block == 16
+        assert layout.warps_per_block == 2
+
+    def test_special_registers_2d(self):
+        config = LaunchConfig.of((2, 2), (4, 4), warp_size=8)
+        layout = config.layout()
+        # Thread 5 of block 3: block (1,1), thread (1,1).
+        tid = layout.tid(3, 5)
+        regs = config.special_registers(tid)
+        assert regs[("%ctaid", "x")] == 1
+        assert regs[("%ctaid", "y")] == 1
+        assert regs[("%tid", "x")] == 1
+        assert regs[("%tid", "y")] == 1
+        assert regs[("%ntid", "x")] == 4
+        assert regs[("%nctaid", "y")] == 2
+        assert regs[("%laneid", None)] == 5 % 8
+
+    def test_unique_tid_matches_layout(self):
+        config = LaunchConfig.of((2, 2), (4, 4))
+        layout = config.layout()
+        for tid in layout.all_tids():
+            block_index = config.grid.unflatten(layout.block_of(tid))
+            thread_index = config.block.unflatten(layout.thread_in_block(tid))
+            assert config.unique_tid(block_index, thread_index) == tid
+
+
+class TestMultiDimExecution:
+    def test_2d_kernel_runs_with_flattened_ids(self):
+        from repro.cudac import compile_cuda
+        from repro.gpu import GpuDevice
+
+        module = compile_cuda(
+            """
+__global__ void grid2d(int* out) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    int width = gridDim.x * blockDim.x;
+    out[y * width + x] = x * 100 + y;
+}
+"""
+        )
+        device = GpuDevice()
+        out = device.alloc(4 * 64)
+        device.launch(module, "grid2d", grid=(2, 2), block=(4, 4), warp_size=8,
+                      params={"out": out})
+        values = device.memcpy_from_device(out, 64)
+        for y in range(8):
+            for x in range(8):
+                assert values[y * 8 + x] == x * 100 + y

@@ -1,0 +1,162 @@
+"""Acquire/release inference from static PTX patterns (§3.1)."""
+
+from repro.cudac import compile_cuda
+from repro.instrument.inference import AccessClass, classify_kernel, count_sync_inferences
+from repro.ptx import parse_ptx
+from repro.trace import Scope
+
+HEADER = ".version 4.3\n.target sm_35\n.address_size 64\n"
+
+
+def classify(body: str):
+    source = (
+        HEADER
+        + ".visible .entry k(.param .u64 p)\n{\n"
+        + ".reg .u32 %r<8>;\n.reg .u64 %rd<4>;\n.reg .pred %p<4>;\n"
+        + body
+        + "\n}\n"
+    )
+    kernel = parse_ptx(source).kernels[0]
+    classes = classify_kernel(kernel)
+    by_text = {}
+    for index, classification in classes.items():
+        by_text[str(kernel.body[index])] = classification
+    return by_text
+
+
+class TestAdjacentPatterns:
+    def test_store_after_fence_is_release(self):
+        classes = classify("membar.gl;\nst.global.u32 [%rd1], %r1;\nret;")
+        release = classes["st.global.u32 [%rd1], %r1;"]
+        assert release.access is AccessClass.RELEASE
+        assert release.scope is Scope.GLOBAL
+
+    def test_cta_fence_gives_block_scope(self):
+        classes = classify("membar.cta;\nst.global.u32 [%rd1], %r1;\nret;")
+        assert classes["st.global.u32 [%rd1], %r1;"].scope is Scope.BLOCK
+
+    def test_sys_fence_treated_as_global(self):
+        classes = classify("membar.sys;\nst.global.u32 [%rd1], %r1;\nret;")
+        assert classes["st.global.u32 [%rd1], %r1;"].scope is Scope.GLOBAL
+
+    def test_load_before_fence_is_acquire(self):
+        classes = classify("ld.global.u32 %r1, [%rd1];\nmembar.gl;\nret;")
+        assert classes["ld.global.u32 %r1, [%rd1];"].access is AccessClass.ACQUIRE
+
+    def test_plain_load_and_store(self):
+        classes = classify(
+            "ld.global.u32 %r1, [%rd1];\nadd.u32 %r1, %r1, 1;\n"
+            "st.global.u32 [%rd1], %r1;\nret;"
+        )
+        assert classes["ld.global.u32 %r1, [%rd1];"].access is AccessClass.LOAD
+        assert classes["st.global.u32 [%rd1], %r1;"].access is AccessClass.STORE
+
+    def test_sandwiched_atomic_is_acqrel(self):
+        classes = classify(
+            "membar.gl;\natom.global.add.u32 %r1, [%rd1], 1;\nmembar.gl;\nret;"
+        )
+        assert classes["atom.global.add.u32 %r1, [%rd1], 1;"].access is AccessClass.ACQREL
+
+    def test_bare_atomic_is_standalone(self):
+        classes = classify("atom.global.add.u32 %r1, [%rd1], 1;\nret;")
+        assert classes["atom.global.add.u32 %r1, [%rd1], 1;"].access is AccessClass.ATOMIC
+
+    def test_cas_then_fence_is_lock_acquire(self):
+        classes = classify(
+            "atom.global.cas.b32 %r1, [%rd1], 0, 1;\nmembar.gl;\nret;"
+        )
+        assert classes["atom.global.cas.b32 %r1, [%rd1], 0, 1;"].access is AccessClass.ACQUIRE
+
+    def test_fence_then_exch_is_lock_release(self):
+        classes = classify(
+            "membar.gl;\natom.global.exch.b32 %r1, [%rd1], 0;\nret;"
+        )
+        assert classes["atom.global.exch.b32 %r1, [%rd1], 0;"].access is AccessClass.RELEASE
+
+    def test_barrier_classified(self):
+        classes = classify("bar.sync 0;\nret;")
+        assert classes["bar.sync 0;"].access is AccessClass.BARRIER
+
+    def test_param_and_local_accesses_ignored(self):
+        classes = classify("ld.param.u64 %rd1, [p];\nret;")
+        assert "ld.param.u64 %rd1, [p];" not in classes
+
+
+class TestTransparency:
+    def test_address_arithmetic_is_transparent(self):
+        classes = classify(
+            "membar.gl;\ncvt.u64.u32 %rd2, %r1;\nadd.u64 %rd1, %rd1, %rd2;\n"
+            "st.global.u32 [%rd1], %r1;\nret;"
+        )
+        assert classes["st.global.u32 [%rd1], %r1;"].access is AccessClass.RELEASE
+
+    def test_intervening_memory_op_breaks_pattern(self):
+        classes = classify(
+            "membar.gl;\nld.global.u32 %r2, [%rd2];\n"
+            "st.global.u32 [%rd1], %r1;\nret;"
+        )
+        assert classes["st.global.u32 [%rd1], %r1;"].access is AccessClass.STORE
+
+    def test_label_breaks_backward_scan(self):
+        # Control may join at the label without passing the fence.
+        classes = classify(
+            "membar.gl;\n$L_join:\nst.global.u32 [%rd1], %r1;\nret;"
+        )
+        assert classes["st.global.u32 [%rd1], %r1;"].access is AccessClass.STORE
+
+    def test_forward_scan_follows_loop_exit(self):
+        # The compiled spin-lock shape: the fence lives after the exit
+        # branch of the CAS loop.
+        classes = classify(
+            "$L_spin:\n"
+            "atom.global.cas.b32 %r1, [%rd1], 0, 1;\n"
+            "setp.ne.u32 %p1, %r1, 0;\n"
+            "@%p1 bra $L_spin;\n"
+            "membar.gl;\n"
+            "ret;"
+        )
+        assert classes["atom.global.cas.b32 %r1, [%rd1], 0, 1;"].access is AccessClass.ACQUIRE
+
+
+class TestCompiledIdioms:
+    def test_spin_wait_flag_becomes_acquire(self):
+        module = compile_cuda(
+            """
+__global__ void reader(int* flag, int* data, int* out) {
+    while (flag[0] == 0) { }
+    __threadfence();
+    out[0] = data[0];
+}
+"""
+        )
+        histogram = count_sync_inferences(classify_kernel(module.kernels[0]))
+        assert histogram.get(AccessClass.ACQUIRE, 0) == 1
+
+    def test_publish_becomes_release(self):
+        module = compile_cuda(
+            """
+__global__ void writer(int* flag, int* data) {
+    data[0] = 42;
+    __threadfence();
+    flag[0] = 1;
+}
+"""
+        )
+        histogram = count_sync_inferences(classify_kernel(module.kernels[0]))
+        assert histogram.get(AccessClass.RELEASE, 0) == 1
+        assert histogram.get(AccessClass.STORE, 0) == 1
+
+    def test_grid_barrier_arrival_is_release(self):
+        module = compile_cuda(
+            """
+__global__ void arrive(int* count) {
+    __threadfence();
+    atomicAdd(&count[0], 1);
+    while (count[0] < gridDim.x) { }
+    __threadfence();
+}
+"""
+        )
+        histogram = count_sync_inferences(classify_kernel(module.kernels[0]))
+        assert histogram.get(AccessClass.RELEASE, 0) == 1
+        assert histogram.get(AccessClass.ACQUIRE, 0) == 1

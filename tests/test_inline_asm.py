@@ -1,0 +1,103 @@
+"""Inline PTX assembly in mini CUDA-C (paper §1: "we naturally handle
+inline PTX assembly code, which appears in several of our benchmarks")."""
+
+import pytest
+
+from repro.cudac import compile_cuda, parse_cuda
+from repro.cudac import ast
+from repro.errors import CudaCSyntaxError
+from repro.instrument.inference import AccessClass, classify_kernel
+from repro.runtime import BarracudaSession
+
+
+def test_parses_to_inline_asm_node():
+    program = parse_cuda('__global__ void k(int n) { asm("membar.gl;"); }')
+    statement = program.kernels[0].body[0]
+    assert isinstance(statement, ast.InlineAsm)
+    assert statement.text == "membar.gl;"
+
+
+def test_bad_ptx_rejected_at_compile_time():
+    with pytest.raises(CudaCSyntaxError):
+        compile_cuda('__global__ void k(int n) { asm("frobni ç"); }')
+
+
+def test_non_string_argument_rejected():
+    with pytest.raises(CudaCSyntaxError):
+        parse_cuda("__global__ void k(int n) { asm(42); }")
+
+
+def test_spliced_fence_participates_in_inference():
+    module = compile_cuda(
+        '__global__ void k(int* flag) { asm("membar.gl;"); flag[0] = 1; }'
+    )
+    classes = classify_kernel(module.kernels[0])
+    accesses = {c.access for c in classes.values()}
+    # The store after the spliced fence is inferred as a release.
+    assert AccessClass.RELEASE in accesses
+
+
+def test_multi_instruction_asm():
+    module = compile_cuda(
+        '__global__ void k(int n) { asm("mov.u32 %r99, 7;\\nmembar.cta;"); }'
+    )
+    opcodes = [i.opcode for i in module.kernels[0].instructions]
+    assert "membar" in opcodes
+    assert "mov" in opcodes
+
+
+def test_inline_fence_synchronizes_end_to_end():
+    source = """
+__global__ void mp_asm(int* data, int* flag, int* out) {
+    if (blockIdx.x == 1) {
+        if (threadIdx.x == 0) {
+            data[0] = 42;
+            asm("membar.gl;");
+            flag[0] = 1;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            while (flag[0] == 0) { }
+            asm("membar.gl;");
+            out[0] = data[0];
+        }
+    }
+}
+"""
+    session = BarracudaSession()
+    session.register_module(compile_cuda(source))
+    data = session.device.alloc(4)
+    flag = session.device.alloc(4)
+    out = session.device.alloc(4)
+    launch = session.launch("mp_asm", grid=2, block=32,
+                            params={"data": data, "flag": flag, "out": out})
+    assert launch.races == []
+    assert session.device.memcpy_from_device(out, 1) == [42]
+
+
+def test_inline_block_fence_is_still_insufficient_across_blocks():
+    source = """
+__global__ void mp_cta(int* data, int* flag, int* out) {
+    if (blockIdx.x == 1) {
+        if (threadIdx.x == 0) {
+            data[0] = 42;
+            asm("membar.cta;");
+            flag[0] = 1;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            while (flag[0] == 0) { }
+            asm("membar.cta;");
+            out[0] = data[0];
+        }
+    }
+}
+"""
+    session = BarracudaSession()
+    session.register_module(compile_cuda(source))
+    data = session.device.alloc(4)
+    flag = session.device.alloc(4)
+    out = session.device.alloc(4)
+    launch = session.launch("mp_cta", grid=2, block=32,
+                            params={"data": data, "flag": flag, "out": out})
+    assert launch.races  # block-scope fences don't cross blocks

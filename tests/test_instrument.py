@@ -1,0 +1,241 @@
+"""The instrumentation engine: rewriting, pruning, fat binaries (§4.1)."""
+
+import pytest
+
+from repro.cudac import compile_cuda
+from repro.errors import InstrumentationError
+from repro.instrument import (
+    FatBinary,
+    FatBinaryEntry,
+    EntryKind,
+    Instrumenter,
+    intercept_fat_binary,
+)
+from repro.ptx import parse_ptx
+from repro.ptx.ast import Instruction
+
+HEADER = ".version 4.3\n.target sm_35\n.address_size 64\n"
+
+
+def module_with(body: str):
+    return parse_ptx(
+        HEADER
+        + ".visible .entry k(.param .u64 p)\n{\n"
+        + ".reg .u32 %r<8>;\n.reg .u64 %rd<4>;\n.reg .pred %p<4>;\n"
+        + body
+        + "\n}\n"
+    )
+
+
+def log_instructions(kernel):
+    return [i for i in kernel.instructions if i.opcode == "_log"]
+
+
+class TestRewriting:
+    def test_tid_prologue_added(self):
+        module = module_with("ret;")
+        instrumented, _ = Instrumenter().instrument_module(module)
+        body = instrumented.kernels[0].instructions
+        assert any(i.opcode == "_log" and i.modifiers == ("tid",) for i in body)
+        # The prologue computes a flattened 3-D TID before anything else.
+        assert body[0].opcode == "mov"
+
+    def test_memory_ops_get_log_calls(self):
+        module = module_with(
+            "ld.global.u32 %r1, [%rd1];\nst.global.u32 [%rd2], %r1;\nret;"
+        )
+        instrumented, report = Instrumenter().instrument_module(module)
+        logs = log_instructions(instrumented.kernels[0])
+        categories = {log.modifiers[:2] for log in logs if log.modifiers[0] == "mem"}
+        assert ("mem", "ld") in categories
+        assert ("mem", "st") in categories
+        assert report.kernels[0].instrumented_sites == 2
+
+    def test_log_precedes_its_instruction(self):
+        module = module_with("st.global.u32 [%rd2], %r1;\nret;")
+        instrumented, _ = Instrumenter().instrument_module(module)
+        body = instrumented.kernels[0].instructions
+        index = next(i for i, insn in enumerate(body) if insn.opcode == "st")
+        assert body[index - 1].opcode == "_log"
+        assert body[index - 1].operands[0] == body[index].operands[0]
+
+    def test_store_log_carries_value_operand(self):
+        module = module_with("st.global.u32 [%rd2], %r1;\nret;")
+        instrumented, _ = Instrumenter().instrument_module(module)
+        log = next(
+            l for l in log_instructions(instrumented.kernels[0])
+            if l.modifiers[:2] == ("mem", "st")
+        )
+        assert len(log.operands) == 2  # address + stored value
+
+    def test_sync_classification_in_logs(self):
+        module = module_with(
+            "membar.gl;\nst.global.u32 [%rd2], %r1;\nret;"
+        )
+        instrumented, _ = Instrumenter().instrument_module(module)
+        logs = log_instructions(instrumented.kernels[0])
+        sync_logs = [l for l in logs if l.modifiers[0] == "sync"]
+        assert sync_logs and sync_logs[0].modifiers[1] == "rel"
+        assert "gl" in sync_logs[0].modifiers
+
+    def test_predicated_store_becomes_branch(self):
+        module = module_with("@%p1 st.global.u32 [%rd2], %r1;\nret;")
+        instrumented, _ = Instrumenter().instrument_module(module)
+        kernel = instrumented.kernels[0]
+        stores = [i for i in kernel.instructions if i.opcode == "st"]
+        assert stores[0].pred is None  # predication stripped
+        branches = [i for i in kernel.instructions if i.opcode == "bra"]
+        assert branches and branches[0].pred == ("%p1", True)
+
+    def test_barrier_gets_cost_marker(self):
+        module = module_with("bar.sync 0;\nret;")
+        instrumented, _ = Instrumenter().instrument_module(module)
+        logs = log_instructions(instrumented.kernels[0])
+        assert any(l.modifiers == ("bar",) for l in logs)
+
+    def test_convergence_points_logged(self):
+        module = module_with(
+            "setp.eq.u32 %p1, %r1, 0;\n@%p1 bra $L_end;\nmov.u32 %r2, 1;\n"
+            "$L_end:\nret;"
+        )
+        instrumented, _ = Instrumenter().instrument_module(module)
+        logs = log_instructions(instrumented.kernels[0])
+        assert any(l.modifiers == ("cvg",) for l in logs)
+
+    def test_instrumented_module_still_parses(self):
+        module = compile_cuda(
+            """
+__global__ void k(int* data, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) { data[tid] = data[tid] + 1; }
+    __syncthreads();
+    atomicAdd(&data[0], 1);
+}
+"""
+        )
+        instrumented, _ = Instrumenter().instrument_module(module)
+        printed = str(instrumented)
+        assert str(parse_ptx(printed)) == printed
+
+
+class TestPruning:
+    def _report(self, body, prune=True):
+        module = module_with(body)
+        _instrumented, report = Instrumenter(prune=prune).instrument_module(module)
+        return report.kernels[0]
+
+    def test_repeated_load_same_register_pruned(self):
+        body = (
+            "ld.global.u32 %r1, [%rd1];\n"
+            "ld.global.u32 %r2, [%rd1];\n"
+            "ret;"
+        )
+        assert self._report(body).instrumented_sites == 1
+        assert self._report(body, prune=False).instrumented_sites == 2
+
+    def test_register_redefinition_invalidates(self):
+        body = (
+            "ld.global.u32 %r1, [%rd1];\n"
+            "add.u64 %rd1, %rd1, 4;\n"
+            "ld.global.u32 %r2, [%rd1];\n"
+            "ret;"
+        )
+        assert self._report(body).instrumented_sites == 2
+
+    def test_different_offsets_not_pruned(self):
+        body = (
+            "ld.global.u32 %r1, [%rd1];\n"
+            "ld.global.u32 %r2, [%rd1+4];\n"
+            "ret;"
+        )
+        assert self._report(body).instrumented_sites == 2
+
+    def test_sync_op_clears_prune_state(self):
+        body = (
+            "ld.global.u32 %r1, [%rd1];\n"
+            "bar.sync 0;\n"
+            "ld.global.u32 %r2, [%rd1];\n"
+            "ret;"
+        )
+        # Both loads logged (plus the barrier site).
+        assert self._report(body).instrumented_sites == 3
+
+    def test_branch_boundary_clears_prune_state(self):
+        body = (
+            "ld.global.u32 %r1, [%rd1];\n"
+            "$L_top:\n"
+            "ld.global.u32 %r2, [%rd1];\n"
+            "ret;"
+        )
+        assert self._report(body).instrumented_sites == 2
+
+    def test_store_does_not_cover_later_store(self):
+        body = (
+            "st.global.u32 [%rd1], %r1;\n"
+            "st.global.u32 [%rd1], %r2;\n"
+            "ret;"
+        )
+        # Different value registers: both logged.
+        assert self._report(body).instrumented_sites == 2
+
+    def test_write_covers_later_read(self):
+        body = (
+            "st.global.u32 [%rd1], %r1;\n"
+            "ld.global.u32 %r2, [%rd1];\n"
+            "ret;"
+        )
+        assert self._report(body).instrumented_sites == 1
+
+    def test_read_does_not_cover_later_write(self):
+        body = (
+            "ld.global.u32 %r1, [%rd1];\n"
+            "st.global.u32 [%rd1], %r2;\n"
+            "ret;"
+        )
+        assert self._report(body).instrumented_sites == 2
+
+    def test_fraction_metrics(self):
+        module = module_with(
+            "mov.u32 %r1, 1;\nmov.u32 %r2, 2;\n"
+            "ld.global.u32 %r3, [%rd1];\nld.global.u32 %r4, [%rd1];\nret;"
+        )
+        _instrumented, report = Instrumenter().instrument_module(module)
+        kernel_report = report.kernels[0]
+        assert kernel_report.static_instructions == 5
+        assert kernel_report.unpruned_fraction == pytest.approx(2 / 5)
+        assert kernel_report.instrumented_fraction == pytest.approx(1 / 5)
+
+
+class TestFatBinary:
+    def _module(self):
+        return module_with("st.global.u32 [%rd1], %r1;\nret;")
+
+    def test_from_module_contains_sass_and_ptx(self):
+        fatbin = FatBinary.from_module(self._module())
+        kinds = [e.kind for e in fatbin.entries]
+        assert kinds.count(EntryKind.SASS) == 2
+        assert kinds.count(EntryKind.PTX) == 1
+
+    def test_ptx_payload_is_compressed(self):
+        module = self._module()
+        entry = FatBinaryEntry.ptx(module)
+        assert entry.payload != str(module).encode()
+        assert entry.decompress_ptx() == str(module)
+
+    def test_interception_strips_sass_and_instruments(self):
+        fatbin = FatBinary.from_module(self._module())
+        new_fatbin, instrumented, report = intercept_fat_binary(fatbin)
+        assert all(e.kind is EntryKind.PTX for e in new_fatbin.entries)
+        assert report.kernels[0].instrumented_sites == 1
+        assert any(i.opcode == "_log" for i in instrumented.kernels[0].instructions)
+        # The re-packed PTX is the instrumented module.
+        assert new_fatbin.ptx_entry().decompress_ptx() == str(instrumented)
+
+    def test_missing_ptx_entry_rejected(self):
+        fatbin = FatBinary(entries=[FatBinaryEntry.sass("sm_35")])
+        with pytest.raises(InstrumentationError):
+            fatbin.ptx_entry()
+
+    def test_decompress_requires_ptx_kind(self):
+        with pytest.raises(InstrumentationError):
+            FatBinaryEntry.sass("sm_35").decompress_ptx()

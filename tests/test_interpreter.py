@@ -1,0 +1,290 @@
+"""The PTX interpreter: semantics, divergence, barriers, logging."""
+
+import pytest
+
+from repro.errors import SimulationError, StepLimitExceeded
+from repro.events import RecordKind
+from repro.gpu import GpuDevice, ListSink
+from repro.instrument import Instrumenter
+from repro.ptx import parse_ptx
+
+HEADER = ".version 4.3\n.target sm_35\n.address_size 64\n"
+
+
+def module_with(body: str, params: str = ".param .u64 out", extra: str = ""):
+    return parse_ptx(
+        HEADER
+        + extra
+        + f".visible .entry k(\n    {params}\n)\n{{\n"
+        + "    .reg .u32 %r<16>;\n    .reg .u64 %rd<8>;\n    .reg .pred %p<4>;\n"
+        + body
+        + "\n}\n"
+    )
+
+
+def run_store_per_thread(body: str, grid=1, block=4, warp_size=4, extra=""):
+    """Run a kernel whose epilogue stores %r15 to out[gid]."""
+    epilogue = """
+    mov.u32 %r13, %tid.x;
+    mov.u32 %r12, %ctaid.x;
+    mov.u32 %r11, %ntid.x;
+    mad.lo.u32 %r13, %r12, %r11, %r13;
+    ld.param.u64 %rd7, [out];
+    cvt.u64.u32 %rd6, %r13;
+    mul.lo.u64 %rd6, %rd6, 4;
+    add.u64 %rd7, %rd7, %rd6;
+    st.global.u32 [%rd7], %r15;
+    ret;
+"""
+    module = module_with(body + epilogue, extra=extra)
+    device = GpuDevice()
+    out = device.alloc(grid * block * 4)
+    device.launch(module, "k", grid=grid, block=block, warp_size=warp_size,
+                  params={"out": out})
+    return device.memcpy_from_device(out, grid * block)
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        values = run_store_per_thread(
+            "mov.u32 %r1, 10;\nadd.u32 %r1, %r1, 5;\nsub.u32 %r1, %r1, 3;\n"
+            "mul.lo.u32 %r15, %r1, 4;"
+        )
+        assert values == [48] * 4
+
+    def test_signed_wrapping(self):
+        values = run_store_per_thread(
+            "mov.s32 %r1, -1;\nshr.s32 %r15, %r1, 1;"  # arithmetic shift
+        )
+        assert values == [0xFFFFFFFF] * 4  # -1 stored as unsigned bytes
+
+    def test_unsigned_shift(self):
+        values = run_store_per_thread(
+            "mov.u32 %r1, 8;\nshr.u32 %r15, %r1, 2;"
+        )
+        assert values == [2] * 4
+
+    def test_division_semantics(self):
+        values = run_store_per_thread(
+            "mov.s32 %r1, -7;\nmov.s32 %r2, 2;\ndiv.s32 %r1, %r1, %r2;\n"
+            "mov.u32 %r15, %r1;\nadd.u32 %r15, %r15, 100;"
+        )
+        # C-style truncation: -7 / 2 == -3; stored value -3 + 100 = 97.
+        assert values == [97] * 4
+
+    def test_division_by_zero_yields_zero(self):
+        values = run_store_per_thread(
+            "mov.u32 %r1, 5;\nmov.u32 %r2, 0;\ndiv.u32 %r15, %r1, %r2;"
+        )
+        assert values == [0] * 4
+
+    def test_setp_selp(self):
+        values = run_store_per_thread(
+            "mov.u32 %r1, %tid.x;\nsetp.lt.u32 %p1, %r1, 2;\n"
+            "selp.u32 %r15, 100, 200, %p1;"
+        )
+        assert values == [100, 100, 200, 200]
+
+    def test_mad_hi_lo(self):
+        values = run_store_per_thread(
+            "mov.u32 %r1, 3;\nmad.lo.u32 %r15, %r1, 4, 5;"
+        )
+        assert values == [17] * 4
+
+    def test_bitwise(self):
+        values = run_store_per_thread(
+            "mov.u32 %r1, 12;\nand.b32 %r2, %r1, 10;\nor.b32 %r3, %r2, 1;\n"
+            "xor.b32 %r15, %r3, 2;"
+        )
+        assert values == [(12 & 10 | 1) ^ 2] * 4
+
+    def test_unknown_opcode_raises(self):
+        module = module_with("frobnicate.u32 %r1, %r2;\nret;")
+        device = GpuDevice()
+        with pytest.raises(SimulationError):
+            device.launch(module, "k", grid=1, block=4, params={"out": 0})
+
+
+class TestSpecialRegisters:
+    def test_tid_ctaid_laneid(self):
+        values = run_store_per_thread(
+            "mov.u32 %r15, %laneid;", grid=1, block=4, warp_size=2
+        )
+        assert values == [0, 1, 0, 1]
+
+
+class TestDivergence:
+    def test_then_path_executes_first(self):
+        # Both paths write a per-thread slot; the else path should not
+        # observe then-path effects in its own registers.
+        values = run_store_per_thread(
+            "mov.u32 %r1, %tid.x;\n"
+            "setp.lt.u32 %p1, %r1, 2;\n"
+            "@!%p1 bra $L_else;\n"
+            "mov.u32 %r15, 1;\n"
+            "bra.uni $L_end;\n"
+            "$L_else:\n"
+            "mov.u32 %r15, 2;\n"
+            "$L_end:\n"
+        )
+        assert values == [1, 1, 2, 2]
+
+    def test_divergent_loop_trip_counts(self):
+        values = run_store_per_thread(
+            "mov.u32 %r1, %tid.x;\n"
+            "mov.u32 %r15, 0;\n"
+            "$L_loop:\n"
+            "setp.ge.u32 %p1, %r15, %r1;\n"
+            "@%p1 bra $L_done;\n"
+            "add.u32 %r15, %r15, 1;\n"
+            "bra.uni $L_loop;\n"
+            "$L_done:\n"
+        )
+        assert values == [0, 1, 2, 3]
+
+    def test_divergent_return_rejected(self):
+        module = module_with(
+            "mov.u32 %r1, %tid.x;\n"
+            "setp.lt.u32 %p1, %r1, 2;\n"
+            "@!%p1 bra $L_else;\n"
+            "ret;\n"  # returning from inside a divergent region
+            "$L_else:\n"
+            "mov.u32 %r2, 1;\n"
+            "ret;"
+        )
+        device = GpuDevice()
+        with pytest.raises(SimulationError):
+            device.launch(module, "k", grid=1, block=4, params={"out": 0})
+
+
+class TestBarriers:
+    def test_barrier_with_shared_decl(self):
+        module = parse_ptx(
+            HEADER
+            + ".visible .entry k(.param .u64 out)\n{\n"
+            + ".reg .u32 %r<16>;\n.reg .u64 %rd<8>;\n"
+            + ".shared .align 4 .b8 smem[16];\n"
+            + "mov.u32 %r1, %tid.x;\n"
+            + "mov.u64 %rd1, smem;\ncvt.u64.u32 %rd2, %r1;\n"
+            + "mul.lo.u64 %rd2, %rd2, 4;\nadd.u64 %rd2, %rd1, %rd2;\n"
+            + "add.u32 %r2, %r1, 50;\nst.shared.u32 [%rd2], %r2;\n"
+            + "bar.sync 0;\n"
+            + "xor.b32 %r3, %r1, 1;\ncvt.u64.u32 %rd3, %r3;\n"
+            + "mul.lo.u64 %rd3, %rd3, 4;\nadd.u64 %rd3, %rd1, %rd3;\n"
+            + "ld.shared.u32 %r15, [%rd3];\n"
+            + "ld.param.u64 %rd4, [out];\ncvt.u64.u32 %rd5, %r1;\n"
+            + "mul.lo.u64 %rd5, %rd5, 4;\nadd.u64 %rd4, %rd4, %rd5;\n"
+            + "st.global.u32 [%rd4], %r15;\nret;\n}\n"
+        )
+        device = GpuDevice()
+        out = device.alloc(16)
+        device.launch(module, "k", grid=1, block=4, warp_size=2, params={"out": out})
+        assert device.memcpy_from_device(out, 4) == [51, 50, 53, 52]
+
+
+class TestAtomicsAndLimits:
+    def test_atomic_cas_spin_hang_detection(self):
+        module = module_with(
+            "$L_spin:\n"
+            "atom.global.cas.b32 %r1, [%rd1], 1, 2;\n"  # never succeeds: cell is 0
+            "setp.ne.u32 %p1, %r1, 1;\n"
+            "@%p1 bra $L_spin;\n"
+            "ret;",
+            extra=".global .align 4 .b8 cell[4];\n",
+        )
+        device = GpuDevice()
+        with pytest.raises(StepLimitExceeded):
+            device.launch(module, "k", grid=1, block=1, params={"out": 0},
+                          max_steps=2_000)
+
+    def test_atomic_exch_returns_old(self):
+        values = run_store_per_thread(
+            "atom.global.exch.b32 %r15, [%rd5], 7;\n",
+            grid=1, block=1,
+        )
+        assert values == [0]
+
+
+class TestLogging:
+    def _instrumented(self, module, prune=True):
+        return Instrumenter(prune=prune).instrument_module(module)[0]
+
+    def test_native_run_emits_nothing(self):
+        module = module_with(
+            "ld.param.u64 %rd1, [out];\nmov.u32 %r1, 1;\nst.global.u32 [%rd1], %r1;\nret;"
+        )
+        device = GpuDevice()
+        sink = ListSink()
+        out = device.alloc(4)
+        device.launch(module, "k", params={"out": out}, grid=1, block=4, sink=sink,
+                      instrumented=False)
+        assert sink.records == []
+
+    def test_instrumented_run_emits_memory_records(self):
+        module = self._instrumented(
+            module_with(
+                "ld.param.u64 %rd1, [out];\nmov.u32 %r1, 1;\n"
+                "st.global.u32 [%rd1], %r1;\nld.global.u32 %r2, [%rd1];\nret;"
+            ),
+            prune=False,
+        )
+        device = GpuDevice()
+        sink = ListSink()
+        out = device.alloc(4)
+        device.launch(module, "k", params={"out": out}, grid=1, block=4,
+                      warp_size=4, sink=sink, instrumented=True)
+        kinds = [r.kind for r in sink.records]
+        assert RecordKind.STORE in kinds
+        assert RecordKind.LOAD in kinds
+        store = next(r for r in sink.records if r.kind is RecordKind.STORE)
+        assert store.active == frozenset({0, 1, 2, 3})
+        assert store.values[0] == 1
+
+    def test_pruning_drops_redundant_same_address_load(self):
+        source = module_with(
+            "ld.param.u64 %rd1, [out];\nmov.u32 %r1, 1;\n"
+            "st.global.u32 [%rd1], %r1;\nld.global.u32 %r2, [%rd1];\nret;"
+        )
+        device = GpuDevice()
+        sink = ListSink()
+        out = device.alloc(4)
+        device.launch(self._instrumented(source, prune=True), "k",
+                      params={"out": out}, grid=1, block=4, warp_size=4,
+                      sink=sink, instrumented=True)
+        kinds = [r.kind for r in sink.records]
+        # The load re-reads the address the logged store covered: pruned.
+        assert RecordKind.STORE in kinds
+        assert RecordKind.LOAD not in kinds
+
+    def test_branch_records_on_divergence(self):
+        module = self._instrumented(
+            module_with(
+                "mov.u32 %r1, %tid.x;\n"
+                "setp.lt.u32 %p1, %r1, 2;\n"
+                "@!%p1 bra $L_e;\n"
+                "mov.u32 %r2, 1;\n"
+                "$L_e:\n"
+                "ret;"
+            )
+        )
+        device = GpuDevice()
+        sink = ListSink()
+        device.launch(module, "k", params={"out": 0}, grid=1, block=4,
+                      warp_size=4, sink=sink, instrumented=True)
+        kinds = [r.kind for r in sink.records]
+        assert kinds.count(RecordKind.BRANCH_IF) == 1
+        assert kinds.count(RecordKind.BRANCH_ELSE) == 1
+        assert kinds.count(RecordKind.BRANCH_FI) == 1
+        branch = next(r for r in sink.records if r.kind is RecordKind.BRANCH_IF)
+        assert branch.then_mask == frozenset({0, 1})
+        assert branch.active == frozenset({0, 1, 2, 3})
+
+    def test_barrier_record_carries_arrived_set(self):
+        module = self._instrumented(module_with("bar.sync 0;\nret;"))
+        device = GpuDevice()
+        sink = ListSink()
+        device.launch(module, "k", params={"out": 0}, grid=1, block=4,
+                      warp_size=2, sink=sink, instrumented=True)
+        barriers = [r for r in sink.records if r.kind is RecordKind.BARRIER]
+        assert len(barriers) == 1
+        assert barriers[0].active == frozenset({0, 1, 2, 3})

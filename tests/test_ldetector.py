@@ -1,0 +1,98 @@
+"""The LDetector baseline: value-based checking and its blind spots."""
+
+from repro.baselines import LDetector, run_ldetector
+from repro.events import LogRecord, RecordKind
+from repro.suite import ALL_PROGRAMS, program
+from repro.trace import GridLayout, Space
+
+LAYOUT = GridLayout(num_blocks=2, threads_per_block=8, warp_size=4)
+
+
+def store(tid, offset, value, space=Space.GLOBAL):
+    return LogRecord(
+        kind=RecordKind.STORE,
+        warp=LAYOUT.warp_of(tid),
+        active=frozenset({tid}),
+        addrs={tid: (space, offset)},
+        values={tid: value},
+    )
+
+
+def atomic(tid, offset, space=Space.GLOBAL):
+    return LogRecord(
+        kind=RecordKind.ATOMIC,
+        warp=LAYOUT.warp_of(tid),
+        active=frozenset({tid}),
+        addrs={tid: (space, offset)},
+    )
+
+
+class TestValueDiffing:
+    def test_different_value_writes_conflict(self):
+        detector = LDetector(LAYOUT)
+        detector.consume([store(0, 0, 1), store(8, 0, 2)])
+        assert len(detector.conflicts) == 1
+
+    def test_silent_overwrite_is_invisible(self):
+        # The documented LDetector miss: overwriting with the existing value.
+        detector = LDetector(LAYOUT)
+        detector.consume([store(0, 0, 5), store(8, 0, 5)])
+        assert detector.conflicts == []
+
+    def test_reads_are_never_checked(self):
+        detector = LDetector(LAYOUT)
+        detector.consume([
+            store(0, 0, 1),
+            LogRecord(kind=RecordKind.LOAD, warp=2, active=frozenset({8}),
+                      addrs={8: (Space.GLOBAL, 0)}),
+        ])
+        assert detector.conflicts == []
+
+    def test_atomics_treated_as_writes(self):
+        # No atomics handling: contended atomics look like a WW race.
+        detector = LDetector(LAYOUT)
+        detector.consume([atomic(0, 0), atomic(8, 0)])
+        assert len(detector.conflicts) == 1
+
+    def test_barrier_ends_block_phase(self):
+        detector = LDetector(LAYOUT)
+        detector.consume([
+            store(0, 0, 1, space=Space.SHARED),
+            LogRecord(kind=RecordKind.BARRIER, warp=0,
+                      active=frozenset(range(8))),
+            store(1, 0, 2, space=Space.SHARED),
+        ])
+        assert detector.conflicts == []
+
+    def test_same_thread_rewrites_are_fine(self):
+        detector = LDetector(LAYOUT)
+        detector.consume([store(0, 0, 1), store(0, 0, 2), store(0, 0, 3)])
+        assert detector.conflicts == []
+
+    def test_conflicts_deduplicated_per_location(self):
+        detector = LDetector(LAYOUT)
+        detector.consume([store(0, 0, 1), store(8, 0, 2), store(9, 0, 3)])
+        assert len(detector.conflicts) == 1
+
+
+class TestAgainstTheSuite:
+    def test_covers_global_memory_unlike_racecheck(self):
+        verdict = run_ldetector(program("global_ww_inter_block"))
+        assert verdict.races > 0
+
+    def test_misses_read_write_races(self):
+        verdict = run_ldetector(program("global_rw_inter_block"))
+        assert verdict.races == 0
+
+    def test_misses_same_value_branch_ordering_race(self):
+        verdict = run_ldetector(program("branch_ordering_ww_same_value"))
+        assert verdict.races == 0
+
+    def test_false_positive_on_atomic_counter(self):
+        verdict = run_ldetector(program("atomic_counter"))
+        assert verdict.races > 0  # not a race; atomics unhandled
+
+    def test_correct_on_a_fraction_of_the_suite(self):
+        correct = sum(run_ldetector(p).matches(p) for p in ALL_PROGRAMS)
+        assert correct == 40
+        assert correct < 66

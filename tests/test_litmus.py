@@ -1,0 +1,55 @@
+"""The Figure 4 litmus reproduction (shape, not absolute counts)."""
+
+import pytest
+
+from repro.bench.litmus import build_mp_source, format_figure4, run_figure4, run_mp
+from repro.gpu.memory import KEPLER_K520, MAXWELL_TITANX
+from repro.ptx import parse_ptx
+
+
+def test_mp_source_is_valid_ptx():
+    for fence1 in ("membar.cta", "membar.gl"):
+        for fence2 in ("membar.cta", "membar.gl"):
+            module = parse_ptx(build_mp_source(fence1, fence2))
+            assert module.kernels[0].name == "mp"
+
+
+def test_unsupported_fence_rejected():
+    with pytest.raises(ValueError):
+        build_mp_source("membar.cta", "mfence")
+
+
+def test_cta_cta_on_kepler_shows_weak_behaviour():
+    result = run_mp(KEPLER_K520, "membar.cta", "membar.cta", runs=250, seed=7)
+    assert result.weak > 0
+    assert result.weak_rate < 0.5  # weak outcomes are the exception
+
+
+def test_global_fence_on_either_side_restores_sc_on_kepler():
+    for fence1, fence2 in (
+        ("membar.cta", "membar.gl"),
+        ("membar.gl", "membar.cta"),
+        ("membar.gl", "membar.gl"),
+    ):
+        result = run_mp(KEPLER_K520, fence1, fence2, runs=150, seed=7)
+        assert result.weak == 0, (fence1, fence2)
+
+
+def test_titan_x_profile_never_shows_weak_behaviour():
+    for fence1 in ("membar.cta", "membar.gl"):
+        for fence2 in ("membar.cta", "membar.gl"):
+            result = run_mp(MAXWELL_TITANX, fence1, fence2, runs=150, seed=7)
+            assert result.weak == 0, (fence1, fence2)
+
+
+def test_figure4_table_shape():
+    results = run_figure4(runs=200, seed=11)
+    assert len(results) == 8
+    weak_configs = {
+        (r.fence1, r.fence2, r.arch) for r in results if r.weak > 0
+    }
+    assert weak_configs == {
+        ("membar.cta", "membar.cta", KEPLER_K520.name)
+    }
+    table = format_figure4(results)
+    assert "K520" in table and "GTX Titan X" in table

@@ -1,0 +1,127 @@
+"""CFG construction and reconvergence (IPDOM) analysis."""
+
+from repro.ptx import CFG, EXIT_BLOCK, parse_ptx
+
+HEADER = ".version 4.3\n.target sm_35\n.address_size 64\n"
+
+
+def kernel_with(body: str):
+    source = (
+        HEADER
+        + ".visible .entry k(.param .u32 d)\n{\n"
+        + ".reg .u32 %r<8>;\n.reg .pred %p<4>;\n"
+        + body
+        + "\n}\n"
+    )
+    return parse_ptx(source).kernels[0]
+
+
+def test_straight_line_is_one_block():
+    kernel = kernel_with("mov.u32 %r1, 1;\nmov.u32 %r2, 2;\nret;")
+    cfg = CFG(kernel)
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].successors == [EXIT_BLOCK]
+
+
+def test_if_diamond():
+    kernel = kernel_with(
+        "setp.eq.u32 %p1, %r1, 0;\n"
+        "@%p1 bra $L_else;\n"
+        "mov.u32 %r2, 1;\n"
+        "bra.uni $L_end;\n"
+        "$L_else:\n"
+        "mov.u32 %r2, 2;\n"
+        "$L_end:\n"
+        "ret;"
+    )
+    cfg = CFG(kernel)
+    entry = cfg.blocks[0]
+    assert len(entry.successors) == 2
+    # The branch reconverges at $L_end (statement index 6).
+    assert cfg.reconvergence_pc(1) == 6
+    assert cfg.convergence_points() == [6]
+
+
+def test_guard_pattern_reconverges_at_exit_label():
+    kernel = kernel_with(
+        "setp.ge.u32 %p1, %r1, 8;\n"
+        "@%p1 bra $L_end;\n"
+        "mov.u32 %r2, 1;\n"
+        "$L_end:\n"
+        "ret;"
+    )
+    cfg = CFG(kernel)
+    assert cfg.reconvergence_pc(1) == 3  # the $L_end label
+
+
+def test_loop_reconverges_after_exit():
+    kernel = kernel_with(
+        "mov.u32 %r1, 0;\n"
+        "$L_loop:\n"
+        "setp.ge.u32 %p1, %r1, 4;\n"
+        "@%p1 bra $L_done;\n"
+        "add.u32 %r1, %r1, 1;\n"
+        "bra.uni $L_loop;\n"
+        "$L_done:\n"
+        "ret;"
+    )
+    cfg = CFG(kernel)
+    # The loop-exit branch (index 3) reconverges at $L_done (index 6).
+    assert cfg.reconvergence_pc(3) == 6
+
+
+def test_nested_branches():
+    kernel = kernel_with(
+        "setp.eq.u32 %p1, %r1, 0;\n"  # 0
+        "@%p1 bra $L_outer_else;\n"  # 1
+        "setp.eq.u32 %p2, %r2, 0;\n"  # 2
+        "@%p2 bra $L_inner_end;\n"  # 3
+        "mov.u32 %r3, 1;\n"  # 4
+        "$L_inner_end:\n"  # 5
+        "mov.u32 %r4, 1;\n"  # 6
+        "$L_outer_else:\n"  # 7
+        "ret;"  # 8
+    )
+    cfg = CFG(kernel)
+    assert cfg.reconvergence_pc(1) == 7
+    assert cfg.reconvergence_pc(3) == 5
+    assert cfg.convergence_points() == [5, 7]
+
+
+def test_unconditional_exit_has_no_fallthrough_edge():
+    kernel = kernel_with(
+        "mov.u32 %r1, 1;\n"
+        "ret;\n"
+        "$L_dead:\n"
+        "mov.u32 %r2, 2;\n"
+        "ret;"
+    )
+    cfg = CFG(kernel)
+    first = cfg.block_of(0)
+    assert first.successors == [EXIT_BLOCK]
+
+
+def test_block_of_statement_lookup():
+    kernel = kernel_with(
+        "mov.u32 %r1, 1;\n"
+        "$L_a:\n"
+        "mov.u32 %r2, 2;\n"
+        "bra.uni $L_a;"
+    )
+    cfg = CFG(kernel)
+    assert cfg.block_of(0).index != cfg.block_of(2).index
+    # The back edge points at $L_a's block.
+    assert cfg.block_of(2).successors == [cfg.block_of(1).index]
+
+
+def test_predicated_exit_falls_through():
+    kernel = kernel_with(
+        "setp.eq.u32 %p1, %r1, 0;\n"
+        "@%p1 ret;\n"
+        "mov.u32 %r2, 1;\n"
+        "ret;"
+    )
+    cfg = CFG(kernel)
+    entry = cfg.block_of(0)
+    assert EXIT_BLOCK in entry.successors
+    assert len(entry.successors) == 2

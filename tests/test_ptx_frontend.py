@@ -1,0 +1,193 @@
+"""PTX lexer, parser, AST printing, and the round-trip property."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PTXSyntaxError
+from repro.ptx import parse_ptx, tokenize
+from repro.ptx.ast import (
+    ImmOperand,
+    Instruction,
+    MemOperand,
+    RegOperand,
+    SpecialRegOperand,
+    SymbolOperand,
+)
+
+MINIMAL = """
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry empty(
+    .param .u32 dummy
+)
+{
+    ret;
+}
+"""
+
+
+class TestLexer:
+    def test_comments_stripped(self):
+        tokens = tokenize("// line\nadd /* block */ sub")
+        assert [t.text for t in tokens if t.kind != "EOF"] == ["add", "sub"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 4.5")
+        assert [(t.kind, t.text) for t in tokens[:3]] == [
+            ("NUMBER", "42"),
+            ("NUMBER", "0x1F"),
+            ("FLOAT", "4.5"),
+        ]
+
+    def test_registers_and_specials(self):
+        tokens = tokenize("%r1 %tid")
+        assert [t.text for t in tokens[:2]] == ["%r1", "%tid"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(PTXSyntaxError):
+            tokenize("mov\x01")
+
+
+class TestParser:
+    def test_module_directives(self):
+        module = parse_ptx(MINIMAL)
+        assert module.version == "4.3"
+        assert module.target == "sm_35"
+        assert module.address_size == 64
+
+    def test_kernel_params(self):
+        source = MINIMAL.replace(".param .u32 dummy", ".param .u64 ptr,\n.param .u32 n")
+        kernel = parse_ptx(source).kernels[0]
+        assert [(p.type_name, p.name) for p in kernel.params] == [
+            ("u64", "ptr"),
+            ("u32", "n"),
+        ]
+
+    def test_instruction_modifiers_and_operands(self):
+        source = MINIMAL.replace(
+            "ret;",
+            "atom.global.cas.b32 %r1, [%rd1+8], 0, 1;\nret;",
+        )
+        insn = parse_ptx(source).kernels[0].instructions[0]
+        assert insn.opcode == "atom"
+        assert insn.modifiers == ("global", "cas", "b32")
+        assert insn.operands == (
+            RegOperand("%r1"),
+            MemOperand("%rd1", 8),
+            ImmOperand(0),
+            ImmOperand(1),
+        )
+        assert insn.atomic_operation() == "cas"
+
+    def test_predicated_instruction(self):
+        source = MINIMAL.replace("ret;", "@!%p1 bra $L_x;\n$L_x:\nret;")
+        insn = parse_ptx(source).kernels[0].instructions[0]
+        assert insn.pred == ("%p1", True)
+        assert insn.branch_target() == "$L_x"
+
+    def test_special_register_operand(self):
+        source = MINIMAL.replace("ret;", "mov.u32 %r1, %tid.x;\nret;")
+        insn = parse_ptx(source).kernels[0].instructions[0]
+        assert insn.operands[1] == SpecialRegOperand("%tid", "x")
+
+    def test_shared_and_global_decls(self):
+        source = (
+            ".version 4.3\n.target sm_35\n.address_size 64\n"
+            ".global .align 4 .b8 g[16];\n"
+            ".visible .entry k(.param .u32 d)\n"
+            "{\n.shared .align 8 .b8 s[64];\nret;\n}\n"
+        )
+        module = parse_ptx(source)
+        assert module.globals[0].name == "g"
+        assert module.globals[0].size_bytes == 16
+        kernel = module.kernels[0]
+        assert kernel.shared[0].name == "s"
+        assert kernel.shared[0].align == 8
+
+    def test_reg_declarations(self):
+        source = MINIMAL.replace("{", "{\n.reg .u32 %r<5>;\n.reg .pred %p<2>;", 1)
+        kernel = parse_ptx(source).kernels[0]
+        assert [(r.type_name, r.prefix, r.count) for r in kernel.regs] == [
+            ("u32", "%r", 5),
+            ("pred", "%p", 2),
+        ]
+        assert kernel.regs[0].names() == [f"%r{i}" for i in range(5)]
+
+    def test_negative_immediate(self):
+        source = MINIMAL.replace("ret;", "mov.s32 %r1, -7;\nret;")
+        insn = parse_ptx(source).kernels[0].instructions[0]
+        assert insn.operands[1] == ImmOperand(-7)
+
+    def test_undefined_branch_target_caught_by_cfg(self):
+        from repro.errors import ReproError
+        from repro.ptx import CFG
+
+        source = MINIMAL.replace("ret;", "bra.uni nowhere;\nret;")
+        with pytest.raises(ReproError):
+            CFG(parse_ptx(source).kernels[0])
+
+    def test_syntax_error_carries_location(self):
+        with pytest.raises(PTXSyntaxError) as info:
+            parse_ptx(".version 4.3\n.bogus directive")
+        assert info.value.line == 2
+
+    def test_static_instruction_count_excludes_labels(self):
+        source = MINIMAL.replace("ret;", "$L_a:\nmov.u32 %r1, 1;\nret;")
+        assert parse_ptx(source).kernels[0].static_instruction_count() == 2
+
+
+class TestRoundTrip:
+    SOURCES = [
+        MINIMAL,
+        """
+.version 4.3
+.target sm_35
+.address_size 64
+
+.global .align 4 .b8 counter[4];
+
+.visible .entry work(
+    .param .u64 data,
+    .param .u32 n
+)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    .shared .align 4 .b8 smem[256];
+
+    mov.u32 %r1, %tid.x;
+    setp.ge.u32 %p1, %r1, 16;
+    @%p1 bra $L_end;
+    ld.param.u64 %rd1, [data];
+    ld.global.u32 %r2, [%rd1+4];
+    st.shared.u32 [smem], %r2;
+    bar.sync 0;
+    membar.gl;
+    atom.global.add.u32 %r3, [counter], 1;
+$L_end:
+    ret;
+}
+""",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_print_parse_fixpoint(self, source):
+        module = parse_ptx(source)
+        printed = str(module)
+        assert str(parse_ptx(printed)) == printed
+
+    @given(st.sampled_from(SOURCES), st.integers(0, 3))
+    def test_repeated_round_trips_stable(self, source, rounds):
+        module = parse_ptx(source)
+        text = str(module)
+        for _ in range(rounds):
+            text = str(parse_ptx(text))
+        assert text == str(module)

@@ -1,0 +1,150 @@
+"""StructuredVC: hierarchy-compressed clocks must be lossless."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.structured import StructuredVC
+from repro.core.vectorclock import Epoch, VectorClock
+from repro.trace.layout import GridLayout
+
+LAYOUT = GridLayout(num_blocks=3, threads_per_block=8, warp_size=4)
+
+
+def test_layers_compose_by_max():
+    vc = StructuredVC(LAYOUT)
+    vc.set_block(0, 2)
+    vc.set_warp(1, 5)  # warp 1 = threads 4..7 of block 0
+    vc.set_lane(5, 9)
+    assert vc.get(0) == 2  # block layer only
+    assert vc.get(4) == 5  # warp layer wins over block
+    assert vc.get(5) == 9  # lane layer wins over both
+    assert vc.get(8) == 0  # other block untouched
+
+
+def test_set_operations_never_lower_values():
+    vc = StructuredVC(LAYOUT)
+    vc.set_lane(0, 5)
+    vc.set_lane(0, 3)
+    assert vc.get(0) == 5
+    vc.set_warp(0, 2)
+    assert vc.get(0) == 5
+    vc.set_block(0, 1)
+    assert vc.get(1) == 2
+
+
+def test_covers_epoch():
+    vc = StructuredVC(LAYOUT)
+    vc.set_warp(0, 4)
+    assert vc.covers_epoch(Epoch(4, 2))
+    assert not vc.covers_epoch(Epoch(5, 2))
+    assert vc.covers_epoch(Epoch(0, 20))
+
+
+def test_normalize_drops_dominated_entries():
+    vc = StructuredVC(LAYOUT)
+    vc.set_block(0, 10)
+    vc.set_warp(0, 5)  # dominated by block entry
+    vc.set_lane(1, 7)  # dominated by block entry
+    vc.set_lane(9, 3)  # block 1: not dominated
+    vc.normalize()
+    assert vc.warps == {}
+    assert vc.lanes == {9: 3}
+    assert vc.get(1) == 10
+
+
+def test_entry_count_reflects_compression():
+    vc = StructuredVC(LAYOUT)
+    vc.set_block(1, 4)
+    assert vc.entry_count() == 1
+    # One block entry stands in for 8 per-thread entries.
+    assert all(vc.get(t) == 4 for t in LAYOUT.block_tids(1))
+
+
+def test_dense_round_trip():
+    dense = VectorClock({0: 1, 5: 9, 17: 3})
+    vc = StructuredVC.from_dense(LAYOUT, dense)
+    assert vc.to_dense() == dense
+
+
+# ----------------------------------------------------------------------
+# Property tests: structured ops ≡ dense ops
+# ----------------------------------------------------------------------
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("lane"), st.integers(0, 23), st.integers(1, 30)),
+        st.tuples(st.just("warp"), st.integers(0, 5), st.integers(1, 30)),
+        st.tuples(st.just("block"), st.integers(0, 2), st.integers(1, 30)),
+    ),
+    max_size=20,
+)
+
+
+def _apply(vc: StructuredVC, dense: VectorClock, op):
+    kind, index, clock = op
+    if kind == "lane":
+        vc.set_lane(index, clock)
+        if clock > dense.get(index):
+            dense.set(index, clock)
+    elif kind == "warp":
+        vc.set_warp(index, clock)
+        for tid in LAYOUT.warp_tids(index):
+            if clock > dense.get(tid):
+                dense.set(tid, clock)
+    else:
+        vc.set_block(index, clock)
+        for tid in LAYOUT.block_tids(index):
+            if clock > dense.get(tid):
+                dense.set(tid, clock)
+
+
+@given(ops)
+def test_structured_equals_dense_under_updates(op_list):
+    vc = StructuredVC(LAYOUT)
+    dense = VectorClock()
+    for op in op_list:
+        _apply(vc, dense, op)
+    assert vc.to_dense() == dense
+
+
+@given(ops, ops)
+def test_join_is_lossless(ops_a, ops_b):
+    vc_a, dense_a = StructuredVC(LAYOUT), VectorClock()
+    vc_b, dense_b = StructuredVC(LAYOUT), VectorClock()
+    for op in ops_a:
+        _apply(vc_a, dense_a, op)
+    for op in ops_b:
+        _apply(vc_b, dense_b, op)
+    vc_a.join(vc_b)
+    dense_a.join(dense_b)
+    assert vc_a.to_dense() == dense_a
+
+
+@given(ops)
+def test_normalize_preserves_semantics(op_list):
+    vc = StructuredVC(LAYOUT)
+    dense = VectorClock()
+    for op in op_list:
+        _apply(vc, dense, op)
+    before = vc.to_dense()
+    vc.normalize()
+    assert vc.to_dense() == before == dense
+
+
+@given(ops)
+def test_copy_isolated(op_list):
+    vc = StructuredVC(LAYOUT)
+    dense = VectorClock()
+    for op in op_list:
+        _apply(vc, dense, op)
+    clone = vc.copy()
+    clone.set_lane(0, 999)
+    assert vc.get(0) == dense.get(0)
+
+
+@given(ops)
+def test_nonzero_items_matches_dense(op_list):
+    vc = StructuredVC(LAYOUT)
+    dense = VectorClock()
+    for op in op_list:
+        _apply(vc, dense, op)
+    assert dict(vc.nonzero_items()) == {t: c for t, c in dense.items()}

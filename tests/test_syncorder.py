@@ -1,0 +1,226 @@
+"""The declarative synchronization-order oracle (§3.2)."""
+
+from repro.core.syncorder import (
+    SyncOrder,
+    find_barrier_divergence,
+    find_races,
+    find_visible_races,
+    instruction_groups,
+    racy_locations,
+)
+from repro.trace import GridLayout, Scope, TraceBuilder, global_loc, shared_loc
+
+LAYOUT = GridLayout(num_blocks=2, threads_per_block=8, warp_size=4)
+X = global_loc(0)
+Y = global_loc(4)
+FLAG = global_loc(8)
+
+
+def build(fn):
+    builder = TraceBuilder(LAYOUT)
+    fn(builder)
+    return builder.build()
+
+
+class TestProgramOrder:
+    def test_same_thread_ordered(self):
+        trace = build(lambda b: (b.write(0, X, value=1), b.read(0, X)))
+        order = SyncOrder(trace)
+        # t0's write (index 0) precedes t0's read (first read index 5).
+        assert order.ordered(0, 5)
+
+    def test_cross_warp_unordered(self):
+        trace = build(lambda b: (b.write(0, X, value=1), b.write(1, X, value=2)))
+        order = SyncOrder(trace)
+        # t0's write (op 0) and t4's write (op 5) are concurrent.
+        assert not order.ordered(0, 5)
+
+
+class TestLockstep:
+    def test_endi_orders_consecutive_warp_instructions(self):
+        trace = build(lambda b: (b.write(0, X, value=1), b.read(0, X)))
+        assert find_races(trace) == []
+
+    def test_same_instruction_writes_race(self):
+        trace = build(lambda b: b.write(0, X, value={t: t for t in range(4)}))
+        assert racy_locations(trace) == {X}
+
+    def test_same_instruction_same_value_filtered(self):
+        trace = build(lambda b: b.write(0, X, value=7))
+        assert find_races(trace) == []
+        assert find_races(trace, filter_same_value=False)
+
+
+class TestBranches:
+    def test_branch_paths_are_concurrent(self):
+        def scenario(b):
+            b.branch_if(0, [0, 1])
+            b.write(0, X, value=1)
+            b.branch_else(0)
+            b.read(0, X)
+            b.branch_fi(0)
+
+        assert racy_locations(build(scenario)) == {X}
+
+    def test_reconvergence_orders_after_fi(self):
+        def scenario(b):
+            b.branch_if(0, [0, 1])
+            b.write(0, X, value=1)
+            b.branch_else(0)
+            b.branch_fi(0)
+            b.read(0, X)
+
+        assert find_races(build(scenario)) == []
+
+    def test_same_value_across_paths_still_races(self):
+        # The same-value filter covers only same-instruction stores.
+        def scenario(b):
+            b.branch_if(0, [0, 1])
+            b.write(0, X, value=5)
+            b.branch_else(0)
+            b.write(0, X, value=5)
+            b.branch_fi(0)
+
+        assert racy_locations(build(scenario)) == {X}
+
+
+class TestBarriers:
+    def test_barrier_orders_block(self):
+        def scenario(b):
+            b.write(0, X, value=1)
+            b.barrier(0)
+            b.write(1, X, value=2)
+
+        assert find_races(build(scenario)) == []
+
+    def test_barrier_does_not_order_across_blocks(self):
+        def scenario(b):
+            b.write(0, X, value=1)
+            b.barrier(0)
+            b.barrier(1)
+            b.write(2, X, value=2)  # warp 2 = block 1
+
+        assert racy_locations(build(scenario)) == {X}
+
+    def test_divergent_barrier_detected(self):
+        def scenario(b):
+            b.branch_if(0, [0])
+            b.barrier(0)
+            b.branch_else(0)
+            b.branch_fi(0)
+
+        assert find_barrier_divergence(build(scenario)) != []
+
+
+class TestReleaseAcquire:
+    def _mp(self, rel_scope, acq_scope, writer_warp=0, reader_warp=2):
+        def scenario(b):
+            b.write(writer_warp, X, value=1)
+            b.release(writer_warp, FLAG, rel_scope)
+            b.acquire(reader_warp, FLAG, acq_scope)
+            b.read(reader_warp, X)
+
+        return build(scenario)
+
+    def test_global_release_acquire_synchronizes(self):
+        assert find_races(self._mp(Scope.GLOBAL, Scope.GLOBAL)) == []
+
+    def test_block_scope_does_not_cross_blocks(self):
+        assert racy_locations(self._mp(Scope.BLOCK, Scope.BLOCK)) == {X}
+
+    def test_block_scope_within_block(self):
+        assert find_races(self._mp(Scope.BLOCK, Scope.BLOCK, 0, 1)) == []
+
+    def test_one_global_side_suffices(self):
+        assert find_races(self._mp(Scope.GLOBAL, Scope.BLOCK)) == []
+        assert find_races(self._mp(Scope.BLOCK, Scope.GLOBAL)) == []
+
+    def test_acquire_before_release_gives_no_edge(self):
+        def scenario(b):
+            b.acquire(2, FLAG, Scope.GLOBAL)
+            b.write(0, X, value=1)
+            b.release(0, FLAG, Scope.GLOBAL)
+            b.read(2, X)
+
+        assert racy_locations(build(scenario)) == {X}
+
+    def test_transitivity_through_chain(self):
+        def scenario(b):
+            b.write(0, X, value=1)
+            b.release(0, FLAG, Scope.GLOBAL)
+            b.acqrel(1, FLAG, Scope.GLOBAL)
+            b.acquire(2, FLAG, Scope.GLOBAL)
+            b.read(2, X)
+
+        assert find_races(build(scenario)) == []
+
+    def test_all_earlier_releases_visible(self):
+        # Two releases to the same location: an acquire synchronizes with
+        # both (the reason REL* joins rather than overwrites).
+        def scenario(b):
+            b.write(0, X, value=1)
+            b.release(0, FLAG, Scope.GLOBAL)
+            b.write(1, Y, value=1)
+            b.release(1, FLAG, Scope.GLOBAL)
+            b.acquire(2, FLAG, Scope.GLOBAL)
+            b.read(2, X)
+            b.read(2, Y)
+
+        assert find_races(build(scenario)) == []
+
+
+class TestAtomics:
+    def test_atomics_do_not_race_with_each_other(self):
+        trace = build(lambda b: (b.atomic(0, X), b.atomic(2, X)))
+        assert find_races(trace) == []
+
+    def test_atomics_do_not_synchronize(self):
+        def scenario(b):
+            b.write(0, X, value=1)
+            b.atomic(0, FLAG)
+            b.atomic(2, FLAG)
+            b.read(2, X)
+
+        assert racy_locations(build(scenario)) == {X}
+
+    def test_atomic_vs_plain_is_a_race(self):
+        trace = build(lambda b: (b.atomic(0, X), b.write(2, X, value=1)))
+        assert racy_locations(trace) == {X}
+
+
+class TestVisibleRaces:
+    def test_atomic_shadowing_documented_approximation(self):
+        # write by warp 0; atomic by the same threads (ordered); then an
+        # unordered atomic from block 1.  The declarative oracle sees the
+        # write-vs-atomic pair; the algorithm's metadata no longer holds
+        # the write epoch (ATOM* elides atomic-vs-atomic checks).
+        def scenario(b):
+            b.write(0, X, value=1)
+            b.atomic(0, X)
+            b.atomic(2, X)
+
+        trace = build(scenario)
+        assert racy_locations(trace) == {X}
+        assert find_visible_races(trace) == []
+
+    def test_visible_matches_declarative_without_atomics(self):
+        def scenario(b):
+            b.write(0, X, value=1)
+            b.write(2, X, value=2)
+            b.read(1, Y)
+            b.write(3, Y, value=1)
+
+        trace = build(scenario)
+        declarative = {(r.loc) for r in find_races(trace)}
+        visible = {(r.loc) for r in find_visible_races(trace)}
+        assert declarative == visible == {X, Y}
+
+
+class TestInstructionGroups:
+    def test_groups_advance_at_endi(self):
+        trace = build(lambda b: (b.write(0, X, value=1), b.write(0, X, value=1)))
+        groups = instruction_groups(trace)
+        # Ops 0..3 share a group; ops 5..8 share the next one.
+        assert groups[0] == groups[3]
+        assert groups[5] == groups[8]
+        assert groups[0] != groups[5]

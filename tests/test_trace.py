@@ -1,0 +1,227 @@
+"""Trace operations, the SIMT stack replay, the builder, feasibility."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TraceError
+from repro.trace import (
+    Barrier,
+    Else,
+    EndInsn,
+    Fi,
+    GridLayout,
+    If,
+    Location,
+    Read,
+    Scope,
+    Space,
+    TraceBuilder,
+    Write,
+    check_feasible,
+    global_loc,
+    is_conflicting,
+    shared_loc,
+    tids_of,
+)
+from repro.trace.operations import Atomic
+from repro.trace.stack import WarpStackSet
+from tracegen import feasible_traces
+
+LAYOUT = GridLayout(num_blocks=2, threads_per_block=8, warp_size=4)
+
+
+class TestLocations:
+    def test_shared_requires_block(self):
+        with pytest.raises(ValueError):
+            Location(Space.SHARED, 0)
+
+    def test_global_rejects_block(self):
+        with pytest.raises(ValueError):
+            Location(Space.GLOBAL, 0, block=1)
+
+    def test_constructors(self):
+        assert global_loc(8) == Location(Space.GLOBAL, 8)
+        assert shared_loc(1, 4) == Location(Space.SHARED, 4, 1)
+
+    def test_shared_in_different_blocks_are_distinct(self):
+        assert shared_loc(0, 0) != shared_loc(1, 0)
+
+
+class TestConflicts:
+    x = global_loc(0)
+    y = global_loc(4)
+
+    def test_read_read_never_conflicts(self):
+        assert not is_conflicting(Read(tid=0, loc=self.x), Read(tid=1, loc=self.x))
+
+    def test_write_read_conflicts(self):
+        assert is_conflicting(Write(tid=0, loc=self.x), Read(tid=1, loc=self.x))
+
+    def test_different_locations_never_conflict(self):
+        assert not is_conflicting(Write(tid=0, loc=self.x), Write(tid=1, loc=self.y))
+
+    def test_atomics_do_not_conflict_with_atomics(self):
+        assert not is_conflicting(Atomic(tid=0, loc=self.x), Atomic(tid=1, loc=self.x))
+
+    def test_atomic_conflicts_with_plain_accesses(self):
+        assert is_conflicting(Atomic(tid=0, loc=self.x), Read(tid=1, loc=self.x))
+        assert is_conflicting(Write(tid=0, loc=self.x), Atomic(tid=1, loc=self.x))
+
+
+class TestTidsOf:
+    def test_thread_ops(self):
+        assert tids_of(Read(tid=3, loc=global_loc(0))) == (3,)
+
+    def test_endi_uses_amask(self):
+        op = EndInsn(warp=0, amask=frozenset({0, 2}))
+        assert tids_of(op) == (0, 2)
+
+    def test_if_covers_both_paths(self):
+        op = If(warp=0, then_mask=frozenset({1}), else_mask=frozenset({0}))
+        assert tids_of(op) == (0, 1)
+
+    def test_else_requires_stack_context(self):
+        with pytest.raises(ValueError):
+            tids_of(Else(warp=0))
+
+
+class TestWarpStackSet:
+    def test_initial_masks(self):
+        stacks = WarpStackSet(LAYOUT)
+        assert stacks.active(0) == frozenset({0, 1, 2, 3})
+        assert stacks.depth(0) == 1
+
+    def test_if_else_fi_cycle(self):
+        stacks = WarpStackSet(LAYOUT)
+        op = If(warp=0, then_mask=frozenset({0, 1}), else_mask=frozenset({2, 3}))
+        assert stacks.on_if(op) == frozenset({0, 1})
+        assert stacks.active(0) == frozenset({0, 1})
+        assert stacks.on_else(Else(warp=0)) == frozenset({2, 3})
+        assert stacks.on_fi(Fi(warp=0)) == frozenset({0, 1, 2, 3})
+        assert stacks.depth(0) == 1
+
+    def test_overlapping_masks_rejected(self):
+        stacks = WarpStackSet(LAYOUT)
+        with pytest.raises(TraceError):
+            stacks.on_if(If(warp=0, then_mask=frozenset({0}), else_mask=frozenset({0, 1, 2, 3})))
+
+    def test_incomplete_split_rejected(self):
+        stacks = WarpStackSet(LAYOUT)
+        with pytest.raises(TraceError):
+            stacks.on_if(If(warp=0, then_mask=frozenset({0}), else_mask=frozenset({1})))
+
+    def test_unmatched_else_rejected(self):
+        stacks = WarpStackSet(LAYOUT)
+        with pytest.raises(TraceError):
+            stacks.on_else(Else(warp=0))
+
+    def test_unmatched_fi_rejected(self):
+        stacks = WarpStackSet(LAYOUT)
+        with pytest.raises(TraceError):
+            stacks.on_fi(Fi(warp=0))
+
+
+class TestTraceBuilder:
+    def test_memory_group_covers_active_threads(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.write(0, global_loc(0), value=1)
+        trace = builder.build()
+        assert [type(op).__name__ for op in trace] == [
+            "Write", "Write", "Write", "Write", "EndInsn",
+        ]
+        assert trace.ops[4].amask == frozenset({0, 1, 2, 3})
+
+    def test_per_thread_addresses(self):
+        builder = TraceBuilder(LAYOUT)
+        addrs = {t: global_loc(t * 4) for t in range(4)}
+        builder.read(0, addrs)
+        locs = [op.loc for op in builder.build().ops[:4]]
+        assert locs == [global_loc(0), global_loc(4), global_loc(8), global_loc(12)]
+
+    def test_missing_address_rejected(self):
+        builder = TraceBuilder(LAYOUT)
+        with pytest.raises(TraceError):
+            builder.read(0, {0: global_loc(0)})
+
+    def test_branch_restricts_following_groups(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.branch_if(0, [0, 1])
+        builder.write(0, global_loc(0), value=1)
+        builder.branch_else(0)
+        builder.write(0, global_loc(4), value=2)
+        builder.branch_fi(0)
+        trace = builder.build()
+        writes = [op for op in trace if isinstance(op, Write)]
+        assert {op.tid for op in writes if op.loc == global_loc(0)} == {0, 1}
+        assert {op.tid for op in writes if op.loc == global_loc(4)} == {2, 3}
+
+    def test_empty_path_emits_nothing(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.branch_if(0, [0, 1, 2, 3])
+        builder.branch_else(0)
+        builder.write(0, global_loc(0), value=1)  # empty else: NOP
+        builder.branch_fi(0)
+        trace = builder.build()
+        assert not any(isinstance(op, Write) for op in trace)
+
+    def test_barrier_collects_active_threads(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.branch_if(0, [0])
+        builder.barrier(0)
+        trace = builder.build()
+        barrier = next(op for op in trace if isinstance(op, Barrier))
+        # Warp 0 contributes only its then path; warp 1 is fully active.
+        assert barrier.active == frozenset({0}) | frozenset({4, 5, 6, 7})
+
+    def test_inactive_then_threads_rejected(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.branch_if(0, [0, 1])
+        with pytest.raises(TraceError):
+            builder.branch_if(0, [2])
+
+
+class TestFeasibility:
+    def test_builder_output_is_feasible(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.write(0, global_loc(0), value=1)
+        builder.branch_if(0, [0])
+        builder.read(0, global_loc(0))
+        builder.branch_else(0)
+        builder.branch_fi(0)
+        builder.barrier(0)
+        check_feasible(builder.build())
+
+    def test_missing_endi_rejected(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.write(0, global_loc(0), value=1)
+        trace = builder.build()
+        trace.ops.pop()  # drop the endi
+        with pytest.raises(TraceError):
+            check_feasible(trace)
+
+    def test_partial_group_rejected(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.write(0, global_loc(0), value=1)
+        trace = builder.build()
+        trace.ops.pop(0)  # drop one thread's write
+        with pytest.raises(TraceError):
+            check_feasible(trace)
+
+    def test_stray_endi_rejected(self):
+        trace = TraceBuilder(LAYOUT).build()
+        trace.append(EndInsn(warp=0, amask=frozenset({0, 1, 2, 3})))
+        with pytest.raises(TraceError):
+            check_feasible(trace)
+
+    def test_inactive_thread_op_rejected(self):
+        builder = TraceBuilder(LAYOUT)
+        builder.branch_if(0, [0, 1])
+        trace = builder.build()
+        trace.append(Read(tid=2, loc=global_loc(0)))
+        trace.append(EndInsn(warp=0, amask=frozenset({2})))
+        with pytest.raises(TraceError):
+            check_feasible(trace)
+
+    @given(feasible_traces())
+    def test_generated_traces_are_feasible(self, trace):
+        check_feasible(trace)

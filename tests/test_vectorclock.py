@@ -1,0 +1,136 @@
+"""Vector clocks and epochs: lattice laws and FastTrack comparisons."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vectorclock import Epoch, VectorClock, join_all
+
+clock_entries = st.dictionaries(
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=1, max_value=50),
+    max_size=8,
+)
+
+
+def vc(entries):
+    return VectorClock(dict(entries))
+
+
+class TestEpoch:
+    def test_bottom_is_zero_everywhere(self):
+        bottom = Epoch.bottom()
+        assert bottom.clock == 0
+        assert bottom.leq(VectorClock())
+
+    def test_leq_compares_single_entry(self):
+        clock = vc({3: 5})
+        assert Epoch(5, 3).leq(clock)
+        assert not Epoch(6, 3).leq(clock)
+        assert not Epoch(1, 4).leq(clock)
+
+    def test_bottom_epochs_equal_regardless_of_tid(self):
+        assert Epoch(0, 0) == Epoch(0, 7)
+        assert hash(Epoch(0, 0)) == hash(Epoch(0, 7))
+
+    def test_nonzero_epochs_compare_by_both_fields(self):
+        assert Epoch(3, 1) == Epoch(3, 1)
+        assert Epoch(3, 1) != Epoch(3, 2)
+        assert Epoch(3, 1) != Epoch(4, 1)
+
+    def test_leq_epoch(self):
+        assert Epoch(2, 1).leq_epoch(Epoch(3, 1))
+        assert not Epoch(3, 1).leq_epoch(Epoch(2, 1))
+        assert not Epoch(1, 1).leq_epoch(Epoch(5, 2))
+        assert Epoch(0, 9).leq_epoch(Epoch(1, 2))
+
+    def test_as_vector_clock(self):
+        assert Epoch(4, 2).as_vector_clock() == vc({2: 4})
+        assert Epoch.bottom().as_vector_clock() == VectorClock()
+
+    def test_negative_clock_rejected(self):
+        with pytest.raises(ValueError):
+            Epoch(-1, 0)
+
+
+class TestVectorClock:
+    def test_get_missing_is_zero(self):
+        assert VectorClock().get(42) == 0
+
+    def test_set_and_get(self):
+        clock = VectorClock()
+        clock.set(1, 7)
+        assert clock.get(1) == 7
+
+    def test_set_zero_removes_entry(self):
+        clock = vc({1: 7})
+        clock.set(1, 0)
+        assert clock == VectorClock()
+
+    def test_increment(self):
+        clock = VectorClock()
+        clock.increment(3)
+        clock.increment(3)
+        assert clock.get(3) == 2
+
+    def test_join_is_pointwise_max(self):
+        a = vc({1: 5, 2: 1})
+        a.join(vc({2: 9, 3: 4}))
+        assert a == vc({1: 5, 2: 9, 3: 4})
+
+    def test_epoch_of(self):
+        clock = vc({2: 6})
+        assert clock.epoch_of(2) == Epoch(6, 2)
+        assert clock.epoch_of(9) == Epoch(0, 9)
+
+    def test_copy_is_independent(self):
+        a = vc({1: 1})
+        b = a.copy()
+        b.increment(1)
+        assert a.get(1) == 1
+        assert b.get(1) == 2
+
+    def test_explicit_zeros_are_canonicalized(self):
+        assert VectorClock({1: 0, 2: 3}) == vc({2: 3})
+
+
+class TestLatticeLaws:
+    @given(clock_entries, clock_entries)
+    def test_join_commutes(self, a, b):
+        left = vc(a).joined(vc(b))
+        right = vc(b).joined(vc(a))
+        assert left == right
+
+    @given(clock_entries, clock_entries, clock_entries)
+    def test_join_associates(self, a, b, c):
+        left = vc(a).joined(vc(b)).joined(vc(c))
+        right = vc(a).joined(vc(b).joined(vc(c)))
+        assert left == right
+
+    @given(clock_entries)
+    def test_join_idempotent(self, a):
+        assert vc(a).joined(vc(a)) == vc(a)
+
+    @given(clock_entries, clock_entries)
+    def test_join_is_least_upper_bound(self, a, b):
+        joined = vc(a).joined(vc(b))
+        assert vc(a).leq(joined)
+        assert vc(b).leq(joined)
+
+    @given(clock_entries, clock_entries)
+    def test_leq_antisymmetric(self, a, b):
+        if vc(a).leq(vc(b)) and vc(b).leq(vc(a)):
+            assert vc(a) == vc(b)
+
+    @given(clock_entries, clock_entries)
+    def test_epoch_leq_consistent_with_inflation(self, a, b):
+        clock = vc(b)
+        for tid, stamp in a.items():
+            epoch = Epoch(stamp, tid)
+            assert epoch.leq(clock) == epoch.as_vector_clock().leq(clock)
+
+    @given(st.lists(clock_entries, max_size=5))
+    def test_join_all(self, clocks):
+        joined = join_all(vc(c) for c in clocks)
+        for c in clocks:
+            assert vc(c).leq(joined)

@@ -1,0 +1,141 @@
+"""Table 1 workloads: race findings, output correctness, overheads."""
+
+import pytest
+
+from repro.bench import ALL_WORKLOADS, run_workload, workload
+from repro.runtime import BarracudaSession
+from repro.suite.model import Buffer
+
+
+def test_registry_matches_table1():
+    assert len(ALL_WORKLOADS) == 26
+    suites = {w.suite for w in ALL_WORKLOADS}
+    assert suites == {"Rodinia 3.1", "SHOC", "GPU-TM", "CUDA SDK", "CUB"}
+    assert sum(w.suite == "Rodinia 3.1" for w in ALL_WORKLOADS) == 12
+    assert sum(w.suite == "CUB" for w in ALL_WORKLOADS) == 10
+
+
+def test_lookup():
+    assert workload("dxtc").suite == "CUDA SDK"
+    with pytest.raises(KeyError):
+        workload("doom3")
+
+
+@pytest.mark.parametrize("entry", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_race_findings_match_paper(entry):
+    """Racy exactly where the paper found races, in the same space."""
+    result = run_workload(entry, compare_native=False)
+    if entry.paper_races:
+        assert result.races > 0, f"{entry.name}: race not detected"
+        assert entry.expected_race_space in result.race_spaces
+    else:
+        assert result.races == 0, (
+            f"{entry.name}: unexpected races {result.launch.races[:3]}"
+        )
+
+
+class TestExactCounts:
+    def test_dxtc_reports_exactly_120_shared_races(self):
+        result = run_workload(workload("dxtc"), compare_native=False)
+        assert result.races == 120
+
+    def test_threadfence_reduction_reports_exactly_12(self):
+        result = run_workload(workload("threadfence_reduction"), compare_native=False)
+        assert result.races == 12
+
+    def test_dwt2d_reports_exactly_3_boundary_races(self):
+        result = run_workload(workload("dwt2d"), compare_native=False)
+        assert result.races == 3
+
+
+class TestOutputs:
+    """The monitored kernels still compute the right thing."""
+
+    def _run(self, name, compare_native=False):
+        session = BarracudaSession()
+        entry = workload(name)
+        module = entry.compile()
+        session.register_module(module)
+        params = {}
+        addrs = {}
+        for buffer in entry.buffers:
+            addr = session.device.alloc(buffer.words * 4)
+            values = list(buffer.init) + [0] * (buffer.words - len(buffer.init))
+            session.device.memcpy_to_device(addr, values)
+            params[buffer.name] = addr
+            addrs[buffer.name] = (addr, buffer.words)
+        for name_, value in entry.scalars:
+            params[name_] = value
+        session.launch(
+            module.kernels[0].name, grid=entry.grid, block=entry.block,
+            warp_size=entry.warp_size, params=params,
+            compare_native=compare_native,
+        )
+        return session, addrs
+
+    def test_backprop_sums_weighted_inputs(self):
+        session, addrs = self._run("backprop")
+        entry = workload("backprop")
+        inputs = list(range(64))
+        weights = [i % 7 for i in range(256)]
+        expected = [
+            sum(inputs[i] * weights[u * 64 + i] for i in range(64))
+            for u in range(4)
+        ]
+        addr, words = addrs["hidden"]
+        assert session.device.memcpy_from_device(addr, words) == expected
+
+    def test_block_reduce_totals(self):
+        session, addrs = self._run("block_reduce")
+        data = [(i * 7 + 3) % 64 for i in range(128)]
+        addr, words = addrs["out"]
+        assert session.device.memcpy_from_device(addr, words) == [
+            sum(data[:64]), sum(data[64:]),
+        ]
+
+    def test_block_scan_prefix_sums(self):
+        session, addrs = self._run("block_scan")
+        data = [(i * 7 + 3) % 9 for i in range(128)]
+        addr, words = addrs["out"]
+        got = session.device.memcpy_from_device(addr, words)
+        for block in range(2):
+            total = 0
+            for i in range(64):
+                total += data[block * 64 + i]
+                assert got[block * 64 + i] == total
+
+    def test_device_reduce_grand_total(self):
+        session, addrs = self._run("device_reduce")
+        data = [(i * 7 + 3) % 11 for i in range(256)]
+        addr, _ = addrs["out"]
+        assert session.device.memcpy_from_device(addr, 1) == [sum(data)]
+
+    def test_kmeans_assigns_nearest_centroid(self):
+        session, addrs = self._run("kmeans")
+        points = [(i * 17) % 256 for i in range(256)]
+        centroids = [10, 40, 80, 120, 160, 200, 230, 250]
+        expected = [
+            min(range(8), key=lambda c: (abs(p - centroids[c]), c)) for p in points
+        ]
+        addr, words = addrs["membership"]
+        assert session.device.memcpy_from_device(addr, words) == expected
+
+    def test_bfs_expands_frontier(self):
+        session, addrs = self._run("bfs")
+        addr, words = addrs["cost"]
+        cost = session.device.memcpy_from_device(addr, words)
+        # Children of the masked level (nodes 127..254) got cost 7.
+        assert all(cost[i] == 7 for i in range(127, 255))
+
+
+class TestOverheads:
+    def test_instrumentation_slows_kernels_down(self):
+        result = run_workload(workload("streamcluster"), compare_native=True)
+        assert result.launch.overhead > 1.5
+
+    def test_memory_dense_kernels_cost_more(self):
+        # lavamd's all-pairs force loop is arithmetic-dominated; the
+        # select kernels log an access every few instructions.
+        arithmetic_heavy = run_workload(workload("lavamd"), compare_native=True)
+        memory_dense = run_workload(workload("device_select_unique"), compare_native=True)
+        assert memory_dense.launch.overhead > arithmetic_heavy.launch.overhead * 1.3

@@ -1,0 +1,71 @@
+"""Shared random-trace generation for the detector property tests.
+
+Builds arbitrary *feasible* traces (§3.1) through :class:`TraceBuilder`,
+so every generated trace is one a real execution could produce: warp
+instructions cover exactly the active threads, branches nest properly,
+and barriers carry the actual arrived set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from hypothesis import strategies as st
+
+from repro.trace import GridLayout, Scope, TraceBuilder, global_loc, shared_loc
+from repro.trace.trace import Trace
+
+
+def random_trace(rng: random.Random, max_ops: int = 28) -> Trace:
+    """One random feasible trace over a small random layout."""
+    layout = GridLayout(
+        num_blocks=rng.choice([1, 2, 3]),
+        threads_per_block=rng.choice([2, 4, 6]),
+        warp_size=rng.choice([2, 4]),
+    )
+    builder = TraceBuilder(layout)
+    global_locs = [global_loc(i * 4) for i in range(3)]
+    depth = {w: 0 for w in layout.all_warps()}
+    for _ in range(rng.randrange(3, max_ops)):
+        warp = rng.randrange(layout.total_warps)
+        active = builder.stacks.active(warp)
+        block = layout.block_of_warp(warp)
+        loc = rng.choice(global_locs + [shared_loc(block, 0)])
+        choice = rng.random()
+        scope = rng.choice([Scope.BLOCK, Scope.GLOBAL])
+        if choice < 0.25 and active:
+            builder.read(warp, loc)
+        elif choice < 0.50 and active:
+            builder.write(warp, loc, value=rng.choice([None, 1, 2]))
+        elif choice < 0.60 and active:
+            builder.atomic(warp, loc)
+        elif choice < 0.68 and active:
+            builder.acquire(warp, loc, scope)
+        elif choice < 0.76 and active:
+            builder.release(warp, loc, scope)
+        elif choice < 0.80 and active:
+            builder.acqrel(warp, loc, scope)
+        elif choice < 0.88 and active and depth[warp] < 2:
+            then = frozenset(t for t in active if rng.random() < 0.5)
+            builder.branch_if(warp, then)
+            depth[warp] += 1
+        elif choice < 0.94 and depth[warp] > 0:
+            builder.branch_else(warp)
+            builder.branch_fi(warp)
+            depth[warp] -= 1
+        else:
+            builder.barrier(block)
+    for warp in layout.all_warps():
+        while depth[warp] > 0:
+            builder.branch_else(warp)
+            builder.branch_fi(warp)
+            depth[warp] -= 1
+    return builder.build()
+
+
+@st.composite
+def feasible_traces(draw, max_ops: int = 28) -> Trace:
+    """Hypothesis strategy producing feasible traces via a drawn seed."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return random_trace(random.Random(seed), max_ops=max_ops)
