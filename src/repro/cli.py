@@ -10,6 +10,14 @@ Accepts mini CUDA-C (``.cu``) or PTX (``.ptx``) input, allocates the
 requested device buffers, launches the kernel under a full
 :class:`BarracudaSession`, and prints race and barrier-divergence
 reports grouped by location, plus instrumentation and queue statistics.
+
+Four subcommands front the system; the kernel-checking flow above stays
+the default whenever the first argument is not a subcommand name::
+
+    python -m repro check kernel.cu --grid 2 ...   # explicit form of the above
+    python -m repro serve --socket /tmp/barracuda.sock --workers 4
+    python -m repro submit capture.jsonl --socket /tmp/barracuda.sock --stats
+    python -m repro replay capture.jsonl --reference
 """
 
 from __future__ import annotations
@@ -97,7 +105,39 @@ def _load_module(path: str):
     return compile_cuda(text)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _print_reports(reports, max_reports: int) -> int:
+    """Shared race/divergence rendering; returns the exit code."""
+    exit_code = 0
+    if reports.barrier_divergences:
+        exit_code = 1
+        print(f"========= {len(reports.barrier_divergences)} barrier divergence(s)")
+        for report in reports.barrier_divergences:
+            print(f"  {report}")
+
+    if reports.races:
+        exit_code = 1
+        by_loc: Dict[str, list] = {}
+        for race in reports.races:
+            by_loc.setdefault(str(race.loc), []).append(race)
+        print(f"========= {len(reports.races)} race report(s) at "
+              f"{len(by_loc)} location(s)")
+        for loc, races in sorted(by_loc.items()):
+            print(f"  {loc}: {len(races)} report(s)")
+            for race in races[:max_reports]:
+                tag = " [branch-ordering]" if race.branch_ordering else ""
+                print(f"    {race.kind}: {race.prior_access} by t{race.prior_tid}"
+                      f" vs {race.current_access} by t{race.current_tid}{tag}")
+            if len(races) > max_reports:
+                print(f"    ... and {len(races) - max_reports} more")
+    else:
+        print("========= no races detected")
+    if reports.filtered_same_value:
+        print(f"(filtered {reports.filtered_same_value} benign "
+              "same-value intra-warp stores)")
+    return exit_code
+
+
+def run_check(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         module = _load_module(args.source)
@@ -143,33 +183,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    exit_code = 0
-    if launch.barrier_divergences:
-        exit_code = 1
-        print(f"========= {len(launch.barrier_divergences)} barrier divergence(s)")
-        for report in launch.barrier_divergences:
-            print(f"  {report}")
-
-    if launch.races:
-        exit_code = 1
-        by_loc: Dict[str, list] = {}
-        for race in launch.races:
-            by_loc.setdefault(str(race.loc), []).append(race)
-        print(f"========= {len(launch.races)} race report(s) at "
-              f"{len(by_loc)} location(s)")
-        for loc, races in sorted(by_loc.items()):
-            print(f"  {loc}: {len(races)} report(s)")
-            for race in races[: args.max_reports]:
-                tag = " [branch-ordering]" if race.branch_ordering else ""
-                print(f"    {race.kind}: {race.prior_access} by t{race.prior_tid}"
-                      f" vs {race.current_access} by t{race.current_tid}{tag}")
-            if len(races) > args.max_reports:
-                print(f"    ... and {len(races) - args.max_reports} more")
-    else:
-        print("========= no races detected")
-    if launch.reports.filtered_same_value:
-        print(f"(filtered {launch.reports.filtered_same_value} benign "
-              "same-value intra-warp stores)")
+    exit_code = _print_reports(launch.reports, args.max_reports)
 
     if args.stats:
         report = session.instrumentation_report(handle)
@@ -180,6 +194,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"({kernel_report.instrumented_fraction:.1%})")
         print(f"  log records emitted     : {launch.records} "
               f"({launch.queue_bytes} queue bytes)")
+        print(f"  queue stalls            : {launch.total_stalls} "
+              f"({launch.total_stall_cycles} stall cycles)")
+        print(f"  queue occupancy         : max depth {launch.max_queue_depth} "
+              f"of {session.queue_capacity} records, "
+              f"{launch.total_wraps} ring wrap(s)")
         print(f"  simulated cycles        : {launch.instrumented.total_cycles}")
 
     if args.dump_buffers:
@@ -189,6 +208,147 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name} = {values}")
 
     return exit_code
+
+
+# ----------------------------------------------------------------------
+# Service subcommands
+# ----------------------------------------------------------------------
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", help="unix socket path of the service")
+    parser.add_argument("--host", default="127.0.0.1", help="service TCP host")
+    parser.add_argument("--port", type=int, help="service TCP port")
+
+
+def run_serve(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the streaming race-detection service.",
+    )
+    _add_endpoint_args(parser)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="detector worker processes (0 = in-process)")
+    parser.add_argument("--high-water", type=int, default=None,
+                        help="per-job pending-record backpressure threshold")
+    args = parser.parse_args(argv)
+
+    from .service.server import DEFAULT_HIGH_WATER, RaceService
+
+    try:
+        service = RaceService(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            high_water=args.high_water or DEFAULT_HIGH_WATER,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    endpoints = [e for e in (args.socket and f"unix:{args.socket}",
+                             args.port is not None and
+                             f"tcp:{args.host}:{args.port}") if e]
+    print(f"barracuda service listening on {', '.join(endpoints)} "
+          f"({args.workers} worker(s)); ctrl-c to stop", file=sys.stderr)
+    service.run_forever()
+    return 0
+
+
+def run_submit(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit a replay capture to a running service.",
+    )
+    parser.add_argument("capture", help="capture file (JSONL, from save_capture)")
+    _add_endpoint_args(parser)
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="record lines per protocol frame")
+    parser.add_argument("--max-reports", type=int, default=10,
+                        help="race reports to print per location")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-job and service statistics")
+    args = parser.parse_args(argv)
+
+    from .service.client import ServiceClient
+    from .service.stats import render_job_stats, render_service_stats
+
+    try:
+        with open(args.capture) as stream:
+            with ServiceClient(socket_path=args.socket, host=args.host,
+                               port=args.port) as client:
+                result = client.submit(stream, batch_size=args.batch_size)
+                service_stats = client.stats() if args.stats else None
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    exit_code = _print_reports(result.reports, args.max_reports)
+    if args.stats:
+        print(render_job_stats(result.stats))
+        print(render_service_stats(service_stats))
+    return exit_code
+
+
+def run_replay(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description="Replay a capture through the detector in-process.",
+    )
+    parser.add_argument("capture", help="capture file (JSONL, from save_capture)")
+    parser.add_argument("--reference", action="store_true",
+                        help="use the uncompressed reference detector")
+    parser.add_argument("--no-filter-same-value", action="store_true",
+                        help="report benign same-value intra-warp stores too")
+    parser.add_argument("--max-reports", type=int, default=10,
+                        help="race reports to print per location")
+    parser.add_argument("--stats", action="store_true",
+                        help="print capture statistics")
+    args = parser.parse_args(argv)
+
+    from .core.reference import DetectorConfig
+    from .runtime.replay import load_capture, replay
+
+    try:
+        with open(args.capture) as stream:
+            layout, kernel, records = load_capture(stream)
+        reports = replay(
+            layout,
+            records,
+            config=DetectorConfig(filter_same_value=not args.no_filter_same_value),
+            reference=args.reference,
+        )
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    exit_code = _print_reports(reports, args.max_reports)
+    if args.stats:
+        print("--------- statistics")
+        print(f"  kernel                  : {kernel or '<unknown>'}")
+        print(f"  records replayed        : {len(records)}")
+        print(f"  grid                    : {layout.num_blocks} block(s) x "
+              f"{layout.threads_per_block} thread(s), warp {layout.warp_size}")
+    return exit_code
+
+
+_SUBCOMMANDS = {
+    "check": run_check,
+    "serve": run_serve,
+    "submit": run_submit,
+    "replay": run_replay,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch to a subcommand; bare invocations stay ``check``.
+
+    ``python -m repro kernel.cu --grid 2`` predates the subcommands and
+    keeps working: when the first argument is not a subcommand name it
+    is treated as a kernel source path.
+    """
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[args[0]](args[1:])
+    return run_check(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

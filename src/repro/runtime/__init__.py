@@ -4,5 +4,12 @@ from .host import HostDetector
 from .latent import LatentRaceReport, WarpSizeFinding, allocate_like, find_latent_races
 from .queue import DEFAULT_CAPACITY, LogQueue, QueueSet, QueueStats
 from .records import RECORD_BYTES, LogRecord, RecordKind, record_to_ops
-from .replay import RecordingSink, load_capture, replay, save_capture
+from .replay import (
+    RecordingSink,
+    load_capture,
+    read_header,
+    record_line_to_record,
+    replay,
+    save_capture,
+)
 from .session import BarracudaSession, SessionLaunch

@@ -44,6 +44,9 @@ class QueueStats:
     max_depth: int = 0
     stalls: int = 0
     stall_cycles: int = 0
+    #: Completed revolutions of the write head around the ring; always
+    #: equal to ``write_head // capacity``.
+    wraps: int = 0
 
     @property
     def bytes_transferred(self) -> int:
@@ -87,6 +90,8 @@ class LogQueue:
         self.write_head += 1
         self.commit_index = self.write_head
         self.stats.pushed += 1
+        if self.write_head % self.capacity == 0:
+            self.stats.wraps += 1
         depth = self.write_head - self.read_head
         if depth > self.stats.max_depth:
             self.stats.max_depth = depth

@@ -83,8 +83,49 @@ def _record_from_json(payload: dict) -> LogRecord:
             width=payload.get("width", 4),
             pc=payload.get("pc", -1),
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, TypeError) as exc:
         raise ReproError(f"malformed capture record: {exc}") from exc
+
+
+def record_line_to_record(line: str, lineno: int = 0) -> LogRecord:
+    """Parse one capture JSONL record line, raising :class:`ReproError`.
+
+    All malformedness — garbage JSON, a non-object line, missing or
+    mistyped fields — surfaces as :class:`ReproError` so consumers (the
+    offline loader and the detection service) can fail one capture
+    cleanly instead of crashing on a stray ``JSONDecodeError``.
+    """
+    where = f" on line {lineno}" if lineno else ""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"garbage JSON{where}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"capture record{where} is not a JSON object")
+    return _record_from_json(payload)
+
+
+def read_header(header_line: str) -> Tuple[GridLayout, str]:
+    """Parse and validate a capture header line; returns (layout, kernel)."""
+    if not header_line.strip():
+        raise ReproError("empty capture")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed capture header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != "barracuda-capture":
+        raise ReproError("not a barracuda capture")
+    if header.get("version") != FORMAT_VERSION:
+        raise ReproError(f"unsupported capture version {header.get('version')}")
+    try:
+        layout = GridLayout(
+            num_blocks=header["layout"]["num_blocks"],
+            threads_per_block=header["layout"]["threads_per_block"],
+            warp_size=header["layout"]["warp_size"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed capture layout: {exc}") from exc
+    return layout, header.get("kernel", "")
 
 
 def save_capture(
@@ -117,18 +158,13 @@ def load_capture(stream: IO[str]) -> Tuple[GridLayout, str, List[LogRecord]]:
     header_line = stream.readline()
     if not header_line:
         raise ReproError("empty capture")
-    header = json.loads(header_line)
-    if header.get("format") != "barracuda-capture":
-        raise ReproError("not a barracuda capture")
-    if header.get("version") != FORMAT_VERSION:
-        raise ReproError(f"unsupported capture version {header.get('version')}")
-    layout = GridLayout(
-        num_blocks=header["layout"]["num_blocks"],
-        threads_per_block=header["layout"]["threads_per_block"],
-        warp_size=header["layout"]["warp_size"],
-    )
-    records = [_record_from_json(json.loads(line)) for line in stream if line.strip()]
-    return layout, header.get("kernel", ""), records
+    layout, kernel = read_header(header_line)
+    records = [
+        record_line_to_record(line, lineno)
+        for lineno, line in enumerate(stream, start=2)
+        if line.strip()
+    ]
+    return layout, kernel, records
 
 
 def replay(

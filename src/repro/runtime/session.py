@@ -14,7 +14,7 @@ pristine module too, so the same kernel can be launched natively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.races import BarrierDivergenceReport, DetectorReports, RaceReport
@@ -29,7 +29,7 @@ from ..instrument.passes import InstrumentationReport, Instrumenter
 from ..ptx.ast import Module
 from ..trace.layout import GridLayout
 from .host import HostDetector
-from .queue import DEFAULT_CAPACITY, QueueSet
+from .queue import DEFAULT_CAPACITY, QueueSet, QueueStats
 from ..events import RecordKind
 
 
@@ -43,10 +43,28 @@ class SessionLaunch:
     reports: DetectorReports
     records: int
     queue_bytes: int
+    #: Per-queue occupancy/stall accounting snapshot of this launch.
+    queue_stats: List[QueueStats] = field(default_factory=list)
 
     @property
     def races(self) -> List[RaceReport]:
         return self.reports.races
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(stats.stalls for stats in self.queue_stats)
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(stats.stall_cycles for stats in self.queue_stats)
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((stats.max_depth for stats in self.queue_stats), default=0)
+
+    @property
+    def total_wraps(self) -> int:
+        return sum(stats.wraps for stats in self.queue_stats)
 
     @property
     def barrier_divergences(self) -> List[BarrierDivergenceReport]:
@@ -191,6 +209,7 @@ class BarracudaSession:
             reports=host.reports,
             records=queues.total_pushed,
             queue_bytes=queues.total_bytes,
+            queue_stats=[queue.stats for queue in queues.queues],
         )
         self.launches.append(launch)
         return launch

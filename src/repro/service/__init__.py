@@ -1,0 +1,25 @@
+"""The concurrent race-detection service.
+
+Turns the offline capture/replay pipeline into a long-running service:
+a framed streaming protocol over the replay JSONL format
+(:mod:`~repro.service.protocol`), an asyncio ingest server with per-job
+backpressure and failure isolation (:mod:`~repro.service.server`), a
+job-affine sharded detector pool (:mod:`~repro.service.pipeline`), a
+blocking client library (:mod:`~repro.service.client`), and a live
+stats surface (:mod:`~repro.service.stats`).  ``python -m repro serve``
+and ``python -m repro submit`` are the CLI front doors.
+"""
+
+from .client import JobResult, ServiceClient, ServiceJobError, submit_capture
+from .pipeline import ShardedDetectorPool
+from .protocol import (
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    recv_frame,
+    reports_from_payload,
+    reports_to_payload,
+    send_frame,
+)
+from .server import DEFAULT_HIGH_WATER, RaceService, ServiceThread
+from .stats import JobStats, ServiceStats, WorkerStats

@@ -1,0 +1,171 @@
+"""Client library for the race-detection service.
+
+A :class:`ServiceClient` speaks the framed protocol over a unix or TCP
+socket: open a job with the capture header, stream the record lines in
+chunked batches (one batch in flight per ACK, so server-side
+backpressure translates directly into client-side pacing), close, and
+receive the job's :class:`~repro.core.races.DetectorReports`.
+
+The capture content itself is never parsed client-side — lines travel
+raw, and the service validates them per job — so a corrupt capture
+produces a clean server-reported error, identical for every client.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import IO, Iterable, List, Optional
+
+from ..core.races import DetectorReports
+from ..core.reference import DetectorConfig
+from ..errors import ReproError
+from . import protocol
+
+#: Record lines per RECORDS frame.
+DEFAULT_BATCH_SIZE = 256
+
+
+class ServiceJobError(ReproError):
+    """The service rejected or failed a submitted job."""
+
+    def __init__(self, message: str, job_id: Optional[str] = None) -> None:
+        self.job_id = job_id
+        super().__init__(message)
+
+
+@dataclass
+class JobResult:
+    """Everything one submission returned."""
+
+    job_id: str
+    reports: DetectorReports
+    #: Per-job stats snapshot from the server (records/sec, latency
+    #: percentiles, peak queue depth); see ``repro.service.stats``.
+    stats: dict = field(default_factory=dict)
+    records_processed: int = 0
+
+
+class ServiceClient:
+    """One connection to a running race-detection service."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ReproError("client needs a unix socket path or a TCP port")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Request/response plumbing
+    # ------------------------------------------------------------------
+    def _request(self, frame: dict) -> dict:
+        protocol.send_frame(self._sock, frame)
+        reply = protocol.recv_frame(self._sock)
+        if reply is None:
+            raise ReproError("service closed the connection")
+        return reply
+
+    @staticmethod
+    def _raise_on_error(reply: dict) -> dict:
+        if reply.get("verb") == protocol.ERROR:
+            raise ServiceJobError(reply.get("message", "service error"),
+                                  reply.get("job_id"))
+        return reply
+
+    def _expect(self, reply: dict, verb: str) -> dict:
+        self._raise_on_error(reply)
+        if reply.get("verb") != verb:
+            raise protocol.ProtocolError(
+                f"expected {verb!r} from service, got {reply.get('verb')!r}")
+        return reply
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        stream: IO[str],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        config: Optional[DetectorConfig] = None,
+    ) -> JobResult:
+        """Stream one capture (header line + record lines) as one job."""
+        header_line = stream.readline()
+        reply = self._expect(
+            self._request(protocol.open_frame(header_line, config)),
+            protocol.ACCEPT,
+        )
+        job_id = reply["job_id"]
+        batch: List[str] = []
+        for line in stream:
+            if not line.strip():
+                continue
+            batch.append(line)
+            if len(batch) >= batch_size:
+                self._send_batch(job_id, batch)
+                batch = []
+        if batch:
+            self._send_batch(job_id, batch)
+        report = self._expect(self._request(protocol.close_frame(job_id)),
+                              protocol.REPORT)
+        payload = report.get("reports", {})
+        return JobResult(
+            job_id=job_id,
+            reports=protocol.reports_from_payload(payload),
+            stats=report.get("stats", {}),
+            records_processed=payload.get("records_processed", 0),
+        )
+
+    def _send_batch(self, job_id: str, lines: Iterable[str]) -> None:
+        self._expect(self._request(protocol.records_frame(job_id, list(lines))),
+                     protocol.ACK)
+
+    def submit_path(self, path: str, batch_size: int = DEFAULT_BATCH_SIZE,
+                    config: Optional[DetectorConfig] = None) -> JobResult:
+        with open(path) as stream:
+            return self.submit(stream, batch_size=batch_size, config=config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Fetch the service-wide stats snapshot (the ``STATS`` verb)."""
+        return self._expect(self._request(protocol.stats_frame()),
+                            protocol.STATS_REPLY)["stats"]
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - teardown best effort
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def submit_capture(
+    path: str,
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    config: Optional[DetectorConfig] = None,
+) -> JobResult:
+    """One-shot convenience: connect, submit one capture, disconnect."""
+    with ServiceClient(socket_path=socket_path, host=host, port=port) as client:
+        return client.submit_path(path, batch_size=batch_size, config=config)

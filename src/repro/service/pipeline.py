@@ -1,0 +1,201 @@
+"""Sharded detector worker pool.
+
+The service decouples ingest from analysis exactly the way BARRACUDA
+decouples GPU logging from host detection (§4): the only interface is a
+stream of records.  Each submitted capture ("job") gets its own
+:class:`~repro.runtime.host.HostDetector` living inside one pool shard.
+
+Sharding is **job-affine**: a job is assigned to a shard when opened
+(round-robin, deterministic in arrival order) and every one of its
+record batches is executed on that shard.  Because each shard is a
+single serial worker — one `ProcessPoolExecutor` of one process — the
+batches of a job are processed in submission order, which preserves the
+per-queue record ordering the detector's operational semantics assume,
+while distinct jobs run genuinely in parallel on distinct processes.
+
+Results merge deterministically: each job's report is serialized with a
+total order over race reports (:func:`repro.service.protocol.reports_to_payload`),
+so worker scheduling can never change the bytes a client receives.
+
+``workers=0`` selects the inline mode: the same code paths, executed
+synchronously in the calling process — used by tests, by environments
+without ``fork``, and by the modeled-throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.reference import DetectorConfig
+from ..errors import ReproError
+from ..runtime.host import HostDetector
+from ..runtime.replay import record_line_to_record
+from ..trace.layout import GridLayout
+from . import protocol
+from .stats import WorkerStats
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Each shard process keeps the detectors of the
+# jobs assigned to it in this module-level registry; the executor's
+# single worker serializes all access.
+# ----------------------------------------------------------------------
+_WORKER_JOBS: Dict[str, HostDetector] = {}
+
+
+def _worker_open(job_id: str, layout: GridLayout,
+                 config: Optional[DetectorConfig]) -> bool:
+    if job_id in _WORKER_JOBS:
+        raise ReproError(f"job {job_id!r} already open on this shard")
+    _WORKER_JOBS[job_id] = HostDetector(layout, config)
+    return True
+
+
+def _worker_batch(job_id: str, lines: Sequence[str]) -> Tuple[int, float]:
+    """Process one record batch; returns (records eaten, busy seconds)."""
+    detector = _WORKER_JOBS.get(job_id)
+    if detector is None:
+        raise ReproError(f"job {job_id!r} is not open on this shard")
+    start = time.perf_counter()
+    detector.consume(record_line_to_record(line) for line in lines)
+    return len(lines), time.perf_counter() - start
+
+
+def _worker_close(job_id: str) -> dict:
+    """Finish a job; returns the deterministically-serialized reports."""
+    detector = _WORKER_JOBS.pop(job_id, None)
+    if detector is None:
+        raise ReproError(f"job {job_id!r} is not open on this shard")
+    payload = protocol.reports_to_payload(detector.reports)
+    payload["records_processed"] = detector.records_processed
+    return payload
+
+
+def _worker_discard(job_id: str) -> bool:
+    return _WORKER_JOBS.pop(job_id, None) is not None
+
+
+def _completed(result) -> Future:
+    future: Future = Future()
+    future.set_result(result)
+    return future
+
+
+def _failed(exc: BaseException) -> Future:
+    future: Future = Future()
+    future.set_exception(exc)
+    return future
+
+
+class ShardedDetectorPool:
+    """Dispatches job record streams across job-affine detector shards."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 0:
+            raise ReproError(f"worker count must be >= 0, got {workers}")
+        self.workers = workers
+        self._executors: List[ProcessPoolExecutor] = [
+            ProcessPoolExecutor(max_workers=1) for _ in range(workers)
+        ]
+        self._assignments: Dict[str, int] = {}
+        self._next_shard = 0
+        self._lock = threading.Lock()
+        self.worker_stats = [WorkerStats(shard=i) for i in range(max(workers, 1))]
+
+    @property
+    def inline(self) -> bool:
+        return self.workers == 0
+
+    # ------------------------------------------------------------------
+    # Shard assignment
+    # ------------------------------------------------------------------
+    def shard_of(self, job_id: str) -> int:
+        shard = self._assignments.get(job_id)
+        if shard is None:
+            raise ReproError(f"job {job_id!r} is not open")
+        return shard
+
+    def _assign(self, job_id: str) -> int:
+        with self._lock:
+            if job_id in self._assignments:
+                raise ReproError(f"job {job_id!r} already open")
+            shard = self._next_shard % max(self.workers, 1)
+            self._next_shard += 1
+            self._assignments[job_id] = shard
+            self.worker_stats[shard].jobs_assigned += 1
+        return shard
+
+    def _dispatch(self, shard: int, fn, *args) -> Future:
+        if self.inline:
+            try:
+                return _completed(fn(*args))
+            except Exception as exc:  # parity with executor futures
+                return _failed(exc)
+        return self._executors[shard].submit(fn, *args)
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def open_job(self, job_id: str, layout: GridLayout,
+                 config: Optional[DetectorConfig] = None) -> Future:
+        shard = self._assign(job_id)
+        return self._dispatch(shard, _worker_open, job_id, layout, config)
+
+    def submit_batch(self, job_id: str, lines: Sequence[str]) -> Future:
+        """Queue one batch on the job's shard; resolves to (count, busy)."""
+        future = self._dispatch(self.shard_of(job_id), _worker_batch,
+                                job_id, list(lines))
+        future.add_done_callback(
+            lambda f, shard=self.shard_of(job_id): self._account(shard, f)
+        )
+        return future
+
+    def _account(self, shard: int, future: Future) -> None:
+        if future.cancelled() or future.exception() is not None:
+            return
+        count, busy = future.result()
+        with self._lock:
+            stats = self.worker_stats[shard]
+            stats.batches += 1
+            stats.records += count
+            stats.busy_seconds += busy
+
+    def close_job(self, job_id: str) -> Future:
+        """Finish a job; resolves to the serialized report payload."""
+        shard = self.shard_of(job_id)
+        future = self._dispatch(shard, _worker_close, job_id)
+        with self._lock:
+            self._assignments.pop(job_id, None)
+        return future
+
+    def discard_job(self, job_id: str) -> Future:
+        """Drop a job without a report (failed or disconnected client)."""
+        with self._lock:
+            shard = self._assignments.pop(job_id, None)
+        if shard is None:
+            return _completed(False)
+        return self._dispatch(shard, _worker_discard, job_id)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        # Drop any jobs never closed, so leaked detectors cannot linger in
+        # this process (inline mode) and get inherited by later forks.
+        with self._lock:
+            leaked = list(self._assignments)
+            self._assignments.clear()
+        if self.inline:
+            for job_id in leaked:
+                _WORKER_JOBS.pop(job_id, None)
+        for executor in self._executors:
+            executor.shutdown(wait=True, cancel_futures=True)
+        self._executors = []
+
+    def __enter__(self) -> "ShardedDetectorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

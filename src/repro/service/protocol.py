@@ -1,0 +1,314 @@
+"""Framed streaming protocol of the race-detection service.
+
+The wire format layers the replay JSONL capture format onto a stream of
+length-prefixed frames so many captures can be multiplexed over one
+connection and a server can ingest several jobs concurrently:
+
+* every frame is a 4-byte big-endian payload length followed by that
+  many bytes of UTF-8 JSON — one object with a ``verb`` field;
+* capture content travels *as the raw JSONL lines*: the ``OPEN`` frame
+  carries the header line, ``RECORDS`` frames carry chunks of record
+  lines.  Parsing (and therefore rejecting) capture content happens on
+  the server side, per job, so a malformed capture fails its own job
+  with a clean error instead of crashing a client or the server.
+
+Client → server verbs::
+
+    OPEN    {header_line, config?}     -> ACCEPT {job_id} | ERROR
+    RECORDS {job_id, lines: [str]}     -> ACK {job_id, accepted, pending} | ERROR
+    CLOSE   {job_id}                   -> REPORT {job_id, reports, stats} | ERROR
+    STATS   {}                         -> STATS_REPLY {stats}
+
+``ACK`` doubles as the backpressure signal: the server withholds it
+while a job's pending-record count sits above the high-water mark, which
+stalls a well-behaved client exactly like a full GPU queue stalls a
+producing warp (§4.2).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.races import (
+    AccessType,
+    BarrierDivergenceReport,
+    DetectorReports,
+    RaceKind,
+    RaceReport,
+)
+from ..core.reference import DetectorConfig
+from ..errors import ReproError
+from ..trace.operations import Location, Space
+
+#: Upper bound on one frame's payload; a length prefix beyond this is
+#: treated as stream corruption, not an allocation request.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+# Client → server verbs.
+OPEN = "open"
+RECORDS = "records"
+CLOSE = "close"
+STATS = "stats"
+
+# Server → client verbs.
+ACCEPT = "accept"
+ACK = "ack"
+REPORT = "report"
+ERROR = "error"
+STATS_REPLY = "stats-reply"
+
+
+class ProtocolError(ReproError):
+    """Raised on malformed frames or protocol misuse."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame payload of {len(payload)} bytes exceeds "
+                            f"the {MAX_FRAME_BYTES}-byte limit")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame payload; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict) or not isinstance(message.get("verb"), str):
+        raise ProtocolError("frame payload must be an object with a 'verb'")
+    return message
+
+
+class FrameDecoder:
+    """Incremental frame parser for byte streams of arbitrary chunking."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[dict]:
+        """Absorb bytes; return every complete message they finish."""
+        self._buffer.extend(data)
+        messages: List[dict] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+                    "limit; stream is corrupt"
+                )
+            if len(self._buffer) < _LENGTH.size + length:
+                return messages
+            payload = bytes(self._buffer[_LENGTH.size:_LENGTH.size + length])
+            del self._buffer[:_LENGTH.size + length]
+            messages.append(decode_payload(payload))
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket helpers (the client side)
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = bytearray()
+    while len(chunks) < count:
+        data = sock.recv(count - len(chunks))
+        if not data:
+            if chunks:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        chunks.extend(data)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; returns None on a clean end-of-stream."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Message constructors
+# ----------------------------------------------------------------------
+def open_frame(header_line: str, config: Optional[DetectorConfig] = None) -> dict:
+    message = {"verb": OPEN, "header_line": header_line}
+    if config is not None:
+        message["config"] = config_to_payload(config)
+    return message
+
+
+def records_frame(job_id: str, lines: Sequence[str]) -> dict:
+    return {"verb": RECORDS, "job_id": job_id, "lines": list(lines)}
+
+
+def close_frame(job_id: str) -> dict:
+    return {"verb": CLOSE, "job_id": job_id}
+
+
+def stats_frame() -> dict:
+    return {"verb": STATS}
+
+
+def accept_frame(job_id: str) -> dict:
+    return {"verb": ACCEPT, "job_id": job_id}
+
+
+def ack_frame(job_id: str, accepted: int, pending: int) -> dict:
+    return {"verb": ACK, "job_id": job_id, "accepted": accepted,
+            "pending": pending}
+
+
+def report_frame(job_id: str, reports: dict, stats: dict) -> dict:
+    return {"verb": REPORT, "job_id": job_id, "reports": reports,
+            "stats": stats}
+
+
+def error_frame(message: str, job_id: Optional[str] = None) -> dict:
+    frame: Dict[str, object] = {"verb": ERROR, "message": message}
+    if job_id is not None:
+        frame["job_id"] = job_id
+    return frame
+
+
+def stats_reply_frame(stats: dict) -> dict:
+    return {"verb": STATS_REPLY, "stats": stats}
+
+
+# ----------------------------------------------------------------------
+# Detector configuration and report payloads
+# ----------------------------------------------------------------------
+def config_to_payload(config: DetectorConfig) -> dict:
+    return {
+        "filter_same_value": config.filter_same_value,
+        "granularity_bytes": config.granularity_bytes,
+    }
+
+
+def config_from_payload(payload: Optional[dict]) -> DetectorConfig:
+    if not payload:
+        return DetectorConfig()
+    try:
+        return DetectorConfig(
+            filter_same_value=bool(payload.get("filter_same_value", True)),
+            granularity_bytes=int(payload.get("granularity_bytes", 4)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed detector config: {exc}") from exc
+
+
+def location_to_payload(loc: Location) -> list:
+    return [loc.space.value, loc.offset, loc.block]
+
+
+def location_from_payload(payload: Sequence) -> Location:
+    space, offset, block = payload
+    return Location(Space(space), offset, block)
+
+
+def race_sort_key(race: RaceReport) -> Tuple:
+    """Total order over race reports used for deterministic merging."""
+    return (
+        race.loc.space.value,
+        race.loc.block,
+        race.loc.offset,
+        race.current_pc,
+        race.prior_pc,
+        race.current_tid,
+        race.prior_tid,
+        race.kind.value,
+        race.current_access.value,
+        race.prior_access.value,
+    )
+
+
+def reports_to_payload(reports: DetectorReports) -> dict:
+    """Serialize a :class:`DetectorReports`, sorting races deterministically.
+
+    The sort is what makes cross-worker merging order-insensitive: no
+    matter how batches were interleaved across pool shards, identical
+    findings serialize identically.
+    """
+    return {
+        "races": [
+            {
+                "loc": location_to_payload(race.loc),
+                "current_tid": race.current_tid,
+                "current_access": race.current_access.value,
+                "prior_tid": race.prior_tid,
+                "prior_access": race.prior_access.value,
+                "kind": race.kind.value,
+                "branch_ordering": race.branch_ordering,
+                "current_pc": race.current_pc,
+                "prior_pc": race.prior_pc,
+            }
+            for race in sorted(reports.races, key=race_sort_key)
+        ],
+        "barrier_divergences": [
+            {
+                "block": report.block,
+                "missing": sorted(report.missing),
+                "pc": report.pc,
+            }
+            for report in sorted(
+                reports.barrier_divergences,
+                key=lambda r: (r.block, r.pc, sorted(r.missing)),
+            )
+        ],
+        "filtered_same_value": reports.filtered_same_value,
+    }
+
+
+def reports_from_payload(payload: dict) -> DetectorReports:
+    try:
+        races = [
+            RaceReport(
+                loc=location_from_payload(race["loc"]),
+                current_tid=race["current_tid"],
+                current_access=AccessType(race["current_access"]),
+                prior_tid=race["prior_tid"],
+                prior_access=AccessType(race["prior_access"]),
+                kind=RaceKind(race["kind"]),
+                branch_ordering=race.get("branch_ordering", False),
+                current_pc=race.get("current_pc", -1),
+                prior_pc=race.get("prior_pc", -1),
+            )
+            for race in payload.get("races", [])
+        ]
+        divergences = [
+            BarrierDivergenceReport(
+                block=report["block"],
+                missing=frozenset(report["missing"]),
+                pc=report.get("pc", -1),
+            )
+            for report in payload.get("barrier_divergences", [])
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed report payload: {exc}") from exc
+    return DetectorReports(
+        races=races,
+        barrier_divergences=divergences,
+        filtered_same_value=payload.get("filtered_same_value", 0),
+    )

@@ -1,0 +1,363 @@
+"""The race-detection service: an asyncio streaming-ingest server.
+
+One long-running process accepts capture streams from many concurrent
+clients (unix socket and/or TCP), fans each job out to the sharded
+detector pool, and answers with the job's race reports.  Failure
+isolation is per job: a malformed frame, a garbage capture, or a client
+disconnect fails (or aborts) *that* job and leaves every other job — and
+the server itself — running.
+
+Backpressure mirrors §4.2's producer stall: while a job's pending-record
+count sits above the high-water mark the server withholds the ``ACK``
+for the batch that crossed it, so a well-behaved client (ours sends one
+batch per ACK) stops producing until workers drain the backlog below the
+low-water mark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..core.reference import DetectorConfig
+from ..errors import ReproError
+from ..runtime.replay import read_header
+from . import protocol
+from .pipeline import ShardedDetectorPool
+from .stats import JobStats, ServiceStats
+
+#: Default pending-record high-water mark per job.
+DEFAULT_HIGH_WATER = 8192
+
+
+@dataclass
+class _Job:
+    """Server-side state of one in-flight capture submission."""
+
+    job_id: str
+    stats: JobStats
+    drained: asyncio.Event = field(default_factory=asyncio.Event)
+    failed: bool = False
+    error: str = ""
+
+    def fail(self, message: str) -> None:
+        if not self.failed:
+            self.failed = True
+            self.error = message
+        self.drained.set()
+
+
+class RaceService:
+    """Accepts framed capture streams and serves race reports."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        workers: int = 2,
+        high_water: int = DEFAULT_HIGH_WATER,
+        low_water: Optional[int] = None,
+        pool: Optional[ShardedDetectorPool] = None,
+        default_config: Optional[DetectorConfig] = None,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ReproError("service needs a unix socket path and/or a TCP port")
+        if high_water < 1:
+            raise ReproError(f"high-water mark must be positive, got {high_water}")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        #: Actual TCP port after binding (useful with ``port=0``).
+        self.bound_port: Optional[int] = None
+        self.high_water = high_water
+        self.low_water = low_water if low_water is not None else max(1, high_water // 2)
+        self.pool = pool if pool is not None else ShardedDetectorPool(workers)
+        self._owns_pool = pool is None
+        self.default_config = default_config
+        self.stats = ServiceStats()
+        self._jobs: Dict[str, _Job] = {}
+        self._next_job_id = 1
+        self._servers = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._conn_writers: Set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        if self.socket_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.socket_path)
+            self._servers.append(
+                await asyncio.start_unix_server(self._handle_client,
+                                                path=self.socket_path)
+            )
+        if self.port is not None:
+            server = await asyncio.start_server(self._handle_client,
+                                                self.host, self.port)
+            self.bound_port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+
+    async def stop(self) -> None:
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers = []
+        for job_id in list(self._jobs):
+            self._abort_job(job_id, "service shutting down")
+        # Nudge live connections to completion instead of cancelling their
+        # tasks — a cancelled stream handler logs noisy tracebacks.
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        if self._owns_pool:
+            self.pool.shutdown()
+        if self.socket_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.socket_path)
+
+    def run_forever(self) -> None:
+        """Blocking entry point for ``python -m repro serve``."""
+
+        async def _main() -> None:
+            await self.start()
+            try:
+                await asyncio.Event().wait()
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(protocol.encode_frame(message))
+        await writer.drain()
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        conn_jobs: Set[str] = set()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                length = int.from_bytes(prefix, "big")
+                if length > protocol.MAX_FRAME_BYTES:
+                    # A bogus length prefix means frame sync is lost; the
+                    # connection is unrecoverable but its jobs fail cleanly.
+                    await self._send(writer, protocol.error_frame(
+                        f"frame length {length} exceeds limit; closing connection"))
+                    break
+                try:
+                    payload = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                try:
+                    message = protocol.decode_payload(payload)
+                except protocol.ProtocolError as exc:
+                    # Framing is still intact: reject this frame only.
+                    await self._send(writer, protocol.error_frame(str(exc)))
+                    continue
+                try:
+                    await self._dispatch(message, conn_jobs, writer)
+                except ConnectionError:
+                    break
+                except ReproError as exc:
+                    await self._send(writer, protocol.error_frame(
+                        str(exc), message.get("job_id")))
+                except Exception as exc:  # keep other jobs alive, always
+                    await self._send(writer, protocol.error_frame(
+                        f"internal error: {exc}", message.get("job_id")))
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._conn_writers.discard(writer)
+            for job_id in conn_jobs:
+                if job_id in self._jobs:
+                    self._abort_job(job_id, "client disconnected")
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, message: dict, conn_jobs: Set[str],
+                        writer: asyncio.StreamWriter) -> None:
+        verb = message["verb"]
+        if verb == protocol.OPEN:
+            await self._handle_open(message, conn_jobs, writer)
+        elif verb == protocol.RECORDS:
+            await self._handle_records(message, conn_jobs, writer)
+        elif verb == protocol.CLOSE:
+            await self._handle_close(message, conn_jobs, writer)
+        elif verb == protocol.STATS:
+            await self._send(writer, protocol.stats_reply_frame(
+                self.stats.snapshot(self.pool.worker_stats)))
+        else:
+            await self._send(writer, protocol.error_frame(
+                f"unknown verb {verb!r}"))
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    async def _handle_open(self, message: dict, conn_jobs: Set[str],
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            layout, kernel = read_header(str(message.get("header_line", "")))
+            config_payload = message.get("config")
+            config = (protocol.config_from_payload(config_payload)
+                      if config_payload else self.default_config)
+        except ReproError as exc:
+            await self._send(writer, protocol.error_frame(str(exc)))
+            return
+        job_id = f"job-{self._next_job_id}"
+        self._next_job_id += 1
+        await asyncio.wrap_future(self.pool.open_job(job_id, layout, config))
+        job = _Job(job_id=job_id, stats=self.stats.open_job(job_id, kernel))
+        self._jobs[job_id] = job
+        conn_jobs.add(job_id)
+        await self._send(writer, protocol.accept_frame(job_id))
+
+    def _job_for(self, message: dict, conn_jobs: Set[str]) -> _Job:
+        job_id = message.get("job_id")
+        job = self._jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            raise ReproError(f"unknown job {job_id!r}")
+        if job_id not in conn_jobs:
+            raise ReproError(f"job {job_id!r} belongs to another connection")
+        return job
+
+    async def _handle_records(self, message: dict, conn_jobs: Set[str],
+                              writer: asyncio.StreamWriter) -> None:
+        job = self._job_for(message, conn_jobs)
+        if job.failed:
+            await self._send(writer, protocol.error_frame(job.error, job.job_id))
+            return
+        lines = message.get("lines")
+        if not isinstance(lines, list) or not all(isinstance(l, str) for l in lines):
+            raise ReproError("RECORDS frame needs a list of record lines")
+        # Backpressure: hold the ACK while this job is over its high-water
+        # mark.  The connection reads no further frames meanwhile, so the
+        # client (and eventually the kernel socket buffer) stalls.
+        while job.stats.pending_records > self.high_water and not job.failed:
+            job.drained.clear()
+            await job.drained.wait()
+        if job.failed:
+            await self._send(writer, protocol.error_frame(job.error, job.job_id))
+            return
+        job.stats.batch_submitted(len(lines))
+        future = self.pool.submit_batch(job.job_id, lines)
+        loop = self._loop
+        future.add_done_callback(
+            lambda f: loop.call_soon_threadsafe(self._on_batch_done, job, f))
+        await self._send(writer, protocol.ack_frame(
+            job.job_id, len(lines), job.stats.pending_records))
+
+    def _on_batch_done(self, job: _Job, future) -> None:
+        exc = future.exception() if not future.cancelled() else None
+        if future.cancelled():
+            job.fail("batch cancelled during shutdown")
+        elif exc is not None:
+            job.fail(str(exc))
+        else:
+            count, busy = future.result()
+            job.stats.batch_done(count, busy)
+            if job.stats.pending_records <= self.low_water:
+                job.drained.set()
+
+    async def _handle_close(self, message: dict, conn_jobs: Set[str],
+                            writer: asyncio.StreamWriter) -> None:
+        job = self._job_for(message, conn_jobs)
+        while job.stats.pending_records > 0 and not job.failed:
+            job.drained.clear()
+            await job.drained.wait()
+        conn_jobs.discard(job.job_id)
+        del self._jobs[job.job_id]
+        if job.failed:
+            self.stats.finish_job(job.job_id, "failed", job.error)
+            await asyncio.wrap_future(self.pool.discard_job(job.job_id))
+            await self._send(writer, protocol.error_frame(job.error, job.job_id))
+            return
+        payload = await asyncio.wrap_future(self.pool.close_job(job.job_id))
+        self.stats.finish_job(job.job_id, "done")
+        await self._send(writer, protocol.report_frame(
+            job.job_id, payload, job.stats.snapshot()))
+
+    def _abort_job(self, job_id: str, reason: str) -> None:
+        job = self._jobs.pop(job_id, None)
+        if job is None:
+            return
+        job.fail(reason)
+        self.stats.finish_job(job_id, "aborted", reason)
+        self.pool.discard_job(job_id)
+
+
+class ServiceThread:
+    """Run a :class:`RaceService` on a background thread (tests, tools).
+
+    Usage::
+
+        with ServiceThread(RaceService(socket_path=path)) as service:
+            ...  # submit captures from this (or any) thread
+    """
+
+    def __init__(self, service: RaceService) -> None:
+        self.service = service
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.service.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await self.service.stop()
+
+        asyncio.run(_main())
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ReproError("service failed to start within 30s")
+        if self._startup_error is not None:
+            raise ReproError(f"service failed to start: {self._startup_error}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -94,6 +94,8 @@ class TestOptions:
         out = capsys.readouterr().out
         assert "instrumented sites" in out
         assert "log records emitted" in out
+        assert "queue stalls" in out
+        assert "queue occupancy" in out
 
     def test_scalar_parameters(self, source, capsys):
         guarded = """
@@ -162,3 +164,61 @@ __global__ void tail(int* data, int* out) {
     def test_bad_buffer_spec_rejected(self, source):
         with pytest.raises(SystemExit):
             build_parser().parse_args([source(CLEAN), "--buffer", "data"])
+
+
+class TestSubcommands:
+    def test_explicit_check_subcommand(self, source, capsys):
+        code = run_cli(["check", source(RACY), "--grid", "2",
+                        "--buffer", "data:4"])
+        assert code == 1
+        assert "race report" in capsys.readouterr().out
+
+    def _capture_file(self, tmp_path, source_text=RACY, grid=2):
+        from repro.cudac import compile_cuda
+        from repro.gpu import GpuDevice, ListSink
+        from repro.gpu.hierarchy import LaunchConfig
+        from repro.instrument import Instrumenter
+        from repro.runtime.replay import save_capture
+
+        module, _ = Instrumenter().instrument_module(compile_cuda(source_text))
+        device = GpuDevice()
+        data = device.alloc(64)
+        sink = ListSink()
+        device.launch(module, module.kernels[0].name, grid=grid, block=8,
+                      warp_size=8, params={"data": data}, sink=sink,
+                      instrumented=True)
+        path = tmp_path / "capture.jsonl"
+        with open(path, "w") as stream:
+            save_capture(stream, LaunchConfig.of(grid, 8, 8).layout(),
+                         sink.records, kernel="k")
+        return str(path)
+
+    def test_replay_subcommand(self, tmp_path, capsys):
+        path = self._capture_file(tmp_path)
+        code = run_cli(["replay", path, "--stats"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "race report" in out
+        assert "records replayed" in out
+
+    def test_replay_reference_detector_agrees(self, tmp_path, capsys):
+        path = self._capture_file(tmp_path)
+        assert run_cli(["replay", path]) == run_cli(["replay", path,
+                                                     "--reference"])
+
+    def test_replay_malformed_capture_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not a capture\n")
+        assert run_cli(["replay", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_without_endpoint_exits_2(self, capsys):
+        assert run_cli(["serve", "--workers", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_legacy_invocation_still_default(self, source, capsys):
+        # No subcommand word: the first argument is a kernel source path.
+        code = run_cli([source(CLEAN), "--grid", "2", "--block", "64",
+                        "--buffer", "data:128"])
+        assert code == 0
+        assert "no races detected" in capsys.readouterr().out

@@ -74,6 +74,25 @@ class TestLogQueue:
                 break
             popped.append(item.warp)
         assert popped == warps
+        # Wraparound accounting: completed write-head revolutions.
+        assert queue.stats.wraps == queue.write_head // queue.capacity
+
+    def test_ring_wraparound_accounting(self):
+        queue = LogQueue(capacity=4)
+        assert queue.stats.wraps == 0
+        for i in range(3):
+            queue.push(record(i))
+        assert queue.stats.wraps == 0  # ring not yet revisited
+        for i in range(3, 10):
+            if queue.full():
+                queue.pop()
+            queue.push(record(i))
+        # 10 pushes through a 4-slot ring: the write head completed two
+        # full revolutions (virtual indices 4 and 8).
+        assert queue.write_head == 10
+        assert queue.stats.wraps == 2
+        assert queue.stats.wraps == queue.write_head // queue.capacity
+        assert queue.stats.pushed == 10
 
 
 class TestQueueSet:

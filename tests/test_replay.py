@@ -94,6 +94,12 @@ def test_recording_sink_forwards():
     assert inner.records == records
 
 
+GOOD_HEADER = (
+    '{"format": "barracuda-capture", "version": 1, "kernel": "", '
+    '"layout": {"num_blocks": 1, "threads_per_block": 2, "warp_size": 2}}\n'
+)
+
+
 def test_malformed_captures_rejected():
     with pytest.raises(ReproError):
         load_capture(io.StringIO(""))
@@ -104,9 +110,54 @@ def test_malformed_captures_rejected():
             '{"format": "barracuda-capture", "version": 999, '
             '"layout": {"num_blocks": 1, "threads_per_block": 1, "warp_size": 1}}\n'
         ))
-    good_header = (
-        '{"format": "barracuda-capture", "version": 1, "kernel": "", '
-        '"layout": {"num_blocks": 1, "threads_per_block": 2, "warp_size": 2}}\n'
-    )
     with pytest.raises(ReproError):
-        load_capture(io.StringIO(good_header + '{"kind": "not-a-kind"}\n'))
+        load_capture(io.StringIO(GOOD_HEADER + '{"kind": "not-a-kind"}\n'))
+
+
+def test_unknown_format_version_rejected():
+    header = GOOD_HEADER.replace('"version": 1', '"version": 2')
+    with pytest.raises(ReproError, match="version"):
+        load_capture(io.StringIO(header))
+
+
+def test_garbage_json_header_rejected():
+    with pytest.raises(ReproError):
+        load_capture(io.StringIO("definitely not json\n"))
+    # A JSON header that is not even an object.
+    with pytest.raises(ReproError):
+        load_capture(io.StringIO("[1, 2, 3]\n"))
+
+
+def test_header_missing_layout_rejected():
+    with pytest.raises(ReproError, match="layout"):
+        load_capture(io.StringIO(
+            '{"format": "barracuda-capture", "version": 1}\n'))
+
+
+def test_garbage_json_record_line_rejected_with_line_number():
+    with pytest.raises(ReproError, match="line 2"):
+        load_capture(io.StringIO(GOOD_HEADER + "}{ garbage\n"))
+
+
+def test_truncated_record_line_rejected():
+    # A capture cut off mid-write: the last line is half a JSON object.
+    with pytest.raises(ReproError):
+        load_capture(io.StringIO(GOOD_HEADER + '{"kind": "store", "wa'))
+
+
+def test_non_object_record_line_rejected():
+    with pytest.raises(ReproError, match="not a JSON object"):
+        load_capture(io.StringIO(GOOD_HEADER + "[1, 2]\n"))
+
+
+def test_record_with_wrong_field_types_rejected():
+    with pytest.raises(ReproError):
+        load_capture(io.StringIO(
+            GOOD_HEADER + '{"kind": "store", "warp": 0, "active": [0], '
+            '"addrs": {"0": "not-a-pair"}}\n'))
+
+
+def test_header_only_capture_is_valid_and_empty():
+    layout, kernel, records = load_capture(io.StringIO(GOOD_HEADER))
+    assert records == []
+    assert layout.threads_per_block == 2
