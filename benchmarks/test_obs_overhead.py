@@ -1,0 +1,113 @@
+"""Observability overhead guard: the disabled path must stay free.
+
+Every hot layer takes ``obs: Observability = NULL_OBS`` and pre-resolves
+its instruments to ``None`` when metrics are off, so the per-record cost
+of a disabled pipeline is a single is-None check.  This benchmark pins
+that claim on the E11 service-throughput scenario: the same multi-job
+load is pushed through (a) a detector with the observability hook
+compiled out entirely (a registry-less twin overriding ``consume``) and
+(b) the shipped disabled no-op path, and the no-op path must stay
+within 5% wall-time of the registry-less run.
+
+Min-of-N timing: the minimum over repeats is the run least perturbed by
+the host (GC, scheduler), which is the right statistic for an
+upper-bound overhead check.
+"""
+
+import io
+import time
+
+from conftest import print_table
+
+from repro.events import LogRecord, RecordKind, record_to_ops
+from repro.obs import make_observability
+from repro.runtime.host import HostDetector
+from repro.runtime.replay import record_line_to_record, save_capture
+from repro.trace import Space
+from repro.trace.layout import GridLayout
+
+JOBS = 4
+RECORDS_PER_JOB = 240
+LANES_PER_RECORD = 8
+REPEATS = 5
+MAX_DISABLED_OVERHEAD = 0.05
+
+LAYOUT = GridLayout(num_blocks=4, threads_per_block=64, warp_size=32)
+
+
+class RegistrylessHostDetector(HostDetector):
+    """The pre-observability consume loop: no instrument check at all."""
+
+    def consume(self, records):
+        for record in records:
+            self.records_processed += 1
+            for op in record_to_ops(record, self.layout, self.granularity):
+                self.detector.process(op)
+
+
+def _job_records(seed: int):
+    """The E11 synthetic load: stores with cross-warp overlap."""
+    records = []
+    for i in range(RECORDS_PER_JOB):
+        warp = i % (LAYOUT.num_blocks * 2)
+        base_tid = warp * LAYOUT.warp_size
+        tids = range(base_tid, base_tid + LANES_PER_RECORD)
+        records.append(LogRecord(
+            kind=RecordKind.STORE,
+            warp=warp,
+            active=frozenset(tids),
+            addrs={tid: (Space.GLOBAL, ((seed + i + tid) % 512) * 4)
+                   for tid in tids},
+            values={tid: seed + i for tid in tids},
+            pc=i,
+        ))
+    # Round-trip through the capture format, like service jobs do.
+    stream = io.StringIO()
+    save_capture(stream, LAYOUT, records, kernel=f"synthetic-{seed}")
+    stream.seek(0)
+    _header, *lines = stream.read().splitlines()
+    return [record_line_to_record(line) for line in lines]
+
+
+def _run_load(jobs, make_detector) -> float:
+    start = time.perf_counter()
+    for records in jobs:
+        detector = make_detector()
+        detector.consume(records)
+        assert detector.reports.races  # the load is genuinely racy
+    return time.perf_counter() - start
+
+
+def _best_of(repeats, jobs, make_detector) -> float:
+    return min(_run_load(jobs, make_detector) for _ in range(repeats))
+
+
+def test_disabled_observability_is_free():
+    jobs = [_job_records(seed=137 * j) for j in range(JOBS)]
+
+    registryless = _best_of(
+        REPEATS, jobs, lambda: RegistrylessHostDetector(LAYOUT))
+    disabled = _best_of(REPEATS, jobs, lambda: HostDetector(LAYOUT))
+    enabled_obs = make_observability(metrics=True)
+    enabled = _best_of(
+        REPEATS, jobs,
+        lambda: HostDetector(LAYOUT, obs=enabled_obs, kernel="bench"))
+
+    overhead = disabled / registryless - 1.0
+    rows = [
+        f"registry-less   | {registryless * 1e3:>9.2f} | {'—':>9}",
+        f"disabled (noop) | {disabled * 1e3:>9.2f} | {overhead:>8.1%}",
+        f"metrics enabled | {enabled * 1e3:>9.2f} | "
+        f"{enabled / registryless - 1.0:>8.1%}",
+    ]
+    print_table(
+        f"Observability overhead ({JOBS} jobs x {RECORDS_PER_JOB} records, "
+        f"best of {REPEATS})",
+        "pipeline        | ms        | overhead",
+        rows,
+    )
+
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled observability path costs {overhead:.1%} over a "
+        f"registry-less run (budget {MAX_DISABLED_OVERHEAD:.0%})"
+    )

@@ -1,0 +1,19 @@
+// A deliberately racy kernel for exercising the detector end to end.
+//
+// Thread 0 of every block writes data[0] with no inter-block ordering,
+// so any launch with --grid >= 2 produces an inter-block write/write
+// race.  Thread 1 of every block also reads data[0], adding
+// write/read conflicts across blocks.
+//
+//     python -m repro check examples/racy.cu --grid 2 --buffer data:4
+//     python -m repro check examples/racy.cu --grid 2 --buffer data:4 \
+//         --trace trace.json --metrics
+//     python -m repro explain examples/racy.cu --grid 2 --buffer data:4
+__global__ void racy(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = blockIdx.x + 1;
+    }
+    if (threadIdx.x == 1) {
+        data[1] = data[0];
+    }
+}

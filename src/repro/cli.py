@@ -11,24 +11,32 @@ requested device buffers, launches the kernel under a full
 :class:`BarracudaSession`, and prints race and barrier-divergence
 reports grouped by location, plus instrumentation and queue statistics.
 
-Four subcommands front the system; the kernel-checking flow above stays
+Five subcommands front the system; the kernel-checking flow above stays
 the default whenever the first argument is not a subcommand name::
 
     python -m repro check kernel.cu --grid 2 ...   # explicit form of the above
+    python -m repro explain kernel.cu --grid 2 ... # race provenance timelines
     python -m repro serve --socket /tmp/barracuda.sock --workers 4
     python -m repro submit capture.jsonl --socket /tmp/barracuda.sock --stats
     python -m repro replay capture.jsonl --reference
+
+Observability flags (``--trace out.json`` for a Chrome trace-event file,
+``--metrics`` for a Prometheus-style snapshot, ``--stats-format json``)
+ride on ``check``; ``submit --metrics`` queries the service's METRICS
+verb.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .cudac import compile_cuda
 from .errors import ReproError, StepLimitExceeded
 from .gpu.memory import KEPLER_K520, MAXWELL_TITANX
+from .obs import make_observability
 from .ptx import parse_ptx
 from .runtime import BarracudaSession
 
@@ -94,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print buffer contents after the launch")
     parser.add_argument("--stats", action="store_true",
                         help="print instrumentation and queue statistics")
+    parser.add_argument("--stats-format", choices=("text", "json"),
+                        default="text",
+                        help="render --stats as human text (default) or as "
+                        "the machine-readable metrics snapshot")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace-event JSON file of the "
+                        "pipeline phases (chrome://tracing / Perfetto)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style metrics snapshot")
     return parser
 
 
@@ -137,10 +154,32 @@ def _print_reports(reports, max_reports: int) -> int:
     return exit_code
 
 
+def _alloc_params(session: BarracudaSession, args) -> Tuple[
+    Dict[str, int], Dict[str, Tuple[int, int]]
+]:
+    """Allocate ``--buffer``/``--scalar`` parameters on the device."""
+    params: Dict[str, int] = {}
+    buffers: Dict[str, Tuple[int, int]] = {}
+    for name, words, init in args.buffer:
+        addr = session.device.alloc(words * 4)
+        values = init + [0] * (words - len(init))
+        session.device.memcpy_to_device(addr, values[:words])
+        params[name] = addr
+        buffers[name] = (addr, words)
+    params.update(dict(args.scalar))
+    return params, buffers
+
+
 def run_check(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    want_json_stats = args.stats and args.stats_format == "json"
+    obs = make_observability(
+        trace=bool(args.trace),
+        metrics=args.metrics or want_json_stats,
+    )
     try:
-        module = _load_module(args.source)
+        with obs.tracer.span("cuda-frontend", source=args.source):
+            module = _load_module(args.source)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -153,19 +192,11 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
         detector_config=DetectorConfig(
             filter_same_value=not args.no_filter_same_value
         ),
+        obs=obs,
     )
     handle = session.register_module(module)
     kernel = args.kernel or module.kernels[0].name
-
-    params: Dict[str, int] = {}
-    buffers: Dict[str, Tuple[int, int]] = {}
-    for name, words, init in args.buffer:
-        addr = session.device.alloc(words * 4)
-        values = init + [0] * (words - len(init))
-        session.device.memcpy_to_device(addr, values[:words])
-        params[name] = addr
-        buffers[name] = (addr, words)
-    params.update(dict(args.scalar))
+    params, buffers = _alloc_params(session, args)
 
     try:
         launch = session.launch(
@@ -183,9 +214,10 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    exit_code = _print_reports(launch.reports, args.max_reports)
+    with obs.tracer.span("report", kernel=kernel):
+        exit_code = _print_reports(launch.reports, args.max_reports)
 
-    if args.stats:
+    if args.stats and args.stats_format == "text":
         report = session.instrumentation_report(handle)
         kernel_report = next(k for k in report.kernels if k.name == kernel)
         print("--------- statistics")
@@ -198,8 +230,15 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
               f"({launch.total_stall_cycles} stall cycles)")
         print(f"  queue occupancy         : max depth {launch.max_queue_depth} "
               f"of {session.queue_capacity} records, "
+              f"mean {launch.mean_queue_occupancy:.1f}, "
               f"{launch.total_wraps} ring wrap(s)")
         print(f"  simulated cycles        : {launch.instrumented.total_cycles}")
+    elif want_json_stats:
+        print(json.dumps(obs.metrics.snapshot(), indent=2, sort_keys=True))
+
+    if args.metrics:
+        print("--------- metrics")
+        print(obs.metrics.render_prometheus(), end="")
 
     if args.dump_buffers:
         print("--------- buffers")
@@ -207,7 +246,133 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
             values = session.device.memcpy_from_device(addr, words)
             print(f"  {name} = {values}")
 
+    if args.trace:
+        obs.tracer.write(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(obs.tracer.span_names())} distinct phases)",
+              file=sys.stderr)
+
     return exit_code
+
+
+# ----------------------------------------------------------------------
+# Race provenance (repro explain)
+# ----------------------------------------------------------------------
+def _source_line_map(module) -> Dict[int, str]:
+    """Map PTX line numbers to instruction text for timeline rendering."""
+    lines: Dict[int, str] = {}
+    for kernel in module.kernels:
+        for stmt in kernel.body:
+            line = getattr(stmt, "line", 0)
+            if line and line not in lines:
+                lines[line] = str(stmt)
+    return lines
+
+
+def _print_provenance(reports, source_lines: Dict[int, str],
+                      max_reports: int) -> int:
+    from .obs.provenance import render_provenance
+
+    def loc_text(pc: int) -> str:
+        if pc < 0:
+            return "<unknown PTX line>"
+        text = f"PTX line {pc}"
+        if pc in source_lines:
+            text += f"   ; {source_lines[pc].strip()}"
+        return text
+
+    if not reports.races:
+        print("========= no races to explain")
+        return 0
+    shown = reports.races[:max_reports]
+    print(f"========= explaining {len(shown)} of {len(reports.races)} "
+          "race report(s)")
+    for index, race in enumerate(shown, start=1):
+        print(f"\n--- race {index}: {race}")
+        print(f"  current access: {loc_text(race.current_pc)}")
+        print(f"  prior access  : {loc_text(race.prior_pc)}")
+        if race.provenance is not None:
+            for line in render_provenance(race.provenance, source_lines):
+                print(f"  {line}")
+        else:
+            print("  (no provenance attached; detector ran with depth 0)")
+    if len(reports.races) > max_reports:
+        print(f"\n... and {len(reports.races) - max_reports} more")
+    return 1
+
+
+def run_explain(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Re-run race detection with provenance tracking and "
+        "print a per-race evidence timeline (recent accesses per "
+        "conflicting thread, PTX source locations, and the failed "
+        "vector-clock comparison).",
+    )
+    parser.add_argument("source", help="kernel source (.cu/.ptx) or a "
+                        "replay capture (.jsonl/.capture)")
+    parser.add_argument("--kernel", help="kernel name (default: first)")
+    parser.add_argument("--grid", type=int, default=1)
+    parser.add_argument("--block", type=int, default=32)
+    parser.add_argument("--warp-size", type=int, default=32)
+    parser.add_argument("--buffer", action="append", default=[],
+                        type=_parse_buffer, metavar="NAME:WORDS[:V0,V1,...]")
+    parser.add_argument("--scalar", action="append", default=[],
+                        type=_parse_scalar, metavar="NAME:VALUE")
+    parser.add_argument("--arch", choices=sorted(_ARCHES), default="titanx")
+    parser.add_argument("--max-steps", type=int, default=2_000_000)
+    parser.add_argument("--no-filter-same-value", action="store_true")
+    parser.add_argument("--depth", type=int, default=5,
+                        help="accesses retained per (location, thread)")
+    parser.add_argument("--max-reports", type=int, default=10,
+                        help="races to explain")
+    args = parser.parse_args(argv)
+    if args.depth < 1:
+        print("error: --depth must be at least 1", file=sys.stderr)
+        return 2
+
+    from .core.reference import DetectorConfig
+
+    config = DetectorConfig(
+        filter_same_value=not args.no_filter_same_value,
+        provenance_depth=args.depth,
+    )
+    source_lines: Dict[int, str] = {}
+    try:
+        if args.source.endswith((".jsonl", ".capture")):
+            from .runtime.replay import load_capture, replay
+
+            with open(args.source) as stream:
+                layout, _kernel, records = load_capture(stream)
+            reports = replay(layout, records, config=config)
+        else:
+            module = _load_module(args.source)
+            session = BarracudaSession(
+                arch=_ARCHES[args.arch], detector_config=config
+            )
+            handle = session.register_module(module)
+            # Race-report PCs are line numbers of the PTX text the
+            # session parsed back, not of the frontend's in-memory AST.
+            source_lines = _source_line_map(session.pristine_module(handle))
+            kernel = args.kernel or module.kernels[0].name
+            params, _buffers = _alloc_params(session, args)
+            launch = session.launch(
+                kernel,
+                grid=args.grid,
+                block=args.block,
+                warp_size=args.warp_size,
+                params=params,
+                max_steps=args.max_steps,
+            )
+            reports = launch.reports
+    except StepLimitExceeded as exc:
+        print(f"HANG: {exc}", file=sys.stderr)
+        return 3
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    return _print_provenance(reports, source_lines, args.max_reports)
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +431,9 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
                         help="race reports to print per location")
     parser.add_argument("--stats", action="store_true",
                         help="print per-job and service statistics")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the service's Prometheus-style metrics "
+                        "snapshot (the METRICS verb)")
     args = parser.parse_args(argv)
 
     from .service.client import ServiceClient
@@ -277,6 +445,7 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
                                port=args.port) as client:
                 result = client.submit(stream, batch_size=args.batch_size)
                 service_stats = client.stats() if args.stats else None
+                metrics_text = client.metrics()["text"] if args.metrics else ""
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -285,6 +454,9 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
     if args.stats:
         print(render_job_stats(result.stats))
         print(render_service_stats(service_stats))
+    if args.metrics:
+        print("--------- metrics")
+        print(metrics_text, end="")
     return exit_code
 
 
@@ -332,6 +504,7 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
 
 _SUBCOMMANDS = {
     "check": run_check,
+    "explain": run_explain,
     "serve": run_serve,
     "submit": run_submit,
     "replay": run_replay,

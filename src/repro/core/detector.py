@@ -33,6 +33,7 @@ from ..trace.operations import (
     Scope,
     Write,
 )
+from ..obs.provenance import ClockComparison, ProvenanceTracker
 from ..trace.trace import Trace
 from .ptvc import PTVCManager, PTVCStats
 from .races import (
@@ -65,6 +66,13 @@ class BarracudaDetector:
         self._instr: Dict[int, int] = {}
         #: Dynamic operations processed (the detector-side work measure).
         self.ops_processed = 0
+        #: Access-history tracker for race provenance; None (the default)
+        #: keeps the hot path free of history bookkeeping.
+        self.provenance: Optional[ProvenanceTracker] = (
+            ProvenanceTracker(self.config.provenance_depth)
+            if self.config.provenance_depth > 0
+            else None
+        )
         self._dispatch = None  # built lazily: handlers reference methods
 
     # ------------------------------------------------------------------
@@ -86,8 +94,20 @@ class BarracudaDetector:
         prior_access: AccessType,
         pc: int,
         prior_pc: int,
+        prior_clock: int = -1,
     ) -> None:
         amask = self.clocks.active_mask(self.layout.warp_of(tid))
+        provenance = None
+        if self.provenance is not None:
+            comparison = ClockComparison(
+                current_tid=tid,
+                prior_tid=prior_tid,
+                prior_clock=prior_clock,
+                observed=self.clocks.value(tid, prior_tid),
+            )
+            provenance = self.provenance.build(
+                loc, str(loc), tid, prior_tid, comparison
+            )
         self.reports.races.append(
             classify(
                 self.layout,
@@ -99,7 +119,17 @@ class BarracudaDetector:
                 current_amask=amask,
                 current_pc=pc,
                 prior_pc=prior_pc,
+                provenance=provenance,
             )
+        )
+
+    def _record_provenance(
+        self, loc: Location, tid: int, access: AccessType, pc: int,
+        value: Optional[int] = None,
+    ) -> None:
+        """Log one access into the provenance rings (enabled path only)."""
+        self.provenance.record(
+            loc, tid, access.value, pc, self.clocks.value(tid, tid), value
         )
 
     def _check_write(
@@ -125,7 +155,8 @@ class BarracudaDetector:
             return
         prior = AccessType.ATOMIC if entry.atomic else AccessType.WRITE
         self._report_race(
-            loc, tid, access, entry.write_epoch.tid, prior, pc, entry.write_pc
+            loc, tid, access, entry.write_epoch.tid, prior, pc, entry.write_pc,
+            prior_clock=entry.write_epoch.clock,
         )
 
     def _check_reads(
@@ -143,6 +174,7 @@ class BarracudaDetector:
                         AccessType.READ,
                         pc,
                         entry.read_pcs.get(reader, -1),
+                        prior_clock=stamp,
                     )
         elif entry.read_epoch is not None and not self.clocks.covers(
             tid, entry.read_epoch
@@ -155,6 +187,7 @@ class BarracudaDetector:
                 AccessType.READ,
                 pc,
                 entry.read_pcs.get(entry.read_epoch.tid, -1),
+                prior_clock=entry.read_epoch.clock,
             )
 
     # ------------------------------------------------------------------
@@ -163,6 +196,8 @@ class BarracudaDetector:
     def _on_read(self, op: Read) -> None:
         tid, loc = op.tid, op.loc
         entry = self.shadow.entry(loc)
+        if self.provenance is not None:
+            self._record_provenance(loc, tid, AccessType.READ, op.pc)
         self._check_write(entry, loc, tid, AccessType.READ, op.pc)
         if entry.readers is not None:
             # READSHARED
@@ -182,6 +217,8 @@ class BarracudaDetector:
     def _on_write(self, op: Write) -> None:
         tid, loc = op.tid, op.loc
         entry = self.shadow.entry(loc)
+        if self.provenance is not None:
+            self._record_provenance(loc, tid, AccessType.WRITE, op.pc, op.value)
         self._check_write(entry, loc, tid, AccessType.WRITE, op.pc, value=op.value)
         self._check_reads(entry, loc, tid, AccessType.WRITE, op.pc)
         entry.reset_reads()
@@ -194,6 +231,8 @@ class BarracudaDetector:
     def _on_atomic(self, op: Atomic) -> None:
         tid, loc = op.tid, op.loc
         entry = self.shadow.entry(loc)
+        if self.provenance is not None:
+            self._record_provenance(loc, tid, AccessType.ATOMIC, op.pc)
         if not entry.atomic:
             # INITATOM*: the preceding write was non-atomic; Nvidia gives
             # no atomicity guarantee against it, so order is required.

@@ -118,6 +118,10 @@ class PTVCManager:
         }
         #: Deviant threads: complete private clocks (SPARSEVC format).
         self._deviant: Dict[int, StructuredVC] = {}
+        #: Join-fork operations performed (lockstep joins, branch joins,
+        #: and barriers) — the clock-maintenance work measure exported as
+        #: the ``repro_vector_clock_joins_total`` metric.
+        self.joins = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -179,6 +183,7 @@ class PTVCManager:
         """
         if not members:
             return
+        self.joins += 1
         group = self._top(warp)
         joined = group.base.copy()
         high = 0
@@ -253,6 +258,7 @@ class PTVCManager:
     # Barriers (BAR rule, with the §4.3.2 broadcast optimization)
     # ------------------------------------------------------------------
     def barrier(self, block: int, active: FrozenSet[int]) -> None:
+        self.joins += 1
         warps = self.layout.block_warps(block)
         full_block = active == frozenset(self.layout.block_tids(block))
         joined = StructuredVC(self.layout)

@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional
 
+from ..obs.provenance import RaceProvenance
 from ..trace.layout import GridLayout
 from ..trace.operations import Location
 
@@ -56,6 +57,13 @@ class RaceReport:
     branch_ordering: bool = False
     current_pc: int = -1
     prior_pc: int = -1
+    #: Attached evidence (recent accesses + the failed clock check) when
+    #: the detector ran with ``provenance_depth > 0``.  Excluded from
+    #: equality/hashing: two reports of the same race stay equal whether
+    #: or not provenance was collected.
+    provenance: Optional[RaceProvenance] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __str__(self) -> str:
         tag = " (branch ordering)" if self.branch_ordering else ""
@@ -95,6 +103,7 @@ def classify(
     current_amask: Optional[FrozenSet[int]] = None,
     current_pc: int = -1,
     prior_pc: int = -1,
+    provenance: Optional[RaceProvenance] = None,
 ) -> RaceReport:
     """Build a classified :class:`RaceReport` from the offending TIDs."""
     same_warp = layout.warp_of(current_tid) == layout.warp_of(prior_tid)
@@ -117,6 +126,7 @@ def classify(
         branch_ordering=branch_ordering,
         current_pc=current_pc,
         prior_pc=prior_pc,
+        provenance=provenance,
     )
 
 

@@ -60,6 +60,10 @@ class DetectorConfig:
     #: 1 is the paper's fully general byte-granularity mode, which also
     #: catches partially-overlapping sub-word accesses.
     granularity_bytes: int = 4
+    #: Per-thread access-history depth retained for race provenance
+    #: (``repro explain``).  0 disables provenance tracking entirely —
+    #: the default, so the hot path stays free of history bookkeeping.
+    provenance_depth: int = 0
 
 
 @dataclass

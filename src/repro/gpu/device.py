@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..errors import DeadlockError, StepLimitExceeded
+from ..obs import NULL_OBS, Observability
 from ..ptx.ast import Module
 from .hierarchy import LaunchConfig
 from .interpreter import EventSink, KernelExecution, LaunchResult
@@ -78,6 +79,7 @@ class GpuDevice:
         instrumented: bool = False,
         scheduler: Optional[Scheduler] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
+        obs: Observability = NULL_OBS,
     ) -> LaunchResult:
         """Run one kernel to completion and return its measurements.
 
@@ -101,6 +103,9 @@ class GpuDevice:
             instrumented=instrumented,
         )
         scheduler = scheduler or RoundRobinScheduler()
+        tracer = obs.tracer
+        tracing = tracer.enabled
+        launch_start = tracer.now_us() if tracing else 0.0
         steps = 0
         while not execution.finished():
             execution.try_release_barriers()
@@ -112,7 +117,19 @@ class GpuDevice:
                     f"kernel {kernel_name!r}: no warp can make progress"
                 )
             warp = scheduler.pick(runnable)
-            execution.step(warp)
+            if tracing:
+                step_start = tracer.now_us()
+                execution.step(warp)
+                tracer.add_complete(
+                    "warp-step",
+                    step_start,
+                    tracer.now_us() - step_start,
+                    pid="interpreter",
+                    tid=f"warp-{warp.warp}",
+                    args={"block": warp.block},
+                )
+            else:
+                execution.step(warp)
             scheduler.after_step(execution)
             steps += 1
             if steps > max_steps:
@@ -124,4 +141,17 @@ class GpuDevice:
         # pending stores become visible to the host and later kernels.
         self.global_mem.drain_all()
         execution.result.steps = steps
+        if tracing:
+            tracer.add_complete(
+                "execute",
+                launch_start,
+                tracer.now_us() - launch_start,
+                args={"kernel": kernel_name, "steps": steps,
+                      "instrumented": instrumented},
+            )
+        if obs.metrics.enabled:
+            obs.metrics.counter(
+                "repro_interpreter_steps_total",
+                "Warp-instruction steps executed by the simulated device",
+            ).inc(steps)
         return execution.result

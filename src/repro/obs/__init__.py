@@ -1,0 +1,65 @@
+"""Observability: tracing, metrics, and race provenance.
+
+This package is deliberately dependency-free (both of third-party
+packages and of the rest of ``repro``) so every layer of the pipeline
+can import it without cycles.  It has three pillars:
+
+* :mod:`~repro.obs.tracer` — nestable spans with a context-manager and
+  decorator API, exportable as Chrome ``trace_event`` JSON
+  (``chrome://tracing`` / Perfetto);
+* :mod:`~repro.obs.metrics` — a registry of counters, gauges,
+  histograms, and top-K profiles with a Prometheus-style text
+  exposition and a JSON-able snapshot;
+* :mod:`~repro.obs.provenance` — per-race evidence: the most recent
+  logged events of the conflicting threads on the racy address and the
+  vector-clock comparison that failed.
+
+Everything defaults to the shared :data:`NULL_OBS` bundle, whose tracer
+and registry are permanently-disabled no-ops.  Hot paths guard on the
+``enabled`` flags, so the disabled path costs one attribute check.
+"""
+
+from dataclasses import dataclass, field
+
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    TopK,
+    parse_exposition,
+)
+from .provenance import (
+    ClockComparison,
+    ProvenanceEvent,
+    ProvenanceTracker,
+    RaceProvenance,
+    render_provenance,
+)
+from .tracer import NULL_TRACER, NullTracer, Tracer, validate_chrome_trace
+
+
+@dataclass
+class Observability:
+    """One bundle of tracer + metrics threaded through the pipeline."""
+
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+
+#: The shared all-disabled bundle; the default everywhere.
+NULL_OBS = Observability()
+
+
+def make_observability(trace: bool = False, metrics: bool = False) -> Observability:
+    """Build a bundle with only the requested pillars enabled."""
+    return Observability(
+        tracer=Tracer() if trace else NULL_TRACER,
+        metrics=MetricsRegistry() if metrics else NULL_METRICS,
+    )

@@ -1,0 +1,183 @@
+"""Race provenance: the evidence behind each reported race.
+
+When the detector flags a race it knows three things worth keeping: the
+most recent logged accesses of each conflicting thread on the racy
+address (with their PTX source lines), and the vector-clock comparison
+that failed.  This module holds that evidence in plain, dependency-free
+dataclasses so :mod:`repro.core` can attach it to reports and the CLI
+can render it (``repro explain``) without import cycles.
+
+Access kinds are plain strings (``"read"``/``"write"``/``"atomic"``)
+rather than :class:`repro.core.races.AccessType` members for the same
+reason.
+
+The :class:`ProvenanceTracker` keeps one bounded ring of events per
+(location, thread) pair; depth 0 disables it entirely, which is the
+default — provenance is opt-in (``repro explain``, ``--provenance``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+#: Default per-thread event-ring depth when provenance is enabled.
+DEFAULT_DEPTH = 5
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One logged access on the racy address by one thread."""
+
+    #: Global recording order (monotone across the whole run).
+    seq: int
+    tid: int
+    #: Access kind as a plain string: "read", "write", or "atomic".
+    access: str
+    #: PTX source line of the access (-1 when unknown).
+    pc: int
+    #: The thread's own logical clock when the access happened.
+    clock: int
+    value: Optional[int] = None
+
+    def __str__(self) -> str:
+        val = f" value={self.value}" if self.value is not None else ""
+        pc = f" at PTX line {self.pc}" if self.pc >= 0 else ""
+        return f"[{self.clock}@t{self.tid}] {self.access}{pc}{val}"
+
+
+@dataclass(frozen=True)
+class ClockComparison:
+    """The happens-before check that failed (``c@u ⪯ C_t``).
+
+    The prior access carries epoch ``prior_clock@prior_tid``; the current
+    thread's clock records only ``observed`` for ``prior_tid``.  The race
+    is precisely ``prior_clock > observed``.
+    """
+
+    current_tid: int
+    prior_tid: int
+    prior_clock: int
+    observed: int
+
+    @property
+    def ordered(self) -> bool:
+        return self.prior_clock <= self.observed
+
+    def __str__(self) -> str:
+        verdict = "ordered" if self.ordered else "NOT ordered"
+        return (
+            f"{self.prior_clock}@t{self.prior_tid} ⪯ C_t{self.current_tid}? "
+            f"C_t{self.current_tid}({self.prior_tid}) = {self.observed} "
+            f"< {self.prior_clock} → {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class RaceProvenance:
+    """Everything attached to one :class:`~repro.core.races.RaceReport`."""
+
+    #: Printable racy location (e.g. ``shared[0x10]``).
+    loc: str
+    #: Most recent accesses of the *current* thread on the location,
+    #: oldest first; the last entry is the racing access itself.
+    current_events: Tuple[ProvenanceEvent, ...]
+    #: Most recent accesses of the *prior* thread on the location.
+    prior_events: Tuple[ProvenanceEvent, ...]
+    comparison: ClockComparison
+    #: Ring depth the tracker ran with (how much history was kept).
+    depth: int = DEFAULT_DEPTH
+
+
+class ProvenanceTracker:
+    """Bounded per-(location, thread) access history.
+
+    ``record`` is called on every read/write/atomic the detector
+    processes (only when provenance is enabled), ``build`` when a race
+    is reported.  Rings are ``deque(maxlen=depth)`` so memory stays
+    O(locations x threads-that-touched-them x depth).
+    """
+
+    def __init__(self, depth: int = DEFAULT_DEPTH) -> None:
+        if depth <= 0:
+            raise ValueError("provenance depth must be positive")
+        self.depth = depth
+        self._seq = 0
+        self._rings: Dict[Tuple[Hashable, int], Deque[ProvenanceEvent]] = {}
+
+    def record(
+        self,
+        loc_key: Hashable,
+        tid: int,
+        access: str,
+        pc: int,
+        clock: int,
+        value: Optional[int] = None,
+    ) -> None:
+        """Append one access to the (loc, tid) ring."""
+        ring = self._rings.get((loc_key, tid))
+        if ring is None:
+            ring = deque(maxlen=self.depth)
+            self._rings[(loc_key, tid)] = ring
+        ring.append(
+            ProvenanceEvent(
+                seq=self._seq, tid=tid, access=access, pc=pc,
+                clock=clock, value=value,
+            )
+        )
+        self._seq += 1
+
+    def events(self, loc_key: Hashable, tid: int) -> Tuple[ProvenanceEvent, ...]:
+        return tuple(self._rings.get((loc_key, tid), ()))
+
+    def build(
+        self,
+        loc_key: Hashable,
+        loc: str,
+        current_tid: int,
+        prior_tid: int,
+        comparison: ClockComparison,
+    ) -> RaceProvenance:
+        """Assemble the provenance attached to one race report."""
+        return RaceProvenance(
+            loc=loc,
+            current_events=self.events(loc_key, current_tid),
+            prior_events=self.events(loc_key, prior_tid),
+            comparison=comparison,
+            depth=self.depth,
+        )
+
+
+def render_provenance(
+    provenance: RaceProvenance,
+    source_lines: Optional[Dict[int, str]] = None,
+    indent: str = "  ",
+) -> List[str]:
+    """Render one race's provenance as human-readable lines.
+
+    ``source_lines`` optionally maps PTX line numbers to instruction
+    text, so timelines show the instruction alongside the line number.
+    """
+
+    def fmt(event: ProvenanceEvent) -> str:
+        text = str(event)
+        if source_lines and event.pc in source_lines:
+            text += f"   ; {source_lines[event.pc].strip()}"
+        return text
+
+    comparison = provenance.comparison
+    lines = [f"evidence on {provenance.loc} "
+             f"(last {provenance.depth} accesses per thread):"]
+    lines.append(f"{indent}thread t{comparison.prior_tid} (prior):")
+    for event in provenance.prior_events or ():
+        lines.append(f"{indent * 2}{fmt(event)}")
+    if not provenance.prior_events:
+        lines.append(f"{indent * 2}(no retained history)")
+    lines.append(f"{indent}thread t{comparison.current_tid} (current):")
+    for event in provenance.current_events or ():
+        lines.append(f"{indent * 2}{fmt(event)}")
+    if not provenance.current_events:
+        lines.append(f"{indent * 2}(no retained history)")
+    lines.append(f"{indent}failed clock check: {comparison}")
+    return lines

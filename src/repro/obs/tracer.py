@@ -1,0 +1,250 @@
+"""Nestable spans with Chrome ``trace_event`` export.
+
+A :class:`Tracer` records *complete* events ("ph": "X" — name, start
+timestamp, duration, process/thread track, args) plus the metadata
+events naming the tracks, producing the JSON object format consumed by
+``chrome://tracing`` and Perfetto.  Spans open via context manager or
+decorator and nest naturally per thread; tracks are logical (a pipeline
+stage, a simulated warp, a pool shard), not OS threads, so one Python
+thread can paint many tracks.
+
+The :class:`NullTracer` singleton is the default everywhere: its
+``enabled`` flag is False and every method is a no-op, so instrumented
+hot paths cost a single attribute check when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from functools import wraps
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Default process track name for pipeline-phase spans.
+PIPELINE_TRACK = "pipeline"
+
+
+class Tracer:
+    """Collects spans; exports the Chrome trace-event JSON object format."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self._epoch = self._clock()
+        self._lock = threading.Lock()
+        self._events: List[dict] = []
+        # (pid name, tid name) -> (pid, tid) integer track ids.
+        self._tracks: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self._pids: Dict[str, int] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Time and tracks
+    # ------------------------------------------------------------------
+    def now_us(self) -> float:
+        """Microseconds since this tracer was created."""
+        return (self._clock() - self._epoch) * 1e6
+
+    def _track(self, pid_name: str, tid_name: str) -> Tuple[int, int]:
+        key = (pid_name, tid_name)
+        ids = self._tracks.get(key)
+        if ids is not None:
+            return ids
+        pid = self._pids.get(pid_name)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[pid_name] = pid
+            self._events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": pid_name},
+            })
+        tid = sum(1 for (p, _t) in self._tracks if p == pid_name) + 1
+        self._tracks[key] = (pid, tid)
+        self._events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": tid_name},
+        })
+        return pid, tid
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add_complete(
+        self,
+        name: str,
+        start_us: float,
+        duration_us: float,
+        pid: str = PIPELINE_TRACK,
+        tid: str = "main",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record one finished span on the (pid, tid) named track."""
+        with self._lock:
+            pid_id, tid_id = self._track(pid, tid)
+            event = {
+                "ph": "X",
+                "name": name,
+                "ts": round(start_us, 3),
+                "dur": round(max(duration_us, 0.0), 3),
+                "pid": pid_id,
+                "tid": tid_id,
+            }
+            if args:
+                event["args"] = args
+            self._events.append(event)
+
+    def instant(self, name: str, pid: str = PIPELINE_TRACK,
+                tid: str = "main", args: Optional[dict] = None) -> None:
+        """Record a zero-duration marker event."""
+        with self._lock:
+            pid_id, tid_id = self._track(pid, tid)
+            event = {"ph": "i", "name": name, "ts": round(self.now_us(), 3),
+                     "pid": pid_id, "tid": tid_id, "s": "t"}
+            if args:
+                event["args"] = args
+            self._events.append(event)
+
+    @contextmanager
+    def span(self, name: str, pid: str = PIPELINE_TRACK,
+             tid: Optional[str] = None, **args):
+        """Open a nestable span: ``with tracer.span("ptx-parse"): ...``."""
+        if tid is None:
+            tid = getattr(self._local, "tid", None) or "main"
+        start = self.now_us()
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        try:
+            yield self
+        finally:
+            self._local.depth = depth
+            self.add_complete(name, start, self.now_us() - start,
+                              pid=pid, tid=tid, args=args or None)
+
+    def trace(self, name: Optional[str] = None, pid: str = PIPELINE_TRACK):
+        """Decorator form: ``@tracer.trace("detect")``."""
+
+        def decorate(fn):
+            span_name = name or fn.__qualname__
+
+            @wraps(fn)
+            def wrapper(*fargs, **fkwargs):
+                with self.span(span_name, pid=pid):
+                    return fn(*fargs, **fkwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def span_names(self) -> List[str]:
+        """Distinct names of recorded spans (metadata excluded)."""
+        with self._lock:
+            seen = []
+            for event in self._events:
+                if event["ph"] == "X" and event["name"] not in seen:
+                    seen.append(event["name"])
+            return seen
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome trace-event *JSON object format* of everything seen."""
+        with self._lock:
+            return {
+                "traceEvents": list(self._events),
+                "displayTimeUnit": "ms",
+                "otherData": {"producer": "repro.obs.tracer"},
+            }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Permanently-disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no clock, no state
+        self._events = []
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def add_complete(self, *args, **kwargs) -> None:
+        pass
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def span(self, name: str, pid: str = PIPELINE_TRACK,
+             tid: Optional[str] = None, **args):
+        return _NULL_SPAN
+
+    def trace(self, name: Optional[str] = None, pid: str = PIPELINE_TRACK):
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+    def span_names(self) -> List[str]:
+        return []
+
+    def to_chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+#: Shared no-op tracer; the default wherever a tracer is accepted.
+NULL_TRACER = NullTracer()
+
+
+def validate_chrome_trace(payload: dict, min_phases: int = 0) -> List[str]:
+    """Schema-check a Chrome trace object; returns the distinct span names.
+
+    Raises :class:`ValueError` on malformed payloads.  Used by the CI
+    observability smoke step and the test suite.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("not a Chrome trace object: missing 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    names = []
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError(f"trace event is not an object: {event!r}")
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"trace event missing {key!r}: {event!r}")
+        if event["ph"] == "X":
+            if "ts" not in event or "dur" not in event:
+                raise ValueError(f"complete event missing ts/dur: {event!r}")
+            if event["dur"] < 0:
+                raise ValueError(f"negative duration: {event!r}")
+            if event["name"] not in names:
+                names.append(event["name"])
+    if len(names) < min_phases:
+        raise ValueError(
+            f"trace has spans for {len(names)} distinct phase(s) "
+            f"({names}); expected at least {min_phases}"
+        )
+    return names

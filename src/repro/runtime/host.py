@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 from ..core.detector import BarracudaDetector
 from ..core.races import DetectorReports
 from ..core.reference import DetectorConfig
+from ..obs import NULL_OBS, Observability
 from ..trace.layout import GridLayout
 from .queue import QueueSet
 from ..events import LogRecord, record_to_ops
@@ -36,6 +37,8 @@ class HostDetector:
         config: Optional[DetectorConfig] = None,
         in_order: bool = True,
         batch_size: int = 64,
+        obs: Observability = NULL_OBS,
+        kernel: str = "",
     ) -> None:
         self.layout = layout
         self.detector = BarracudaDetector(layout, config)
@@ -43,6 +46,26 @@ class HostDetector:
         self.in_order = in_order
         self.batch_size = batch_size
         self.records_processed = 0
+        self.kernel = kernel
+        # Pre-resolved instruments; None when metrics are disabled so
+        # the per-record hot path pays one is-None check.
+        self._events_by_kind = self._hot_pcs = self._hot_addrs = None
+        if obs.metrics.enabled:
+            self._events_by_kind = obs.metrics.counter(
+                "repro_events_ingested_total",
+                "Log records ingested by the host detector, by record kind",
+                ("kind",),
+            )
+            self._hot_pcs = obs.metrics.topk(
+                "repro_hot_ptx_instructions",
+                "Most-logged PTX source lines per kernel",
+                ("kernel",),
+            )
+            self._hot_addrs = obs.metrics.topk(
+                "repro_hot_addresses",
+                "Most-accessed shared/global addresses per kernel",
+                ("kernel",),
+            )
 
     # ------------------------------------------------------------------
     # Consumption
@@ -50,8 +73,20 @@ class HostDetector:
     def consume(self, records: Iterable[LogRecord]) -> None:
         for record in records:
             self.records_processed += 1
+            if self._events_by_kind is not None:
+                self._observe_record(record)
             for op in record_to_ops(record, self.layout, self.granularity):
                 self.detector.process(op)
+
+    def _observe_record(self, record: LogRecord) -> None:
+        """Metrics-enabled path: profile one ingested record."""
+        self._events_by_kind.inc(kind=record.kind.name.lower())
+        if record.pc >= 0:
+            self._hot_pcs.observe(f"line:{record.pc}", kernel=self.kernel)
+        for space, addr in record.addrs.values():
+            self._hot_addrs.observe(
+                f"{space.name.lower()}:0x{addr:x}", kernel=self.kernel
+            )
 
     def drain(self, queues: QueueSet) -> int:
         """Drain everything currently committed; returns records eaten."""

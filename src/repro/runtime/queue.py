@@ -27,6 +27,7 @@ from typing import Callable, List, Optional
 from ..errors import QueueError
 from ..gpu.interpreter import EventSink
 from ..events import RECORD_BYTES, LogRecord
+from ..obs import NULL_OBS, Observability
 
 #: Default queue capacity in records.  The paper reserves ~50% of GPU
 #: memory for queues; scaled to simulation size.
@@ -47,10 +48,28 @@ class QueueStats:
     #: Completed revolutions of the write head around the ring; always
     #: equal to ``write_head // capacity``.
     wraps: int = 0
+    #: Occupancy sampling: depth is sampled on *both* push and pop, so
+    #: the mean is not skewed toward producer bursts (a producer-only
+    #: sample never sees the queue draining).
+    depth_samples: int = 0
+    depth_total: int = 0
 
     @property
     def bytes_transferred(self) -> int:
         return self.pushed * RECORD_BYTES
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean queue depth across push *and* pop samples."""
+        if self.depth_samples == 0:
+            return 0.0
+        return self.depth_total / self.depth_samples
+
+    def sample_depth(self, depth: int) -> None:
+        self.depth_samples += 1
+        self.depth_total += depth
+        if depth > self.max_depth:
+            self.max_depth = depth
 
 
 class LogQueue:
@@ -92,9 +111,7 @@ class LogQueue:
         self.stats.pushed += 1
         if self.write_head % self.capacity == 0:
             self.stats.wraps += 1
-        depth = self.write_head - self.read_head
-        if depth > self.stats.max_depth:
-            self.stats.max_depth = depth
+        self.stats.sample_depth(self.write_head - self.read_head)
 
     def head_seq(self) -> Optional[int]:
         """Commit stamp of the oldest unread record, or None if drained."""
@@ -116,6 +133,7 @@ class LogQueue:
         record = self._slots[slot]
         self._slots[slot] = None
         self.read_head += 1
+        self.stats.sample_depth(self.write_head - self.read_head)
         return record
 
     def pop_batch(self, limit: int) -> List[LogRecord]:
@@ -142,6 +160,7 @@ class QueueSet(EventSink):
         capacity: int = DEFAULT_CAPACITY,
         block_of_record: Optional[Callable[[LogRecord], int]] = None,
         on_full: Optional[Callable[["QueueSet", int], None]] = None,
+        obs: Observability = NULL_OBS,
     ) -> None:
         if num_queues < 1:
             raise QueueError(f"need at least one queue, got {num_queues}")
@@ -149,6 +168,20 @@ class QueueSet(EventSink):
         self._block_of_record = block_of_record
         self.on_full = on_full
         self._seq = 0
+        # Pre-resolved instruments: None when metrics are disabled, so
+        # the per-record path pays one is-None check.
+        self._depth_hist = self._stall_hist = None
+        if obs.metrics.enabled:
+            self._depth_hist = obs.metrics.histogram(
+                "repro_queue_depth",
+                "Queue depth observed at each record push",
+                ("queue",),
+            )
+            self._stall_hist = obs.metrics.histogram(
+                "repro_queue_stall_cycles",
+                "Stall cycles a producer waited per full-queue event",
+                ("queue",),
+            )
 
     def queue_for_block(self, block: int) -> int:
         """Each thread block logs to exactly one queue (§4.2)."""
@@ -185,6 +218,13 @@ class QueueSet(EventSink):
         queue.push(record, seq=self._seq)
         self._seq += 1
         queue.stats.stall_cycles += stall
+        if self._depth_hist is not None:
+            label = str(queue_index)
+            self._depth_hist.observe(
+                queue.write_head - queue.read_head, queue=label
+            )
+            if stall:
+                self._stall_hist.observe(stall, queue=label)
         return stall
 
     # ------------------------------------------------------------------

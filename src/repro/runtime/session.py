@@ -26,6 +26,7 @@ from ..gpu.memory import ArchProfile, MAXWELL_TITANX
 from ..gpu.scheduler import Scheduler
 from ..instrument.fatbinary import FatBinary, intercept_fat_binary
 from ..instrument.passes import InstrumentationReport, Instrumenter
+from ..obs import NULL_OBS, Observability
 from ..ptx.ast import Module
 from ..trace.layout import GridLayout
 from .host import HostDetector
@@ -67,6 +68,15 @@ class SessionLaunch:
         return sum(stats.wraps for stats in self.queue_stats)
 
     @property
+    def mean_queue_occupancy(self) -> float:
+        """Mean depth across every queue's push/pop samples."""
+        samples = sum(stats.depth_samples for stats in self.queue_stats)
+        if samples == 0:
+            return 0.0
+        total = sum(stats.depth_total for stats in self.queue_stats)
+        return total / samples
+
+    @property
     def barrier_divergences(self) -> List[BarrierDivergenceReport]:
         return self.reports.barrier_divergences
 
@@ -89,6 +99,7 @@ class BarracudaSession:
         prune: bool = True,
         detector_config: Optional[DetectorConfig] = None,
         in_order_host: bool = True,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.device = GpuDevice(arch)
         self.num_queues = num_queues
@@ -96,6 +107,7 @@ class BarracudaSession:
         self.instrumenter = Instrumenter(prune=prune)
         self.detector_config = detector_config
         self.in_order_host = in_order_host
+        self.obs = obs
         # handle -> (pristine module, instrumented module, report)
         self._binaries: Dict[int, tuple] = {}
         self._next_handle = 1
@@ -111,10 +123,14 @@ class BarracudaSession:
         pristine_ptx = fatbin.ptx_entry().decompress_ptx()
         from ..ptx.parser import parse_ptx
 
-        pristine = parse_ptx(pristine_ptx)
-        _new_fatbin, instrumented, report = intercept_fat_binary(
-            fatbin, self.instrumenter
-        )
+        with self.obs.tracer.span("ptx-parse"):
+            pristine = parse_ptx(pristine_ptx)
+        with self.obs.tracer.span("instrument"):
+            _new_fatbin, instrumented, report = intercept_fat_binary(
+                fatbin, self.instrumenter
+            )
+        if self.obs.metrics.enabled:
+            self._publish_instrumentation_metrics(pristine, report)
         handle = self._next_handle
         self._next_handle += 1
         self._binaries[handle] = (pristine, instrumented, report)
@@ -127,6 +143,14 @@ class BarracudaSession:
 
     def instrumentation_report(self, handle: int) -> InstrumentationReport:
         return self._binaries[handle][2]
+
+    def pristine_module(self, handle: int) -> Module:
+        """The registered module as parsed back from its PTX text.
+
+        Its instruction ``line`` numbers are the PTX source locations
+        that log records (and therefore race reports) carry in ``pc``.
+        """
+        return self._binaries[handle][0]
 
     def _find_handle(self, kernel_name: str) -> int:
         for handle, (pristine, _instrumented, _report) in self._binaries.items():
@@ -177,7 +201,11 @@ class BarracudaSession:
 
         layout: GridLayout = LaunchConfig.of(grid, block, warp_size).layout()
         host = HostDetector(
-            layout, config=self.detector_config, in_order=self.in_order_host
+            layout,
+            config=self.detector_config,
+            in_order=self.in_order_host,
+            obs=self.obs,
+            kernel=kernel_name,
         )
         queues = QueueSet(
             num_queues=self.num_queues,
@@ -188,6 +216,7 @@ class BarracudaSession:
                 else layout.block_of_warp(record.warp)
             ),
             on_full=lambda queue_set, index: host.drain_some(queue_set, index),
+            obs=self.obs,
         )
         result = self.device.launch(
             instrumented,
@@ -200,8 +229,10 @@ class BarracudaSession:
             instrumented=True,
             scheduler=scheduler,
             max_steps=max_steps,
+            obs=self.obs,
         )
-        host.drain(queues)
+        with self.obs.tracer.span("queue-drain", kernel=kernel_name):
+            host.drain(queues)
         launch = SessionLaunch(
             kernel=kernel_name,
             native=native_result,
@@ -212,7 +243,97 @@ class BarracudaSession:
             queue_stats=[queue.stats for queue in queues.queues],
         )
         self.launches.append(launch)
+        if self.obs.metrics.enabled:
+            self._publish_launch_metrics(launch, host, queues)
         return launch
+
+    # ------------------------------------------------------------------
+    # Metrics publication (absorbs the ad-hoc stats accessors)
+    # ------------------------------------------------------------------
+    def _publish_instrumentation_metrics(
+        self, pristine: Module, report: InstrumentationReport
+    ) -> None:
+        metrics = self.obs.metrics
+        static = metrics.gauge(
+            "repro_static_instructions",
+            "Static PTX instructions per registered kernel",
+            ("kernel",),
+        )
+        sites = metrics.gauge(
+            "repro_instrumented_sites",
+            "Instrumented logging sites per registered kernel",
+            ("kernel",),
+        )
+        for kernel in report.kernels:
+            static.set(kernel.static_instructions, kernel=kernel.name)
+            sites.set(kernel.instrumented_sites, kernel=kernel.name)
+
+    def _publish_launch_metrics(
+        self, launch: SessionLaunch, host: HostDetector, queues: QueueSet
+    ) -> None:
+        metrics = self.obs.metrics
+        detector = host.detector
+        metrics.counter(
+            "repro_records_logged_total",
+            "Log records pushed through the GPU-to-host queues",
+        ).inc(launch.records)
+        metrics.counter(
+            "repro_queue_bytes_total",
+            "Bytes transferred through the GPU-to-host queues",
+        ).inc(launch.queue_bytes)
+        metrics.counter(
+            "repro_queue_stalls_total",
+            "Producer stalls on full queues",
+        ).inc(launch.total_stalls)
+        metrics.counter(
+            "repro_queue_wraps_total",
+            "Completed ring revolutions across all queues",
+        ).inc(launch.total_wraps)
+        metrics.gauge(
+            "repro_queue_mean_occupancy",
+            "Mean queue depth across push/pop samples of the last launch",
+        ).set(launch.mean_queue_occupancy)
+        metrics.gauge(
+            "repro_queue_max_depth",
+            "Peak queue depth of the last launch",
+        ).set(launch.max_queue_depth)
+        metrics.counter(
+            "repro_detector_ops_total",
+            "Trace operations processed by the detector",
+        ).inc(detector.ops_processed)
+        metrics.counter(
+            "repro_vector_clock_joins_total",
+            "PTVC join-fork operations (lockstep joins, branches, barriers)",
+        ).inc(detector.clocks.joins)
+        shadow = detector.shadow.stats
+        metrics.gauge(
+            "repro_shadow_entries", "Live shadow-memory entries"
+        ).set(shadow.entries)
+        metrics.gauge(
+            "repro_shadow_modeled_bytes",
+            "Device bytes the shadow memory currently models",
+        ).set(shadow.modeled_bytes)
+        ptvc = detector.ptvc_stats()
+        formats = metrics.gauge(
+            "repro_ptvc_warps",
+            "Warps per PTVC compression format (Figure 7)",
+            ("format",),
+        )
+        for fmt, count in ptvc.format_counts.items():
+            formats.set(count, format=fmt.value)
+        races = metrics.counter(
+            "repro_races_total", "Races reported, by classification", ("kind",)
+        )
+        for race in launch.reports.races:
+            races.inc(kind=race.kind.value)
+        metrics.counter(
+            "repro_filtered_same_value_total",
+            "Benign same-value intra-warp conflicts filtered (§3.3.1)",
+        ).inc(launch.reports.filtered_same_value)
+        metrics.counter(
+            "repro_barrier_divergences_total",
+            "Barrier divergence errors reported",
+        ).inc(len(launch.reports.barrier_divergences))
 
     # ------------------------------------------------------------------
     # Device management

@@ -22,4 +22,9 @@ from .protocol import (
     send_frame,
 )
 from .server import DEFAULT_HIGH_WATER, RaceService, ServiceThread
-from .stats import JobStats, ServiceStats, WorkerStats
+from .stats import (
+    JobStats,
+    ServiceStats,
+    WorkerStats,
+    metrics_registry_from_snapshot,
+)

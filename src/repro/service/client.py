@@ -142,6 +142,16 @@ class ServiceClient:
         return self._expect(self._request(protocol.stats_frame()),
                             protocol.STATS_REPLY)["stats"]
 
+    def metrics(self) -> dict:
+        """Fetch the service metrics (the ``METRICS`` verb).
+
+        Returns ``{"text": <Prometheus exposition>, "snapshot": <dict>}``.
+        """
+        reply = self._expect(self._request(protocol.metrics_frame()),
+                             protocol.METRICS_REPLY)
+        return {"text": reply.get("text", ""),
+                "snapshot": reply.get("snapshot", {})}
+
     # ------------------------------------------------------------------
     # Teardown
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
+from ..obs import NULL_OBS, Observability
 from ..runtime.host import HostDetector
 from ..runtime.replay import record_line_to_record
 from ..trace.layout import GridLayout
@@ -92,10 +93,14 @@ def _failed(exc: BaseException) -> Future:
 class ShardedDetectorPool:
     """Dispatches job record streams across job-affine detector shards."""
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(self, workers: int = 2, obs: Observability = NULL_OBS) -> None:
         if workers < 0:
             raise ReproError(f"worker count must be >= 0, got {workers}")
         self.workers = workers
+        # Coordinator-side tracing: batch spans are recorded here from
+        # the futures' dispatch/completion times (one track per shard),
+        # so no trace state crosses the process boundary.
+        self.obs = obs
         self._executors: List[ProcessPoolExecutor] = [
             ProcessPoolExecutor(max_workers=1) for _ in range(workers)
         ]
@@ -145,11 +150,23 @@ class ShardedDetectorPool:
 
     def submit_batch(self, job_id: str, lines: Sequence[str]) -> Future:
         """Queue one batch on the job's shard; resolves to (count, busy)."""
-        future = self._dispatch(self.shard_of(job_id), _worker_batch,
-                                job_id, list(lines))
-        future.add_done_callback(
-            lambda f, shard=self.shard_of(job_id): self._account(shard, f)
-        )
+        shard = self.shard_of(job_id)
+        tracer = self.obs.tracer
+        start_us = tracer.now_us() if tracer.enabled else 0.0
+        future = self._dispatch(shard, _worker_batch, job_id, list(lines))
+        future.add_done_callback(lambda f: self._account(shard, f))
+        if tracer.enabled:
+            count = len(lines)
+            future.add_done_callback(
+                lambda f: tracer.add_complete(
+                    "worker-batch",
+                    start_us,
+                    tracer.now_us() - start_us,
+                    pid="pool",
+                    tid=f"shard-{shard}",
+                    args={"job": job_id, "records": count},
+                )
+            )
         return future
 
     def _account(self, shard: int, future: Future) -> None:

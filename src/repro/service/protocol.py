@@ -18,6 +18,7 @@ Client → server verbs::
     RECORDS {job_id, lines: [str]}     -> ACK {job_id, accepted, pending} | ERROR
     CLOSE   {job_id}                   -> REPORT {job_id, reports, stats} | ERROR
     STATS   {}                         -> STATS_REPLY {stats}
+    METRICS {}                         -> METRICS_REPLY {text, snapshot}
 
 ``ACK`` doubles as the backpressure signal: the server withholds it
 while a job's pending-record count sits above the high-water mark, which
@@ -54,6 +55,7 @@ OPEN = "open"
 RECORDS = "records"
 CLOSE = "close"
 STATS = "stats"
+METRICS = "metrics"
 
 # Server → client verbs.
 ACCEPT = "accept"
@@ -61,6 +63,7 @@ ACK = "ack"
 REPORT = "report"
 ERROR = "error"
 STATS_REPLY = "stats-reply"
+METRICS_REPLY = "metrics-reply"
 
 
 class ProtocolError(ReproError):
@@ -172,6 +175,10 @@ def stats_frame() -> dict:
     return {"verb": STATS}
 
 
+def metrics_frame() -> dict:
+    return {"verb": METRICS}
+
+
 def accept_frame(job_id: str) -> dict:
     return {"verb": ACCEPT, "job_id": job_id}
 
@@ -197,6 +204,11 @@ def stats_reply_frame(stats: dict) -> dict:
     return {"verb": STATS_REPLY, "stats": stats}
 
 
+def metrics_reply_frame(text: str, snapshot: dict) -> dict:
+    """The METRICS reply: Prometheus text exposition + JSON snapshot."""
+    return {"verb": METRICS_REPLY, "text": text, "snapshot": snapshot}
+
+
 # ----------------------------------------------------------------------
 # Detector configuration and report payloads
 # ----------------------------------------------------------------------
@@ -204,6 +216,7 @@ def config_to_payload(config: DetectorConfig) -> dict:
     return {
         "filter_same_value": config.filter_same_value,
         "granularity_bytes": config.granularity_bytes,
+        "provenance_depth": config.provenance_depth,
     }
 
 
@@ -214,6 +227,7 @@ def config_from_payload(payload: Optional[dict]) -> DetectorConfig:
         return DetectorConfig(
             filter_same_value=bool(payload.get("filter_same_value", True)),
             granularity_bytes=int(payload.get("granularity_bytes", 4)),
+            provenance_depth=int(payload.get("provenance_depth", 0)),
         )
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed detector config: {exc}") from exc

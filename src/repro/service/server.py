@@ -28,7 +28,7 @@ from ..errors import ReproError
 from ..runtime.replay import read_header
 from . import protocol
 from .pipeline import ShardedDetectorPool
-from .stats import JobStats, ServiceStats
+from .stats import JobStats, ServiceStats, metrics_registry_from_snapshot
 
 #: Default pending-record high-water mark per job.
 DEFAULT_HIGH_WATER = 8192
@@ -209,6 +209,11 @@ class RaceService:
         elif verb == protocol.STATS:
             await self._send(writer, protocol.stats_reply_frame(
                 self.stats.snapshot(self.pool.worker_stats)))
+        elif verb == protocol.METRICS:
+            registry = metrics_registry_from_snapshot(
+                self.stats.snapshot(self.pool.worker_stats))
+            await self._send(writer, protocol.metrics_reply_frame(
+                registry.render_prometheus(), registry.snapshot()))
         else:
             await self._send(writer, protocol.error_frame(
                 f"unknown verb {verb!r}"))

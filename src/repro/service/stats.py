@@ -18,6 +18,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import MetricsRegistry
+
 #: Cap on retained batch latencies per job (newest kept, a plain bound —
 #: enough resolution for p50/p90/p99 without unbounded growth).
 LATENCY_SAMPLE_CAP = 4096
@@ -170,6 +172,75 @@ class ServiceStats:
             "jobs": {job_id: job.snapshot() for job_id, job in self.jobs.items()},
             "workers": [w.snapshot(uptime) for w in workers or []],
         }
+
+
+def metrics_registry_from_snapshot(snapshot: dict) -> MetricsRegistry:
+    """Build a :class:`MetricsRegistry` from a ``STATS`` snapshot.
+
+    This is what the ``METRICS`` protocol verb serves: the same live
+    accounting as ``STATS``, but rendered through the registry so
+    clients get Prometheus text exposition plus the registry's JSON
+    snapshot.  Per-job series carry the ``job`` label, so counters stay
+    isolated between concurrent jobs.
+    """
+    registry = MetricsRegistry()
+    registry.gauge(
+        "repro_service_uptime_seconds", "Service uptime"
+    ).set(snapshot.get("uptime_seconds", 0.0))
+    jobs_gauge = registry.gauge(
+        "repro_service_jobs", "Jobs by lifecycle state", ("state",)
+    )
+    for state in ("open", "done", "failed", "aborted"):
+        jobs_gauge.set(snapshot.get(f"jobs_{state}", 0), state=state)
+    registry.counter(
+        "repro_service_records_in_total", "Records ingested across all jobs"
+    ).inc(snapshot.get("records_in", 0))
+    registry.gauge(
+        "repro_service_pending_records",
+        "Records submitted to workers but not yet processed",
+    ).set(snapshot.get("pending_records", 0))
+    job_records = registry.counter(
+        "repro_service_job_records_total", "Records ingested per job", ("job",)
+    )
+    job_batches = registry.counter(
+        "repro_service_job_batches_total", "Batches ingested per job", ("job",)
+    )
+    job_pending = registry.gauge(
+        "repro_service_job_pending_records", "Pending records per job", ("job",)
+    )
+    job_latency = registry.gauge(
+        "repro_service_job_batch_latency_ms",
+        "Per-job batch latency percentiles",
+        ("job", "quantile"),
+    )
+    for job_id in sorted(snapshot.get("jobs", {})):
+        job = snapshot["jobs"][job_id]
+        job_records.inc(job.get("records_in", 0), job=job_id)
+        job_batches.inc(job.get("batches_in", 0), job=job_id)
+        job_pending.set(job.get("pending_records", 0), job=job_id)
+        for quantile, value in job.get("batch_latency_ms", {}).items():
+            job_latency.set(value, job=job_id, quantile=quantile)
+    worker_batches = registry.counter(
+        "repro_service_worker_batches_total", "Batches per pool shard", ("shard",)
+    )
+    worker_records = registry.counter(
+        "repro_service_worker_records_total", "Records per pool shard", ("shard",)
+    )
+    worker_busy = registry.gauge(
+        "repro_service_worker_busy_seconds", "Busy time per pool shard", ("shard",)
+    )
+    worker_util = registry.gauge(
+        "repro_service_worker_utilization",
+        "Busy fraction of uptime per pool shard",
+        ("shard",),
+    )
+    for worker in snapshot.get("workers", []):
+        shard = str(worker.get("shard", 0))
+        worker_batches.inc(worker.get("batches", 0), shard=shard)
+        worker_records.inc(worker.get("records", 0), shard=shard)
+        worker_busy.set(worker.get("busy_seconds", 0.0), shard=shard)
+        worker_util.set(worker.get("utilization", 0.0), shard=shard)
+    return registry
 
 
 def render_job_stats(snapshot: dict) -> str:

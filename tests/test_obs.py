@@ -1,0 +1,428 @@
+"""The observability subsystem: tracing, metrics, race provenance."""
+
+import json
+
+import pytest
+
+from repro.core.reference import DetectorConfig
+from repro.cudac import compile_cuda
+from repro.gpu import GpuDevice, ListSink
+from repro.gpu.hierarchy import LaunchConfig
+from repro.instrument import Instrumenter
+from repro.obs import (
+    NULL_METRICS,
+    NULL_OBS,
+    NULL_TRACER,
+    ClockComparison,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NullTracer,
+    ProvenanceTracker,
+    Tracer,
+    make_observability,
+    parse_exposition,
+    render_provenance,
+    validate_chrome_trace,
+)
+from repro.runtime import LogQueue
+from repro.runtime.replay import replay
+
+RACY = """
+__global__ void racy(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = blockIdx.x + 1;
+    }
+}
+"""
+
+
+def _racy_capture(grid=2, block=32, warp_size=8):
+    module, _ = Instrumenter().instrument_module(compile_cuda(RACY))
+    device = GpuDevice()
+    data = device.alloc(256 * 4)
+    sink = ListSink()
+    device.launch(module, "racy", grid=grid, block=block,
+                  warp_size=warp_size, params={"data": data}, sink=sink,
+                  instrumented=True)
+    return LaunchConfig.of(grid, block, warp_size).layout(), sink.records
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.seconds = 0.0
+
+    def __call__(self):
+        return self.seconds
+
+    def tick(self, seconds):
+        self.seconds += seconds
+
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("parse", source="k.cu"):
+            clock.tick(0.002)
+        payload = tracer.to_chrome_trace()
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "parse"
+        assert spans[0]["ts"] == 0.0
+        assert spans[0]["dur"] == pytest.approx(2000.0)
+        assert spans[0]["args"] == {"source": "k.cu"}
+
+    def test_tracks_get_metadata_events(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.add_complete("a", 0, 1, pid="interpreter", tid="warp-0")
+        tracer.add_complete("b", 0, 1, pid="interpreter", tid="warp-1")
+        events = tracer.to_chrome_trace()["traceEvents"]
+        meta = [(e["name"], e["args"]["name"])
+                for e in events if e["ph"] == "M"]
+        assert ("process_name", "interpreter") in meta
+        assert ("thread_name", "warp-0") in meta
+        assert ("thread_name", "warp-1") in meta
+        warps = [e for e in events if e["ph"] == "X"]
+        assert warps[0]["tid"] != warps[1]["tid"]
+        assert warps[0]["pid"] == warps[1]["pid"]
+
+    def test_decorator_names_span_after_function(self):
+        tracer = Tracer(clock=FakeClock())
+
+        @tracer.trace("detect")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert tracer.span_names() == ["detect"]
+
+    def test_nested_spans_both_recorded(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert set(tracer.span_names()) == {"outer", "inner"}
+
+    def test_write_and_validate(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("only-phase"):
+            pass
+        path = tmp_path / "t.json"
+        tracer.write(str(path))
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload, min_phases=1) == ["only-phase"]
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "a", "pid": 1,
+                                  "tid": 1, "ts": 0, "dur": -5}]})
+
+    def test_validate_enforces_min_phases(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with pytest.raises(ValueError, match="expected at least 5"):
+            validate_chrome_trace(tracer.to_chrome_trace(), min_phases=5)
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("ignored"):
+            pass
+        NULL_TRACER.add_complete("ignored", 0, 1)
+        NULL_TRACER.instant("ignored")
+        assert NULL_TRACER.span_names() == []
+        assert NULL_TRACER.to_chrome_trace()["traceEvents"] == []
+
+    def test_null_decorator_returns_function_unchanged(self):
+        def fn():
+            return 7
+
+        assert NullTracer().trace("x")(fn) is fn
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_accumulates_per_label(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "Events", ("kind",))
+        counter.inc(kind="load")
+        counter.inc(2, kind="store")
+        assert counter.value(kind="load") == 1
+        assert counter.value(kind="store") == 2
+        assert counter.value(kind="atom") == 0
+        with pytest.raises(ValueError):
+            counter.inc(-1, kind="load")
+
+    def test_gauge_sets_and_decrements(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.dec(3)
+        assert gauge.value() == 7
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1, 10, 100))
+        for value in (0, 5, 5, 50, 500):
+            hist.observe(value)
+        assert hist.count() == 5
+        assert hist.sum() == 560
+        text = registry.render_prometheus()
+        parsed = parse_exposition(text)
+        buckets = {s[0]["le"]: s[1] for s in parsed["lat_bucket"]}
+        assert buckets == {"1": 1, "10": 3, "100": 4, "+Inf": 5}
+        assert parsed["lat_count"][0][1] == 5
+
+    def test_topk_bounds_exposed_items(self):
+        top = MetricsRegistry().topk("hot", k=2)
+        for item, count in (("a", 5), ("b", 3), ("c", 9)):
+            top.observe(item, count)
+        assert top.top() == [("c", 9), ("a", 5)]
+
+    def test_registry_is_idempotent_but_type_strict(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_exposition_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "Help text", ("k",)).inc(3, k='va"l')
+        registry.gauge("b").set(2.5)
+        parsed = parse_exposition(registry.render_prometheus())
+        assert parsed["a_total"] == [({"k": 'va\\"l'}, 3.0)]
+        assert parsed["b"] == [({}, 2.5)]
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_exposition("not a metric line at all!")
+        with pytest.raises(ValueError):
+            parse_exposition("# BOGUS comment kind")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A", ("k",)).inc(2, k="x")
+        snap = registry.snapshot()
+        assert snap["a_total"]["type"] == "counter"
+        assert snap["a_total"]["labels"] == ["k"]
+        assert snap["a_total"]["values"] == {"x": 2}
+
+    def test_null_registry_is_inert(self):
+        assert not NULL_METRICS.enabled
+        instrument = NULL_METRICS.counter("anything")
+        instrument.inc(5)
+        instrument.observe(1)
+        instrument.set(2)
+        assert instrument.value() == 0
+        assert NULL_METRICS.render_prometheus() == ""
+        assert NULL_METRICS.snapshot() == {}
+        assert isinstance(NULL_METRICS, NullMetricsRegistry)
+
+    def test_observability_bundle_defaults_disabled(self):
+        assert not NULL_OBS.enabled
+        assert not make_observability().enabled
+        obs = make_observability(trace=True)
+        assert obs.tracer.enabled and not obs.metrics.enabled
+        obs = make_observability(metrics=True)
+        assert obs.metrics.enabled and not obs.tracer.enabled
+
+
+# ----------------------------------------------------------------------
+# Queue occupancy (stats sampled on pop as well as push)
+# ----------------------------------------------------------------------
+class TestQueueOccupancy:
+    def _record(self, warp=0):
+        from repro.events import LogRecord, RecordKind
+
+        return LogRecord(kind=RecordKind.LOAD, warp=warp,
+                         active=frozenset({warp}))
+
+    def test_mean_occupancy_samples_push_and_pop(self):
+        queue = LogQueue(capacity=8)
+        for i in range(3):
+            queue.push(self._record(i))  # depths 1, 2, 3
+        for _ in range(3):
+            queue.pop()  # depths 2, 1, 0
+        stats = queue.stats
+        assert stats.depth_samples == 6
+        assert stats.depth_total == 1 + 2 + 3 + 2 + 1 + 0
+        assert stats.mean_occupancy == pytest.approx(9 / 6)
+        assert stats.max_depth == 3
+
+    def test_mean_occupancy_is_zero_without_samples(self):
+        assert LogQueue(capacity=2).stats.mean_occupancy == 0.0
+
+
+# ----------------------------------------------------------------------
+# Provenance
+# ----------------------------------------------------------------------
+class TestProvenance:
+    def test_tracker_keeps_bounded_history_in_order(self):
+        tracker = ProvenanceTracker(depth=3)
+        for clock in range(5):
+            tracker.record("loc", tid=1, access="write", pc=clock,
+                           clock=clock, value=clock * 10)
+        events = tracker.events("loc", 1)
+        assert len(events) == 3
+        assert [e.clock for e in events] == [2, 3, 4]  # oldest dropped
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+        assert tracker.events("loc", 2) == ()
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProvenanceTracker(depth=0)
+
+    def test_clock_comparison_verdict(self):
+        racy = ClockComparison(current_tid=0, prior_tid=3,
+                               prior_clock=5, observed=2)
+        ordered = ClockComparison(current_tid=0, prior_tid=3,
+                                  prior_clock=2, observed=5)
+        assert not racy.ordered and ordered.ordered
+        assert "NOT ordered" in str(racy)
+
+    def test_render_includes_source_text(self):
+        tracker = ProvenanceTracker(depth=2)
+        tracker.record("loc", tid=0, access="write", pc=7, clock=1, value=4)
+        tracker.record("loc", tid=1, access="read", pc=9, clock=2)
+        provenance = tracker.build(
+            "loc", "global[0x10]", current_tid=1, prior_tid=0,
+            comparison=ClockComparison(1, 0, 1, 0))
+        lines = render_provenance(provenance, {7: "st.global.u32 [%rd1], %r2;"})
+        text = "\n".join(lines)
+        assert "global[0x10]" in text
+        assert "st.global.u32" in text
+        assert "failed clock check" in text
+
+    def test_detector_attaches_provenance_to_races(self):
+        layout, records = _racy_capture()
+        plain = replay(layout, records)
+        explained = replay(layout, records,
+                           config=DetectorConfig(provenance_depth=4))
+        assert explained.races
+        for race in explained.races:
+            provenance = race.provenance
+            assert provenance is not None
+            assert provenance.depth == 4
+            assert not provenance.comparison.ordered
+            assert provenance.comparison.current_tid == race.current_tid
+            assert provenance.comparison.prior_tid == race.prior_tid
+            # The racing access itself is the newest current-thread event.
+            assert provenance.current_events
+            assert provenance.current_events[-1].tid == race.current_tid
+        # Provenance is evidence, not identity: reports still compare
+        # equal to their provenance-free twins.
+        assert plain.races == explained.races
+
+    def test_provenance_disabled_by_default(self):
+        layout, records = _racy_capture()
+        reports = replay(layout, records)
+        assert reports.races
+        assert all(race.provenance is None for race in reports.races)
+
+
+# ----------------------------------------------------------------------
+# CLI observability flags
+# ----------------------------------------------------------------------
+@pytest.fixture
+def racy_source(tmp_path):
+    path = tmp_path / "racy.cu"
+    path.write_text(RACY)
+    return str(path)
+
+
+class TestObservabilityCli:
+    def run(self, args):
+        from repro.cli import main
+
+        return main(args)
+
+    def test_trace_flag_writes_valid_chrome_trace(self, racy_source,
+                                                  tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = self.run([racy_source, "--grid", "2", "--buffer", "data:4",
+                         "--trace", str(trace)])
+        assert code == 1
+        payload = json.loads(trace.read_text())
+        names = validate_chrome_trace(payload, min_phases=5)
+        for phase in ("cuda-frontend", "ptx-parse", "instrument",
+                      "execute", "queue-drain", "report"):
+            assert phase in names
+        assert "trace written" in capsys.readouterr().err
+
+    def test_metrics_flag_prints_parsable_exposition(self, racy_source,
+                                                     capsys):
+        code = self.run([racy_source, "--grid", "2", "--buffer", "data:4",
+                         "--metrics"])
+        assert code == 1
+        out = capsys.readouterr().out
+        exposition = out.split("--------- metrics\n", 1)[1]
+        parsed = parse_exposition(exposition)
+        assert parsed["repro_races_total"]
+        assert parsed["repro_records_logged_total"][0][1] > 0
+        assert "repro_hot_ptx_instructions" in parsed
+        assert "repro_vector_clock_joins_total" in parsed
+
+    def test_stats_format_json(self, racy_source, capsys):
+        code = self.run([racy_source, "--grid", "2", "--buffer", "data:4",
+                         "--stats", "--stats-format", "json"])
+        assert code == 1
+        out = capsys.readouterr().out
+        snapshot = json.loads(out[out.index("{"):])
+        assert snapshot["repro_records_logged_total"]["type"] == "counter"
+        assert "statistics" not in out  # json replaces the text block
+
+    def test_stats_text_format_is_default(self, racy_source, capsys):
+        code = self.run([racy_source, "--grid", "2", "--buffer", "data:4",
+                         "--stats"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "--------- statistics" in out
+        assert "mean" in out  # the new mean-occupancy column
+
+    def test_explain_prints_provenance_timeline(self, racy_source, capsys):
+        code = self.run(["explain", racy_source, "--grid", "2",
+                         "--buffer", "data:4"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "explaining" in out
+        assert "failed clock check" in out
+        assert "PTX line" in out
+        assert "st.global" in out  # source text resolved from the PTX
+
+    def test_explain_clean_kernel_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.cu"
+        path.write_text("""
+__global__ void clean(int* data) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    data[gid] = gid;
+}
+""")
+        code = self.run(["explain", str(path), "--grid", "2",
+                         "--block", "64", "--buffer", "data:128"])
+        assert code == 0
+        assert "no races to explain" in capsys.readouterr().out
+
+    def test_explain_replays_captures(self, tmp_path, capsys):
+        from repro.runtime.replay import save_capture
+
+        layout, records = _racy_capture()
+        path = tmp_path / "capture.jsonl"
+        with open(path, "w") as stream:
+            save_capture(stream, layout, records, kernel="racy")
+        code = self.run(["explain", str(path)])
+        assert code == 1
+        assert "failed clock check" in capsys.readouterr().out
+
+    def test_explain_rejects_bad_depth(self, racy_source, capsys):
+        code = self.run(["explain", racy_source, "--depth", "0"])
+        assert code == 2
+        assert "depth" in capsys.readouterr().err

@@ -373,6 +373,107 @@ class TestServiceIntegration:
 
 
 # ----------------------------------------------------------------------
+# METRICS verb (the observability surface of the service)
+# ----------------------------------------------------------------------
+class TestMetricsVerb:
+    def _sample(self, parsed, name, **labels):
+        for sample_labels, value in parsed.get(name, []):
+            if sample_labels == labels:
+                return value
+        raise AssertionError(f"no sample {name}{labels} in {parsed.get(name)}")
+
+    def test_metrics_round_trip_and_matches_stats(self, service, tmp_path):
+        from repro.obs import parse_exposition
+        from repro.service.stats import metrics_registry_from_snapshot
+
+        sock, _ = service
+        path, _layout, records = _capture_file(tmp_path, "m.jsonl")
+        with ServiceClient(socket_path=sock) as client:
+            client.submit_path(path, batch_size=8)
+            metrics = client.metrics()
+            stats = client.stats()
+        parsed = parse_exposition(metrics["text"])
+        assert self._sample(parsed, "repro_service_jobs", state="done") >= 1
+        assert self._sample(
+            parsed, "repro_service_records_in_total") == len(records)
+        assert parsed["repro_service_worker_records_total"]
+        # The METRICS verb is the STATS snapshot through the registry:
+        # rebuilding locally yields the same snapshot format (uptime is
+        # the only clock-dependent series).
+        local = metrics_registry_from_snapshot(stats).snapshot()
+        remote = metrics["snapshot"]
+        assert set(remote) == set(local)
+        for name in remote:
+            assert remote[name]["type"] == local[name]["type"]
+            assert remote[name]["labels"] == local[name]["labels"]
+
+    def _open_job(self, client, header):
+        return client._expect(
+            client._request(protocol.open_frame(header + "\n")),
+            protocol.ACCEPT)["job_id"]
+
+    def test_concurrent_jobs_have_isolated_counters(self, service, tmp_path):
+        from repro.obs import parse_exposition
+
+        sock, _ = service
+        layout, records = _capture()
+        header, lines = _lines(layout, records)
+        first = ServiceClient(socket_path=sock)
+        second = ServiceClient(socket_path=sock)
+        try:
+            job_a = self._open_job(first, header)
+            job_b = self._open_job(second, header)
+            assert job_a != job_b
+            # Stream different volumes into each mid-flight job.
+            first._send_batch(job_a, lines[:12])
+            second._send_batch(job_b, lines[:4])
+            second._send_batch(job_b, lines[4:8])
+            with ServiceClient(socket_path=sock) as observer:
+                metrics = observer.metrics()
+            parsed = parse_exposition(metrics["text"])
+            per_job = "repro_service_job_records_total"
+            assert self._sample(parsed, per_job, job=job_a) == 12
+            assert self._sample(parsed, per_job, job=job_b) == 8
+            assert self._sample(
+                parsed, "repro_service_job_batches_total", job=job_a) == 1
+            assert self._sample(
+                parsed, "repro_service_job_batches_total", job=job_b) == 2
+            # The mid-stream snapshot is internally consistent: the
+            # service-wide ingest counter is the sum of the per-job ones.
+            total = self._sample(parsed, "repro_service_records_in_total")
+            assert total == sum(v for _l, v in parsed[per_job])
+            assert self._sample(parsed, "repro_service_jobs", state="open") == 2
+            # Finishing the jobs flips the state gauges, not the counters.
+            first._expect(first._request(protocol.close_frame(job_a)),
+                          protocol.REPORT)
+            second._expect(second._request(protocol.close_frame(job_b)),
+                           protocol.REPORT)
+            with ServiceClient(socket_path=sock) as observer:
+                parsed = parse_exposition(observer.metrics()["text"])
+            assert self._sample(parsed, per_job, job=job_a) == 12
+            assert self._sample(parsed, per_job, job=job_b) == 8
+            assert self._sample(parsed, "repro_service_jobs", state="open") == 0
+            assert self._sample(parsed, "repro_service_jobs", state="done") == 2
+        finally:
+            first.close()
+            second.close()
+
+    def test_metrics_verb_over_tcp(self, tmp_path):
+        from repro.obs import parse_exposition
+
+        path, _layout, records = _capture_file(tmp_path, "tcp.jsonl")
+        with ServiceThread(RaceService(port=0, workers=0)) as thread:
+            port = thread.service.bound_port
+            with ServiceClient(port=port) as client:
+                client.submit_path(path)
+                metrics = client.metrics()
+        parsed = parse_exposition(metrics["text"])
+        assert self._sample(
+            parsed, "repro_service_records_in_total") == len(records)
+        assert metrics["snapshot"]["repro_service_jobs"]["type"] == "gauge"
+
+
+# ----------------------------------------------------------------------
 # CLI subcommands
 # ----------------------------------------------------------------------
 class TestServiceCli:
@@ -388,6 +489,21 @@ class TestServiceCli:
         assert "race report" in out
         assert "job statistics" in out
         assert "service statistics" in out
+
+    def test_submit_cli_metrics_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs import parse_exposition
+
+        sock = str(tmp_path / "cli-m.sock")
+        path, _layout, _records = _capture_file(tmp_path, "cli-m.jsonl")
+        with ServiceThread(RaceService(socket_path=sock, workers=0)):
+            code = main(["submit", path, "--socket", sock, "--metrics"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "--------- metrics" in out
+        exposition = out.split("--------- metrics\n", 1)[1]
+        parsed = parse_exposition(exposition)
+        assert "repro_service_records_in_total" in parsed
 
     def test_submit_cli_without_service_exits_2(self, tmp_path, capsys):
         from repro.cli import main
