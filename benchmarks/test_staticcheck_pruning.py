@@ -1,0 +1,102 @@
+"""Experiment E8 — static instrumentation pruning on the Table 1 workloads.
+
+Measures what the proof-guided pruning pass (``repro.staticcheck``,
+``BarracudaSession(static_prune=True)``) buys on the paper's benchmark
+stand-ins: for each workload, the logged-event volume and detection
+wall-clock with and without pruning, under the hard constraint that the
+race and barrier-divergence reports stay byte-identical.
+
+Writes a machine-readable summary next to this file
+(``staticcheck_pruning.json``) so CI can archive the numbers.
+"""
+
+import json
+import os
+import time
+
+from conftest import print_table
+
+from repro.bench import ALL_WORKLOADS, run_workload
+from repro.runtime.session import BarracudaSession
+
+_ARTIFACT = os.path.join(os.path.dirname(__file__), "staticcheck_pruning.json")
+
+
+def _measure(workload, static_prune):
+    session = BarracudaSession(static_prune=static_prune)
+    start = time.perf_counter()
+    result = run_workload(workload, session=session, compare_native=False)
+    elapsed = time.perf_counter() - start
+    report = session.instrumentation_report(1).kernels[0]
+    return {
+        "records": result.launch.records,
+        "races": list(result.launch.races),
+        "divergences": list(result.launch.barrier_divergences),
+        "elapsed": elapsed,
+        "instrumented_sites": report.instrumented_sites,
+        "statically_pruned_sites": report.statically_pruned_sites,
+    }
+
+
+def _sweep():
+    rows = []
+    for workload in ALL_WORKLOADS:
+        base = _measure(workload, static_prune=False)
+        pruned = _measure(workload, static_prune=True)
+        rows.append((workload, base, pruned))
+    return rows
+
+
+def test_pruning_event_volume_and_wallclock(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = []
+    summary = []
+    for workload, base, pruned in results:
+        # Correctness: identical findings, never more records.
+        assert base["races"] == pruned["races"], workload.name
+        assert base["divergences"] == pruned["divergences"], workload.name
+        assert pruned["records"] <= base["records"], workload.name
+        saved = base["records"] - pruned["records"]
+        pct = saved / base["records"] if base["records"] else 0.0
+        speedup = base["elapsed"] / pruned["elapsed"] if pruned["elapsed"] else 0.0
+        table.append(
+            f"{workload.name:<34} {base['records']:>9} {pruned['records']:>9} "
+            f"{pct:>7.1%} {pruned['statically_pruned_sites']:>5} "
+            f"{speedup:>6.2f}x"
+        )
+        summary.append(
+            {
+                "workload": workload.name,
+                "records_base": base["records"],
+                "records_pruned": pruned["records"],
+                "records_saved": saved,
+                "sites_pruned": pruned["statically_pruned_sites"],
+                "elapsed_base_s": round(base["elapsed"], 4),
+                "elapsed_pruned_s": round(pruned["elapsed"], 4),
+                "reports_identical": True,
+            }
+        )
+    print_table(
+        "Static pruning: event volume and wall-clock (Table 1 workloads)",
+        f"{'benchmark':<34} {'base ev':>9} {'pruned':>9} {'saved':>7} "
+        f"{'sites':>5} {'speedup':>7}",
+        table,
+    )
+    with open(_ARTIFACT, "w") as handle:
+        json.dump(
+            {
+                "version": 1,
+                "total_records_base": sum(r["records_base"] for r in summary),
+                "total_records_pruned": sum(r["records_pruned"] for r in summary),
+                "workloads": summary,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+    # The acceptance bar: pruning measurably reduces logged events on at
+    # least one Table 1 workload (in practice: several).
+    assert any(r["records_saved"] > 0 for r in summary)
+    reduced = [r["workload"] for r in summary if r["records_saved"] > 0]
+    print(f"\npruning reduced event volume on {len(reduced)} of "
+          f"{len(summary)} workloads; artifact: {_ARTIFACT}")

@@ -17,3 +17,22 @@ __global__ void racy(int* data) {
         data[1] = data[0];
     }
 }
+
+// A shared-memory reduction with two classic defects the static lint
+// (`python -m repro lint examples/racy.cu`) catches without running:
+//
+//  * the first reduction step reads s[threadIdx.x + 32] with no
+//    __syncthreads() after the fill — a shared-memory race;
+//  * the __syncthreads() sits inside the `threadIdx.x < 32` branch, so
+//    threads 32..63 never reach it — barrier divergence.
+__global__ void reduce_racy(int* out) {
+    __shared__ int s[64];
+    s[threadIdx.x] = threadIdx.x;
+    if (threadIdx.x < 32) {
+        s[threadIdx.x] = s[threadIdx.x] + s[threadIdx.x + 32];
+        __syncthreads();
+    }
+    if (threadIdx.x == 0) {
+        out[0] = s[0];
+    }
+}

@@ -11,10 +11,11 @@ requested device buffers, launches the kernel under a full
 :class:`BarracudaSession`, and prints race and barrier-divergence
 reports grouped by location, plus instrumentation and queue statistics.
 
-Five subcommands front the system; the kernel-checking flow above stays
+Six subcommands front the system; the kernel-checking flow above stays
 the default whenever the first argument is not a subcommand name::
 
     python -m repro check kernel.cu --grid 2 ...   # explicit form of the above
+    python -m repro lint kernel.cu --format json   # static race lint, no run
     python -m repro explain kernel.cu --grid 2 ... # race provenance timelines
     python -m repro serve --socket /tmp/barracuda.sock --workers 4
     python -m repro submit capture.jsonl --socket /tmp/barracuda.sock --stats
@@ -92,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="memory-model profile of the simulated GPU")
     parser.add_argument("--no-prune", action="store_true",
                         help="disable the redundant-logging optimization")
+    parser.add_argument("--prune-instrumentation", action="store_true",
+                        help="drop logging for accesses the static analyzer "
+                        "proves thread-private (repro.staticcheck)")
     parser.add_argument("--no-filter-same-value", action="store_true",
                         help="report benign same-value intra-warp stores too")
     parser.add_argument("--max-steps", type=int, default=2_000_000,
@@ -142,6 +146,9 @@ def _print_reports(reports, max_reports: int) -> int:
             print(f"  {loc}: {len(races)} report(s)")
             for race in races[:max_reports]:
                 tag = " [branch-ordering]" if race.branch_ordering else ""
+                if race.static_prediction is not None:
+                    tag += (f" [statically predicted:"
+                            f" {race.static_prediction.rule}]")
                 print(f"    {race.kind}: {race.prior_access} by t{race.prior_tid}"
                       f" vs {race.current_access} by t{race.current_tid}{tag}")
             if len(races) > max_reports:
@@ -152,6 +159,43 @@ def _print_reports(reports, max_reports: int) -> int:
         print(f"(filtered {reports.filtered_same_value} benign "
               "same-value intra-warp stores)")
     return exit_code
+
+
+def _attach_static_predictions(reports, pristine_module) -> None:
+    """Cross-check dynamic races against the static lint.
+
+    When a lint finding covers the PTX line of either racing access the
+    report is tagged as *statically predicted* — the defect could have
+    been flagged without running the program."""
+    from dataclasses import replace
+
+    from .obs.provenance import StaticPrediction
+    from .staticcheck import run_lint as static_lint
+
+    if not reports.races:
+        return
+    try:
+        findings = static_lint(pristine_module)
+    except ReproError:  # the lint must never break checking
+        return
+    by_line: Dict[int, object] = {}
+    for finding in findings:
+        for line in (finding.line,) + finding.related_lines:
+            by_line.setdefault(line, finding)
+    for index, race in enumerate(reports.races):
+        finding = by_line.get(race.current_pc) or by_line.get(race.prior_pc)
+        if finding is None:
+            continue
+        reports.races[index] = replace(
+            race,
+            static_prediction=StaticPrediction(
+                rule=finding.rule,
+                severity=finding.severity,
+                line=finding.line,
+                message=finding.message,
+                related_lines=finding.related_lines,
+            ),
+        )
 
 
 def _alloc_params(session: BarracudaSession, args) -> Tuple[
@@ -193,6 +237,7 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
             filter_same_value=not args.no_filter_same_value
         ),
         obs=obs,
+        static_prune=args.prune_instrumentation,
     )
     handle = session.register_module(module)
     kernel = args.kernel or module.kernels[0].name
@@ -215,6 +260,7 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     with obs.tracer.span("report", kernel=kernel):
+        _attach_static_predictions(launch.reports, session.pristine_module(handle))
         exit_code = _print_reports(launch.reports, args.max_reports)
 
     if args.stats and args.stats_format == "text":
@@ -253,6 +299,43 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
 
     return exit_code
+
+
+# ----------------------------------------------------------------------
+# Static lint (repro lint)
+# ----------------------------------------------------------------------
+def run_lint(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically lint a kernel for races, barrier "
+        "divergence and missing-fence idioms without running it. "
+        "Exit code 1 when any error-severity finding fires.",
+    )
+    parser.add_argument("source", help="kernel source file (.cu mini CUDA-C or .ptx)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="render findings as human text (default) or JSON")
+    args = parser.parse_args(argv)
+
+    from .staticcheck import SEVERITY_ERROR, render_json, render_text
+    from .staticcheck import run_lint as static_lint
+
+    try:
+        module = _load_module(args.source)
+        if not args.source.endswith(".ptx"):
+            # Compiled modules carry frontend AST lines; reparse the
+            # printed PTX so findings point at real PTX text lines (the
+            # same convention the session uses for race-report PCs).
+            module = parse_ptx(str(module))
+        findings = static_lint(module)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        sys.stdout.write(render_json(findings, source_name=args.source))
+    else:
+        sys.stdout.write(render_text(findings, source_name=args.source))
+    return 1 if any(f.severity == SEVERITY_ERROR for f in findings) else 0
 
 
 # ----------------------------------------------------------------------
@@ -504,6 +587,7 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
 
 _SUBCOMMANDS = {
     "check": run_check,
+    "lint": run_lint,
     "explain": run_explain,
     "serve": run_serve,
     "submit": run_submit,

@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional
 
-from ..obs.provenance import RaceProvenance
+from ..obs.provenance import RaceProvenance, StaticPrediction
 from ..trace.layout import GridLayout
 from ..trace.operations import Location
 
@@ -62,6 +62,12 @@ class RaceReport:
     #: equality/hashing: two reports of the same race stay equal whether
     #: or not provenance was collected.
     provenance: Optional[RaceProvenance] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Set when the static lint flagged the same PTX location before the
+    #: program ever ran ("statically predicted").  Compare-excluded for
+    #: the same reason as provenance.
+    static_prediction: Optional[StaticPrediction] = field(
         default=None, compare=False, repr=False
     )
 

@@ -66,6 +66,8 @@ class KernelReport:
     #: Sites actually instrumented (after pruning, if enabled).
     instrumented_sites: int = 0
     added_instructions: int = 0
+    #: Sites dropped because static analysis proved them thread-private.
+    statically_pruned_sites: int = 0
 
     @property
     def instrumented_fraction(self) -> float:
@@ -296,9 +298,20 @@ def _written_registers(insn: Instruction) -> Tuple[str, ...]:
 class Instrumenter:
     """Rewrites PTX modules with BARRACUDA logging (§4.1)."""
 
-    def __init__(self, prune: bool = True, log_branches: bool = True) -> None:
+    def __init__(
+        self,
+        prune: bool = True,
+        log_branches: bool = True,
+        static_prune: bool = False,
+    ) -> None:
         self.prune = prune
         self.log_branches = log_branches
+        #: Opt-in: drop logging for accesses the static layer proves
+        #: thread-private (repro.staticcheck.addresses).  Sound for race
+        #: detection — a location only ever touched by its own thread
+        #: cannot participate in a race — but off by default because the
+        #: proof relies on the whole kernel being analyzable.
+        self.static_prune = static_prune
         self._skip_counter = 0
 
     # ------------------------------------------------------------------
@@ -313,7 +326,7 @@ class Instrumenter:
             globals=list(module.globals),
         )
         for kernel in module.kernels:
-            new_kernel, kernel_report = self.instrument_kernel(kernel)
+            new_kernel, kernel_report = self.instrument_kernel(kernel, module=module)
             new_module.kernels.append(new_kernel)
             report.kernels.append(kernel_report)
         for function in module.functions:
@@ -325,11 +338,22 @@ class Instrumenter:
         return new_module, report
 
     def instrument_kernel(
-        self, kernel: Kernel, is_function: bool = False
+        self,
+        kernel: Kernel,
+        is_function: bool = False,
+        module: Optional[Module] = None,
     ) -> Tuple[Kernel, KernelReport]:
         report = KernelReport(
             name=kernel.name, static_instructions=kernel.static_instruction_count()
         )
+        private_sites: frozenset = frozenset()
+        if self.static_prune and not is_function:
+            # Imported lazily: staticcheck sits above this module in the
+            # package layering.  Device functions are never pruned — the
+            # proof needs the launch-level parameter view.
+            from ..staticcheck.addresses import prune_private_sites
+
+            private_sites = frozenset(prune_private_sites(kernel, module))
         classes = classify_kernel(kernel)
         cfg = CFG(kernel)
         convergence = set(cfg.convergence_points()) if self.log_branches else set()
@@ -412,6 +436,16 @@ class Instrumenter:
                     prune_state.kill_register(written)
                 continue
             report.instrumentable_sites += 1
+            if (
+                index in private_sites
+                and statement.pred is None
+                and classification.access in (AccessClass.LOAD, AccessClass.STORE)
+            ):
+                report.statically_pruned_sites += 1
+                new_body.append(statement)
+                for written in _written_registers(statement):
+                    prune_state.kill_register(written)
+                continue
             if self.prune and self._prunable(statement, classification, prune_state):
                 new_body.append(statement)
                 for written in _written_registers(statement):

@@ -75,6 +75,29 @@ class ClockComparison:
 
 
 @dataclass(frozen=True)
+class StaticPrediction:
+    """A static-lint finding that matches a dynamic race's location.
+
+    Attached to a :class:`~repro.core.races.RaceReport` when ``repro
+    check`` (or the suite runner) notices that the static lint already
+    flagged the same PTX line(s): the race was *statically predicted*.
+    Kept here, next to :class:`RaceProvenance`, for the same
+    no-import-cycle reason — plain strings and ints only.
+    """
+
+    #: Lint rule that fired (e.g. ``"shared-race"``).
+    rule: str
+    severity: str
+    #: Primary PTX line of the finding.
+    line: int
+    message: str
+    related_lines: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] PTX line {self.line}: {self.message}"
+
+
+@dataclass(frozen=True)
 class RaceProvenance:
     """Everything attached to one :class:`~repro.core.races.RaceReport`."""
 

@@ -100,11 +100,12 @@ class BarracudaSession:
         detector_config: Optional[DetectorConfig] = None,
         in_order_host: bool = True,
         obs: Observability = NULL_OBS,
+        static_prune: bool = False,
     ) -> None:
         self.device = GpuDevice(arch)
         self.num_queues = num_queues
         self.queue_capacity = queue_capacity
-        self.instrumenter = Instrumenter(prune=prune)
+        self.instrumenter = Instrumenter(prune=prune, static_prune=static_prune)
         self.detector_config = detector_config
         self.in_order_host = in_order_host
         self.obs = obs

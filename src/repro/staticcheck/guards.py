@@ -1,0 +1,362 @@
+"""Branch-arm membership and predicate-constraint extraction.
+
+The lint rules need to know, for every statement, *under which
+conditions it executes*: which divergent-branch arm contains it, and
+what the chain of ``setp`` predicates guarding it says about ``%tid`` /
+``%ctaid``.  Constraints are affine comparisons ``expr OP 0`` recovered
+by walking single-def predicate registers through ``setp`` /
+``and.pred`` / ``or.pred`` / ``not.pred`` chains (the shapes our CUDA-C
+frontend emits for ``if``/``while`` conditions, including ``&&``/``||``
+which compile to predicate arithmetic, not short-circuit branches).
+
+Arm membership uses the CFG's immediate post-dominators: the *region* of
+a conditional branch is every block reachable from one successor before
+the reconvergence point — precisely the statements some threads skip
+when the branch diverges (paper §3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..ptx.ast import Instruction, Kernel
+from ..ptx.cfg import CFG, EXIT_BLOCK
+from .addresses import Affine, Monomial, SymbolicEvaluator, _GID_PRODUCT, _TID_X, affine_add
+from .dataflow import DefUse
+
+#: Comparison operators of ``setp`` we model, and their negations.
+_COMPARISONS = ("eq", "ne", "lt", "le", "gt", "ge")
+_NEGATE = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "gt": "le", "le": "gt"}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An affine comparison ``diff OP 0`` known to hold at a statement."""
+
+    diff_items: Tuple[Tuple[Monomial, int], ...]
+    op: str  # one of _COMPARISONS
+
+    @property
+    def diff(self) -> Affine:
+        return dict(self.diff_items)
+
+
+@dataclass
+class BranchInfo:
+    """A conditional branch and its two arm regions (statement sets)."""
+
+    index: int  # statement index of the bra
+    line: int
+    pred_reg: str
+    negated: bool
+    #: statements only executed when the branch is taken / not taken.
+    target_region: FrozenSet[int] = frozenset()
+    fallthrough_region: FrozenSet[int] = frozenset()
+
+    def arm_of(self, statement_index: int) -> Optional[str]:
+        if statement_index in self.target_region:
+            return "target"
+        if statement_index in self.fallthrough_region:
+            return "fallthrough"
+        return None
+
+    def region(self) -> FrozenSet[int]:
+        return self.target_region | self.fallthrough_region
+
+
+class GuardAnalysis:
+    """Per-statement arm membership and predicate constraints."""
+
+    def __init__(self, kernel: Kernel, cfg: CFG, evaluator: SymbolicEvaluator) -> None:
+        self.kernel = kernel
+        self.cfg = cfg
+        self.evaluator = evaluator
+        self.def_use: DefUse = evaluator.def_use
+        self.branches: Dict[int, BranchInfo] = {}
+        self._constraint_cache: Dict[int, Tuple[Constraint, ...]] = {}
+        self._pred_cache: Dict[Tuple[str, bool], Tuple[Constraint, ...]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Arm regions
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        body = self.kernel.body
+        for index, statement in enumerate(body):
+            if (
+                not isinstance(statement, Instruction)
+                or statement.opcode != "bra"
+                or statement.pred is None
+            ):
+                continue
+            block = self.cfg.block_of(index)
+            if len(block.successors) != 2:
+                continue  # degenerate conditional (e.g. branch == fallthrough)
+            stop = self.cfg.ipdom_of(block.index)
+            target_blocks = self._blocks_until(block.successors[0], stop)
+            fall_blocks = self._blocks_until(block.successors[1], stop)
+            overlap = target_blocks & fall_blocks
+            target_blocks -= overlap  # unstructured flow: ambiguous blocks
+            fall_blocks -= overlap  # belong to neither arm
+            self.branches[index] = BranchInfo(
+                index=index,
+                line=statement.line,
+                pred_reg=statement.pred[0],
+                negated=statement.pred[1],
+                target_region=self._statements_of(target_blocks),
+                fallthrough_region=self._statements_of(fall_blocks),
+            )
+
+    def _blocks_until(self, start: int, stop: int) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            block = stack.pop()
+            if block in seen or block == stop or block == EXIT_BLOCK:
+                continue
+            seen.add(block)
+            stack.extend(self.cfg.blocks[block].successors)
+        return seen
+
+    def _statements_of(self, blocks: Set[int]) -> FrozenSet[int]:
+        statements: Set[int] = set()
+        for block in blocks:
+            statements.update(range(self.cfg.blocks[block].start, self.cfg.blocks[block].end))
+        return frozenset(statements)
+
+    def arms_of(self, statement_index: int) -> List[Tuple[BranchInfo, str]]:
+        """Enclosing (branch, arm) pairs, innermost (smallest region) first."""
+        result = [
+            (info, arm)
+            for info in self.branches.values()
+            for arm in (info.arm_of(statement_index),)
+            if arm is not None
+        ]
+        result.sort(key=lambda pair: len(pair[0].region()))
+        return result
+
+    def sibling_branch(self, a: int, b: int) -> Optional[BranchInfo]:
+        """A branch whose two arms separate statements ``a`` and ``b``."""
+        for info in self.branches.values():
+            arm_a, arm_b = info.arm_of(a), info.arm_of(b)
+            if arm_a is not None and arm_b is not None and arm_a != arm_b:
+                return info
+        return None
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def constraints_for(self, statement_index: int) -> Tuple[Constraint, ...]:
+        """Every affine predicate constraint guarding a statement: the
+        enclosing branch arms' conditions plus the statement's own guard."""
+        cached = self._constraint_cache.get(statement_index)
+        if cached is not None:
+            return cached
+        constraints: List[Constraint] = []
+        for info, arm in self.arms_of(statement_index):
+            # Branch taken (target arm) iff the effective condition holds:
+            # pred value == (not negated); fallthrough iff == negated.
+            value = (not info.negated) if arm == "target" else info.negated
+            constraints.extend(self.pred_constraints(info.pred_reg, value))
+        statement = self.kernel.body[statement_index]
+        if isinstance(statement, Instruction) and statement.pred is not None:
+            reg, negated = statement.pred
+            constraints.extend(self.pred_constraints(reg, not negated))
+        result = tuple(dict.fromkeys(constraints))  # dedupe, keep order
+        self._constraint_cache[statement_index] = result
+        return result
+
+    def pred_constraints(self, reg: str, value: bool, depth: int = 0) -> Tuple[Constraint, ...]:
+        """What ``reg == value`` implies, through setp/and/or/not chains."""
+        if depth > 8:
+            return ()
+        key = (reg, value)
+        if depth == 0 and key in self._pred_cache:
+            return self._pred_cache[key]
+        result: Tuple[Constraint, ...] = ()
+        def_index = self.def_use.unique_def(reg)
+        if def_index >= 0:
+            insn = self.kernel.body[def_index]
+            if isinstance(insn, Instruction) and insn.pred is None:
+                result = self._insn_constraints(insn, value, depth)
+        if depth == 0:
+            self._pred_cache[key] = result
+        return result
+
+    def _insn_constraints(
+        self, insn: Instruction, value: bool, depth: int
+    ) -> Tuple[Constraint, ...]:
+        opcode = insn.opcode
+        ops = insn.operands
+        if opcode == "setp" and len(ops) == 3:
+            comparison = next((m for m in insn.modifiers if m in _COMPARISONS), None)
+            if comparison is None:
+                return ()
+            left = self.evaluator.operand(ops[1])
+            right = self.evaluator.operand(ops[2])
+            if left is None or right is None:
+                return ()
+            diff = affine_add(left, right, -1)
+            op = comparison if value else _NEGATE[comparison]
+            return (Constraint(diff_items=tuple(sorted(diff.items())), op=op),)
+        if opcode == "not" and len(ops) == 2 and _is_reg(ops[1]):
+            return self.pred_constraints(ops[1].name, not value, depth + 1)
+        if opcode == "and" and len(ops) == 3 and value:
+            # p == true implies both conjuncts hold; p == false implies
+            # nothing usable about either side.
+            result: List[Constraint] = []
+            for source in ops[1:]:
+                if _is_reg(source):
+                    result.extend(self.pred_constraints(source.name, True, depth + 1))
+            return tuple(result)
+        if opcode == "or" and len(ops) == 3 and not value:
+            result = []
+            for source in ops[1:]:
+                if _is_reg(source):
+                    result.extend(self.pred_constraints(source.name, False, depth + 1))
+            return tuple(result)
+        return ()
+
+
+def _is_reg(operand: object) -> bool:
+    from ..ptx.ast import RegOperand
+
+    return isinstance(operand, RegOperand)
+
+
+# ----------------------------------------------------------------------
+# Constraint queries
+# ----------------------------------------------------------------------
+def factor_equality(constraints: Sequence[Constraint], factor: str) -> Optional[int]:
+    """The constant ``C`` if the constraints pin ``factor == C``."""
+    key: Monomial = (factor,)
+    for constraint in constraints:
+        if constraint.op != "eq":
+            continue
+        diff = constraint.diff
+        if not set(diff) <= {(), key}:
+            continue
+        k = diff.get(key, 0)
+        c0 = diff.get((), 0)
+        if k in (1, -1) and c0 % k == 0:
+            return -c0 // k
+    return None
+
+
+def gid_equality(constraints: Sequence[Constraint]) -> Optional[int]:
+    """The constant ``C`` if the constraints pin the canonical global id
+    ``ctaid.x*ntid.x + tid.x == C`` — a single thread in the whole grid."""
+    for constraint in constraints:
+        if constraint.op != "eq":
+            continue
+        diff = constraint.diff
+        if not set(diff) <= {(), _TID_X, _GID_PRODUCT}:
+            continue
+        k = diff.get(_TID_X, 0)
+        if k not in (1, -1) or diff.get(_GID_PRODUCT, 0) != k:
+            continue
+        c0 = diff.get((), 0)
+        if c0 % k == 0:
+            return -c0 // k
+    return None
+
+
+def unique_thread_key(
+    constraints: Sequence[Constraint], space: str
+) -> Optional[Tuple[object, ...]]:
+    """A key identifying *the one thread* that can execute a statement,
+    or None.  For shared memory, pinning ``tid`` suffices (the region is
+    per-block); global memory also needs the block pinned (directly or
+    via a global-id equality)."""
+    tid = factor_equality(constraints, "tid.x")
+    if space == "shared":
+        return None if tid is None else ("tid", tid)
+    gid = gid_equality(constraints)
+    if gid is not None:
+        return ("gid", gid)
+    ctaid = factor_equality(constraints, "ctaid.x")
+    if tid is not None and ctaid is not None:
+        return ("tc", tid, ctaid)
+    return None
+
+
+def factor_range(
+    constraints: Sequence[Constraint], factor: str, nonneg: bool = True
+) -> Tuple[Optional[int], Optional[int]]:
+    """Inclusive ``[lo, hi]`` bounds the constraints place on a factor;
+    ``None`` means unbounded on that side.  Hardware thread/block ids
+    are non-negative, which seeds the lower bound."""
+    key: Monomial = (factor,)
+    lo: Optional[int] = 0 if nonneg else None
+    hi: Optional[int] = None
+
+    def tighten_lower(value: int) -> None:
+        nonlocal lo
+        lo = value if lo is None else max(lo, value)
+
+    def tighten_upper(value: int) -> None:
+        nonlocal hi
+        hi = value if hi is None else min(hi, value)
+
+    for constraint in constraints:
+        diff = constraint.diff
+        if not set(diff) <= {(), key}:
+            continue
+        k = diff.get(key, 0)
+        if k == 0:
+            continue
+        c0 = diff.get((), 0)
+        op = constraint.op
+        # The constraint reads k*x + c0 OP 0.
+        if op == "eq":
+            if c0 % k == 0:
+                value = -c0 // k
+                tighten_lower(value)
+                tighten_upper(value)
+            continue
+        if op == "ne":
+            continue
+        upper_kx: Optional[int] = None
+        lower_kx: Optional[int] = None
+        if op == "lt":
+            upper_kx = -c0 - 1
+        elif op == "le":
+            upper_kx = -c0
+        elif op == "gt":
+            lower_kx = -c0 + 1
+        elif op == "ge":
+            lower_kx = -c0
+        if upper_kx is not None:
+            if k > 0:
+                tighten_upper(upper_kx // k)  # x <= floor(U/k)
+            else:
+                tighten_lower(-((-upper_kx) // k))  # x >= ceil(U/k)
+        if lower_kx is not None:
+            if k > 0:
+                tighten_lower(-((-lower_kx) // k))  # x >= ceil(L/k)
+            else:
+                tighten_upper(lower_kx // k)  # floor for negative k flips
+    return lo, hi
+
+
+def interval_of(
+    offset: Affine, constraints: Sequence[Constraint]
+) -> Optional[Tuple[Optional[int], Optional[int]]]:
+    """The inclusive byte-interval an offset of shape ``c + k*tid.x``
+    can reach under the guard constraints; None when the offset contains
+    any other symbolic term."""
+    if not set(offset) <= {(), _TID_X}:
+        return None
+    c0 = offset.get((), 0)
+    k = offset.get(_TID_X, 0)
+    if k == 0:
+        return (c0, c0)
+    lo, hi = factor_range(constraints, "tid.x")
+    if k > 0:
+        low = None if lo is None else c0 + k * lo
+        high = None if hi is None else c0 + k * hi
+    else:
+        low = None if hi is None else c0 + k * hi
+        high = None if lo is None else c0 + k * lo
+    return (low, high)

@@ -70,6 +70,15 @@ class SuiteProgram:
     buffers: Tuple[Buffer, ...] = ()
     scalars: Tuple[Tuple[str, int], ...] = ()
     max_steps: int = 400_000
+    #: Lint rules (:mod:`repro.staticcheck`) this program is expected to
+    #: fire.  For racy/divergent programs the test asserts these are a
+    #: *subset* of what fires (extra findings are legitimate: one bad
+    #: program often exhibits several defects).  Empty on a racy program
+    #: documents a known static miss (see docs/static-analysis.md).
+    expected_lint: Tuple[str, ...] = ()
+    #: Rules tolerated on a race-free program (documented false alarms).
+    #: The suite test asserts everything fired is listed here.
+    lint_exceptions: Tuple[str, ...] = ()
 
     def compile(self) -> Module:
         if self.is_ptx:

@@ -25,6 +25,7 @@ __global__ void atomic_counter(int* counter) {
     ),
     SuiteProgram(
         name="atomic_vs_plain_write",
+        expected_lint=("atomic-mixed",),
         category="atomics",
         description="One block atomically updates a word another block "
         "plainly overwrites: PTX gives no atomicity guarantee "
@@ -46,6 +47,7 @@ __global__ void atomic_vs_write(int* data) {
     ),
     SuiteProgram(
         name="atomic_vs_plain_read_intra_block",
+        expected_lint=("atomic-mixed",),
         category="atomics",
         description="A plain read concurrent with an atomic update in "
         "the same block, no barrier: a race (atomics are not "
@@ -86,6 +88,7 @@ __global__ void atomic_barrier_read(int* data, int* out) {
     ),
     SuiteProgram(
         name="atomic_inter_block_read_no_sync",
+        expected_lint=("atomic-mixed",),
         category="atomics",
         description="Block 0 atomically updates, block 1 reads, nothing "
         "synchronizes the blocks.",
@@ -106,6 +109,7 @@ __global__ void atomic_inter_block(int* data, int* out) {
     ),
     SuiteProgram(
         name="cas_lock_no_fences",
+        expected_lint=("unfenced-lock",),
         category="atomics",
         description="A try-lock built from bare atomicCAS/atomicExch with "
         "no fences: atomics alone imply no synchronization, so "

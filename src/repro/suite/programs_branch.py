@@ -13,6 +13,7 @@ from .model import Buffer, Expected, SuiteProgram
 BRANCH_PROGRAMS = [
     SuiteProgram(
         name="branch_ordering_write_vs_read",
+        expected_lint=("shared-race",),
         category="branch",
         description="The then path writes a shared word the else path "
         "reads; which value the else path sees depends on the "
@@ -36,6 +37,7 @@ __global__ void branch_wr(int* out) {
     ),
     SuiteProgram(
         name="branch_ordering_ww_same_value",
+        expected_lint=("shared-race",),
         category="branch",
         description="Both paths store the same value from *different* "
         "instructions: still a branch ordering race — the "
@@ -84,6 +86,7 @@ __global__ void branch_disjoint(int* out) {
     ),
     SuiteProgram(
         name="nested_branch_ordering_race",
+        expected_lint=("shared-race",),
         category="branch",
         description="Nested divergence: the inner-then path writes what "
         "the outer-else path reads.",
@@ -108,6 +111,7 @@ __global__ void nested_branch(int* out) {
     ),
     SuiteProgram(
         name="predicated_store_race",
+        expected_lint=("divergent-store",),
         category="branch",
         description="A predicated store (authored in PTX): the "
         "instrumentation converts the predication into a branch "
@@ -141,6 +145,7 @@ __global__ void nested_branch(int* out) {
     ),
     SuiteProgram(
         name="barrier_in_divergent_branch",
+        expected_lint=("barrier-divergence",),
         category="branch",
         description="__syncthreads executed while half the warp is "
         "inactive: barrier divergence (§3.3.2), likely to hang "

@@ -50,6 +50,7 @@ FENCE_PROGRAMS = [
     ),
     SuiteProgram(
         name="mp_block_fences_across_blocks",
+        expected_lint=("insufficient-fence-scope",),
         category="fences",
         description="The same message passing with __threadfence_block on "
         "both sides: block-scope fences do not synchronize "
@@ -84,6 +85,7 @@ __global__ void mp_same_block(int* data, int* flag, int* out) {
     ),
     SuiteProgram(
         name="mp_no_fences",
+        expected_lint=("unfenced-flag", "global-race"),
         category="fences",
         description="Flag message passing with no fences at all: the "
         "flag store is no release and the spin no acquire.",
@@ -94,6 +96,7 @@ __global__ void mp_same_block(int* data, int* flag, int* out) {
     ),
     SuiteProgram(
         name="mp_release_only",
+        expected_lint=("unfenced-flag", "global-race"),
         category="fences",
         description="Writer fences, reader does not: the reader's loads "
         "may still be satisfied early; no synchronization edge.",
@@ -104,6 +107,7 @@ __global__ void mp_same_block(int* data, int* flag, int* out) {
     ),
     SuiteProgram(
         name="mp_acquire_only",
+        expected_lint=("unfenced-flag", "global-race"),
         category="fences",
         description="Reader fences, writer does not: there is no release "
         "to acquire from.",
@@ -160,6 +164,7 @@ __global__ void conditional_read(int* data, int* flag, int* out) {
     ),
     SuiteProgram(
         name="fence_without_flag",
+        expected_lint=("global-race",),
         category="fences",
         description="A fence with no flag handshake orders nothing "
         "between threads: the data read still races.",

@@ -41,6 +41,7 @@ GRID_PROGRAMS = [
     ),
     SuiteProgram(
         name="grid_barrier_missing_release_fence",
+        expected_lint=("unfenced-flag", "global-race"),
         category="grid",
         description="No fence before the arrival atomic: the pre-barrier "
         "write is never released.",
@@ -51,6 +52,7 @@ GRID_PROGRAMS = [
     ),
     SuiteProgram(
         name="grid_barrier_missing_acquire_fence",
+        expected_lint=("unfenced-flag", "global-race"),
         category="grid",
         description="No fence after the spin: the departure is never an "
         "acquire, so post-barrier reads race.",
@@ -87,6 +89,7 @@ __global__ void last_block(int* count, int* partial, int* out) {
     ),
     SuiteProgram(
         name="last_block_reduction_release_only",
+        expected_lint=("global-race",),
         category="grid",
         description="The same pattern with no fence after the arrival "
         "atomic: the last block's reads are not an acquire and "
@@ -113,6 +116,7 @@ __global__ void last_block_bad(int* count, int* partial, int* out) {
     ),
     SuiteProgram(
         name="syncthreads_is_not_a_grid_barrier",
+        expected_lint=("global-race",),
         category="grid",
         description="Writing per-block partials, __syncthreads, then "
         "block 0 reads all partials: the block barrier orders "

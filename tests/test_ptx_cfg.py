@@ -125,3 +125,95 @@ def test_predicated_exit_falls_through():
     entry = cfg.block_of(0)
     assert EXIT_BLOCK in entry.successors
     assert len(entry.successors) == 2
+
+
+def test_loop_with_two_back_edges():
+    # A loop body with a `continue`: two distinct branches target the
+    # same loop header, so the header block has two in-edges from below.
+    kernel = kernel_with(
+        "mov.u32 %r1, 0;\n"  # 0
+        "$L_head:\n"  # 1
+        "setp.ge.u32 %p1, %r1, 8;\n"  # 2
+        "@%p1 bra $L_done;\n"  # 3
+        "add.u32 %r1, %r1, 1;\n"  # 4
+        "setp.eq.u32 %p2, %r1, 3;\n"  # 5
+        "@%p2 bra $L_head;\n"  # 6  (continue: back edge #1)
+        "mov.u32 %r2, 1;\n"  # 7
+        "bra.uni $L_head;\n"  # 8  (loop latch: back edge #2)
+        "$L_done:\n"  # 9
+        "ret;"  # 10
+    )
+    cfg = CFG(kernel)
+    header = cfg.block_of(2)
+    back_edges = [
+        block.index
+        for block in cfg.blocks
+        if header.index in block.successors and block.start > header.start
+    ]
+    assert len(back_edges) == 2
+    # Both back-edge blocks are reachable from the header.
+    assert cfg.block_of(6).index in back_edges
+    assert cfg.block_of(8).index in back_edges
+    # The loop-exit branch still reconverges at $L_done.
+    assert cfg.reconvergence_pc(3) == 9
+
+
+def test_conditional_branch_directly_to_exit_label():
+    # The taken arm jumps straight past every instruction to the final
+    # label; its reconvergence point is that label, and the fallthrough
+    # block keeps a normal edge to it.
+    kernel = kernel_with(
+        "setp.eq.u32 %p1, %r1, 0;\n"  # 0
+        "@%p1 bra $L_exit;\n"  # 1
+        "mov.u32 %r2, 1;\n"  # 2
+        "mov.u32 %r3, 2;\n"  # 3
+        "$L_exit:\n"  # 4
+        "ret;"  # 5
+    )
+    cfg = CFG(kernel)
+    entry = cfg.block_of(0)
+    exit_block = cfg.block_of(5)
+    assert sorted(entry.successors) == sorted(
+        [exit_block.index, cfg.block_of(2).index]
+    )
+    assert cfg.reconvergence_pc(1) == 4
+    assert cfg.ipdom_of(entry.index) == exit_block.index
+
+
+def test_unreachable_block_after_exit():
+    # Code after an unconditional ret with no label is unreachable: it
+    # still gets a block, but with no predecessors, and the reachable
+    # part of the CFG is unaffected.
+    kernel = kernel_with(
+        "mov.u32 %r1, 1;\n"  # 0
+        "ret;\n"  # 1
+        "mov.u32 %r2, 2;\n"  # 2 (dead)
+        "mov.u32 %r3, 3;\n"  # 3 (dead)
+        "ret;"  # 4
+    )
+    cfg = CFG(kernel)
+    live = cfg.block_of(0)
+    dead = cfg.block_of(2)
+    assert live.index != dead.index
+    assert live.successors == [EXIT_BLOCK]
+    assert dead.predecessors == []
+
+
+def test_unreachable_loop_after_exit_does_not_break_ipdom():
+    # An unreachable loop (infinite, even) must not wedge the IPDOM
+    # fixpoint or leak edges into the reachable region.
+    kernel = kernel_with(
+        "setp.eq.u32 %p1, %r1, 0;\n"  # 0
+        "@%p1 bra $L_b;\n"  # 1
+        "mov.u32 %r2, 1;\n"  # 2
+        "$L_b:\n"  # 3
+        "ret;\n"  # 4
+        "$L_dead:\n"  # 5
+        "mov.u32 %r3, 2;\n"  # 6
+        "bra.uni $L_dead;"  # 7
+    )
+    cfg = CFG(kernel)
+    assert cfg.reconvergence_pc(1) == 3
+    dead = cfg.block_of(6)
+    # The dead loop's only in-edge is its own back edge.
+    assert dead.predecessors == [dead.index]

@@ -1,0 +1,113 @@
+"""The static lint against the full 66-program concurrency suite.
+
+Two contracts:
+
+* **Labels** — every suite program carries ``expected_lint`` (rules the
+  lint must fire on it) and ``lint_exceptions`` (rules tolerated on a
+  race-free program).  Racy/divergent programs must fire at least their
+  expected rules; race-free programs must fire nothing beyond their
+  exceptions (currently: nothing at all).
+* **Differential pruning** — running the whole suite with
+  ``static_prune=True`` (drop logging for proven thread-private
+  accesses) must produce byte-identical race and barrier-divergence
+  reports while never increasing the number of emitted log records.
+"""
+
+import pytest
+
+from repro.ptx import parse_ptx
+from repro.runtime.session import BarracudaSession
+from repro.staticcheck import run_lint
+from repro.suite import ALL_PROGRAMS
+from repro.suite.model import Expected, run_program
+
+_BY_NAME = {program.name: program for program in ALL_PROGRAMS}
+
+
+def _fired_rules(program):
+    module = parse_ptx(str(program.compile()))
+    return {finding.rule for finding in run_lint(module)}
+
+
+@pytest.mark.parametrize(
+    "name",
+    [p.name for p in ALL_PROGRAMS if p.expected is not Expected.NO_RACE],
+)
+def test_racy_programs_fire_their_expected_rules(name):
+    program = _BY_NAME[name]
+    fired = _fired_rules(program)
+    missing = set(program.expected_lint) - fired
+    assert not missing, (
+        f"{name}: expected lint rules {sorted(missing)} did not fire "
+        f"(fired: {sorted(fired)})"
+    )
+    if not program.expected_lint:
+        # A racy program with no expected rules is a *documented* static
+        # miss: the program definition must carry an explanatory comment
+        # and docs/static-analysis.md lists it.  Guard the list here so
+        # new misses are a conscious decision.
+        assert name in {
+            "shared_reduction_missing_barrier",
+            "spinlock_block_fences_across_blocks",
+            "warp_pairwise_collision",
+        }, f"{name}: racy program with no expected_lint and not documented"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [p.name for p in ALL_PROGRAMS if p.expected is Expected.NO_RACE],
+)
+def test_race_free_programs_stay_clean(name):
+    program = _BY_NAME[name]
+    fired = _fired_rules(program)
+    unexpected = fired - set(program.lint_exceptions)
+    assert not unexpected, (
+        f"{name}: race-free program fired {sorted(unexpected)}"
+    )
+
+
+def test_every_program_is_labeled_consistently():
+    for program in ALL_PROGRAMS:
+        if program.expected is Expected.NO_RACE:
+            assert not program.expected_lint, (
+                f"{program.name}: race-free programs use lint_exceptions, "
+                "not expected_lint"
+            )
+        else:
+            assert not program.lint_exceptions, (
+                f"{program.name}: racy programs use expected_lint, "
+                "not lint_exceptions"
+            )
+
+
+def test_static_pruning_is_report_invariant():
+    """Satellite (b): the full suite, with and without static pruning,
+    must agree on every verdict — and pruning must only ever shrink the
+    record stream."""
+    baseline_records = 0
+    pruned_records = 0
+    for program in ALL_PROGRAMS:
+        base_session = BarracudaSession()
+        base = run_program(program, session=base_session)
+        pruned_session = BarracudaSession(static_prune=True)
+        pruned = run_program(program, session=pruned_session)
+        assert base.hang == pruned.hang and base.error == pruned.error, (
+            f"{program.name}: execution outcome changed under pruning"
+        )
+        if base.hang or base.error:
+            continue
+        base_launch = base_session.launches[-1]
+        pruned_launch = pruned_session.launches[-1]
+        assert base_launch.races == pruned_launch.races, (
+            f"{program.name}: race reports changed under static pruning"
+        )
+        assert (
+            base_launch.barrier_divergences == pruned_launch.barrier_divergences
+        ), f"{program.name}: divergence reports changed under static pruning"
+        assert pruned_launch.records <= base_launch.records, (
+            f"{program.name}: pruning increased the record count"
+        )
+        baseline_records += base_launch.records
+        pruned_records += pruned_launch.records
+    # Across the suite the proof must actually bite somewhere.
+    assert pruned_records < baseline_records
