@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME:VALUE", help="pass an integer parameter")
     parser.add_argument("--arch", choices=sorted(_ARCHES), default="titanx",
                         help="memory-model profile of the simulated GPU")
+    parser.add_argument("--engine", choices=("naive", "decoded"),
+                        default="decoded",
+                        help="execution engine: 'decoded' (pre-decoding "
+                        "threaded code, default) or 'naive' (the legacy "
+                        "re-decode-every-step interpreter); results are "
+                        "identical, only speed differs")
     parser.add_argument("--no-prune", action="store_true",
                         help="disable the redundant-logging optimization")
     parser.add_argument("--prune-instrumentation", action="store_true",
@@ -238,6 +244,7 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
         ),
         obs=obs,
         static_prune=args.prune_instrumentation,
+        engine=args.engine,
     )
     handle = session.register_module(module)
     kernel = args.kernel or module.kernels[0].name
@@ -475,6 +482,10 @@ def run_serve(argv: Optional[Sequence[str]] = None) -> int:
     _add_endpoint_args(parser)
     parser.add_argument("--workers", type=int, default=2,
                         help="detector worker processes (0 = in-process)")
+    parser.add_argument("--engine", choices=("naive", "decoded"),
+                        default="decoded",
+                        help="worker ingest mode: 'decoded' batches record "
+                        "decoding (default), 'naive' decodes per record")
     parser.add_argument("--high-water", type=int, default=None,
                         help="per-job pending-record backpressure threshold")
     args = parser.parse_args(argv)
@@ -488,6 +499,7 @@ def run_serve(argv: Optional[Sequence[str]] = None) -> int:
             port=args.port,
             workers=args.workers,
             high_water=args.high_water or DEFAULT_HIGH_WATER,
+            engine=args.engine,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -112,6 +112,13 @@ class PTVCManager:
 
     def __init__(self, layout: GridLayout) -> None:
         self.layout = layout
+        #: Bound method cached for the per-access queries below.
+        self._warp_of = layout.warp_of
+        # Grid shape scalars: the per-access queries below compute warp
+        # ids with one divmod instead of a layout method call.
+        self._tpb = layout.threads_per_block
+        self._ws = layout.warp_size
+        self._wpb = layout.warps_per_block
         self._stacks: Dict[int, List[_Group]] = {
             w: [_Group(layout.initial_active_mask(w), StructuredVC(layout))]
             for w in layout.all_warps()
@@ -133,7 +140,8 @@ class PTVCManager:
         return self._top(warp).amask
 
     def is_active(self, tid: int) -> bool:
-        return tid in self.active_mask(self.layout.warp_of(tid))
+        block, lane = divmod(tid, self._tpb)
+        return tid in self._stacks[block * self._wpb + lane // self._ws][-1].amask
 
     def value(self, owner: int, tid: int) -> int:
         """``C_owner(tid)``: what ``owner``'s clock records for ``tid``."""
@@ -142,7 +150,8 @@ class PTVCManager:
             if owner == tid:
                 return self._self_clock(owner)
             return dev.get(tid)
-        base = self._top(self.layout.warp_of(owner)).base
+        block, lane = divmod(owner, self._tpb)
+        base = self._stacks[block * self._wpb + lane // self._ws][-1].base
         if owner == tid:
             return base.get(owner) + 1
         return base.get(tid)
@@ -151,15 +160,31 @@ class PTVCManager:
         dev = self._deviant.get(tid)
         if dev is not None:
             return dev.get(tid)
-        return self._top(self.layout.warp_of(tid)).base.get(tid) + 1
+        block, lane = divmod(tid, self._tpb)
+        return self._stacks[block * self._wpb + lane // self._ws][-1].base.get(tid) + 1
 
     def epoch(self, tid: int) -> Epoch:
         """``E(t)``: the current epoch of thread ``tid``."""
         return Epoch(self._self_clock(tid), tid)
 
     def covers(self, owner: int, epoch: Epoch) -> bool:
-        """``c@u ⪯ C_owner`` in O(1)."""
-        return epoch.clock <= self.value(owner, epoch.tid)
+        """``c@u ⪯ C_owner`` in O(1).
+
+        This is the innermost comparison of every shadow-memory check,
+        so the common non-deviant case inlines :meth:`value` — one stack
+        index and one structured-clock read, no intermediate frames.
+        """
+        etid = epoch.tid
+        dev = self._deviant.get(owner)
+        if dev is None:
+            block, lane = divmod(owner, self._tpb)
+            base = self._stacks[block * self._wpb + lane // self._ws][-1].base
+            if owner == etid:
+                return epoch.clock <= base.get(owner) + 1
+            return epoch.clock <= base.get(etid)
+        if owner == etid:
+            return epoch.clock <= dev.get(owner)
+        return epoch.clock <= dev.get(etid)
 
     def materialize(self, tid: int) -> StructuredVC:
         """``C_tid`` as a standalone clock (used by acquire/release)."""

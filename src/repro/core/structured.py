@@ -33,24 +33,31 @@ from .vectorclock import Epoch, VectorClock
 class StructuredVC:
     """A vector clock compressed along the grid hierarchy."""
 
-    __slots__ = ("layout", "lanes", "warps", "blocks")
+    __slots__ = ("layout", "lanes", "warps", "blocks", "_tpb", "_ws", "_wpb")
 
     def __init__(self, layout: GridLayout) -> None:
         self.layout = layout
         self.lanes: Dict[int, int] = {}
         self.warps: Dict[int, int] = {}
         self.blocks: Dict[int, int] = {}
+        # Grid shape scalars, cached so the per-access ``get`` below can
+        # compute warp/block ids with one divmod instead of two layout
+        # method calls — ``get`` is the single hottest detector call.
+        self._tpb = layout.threads_per_block
+        self._ws = layout.warp_size
+        self._wpb = layout.warps_per_block
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def get(self, tid: int) -> int:
         """The clock value for thread ``tid`` (max over covering layers)."""
+        block, lane = divmod(tid, self._tpb)
         value = self.lanes.get(tid, 0)
-        warp_value = self.warps.get(self.layout.warp_of(tid), 0)
+        warp_value = self.warps.get(block * self._wpb + lane // self._ws, 0)
         if warp_value > value:
             value = warp_value
-        block_value = self.blocks.get(self.layout.block_of(tid), 0)
+        block_value = self.blocks.get(block, 0)
         if block_value > value:
             value = block_value
         return value

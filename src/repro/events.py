@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .trace.layout import GridLayout
@@ -92,6 +93,18 @@ class LogRecord:
         return RECORD_BYTES
 
 
+@lru_cache(maxsize=4096)
+def _sorted_mask(active: FrozenSet[int]) -> Tuple[int, ...]:
+    """Sorted TIDs of an active mask, memoized.
+
+    The simulator interns active masks (the same frozenset object backs
+    every record of a warp's stable mask), so the expansion loop below
+    hits this cache on nearly every record instead of re-sorting.
+    """
+    return tuple(sorted(active))
+
+
+@lru_cache(maxsize=65536)
 def _locations(
     layout: GridLayout,
     tid: int,
@@ -99,7 +112,7 @@ def _locations(
     addr: int,
     width: int,
     granularity: int,
-) -> List[Location]:
+) -> Tuple[Location, ...]:
     """The shadow cells an access of ``width`` bytes at ``addr`` touches.
 
     With ``granularity`` equal to the access width and aligned accesses
@@ -107,9 +120,18 @@ def _locations(
     byte granularity it is one location per byte — the paper's fully
     general mode, which catches partially-overlapping sub-word accesses
     at the cost of more metadata.
+
+    Memoized: loops re-touch the same (thread, address) pairs on every
+    iteration, and the :class:`Location` dataclasses are immutable, so
+    the expansion — and its allocations — run once per distinct access.
     """
-    block = layout.block_of(tid) if space is Space.SHARED else -1
     first = addr - (addr % granularity)
+    if first + granularity >= addr + (width if width > 1 else 1):
+        # Aligned access within one shadow cell — the common CUDA case.
+        if space is Space.SHARED:
+            return (Location(Space.SHARED, first, layout.block_of(tid)),)
+        return (Location(Space.GLOBAL, first),)
+    block = layout.block_of(tid) if space is Space.SHARED else -1
     cells = []
     offset = first
     while offset < addr + max(width, 1):
@@ -118,7 +140,7 @@ def _locations(
         else:
             cells.append(Location(Space.GLOBAL, offset))
         offset += granularity
-    return cells
+    return tuple(cells)
 
 
 def record_to_ops(
@@ -150,24 +172,38 @@ def record_to_ops(
         return [Fi(warp=record.warp, pc=record.pc)]
 
     ops: List[AnyOp] = []
-    for tid in sorted(record.active):
-        space, addr = record.addrs[tid]
-        for loc in _locations(layout, tid, space, addr, record.width, granularity):
-            if kind is RecordKind.LOAD:
-                ops.append(Read(tid=tid, loc=loc, pc=record.pc))
-            elif kind is RecordKind.STORE:
-                ops.append(
-                    Write(tid=tid, loc=loc, value=record.values.get(tid), pc=record.pc)
-                )
-            elif kind is RecordKind.ATOMIC:
-                ops.append(Atomic(tid=tid, loc=loc, pc=record.pc))
-            elif kind is RecordKind.ACQUIRE:
-                ops.append(Acquire(tid=tid, loc=loc, scope=record.scope, pc=record.pc))
-            elif kind is RecordKind.RELEASE:
-                ops.append(Release(tid=tid, loc=loc, scope=record.scope, pc=record.pc))
-            elif kind is RecordKind.ACQREL:
-                ops.append(AcqRel(tid=tid, loc=loc, scope=record.scope, pc=record.pc))
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unhandled record kind {kind}")
-    ops.append(EndInsn(warp=record.warp, amask=record.active, pc=record.pc))
+    append = ops.append
+    addrs = record.addrs
+    pc = record.pc
+    width = record.width
+    if kind is RecordKind.LOAD:
+        for tid in _sorted_mask(record.active):
+            space, addr = addrs[tid]
+            for loc in _locations(layout, tid, space, addr, width, granularity):
+                append(Read(tid=tid, loc=loc, pc=pc))
+    elif kind is RecordKind.STORE:
+        values_get = record.values.get
+        for tid in _sorted_mask(record.active):
+            space, addr = addrs[tid]
+            for loc in _locations(layout, tid, space, addr, width, granularity):
+                append(Write(tid=tid, loc=loc, value=values_get(tid), pc=pc))
+    elif kind is RecordKind.ATOMIC:
+        for tid in _sorted_mask(record.active):
+            space, addr = addrs[tid]
+            for loc in _locations(layout, tid, space, addr, width, granularity):
+                append(Atomic(tid=tid, loc=loc, pc=pc))
+    else:
+        scope = record.scope
+        for tid in _sorted_mask(record.active):
+            space, addr = addrs[tid]
+            for loc in _locations(layout, tid, space, addr, width, granularity):
+                if kind is RecordKind.ACQUIRE:
+                    append(Acquire(tid=tid, loc=loc, scope=scope, pc=pc))
+                elif kind is RecordKind.RELEASE:
+                    append(Release(tid=tid, loc=loc, scope=scope, pc=pc))
+                elif kind is RecordKind.ACQREL:
+                    append(AcqRel(tid=tid, loc=loc, scope=scope, pc=pc))
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unhandled record kind {kind}")
+    ops.append(EndInsn(warp=record.warp, amask=record.active, pc=pc))
     return ops

@@ -14,8 +14,9 @@ from typing import Dict, List, Optional
 from ..errors import DeadlockError, StepLimitExceeded
 from ..obs import NULL_OBS, Observability
 from ..ptx.ast import Module
+from .engine import DEFAULT_ENGINE, resolve_engine
 from .hierarchy import LaunchConfig
-from .interpreter import EventSink, KernelExecution, LaunchResult
+from .interpreter import EventSink, LaunchResult
 from .memory import ArchProfile, GlobalMemory, MAXWELL_TITANX
 from .scheduler import RoundRobinScheduler, Scheduler
 
@@ -80,8 +81,14 @@ class GpuDevice:
         scheduler: Optional[Scheduler] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         obs: Observability = NULL_OBS,
+        engine: str = DEFAULT_ENGINE,
     ) -> LaunchResult:
         """Run one kernel to completion and return its measurements.
+
+        ``engine`` selects the execution engine: ``"decoded"`` (the
+        pre-decoding threaded-code engine, default) or ``"naive"`` (the
+        legacy re-decode-every-step interpreter); both produce identical
+        results and event streams.
 
         Raises :class:`StepLimitExceeded` if the kernel does not finish
         within ``max_steps`` warp-instruction slots (e.g. a spinlock that
@@ -92,7 +99,8 @@ class GpuDevice:
             self.load_module(module)
         kernel = module.kernel(kernel_name)
         config = LaunchConfig.of(grid, block, warp_size)
-        execution = KernelExecution(
+        execution_class = resolve_engine(engine)
+        execution = execution_class(
             module=module,
             kernel=kernel,
             config=config,
@@ -107,19 +115,26 @@ class GpuDevice:
         tracing = tracer.enabled
         launch_start = tracer.now_us() if tracing else 0.0
         steps = 0
-        while not execution.finished():
-            execution.try_release_barriers()
-            runnable = [w for w in execution.warps if execution.runnable(w)]
+        warps = execution.warps
+        try_release_barriers = execution.try_release_barriers
+        step = execution.step
+        pick = scheduler.pick
+        after_step = scheduler.after_step
+        while True:
+            try_release_barriers()
+            # One pass over the warps decides both "who can run" and
+            # "are we done" — ``runnable(w)`` is exactly this predicate.
+            runnable = [w for w in warps if not w.done and not w.at_barrier]
             if not runnable:
-                if execution.finished():
+                if all(w.done for w in warps):
                     break
                 raise DeadlockError(
                     f"kernel {kernel_name!r}: no warp can make progress"
                 )
-            warp = scheduler.pick(runnable)
+            warp = pick(runnable)
             if tracing:
                 step_start = tracer.now_us()
-                execution.step(warp)
+                step(warp)
                 tracer.add_complete(
                     "warp-step",
                     step_start,
@@ -129,8 +144,8 @@ class GpuDevice:
                     args={"block": warp.block},
                 )
             else:
-                execution.step(warp)
-            scheduler.after_step(execution)
+                step(warp)
+            after_step(execution)
             steps += 1
             if steps > max_steps:
                 raise StepLimitExceeded(

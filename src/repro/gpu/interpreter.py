@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SimulationError
 from ..ptx.ast import (
@@ -83,16 +83,36 @@ class _StackEntry:
     pc: int
     reconv_pc: int
     phase: _Phase
+    #: Lazily-cached views of ``amask``.  The mask of a SIMT stack entry
+    #: is fixed at push time (paths never change membership, they only
+    #: reconverge by popping), so the ascending thread order every
+    #: handler iterates in — and the frozen mask shared with records —
+    #: can be computed once instead of per memory operation.
+    _sorted: Optional[Tuple[int, ...]] = None
+    _frozen: Optional[FrozenSet[int]] = None
+
+    def sorted_active(self) -> Tuple[int, ...]:
+        cached = self._sorted
+        if cached is None:
+            cached = self._sorted = tuple(sorted(self.amask))
+        return cached
 
 
 @dataclass
-class _FuncContext:
+class ExecContext:
     """The static context of one executable body (kernel or .func)."""
 
     kernel: Kernel
     cfg: CFG
     labels: Dict[str, int]
     end_pc: int
+    #: Slot for a pre-decoded program (one closure per statement); filled
+    #: lazily by :class:`repro.gpu.engine.DecodedKernelExecution`.
+    decoded: Optional[List[Optional[Callable]]] = None
+
+
+#: Backwards-compatible alias (pre-engine name).
+_FuncContext = ExecContext
 
 
 @dataclass
@@ -105,7 +125,7 @@ class _Frame:
     uniform treatment of function calls).
     """
 
-    ctx: _FuncContext
+    ctx: ExecContext
     stack: List[_StackEntry]
     #: Per-thread registers.  The kernel frame owns the launch-wide file;
     #: device functions get fresh files (PTX registers are
@@ -166,6 +186,15 @@ class EventSink:
     def emit(self, record: LogRecord) -> int:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def emit_batch(self, records: List[LogRecord]) -> int:
+        """Emit ``records`` in order; returns the summed stall cycles.
+
+        Semantically equivalent to emitting one record at a time;
+        subclasses override it to amortize per-record bookkeeping.
+        """
+        emit = self.emit
+        return sum(emit(record) for record in records)
+
 
 class ListSink(EventSink):
     """Collects records in order; never stalls."""
@@ -175,6 +204,10 @@ class ListSink(EventSink):
 
     def emit(self, record: LogRecord) -> int:
         self.records.append(record)
+        return 0
+
+    def emit_batch(self, records: List[LogRecord]) -> int:
+        self.records.extend(records)
         return 0
 
 
@@ -204,7 +237,7 @@ class KernelExecution:
         self.instrumented = instrumented
         self.result = LaunchResult()
         # Static contexts: the kernel plus every device function.
-        self._contexts: Dict[str, _FuncContext] = {}
+        self._contexts: Dict[str, ExecContext] = {}
         self._kernel_ctx = self._context_for(kernel)
         self.cfg = self._kernel_ctx.cfg
         # Shared-array symbol offsets (same layout in every block).
@@ -221,6 +254,9 @@ class KernelExecution:
         }
         # .local state space: thread-private, persists across call frames.
         self._local: Dict[int, SharedMemory] = {}
+        # Active-mask flyweights: one frozenset per distinct mask, shared
+        # between SIMT stack entries and every LogRecord that carries it.
+        self._mask_intern: Dict[Tuple[int, ...], FrozenSet[int]] = {}
         self.warps: List[WarpState] = [
             WarpState(
                 warp=w,
@@ -243,10 +279,10 @@ class KernelExecution:
             for w in self.layout.all_warps()
         ]
 
-    def _context_for(self, body_kernel: Kernel) -> _FuncContext:
+    def _context_for(self, body_kernel: Kernel) -> ExecContext:
         ctx = self._contexts.get(body_kernel.name)
         if ctx is None:
-            ctx = _FuncContext(
+            ctx = ExecContext(
                 kernel=body_kernel,
                 cfg=CFG(body_kernel),
                 labels=body_kernel.label_index(),
@@ -305,6 +341,24 @@ class KernelExecution:
         name, negated = pred
         value = bool(self._reg(tid, name))
         return value != negated
+
+    # ------------------------------------------------------------------
+    # Active-mask flyweights
+    # ------------------------------------------------------------------
+    def intern_mask(self, tids) -> FrozenSet[int]:
+        """Return the canonical frozenset for a sorted tid sequence."""
+        key = tuple(tids)
+        mask = self._mask_intern.get(key)
+        if mask is None:
+            mask = self._mask_intern[key] = frozenset(key)
+        return mask
+
+    def frozen_active(self, entry: _StackEntry) -> FrozenSet[int]:
+        """The interned frozen view of a stack entry's active mask."""
+        cached = entry._frozen
+        if cached is None:
+            cached = entry._frozen = self.intern_mask(entry.sorted_active())
+        return cached
 
     # ------------------------------------------------------------------
     # Stepping
@@ -415,7 +469,11 @@ class KernelExecution:
             self._exec_log(warp, entry, insn)
             entry.pc += 1
             return
-        active = [t for t in sorted(entry.amask) if self._pred_holds(t, insn.pred)]
+        pred = insn.pred
+        if pred is None:
+            active = entry.sorted_active()
+        else:
+            active = [t for t in entry.sorted_active() if self._pred_holds(t, pred)]
         if opcode in ("ld", "ldu"):
             self._exec_load(warp, insn, active)
         elif opcode == "st":
@@ -446,8 +504,8 @@ class KernelExecution:
         self._emit_branch(
             warp,
             RecordKind.BRANCH_IF,
-            active=frozenset(entry.amask),
-            then_mask=frozenset(not_taken),
+            active=self.frozen_active(entry),
+            then_mask=self.intern_mask(sorted(not_taken)),
             pc=entry.pc,
         )
         branch_pc = entry.pc
@@ -540,7 +598,7 @@ class KernelExecution:
         # by their dedicated paths.
         return Space.GLOBAL
 
-    def _exec_load(self, warp: WarpState, insn: Instruction, active: List[int]) -> None:
+    def _exec_load(self, warp: WarpState, insn: Instruction, active: Sequence[int]) -> None:
         dst, src = insn.operands
         type_name = insn.value_type()
         width = type_width(type_name) if type_name else 4
@@ -577,7 +635,7 @@ class KernelExecution:
                 value = _wrap(raw, type_name)
             self._set_reg(tid, dst.name, _wrap(value, type_name))
 
-    def _exec_store(self, warp: WarpState, insn: Instruction, active: List[int]) -> None:
+    def _exec_store(self, warp: WarpState, insn: Instruction, active: Sequence[int]) -> None:
         dst, src = insn.operands
         type_name = insn.value_type()
         width = type_width(type_name) if type_name else 4
@@ -608,7 +666,7 @@ class KernelExecution:
             else:
                 self.global_mem.store(warp.block, addr, width, raw)
 
-    def _exec_atomic(self, warp: WarpState, insn: Instruction, active: List[int]) -> None:
+    def _exec_atomic(self, warp: WarpState, insn: Instruction, active: Sequence[int]) -> None:
         operation = insn.atomic_operation()
         if operation is None:
             raise SimulationError(f"atomic without operation: {insn}")
@@ -662,7 +720,7 @@ class KernelExecution:
                 self._set_reg(tid, dst.name, _wrap(old, type_name))
 
     # -- arithmetic -------------------------------------------------------
-    def _exec_arith(self, insn: Instruction, active: List[int]) -> None:
+    def _exec_arith(self, insn: Instruction, active: Sequence[int]) -> None:
         opcode = insn.opcode
         type_name = insn.value_type()
         for tid in active:
@@ -679,7 +737,13 @@ class KernelExecution:
         category = mods[0] if mods else ""
         if self.sink is None or category in ("tid", "cvg", "bar"):
             return
-        active = [t for t in sorted(entry.amask) if self._pred_holds(t, insn.pred)]
+        pred = insn.pred
+        if pred is None:
+            active = entry.sorted_active()
+            frozen = self.frozen_active(entry)
+        else:
+            active = [t for t in entry.sorted_active() if self._pred_holds(t, pred)]
+            frozen = self.intern_mask(active)
         if not active:
             return
         width = type_width(insn.value_type()) if insn.value_type() else 4
@@ -699,7 +763,7 @@ class KernelExecution:
             record = LogRecord(
                 kind=kind,
                 warp=warp.warp,
-                active=frozenset(active),
+                active=frozen,
                 addrs=addrs,
                 values=values,
                 width=width,
@@ -718,7 +782,7 @@ class KernelExecution:
             record = LogRecord(
                 kind=kind,
                 warp=warp.warp,
-                active=frozenset(active),
+                active=frozen,
                 addrs=addrs,
                 scope=scope,
                 width=width,
@@ -739,12 +803,15 @@ class KernelExecution:
         union of the arrived warps' active masks — a partial union is a
         barrier divergence bug that the detector reports.
         """
+        if not any(w.at_barrier for w in self.warps):
+            return False
         released = False
         for block in range(self.layout.num_blocks):
             warps = [self.warps[w] for w in self.layout.block_warps(block)]
             live = [w for w in warps if not w.done]
             if live and all(w.at_barrier for w in live):
-                active = frozenset().union(*(frozenset(w.active) for w in live))
+                masks = [self.frozen_active(w.frame.stack[-1]) for w in live]
+                active = masks[0] if len(masks) == 1 else frozenset().union(*masks)
                 if self.sink is not None and self.instrumented:
                     record = LogRecord(
                         kind=RecordKind.BARRIER, warp=block, active=active

@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple
 
 from ..errors import InstrumentationError
 from ..ptx.ast import Module
-from ..ptx.parser import parse_ptx
+from ..ptx.parser import parse_ptx_cached
 from .passes import InstrumentationReport, Instrumenter
 
 
@@ -97,7 +97,7 @@ def intercept_fat_binary(
     """
     instrumenter = instrumenter or Instrumenter()
     ptx_text = fatbin.ptx_entry().decompress_ptx()
-    module = parse_ptx(ptx_text)
+    module = parse_ptx_cached(ptx_text)
     instrumented, report = instrumenter.instrument_module(module)
     new_fatbin = FatBinary(entries=[FatBinaryEntry.ptx(instrumented)])
     return new_fatbin, instrumented, report

@@ -13,6 +13,7 @@ loadable text (§4.1).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional, Tuple, Union
 
 from ..errors import PTXSyntaxError
@@ -253,3 +254,17 @@ class _Parser:
 def parse_ptx(source: str) -> Module:
     """Parse PTX source text into a :class:`repro.ptx.ast.Module`."""
     return _Parser(tokenize(source)).parse_module()
+
+
+@lru_cache(maxsize=64)
+def parse_ptx_cached(source: str) -> Module:
+    """Memoized :func:`parse_ptx` for the fat-binary registration path.
+
+    Registration parses the same PTX text at least twice per binary
+    (pristine view + instrumentation input), and benchmark sweeps
+    re-register identical binaries across sessions.  Callers must treat
+    the returned module as immutable — the instrumenter already does
+    (it builds a new module and never mutates parsed instructions).
+    Code that edits parsed ASTs must use :func:`parse_ptx`.
+    """
+    return parse_ptx(source)

@@ -44,6 +44,12 @@ class RecordingSink(EventSink):
             return self.inner.emit(record)
         return 0
 
+    def emit_batch(self, records: List[LogRecord]) -> int:
+        self.records.extend(records)
+        if self.inner is not None:
+            return self.inner.emit_batch(records)
+        return 0
+
 
 def _record_to_json(record: LogRecord) -> dict:
     payload = {
@@ -103,6 +109,29 @@ def record_line_to_record(line: str, lineno: int = 0) -> LogRecord:
     if not isinstance(payload, dict):
         raise ReproError(f"capture record{where} is not a JSON object")
     return _record_from_json(payload)
+
+
+def record_lines_to_records(lines: Iterable[str]) -> List[LogRecord]:
+    """Decode a batch of capture JSONL lines in one pass.
+
+    The batched equivalent of calling :func:`record_line_to_record` per
+    line (same errors, same order) with the JSON decoder and record
+    constructor resolved once — the ingest path the decoded-engine
+    service workers use.
+    """
+    loads = json.loads
+    from_json = _record_from_json
+    records: List[LogRecord] = []
+    append = records.append
+    for line in lines:
+        try:
+            payload = loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"garbage JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ReproError("capture record is not a JSON object")
+        append(from_json(payload))
+    return records
 
 
 def read_header(header_line: str) -> Tuple[GridLayout, str]:

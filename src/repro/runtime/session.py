@@ -21,6 +21,7 @@ from ..core.races import BarrierDivergenceReport, DetectorReports, RaceReport
 from ..core.reference import DetectorConfig
 from ..errors import InstrumentationError
 from ..gpu.device import DEFAULT_MAX_STEPS, GpuDevice
+from ..gpu.engine import DEFAULT_ENGINE, resolve_engine
 from ..gpu.interpreter import LaunchResult
 from ..gpu.memory import ArchProfile, MAXWELL_TITANX
 from ..gpu.scheduler import Scheduler
@@ -31,7 +32,9 @@ from ..ptx.ast import Module
 from ..trace.layout import GridLayout
 from .host import HostDetector
 from .queue import DEFAULT_CAPACITY, QueueSet, QueueStats
-from ..events import RecordKind
+from .replay import RecordingSink
+from ..events import LogRecord, RecordKind
+from ..gpu.interpreter import EventSink
 
 
 @dataclass
@@ -46,6 +49,9 @@ class SessionLaunch:
     queue_bytes: int
     #: Per-queue occupancy/stall accounting snapshot of this launch.
     queue_stats: List[QueueStats] = field(default_factory=list)
+    #: The full event stream, when the launch ran with
+    #: ``capture_records=True``; ``None`` otherwise.
+    captured_records: Optional[List[LogRecord]] = None
 
     @property
     def races(self) -> List[RaceReport]:
@@ -101,7 +107,10 @@ class BarracudaSession:
         in_order_host: bool = True,
         obs: Observability = NULL_OBS,
         static_prune: bool = False,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
+        resolve_engine(engine)  # fail fast on unknown engine names
+        self.engine = engine
         self.device = GpuDevice(arch)
         self.num_queues = num_queues
         self.queue_capacity = queue_capacity
@@ -122,10 +131,10 @@ class BarracudaSession:
         """Intercept a fat-binary registration; returns a handle."""
         self._maybe_reinit()
         pristine_ptx = fatbin.ptx_entry().decompress_ptx()
-        from ..ptx.parser import parse_ptx
+        from ..ptx.parser import parse_ptx_cached
 
         with self.obs.tracer.span("ptx-parse"):
-            pristine = parse_ptx(pristine_ptx)
+            pristine = parse_ptx_cached(pristine_ptx)
         with self.obs.tracer.span("instrument"):
             _new_fatbin, instrumented, report = intercept_fat_binary(
                 fatbin, self.instrumenter
@@ -173,6 +182,7 @@ class BarracudaSession:
         max_steps: int = DEFAULT_MAX_STEPS,
         compare_native: bool = False,
         native_scheduler: Optional[Scheduler] = None,
+        capture_records: bool = False,
     ) -> SessionLaunch:
         """Launch a kernel under race detection.
 
@@ -180,6 +190,10 @@ class BarracudaSession:
         snapshot of device global memory, which is restored before the
         monitored run so both executions observe identical initial state
         (the Figure 10 native-vs-instrumented comparison).
+
+        With ``capture_records`` the launch keeps a host-side copy of
+        every emitted log record (``SessionLaunch.captured_records``) —
+        the event stream the differential engine tests compare.
         """
         self._maybe_reinit()
         handle = self._find_handle(kernel_name)
@@ -196,6 +210,7 @@ class BarracudaSession:
                 warp_size=warp_size,
                 scheduler=native_scheduler,
                 max_steps=max_steps,
+                engine=self.engine,
             )
             self.device.global_mem.restore(image)
         from ..gpu.hierarchy import LaunchConfig
@@ -219,6 +234,11 @@ class BarracudaSession:
             on_full=lambda queue_set, index: host.drain_some(queue_set, index),
             obs=self.obs,
         )
+        sink: EventSink = queues
+        recording: Optional[RecordingSink] = None
+        if capture_records:
+            recording = RecordingSink(queues)
+            sink = recording
         result = self.device.launch(
             instrumented,
             kernel_name,
@@ -226,11 +246,12 @@ class BarracudaSession:
             block,
             params=params,
             warp_size=warp_size,
-            sink=queues,
+            sink=sink,
             instrumented=True,
             scheduler=scheduler,
             max_steps=max_steps,
             obs=self.obs,
+            engine=self.engine,
         )
         with self.obs.tracer.span("queue-drain", kernel=kernel_name):
             host.drain(queues)
@@ -242,6 +263,7 @@ class BarracudaSession:
             records=queues.total_pushed,
             queue_bytes=queues.total_bytes,
             queue_stats=[queue.stats for queue in queues.queues],
+            captured_records=recording.records if recording is not None else None,
         )
         self.launches.append(launch)
         if self.obs.metrics.enabled:

@@ -31,9 +31,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
+from ..gpu.engine import DEFAULT_ENGINE, resolve_engine
 from ..obs import NULL_OBS, Observability
 from ..runtime.host import HostDetector
-from ..runtime.replay import record_line_to_record
+from ..runtime.replay import record_line_to_record, record_lines_to_records
 from ..trace.layout import GridLayout
 from . import protocol
 from .stats import WorkerStats
@@ -44,13 +45,18 @@ from .stats import WorkerStats
 # single worker serializes all access.
 # ----------------------------------------------------------------------
 _WORKER_JOBS: Dict[str, HostDetector] = {}
+#: Per-job ingest mode, mirroring the execution-engine choice: jobs
+#: opened under the decoded engine decode record batches in one pass.
+_WORKER_ENGINES: Dict[str, str] = {}
 
 
 def _worker_open(job_id: str, layout: GridLayout,
-                 config: Optional[DetectorConfig]) -> bool:
+                 config: Optional[DetectorConfig],
+                 engine: str = DEFAULT_ENGINE) -> bool:
     if job_id in _WORKER_JOBS:
         raise ReproError(f"job {job_id!r} already open on this shard")
     _WORKER_JOBS[job_id] = HostDetector(layout, config)
+    _WORKER_ENGINES[job_id] = engine
     return True
 
 
@@ -60,13 +66,20 @@ def _worker_batch(job_id: str, lines: Sequence[str]) -> Tuple[int, float]:
     if detector is None:
         raise ReproError(f"job {job_id!r} is not open on this shard")
     start = time.perf_counter()
-    detector.consume(record_line_to_record(line) for line in lines)
+    if _WORKER_ENGINES.get(job_id) == "naive":
+        detector.consume(record_line_to_record(line) for line in lines)
+    else:
+        # Batched ingest: one pass over the lines with the JSON decoder
+        # resolved once — the pipeline analogue of the decoded engine's
+        # ``emit_batch``.  Same records, same order, same errors.
+        detector.consume(record_lines_to_records(lines))
     return len(lines), time.perf_counter() - start
 
 
 def _worker_close(job_id: str) -> dict:
     """Finish a job; returns the deterministically-serialized reports."""
     detector = _WORKER_JOBS.pop(job_id, None)
+    _WORKER_ENGINES.pop(job_id, None)
     if detector is None:
         raise ReproError(f"job {job_id!r} is not open on this shard")
     payload = protocol.reports_to_payload(detector.reports)
@@ -75,6 +88,7 @@ def _worker_close(job_id: str) -> dict:
 
 
 def _worker_discard(job_id: str) -> bool:
+    _WORKER_ENGINES.pop(job_id, None)
     return _WORKER_JOBS.pop(job_id, None) is not None
 
 
@@ -93,10 +107,17 @@ def _failed(exc: BaseException) -> Future:
 class ShardedDetectorPool:
     """Dispatches job record streams across job-affine detector shards."""
 
-    def __init__(self, workers: int = 2, obs: Observability = NULL_OBS) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        obs: Observability = NULL_OBS,
+        engine: str = DEFAULT_ENGINE,
+    ) -> None:
         if workers < 0:
             raise ReproError(f"worker count must be >= 0, got {workers}")
+        resolve_engine(engine)  # fail fast on unknown engine names
         self.workers = workers
+        self.engine = engine
         # Coordinator-side tracing: batch spans are recorded here from
         # the futures' dispatch/completion times (one track per shard),
         # so no trace state crosses the process boundary.
@@ -146,7 +167,9 @@ class ShardedDetectorPool:
     def open_job(self, job_id: str, layout: GridLayout,
                  config: Optional[DetectorConfig] = None) -> Future:
         shard = self._assign(job_id)
-        return self._dispatch(shard, _worker_open, job_id, layout, config)
+        return self._dispatch(
+            shard, _worker_open, job_id, layout, config, self.engine
+        )
 
     def submit_batch(self, job_id: str, lines: Sequence[str]) -> Future:
         """Queue one batch on the job's shard; resolves to (count, busy)."""

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Set
 
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
+from ..gpu.engine import DEFAULT_ENGINE
 from ..runtime.replay import read_header
 from . import protocol
 from .pipeline import ShardedDetectorPool
@@ -64,6 +65,7 @@ class RaceService:
         low_water: Optional[int] = None,
         pool: Optional[ShardedDetectorPool] = None,
         default_config: Optional[DetectorConfig] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         if socket_path is None and port is None:
             raise ReproError("service needs a unix socket path and/or a TCP port")
@@ -76,7 +78,11 @@ class RaceService:
         self.bound_port: Optional[int] = None
         self.high_water = high_water
         self.low_water = low_water if low_water is not None else max(1, high_water // 2)
-        self.pool = pool if pool is not None else ShardedDetectorPool(workers)
+        self.pool = (
+            pool
+            if pool is not None
+            else ShardedDetectorPool(workers, engine=engine)
+        )
         self._owns_pool = pool is None
         self.default_config = default_config
         self.stats = ServiceStats()

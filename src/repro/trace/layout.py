@@ -43,7 +43,7 @@ class GridLayout:
         uses 3-thread warps.
     """
 
-    __slots__ = ("num_blocks", "threads_per_block", "warp_size")
+    __slots__ = ("num_blocks", "threads_per_block", "warp_size", "_warps_per_block")
 
     def __init__(
         self,
@@ -59,6 +59,7 @@ class GridLayout:
         self.num_blocks = num_blocks
         self.threads_per_block = threads_per_block
         self.warp_size = warp_size
+        self._warps_per_block = -(-threads_per_block // warp_size)
 
     # ------------------------------------------------------------------
     # Sizes
@@ -70,7 +71,7 @@ class GridLayout:
     @property
     def warps_per_block(self) -> int:
         """Warps per block, counting a trailing partial warp."""
-        return -(-self.threads_per_block // self.warp_size)
+        return self._warps_per_block
 
     @property
     def total_warps(self) -> int:
@@ -96,9 +97,8 @@ class GridLayout:
 
     def warp_of(self, tid: int) -> int:
         """The *global* warp id containing ``tid``."""
-        block = self.block_of(tid)
-        lane_block = self.thread_in_block(tid)
-        return block * self.warps_per_block + lane_block // self.warp_size
+        block, lane_block = divmod(tid, self.threads_per_block)
+        return block * self._warps_per_block + lane_block // self.warp_size
 
     def lane_of(self, tid: int) -> int:
         """The lane (position within its warp) of ``tid``."""
