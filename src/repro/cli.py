@@ -121,7 +121,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "pipeline phases (chrome://tracing / Perfetto)")
     parser.add_argument("--metrics", action="store_true",
                         help="print a Prometheus-style metrics snapshot")
+    parser.add_argument("--fault-plan", metavar="PLAN.json",
+                        help="inject deterministic faults from a JSON fault "
+                        "plan (queue stalls, dropped commits, torn batches; "
+                        "see docs/robustness.md)")
     return parser
+
+
+def _load_fault_plan_arg(path: Optional[str]):
+    """Load ``--fault-plan`` (None when the flag is absent)."""
+    if not path:
+        return None
+    from .faults import load_fault_plan
+
+    return load_fault_plan(path)
 
 
 def _load_module(path: str):
@@ -228,6 +241,7 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
         metrics=args.metrics or want_json_stats,
     )
     try:
+        fault_plan = _load_fault_plan_arg(args.fault_plan)
         with obs.tracer.span("cuda-frontend", source=args.source):
             module = _load_module(args.source)
     except (OSError, ReproError) as exc:
@@ -245,6 +259,7 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
         obs=obs,
         static_prune=args.prune_instrumentation,
         engine=args.engine,
+        faults=fault_plan,
     )
     handle = session.register_module(module)
     kernel = args.kernel or module.kernels[0].name
@@ -488,11 +503,25 @@ def run_serve(argv: Optional[Sequence[str]] = None) -> int:
                         "decoding (default), 'naive' decodes per record")
     parser.add_argument("--high-water", type=int, default=None,
                         help="per-job pending-record backpressure threshold")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-batch worker watchdog timeout in seconds")
+    parser.add_argument("--max-requeues", type=int, default=None,
+                        help="shard-crash requeue attempts before a job "
+                        "returns a degraded report")
+    parser.add_argument("--fault-plan", metavar="PLAN.json",
+                        help="inject deterministic worker faults (crash, "
+                        "hang, poison) from a JSON fault plan")
     args = parser.parse_args(argv)
 
-    from .service.server import DEFAULT_HIGH_WATER, RaceService
+    from .service.server import (
+        DEFAULT_HIGH_WATER,
+        DEFAULT_JOB_TIMEOUT,
+        DEFAULT_MAX_REQUEUES,
+        RaceService,
+    )
 
     try:
+        fault_plan = _load_fault_plan_arg(args.fault_plan)
         service = RaceService(
             socket_path=args.socket,
             host=args.host,
@@ -500,6 +529,11 @@ def run_serve(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
             high_water=args.high_water or DEFAULT_HIGH_WATER,
             engine=args.engine,
+            job_timeout=(args.job_timeout if args.job_timeout is not None
+                         else DEFAULT_JOB_TIMEOUT),
+            max_requeues=(args.max_requeues if args.max_requeues is not None
+                          else DEFAULT_MAX_REQUEUES),
+            fault_plan=fault_plan,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -529,22 +563,55 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print the service's Prometheus-style metrics "
                         "snapshot (the METRICS verb)")
+    parser.add_argument("--health", action="store_true",
+                        help="print per-shard liveness and backlog "
+                        "(the HEALTH verb)")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="transparent retries on transient connection "
+                        "failures (idempotent resubmission)")
+    parser.add_argument("--fault-plan", metavar="PLAN.json",
+                        help="inject deterministic client-side wire faults "
+                        "(truncated/garbage frames, connection resets) from "
+                        "a JSON fault plan")
     args = parser.parse_args(argv)
 
-    from .service.client import ServiceClient
+    from .service.client import ServiceClient, submit_capture
     from .service.stats import render_job_stats, render_service_stats
 
     try:
-        with open(args.capture) as stream:
+        fault_plan = _load_fault_plan_arg(args.fault_plan)
+        result = submit_capture(
+            args.capture,
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            batch_size=args.batch_size,
+            max_retries=args.max_retries,
+            faults=fault_plan,
+        )
+        service_stats = None
+        metrics_text = ""
+        health = None
+        if args.stats or args.metrics or args.health:
             with ServiceClient(socket_path=args.socket, host=args.host,
                                port=args.port) as client:
-                result = client.submit(stream, batch_size=args.batch_size)
                 service_stats = client.stats() if args.stats else None
                 metrics_text = client.metrics()["text"] if args.metrics else ""
+                health = client.health() if args.health else None
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if result.attempts > 1:
+        print(f"(succeeded on attempt {result.attempts} after "
+              f"{len(result.transient_failures)} transient failure(s))",
+              file=sys.stderr)
+    if result.degraded:
+        print("warning: degraded result — the service gave up on this job:",
+              file=sys.stderr)
+        for line in result.failure_log:
+            print(f"  {line}", file=sys.stderr)
+        return 4
     exit_code = _print_reports(result.reports, args.max_reports)
     if args.stats:
         print(render_job_stats(result.stats))
@@ -552,6 +619,9 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
     if args.metrics:
         print("--------- metrics")
         print(metrics_text, end="")
+    if args.health:
+        print("--------- health")
+        print(json.dumps(health, indent=2, sort_keys=True))
     return exit_code
 
 
@@ -569,14 +639,22 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
                         help="race reports to print per location")
     parser.add_argument("--stats", action="store_true",
                         help="print capture statistics")
+    parser.add_argument("--fault-plan", metavar="PLAN.json",
+                        help="corrupt capture lines while loading (truncate/"
+                        "garbage) from a JSON fault plan — exercises the "
+                        "loader's error surface")
     args = parser.parse_args(argv)
 
     from .core.reference import DetectorConfig
+    from .faults import NULL_FAULTS
     from .runtime.replay import load_capture, replay
 
     try:
+        fault_plan = _load_fault_plan_arg(args.fault_plan)
         with open(args.capture) as stream:
-            layout, kernel, records = load_capture(stream)
+            layout, kernel, records = load_capture(
+                stream, faults=fault_plan if fault_plan is not None
+                else NULL_FAULTS)
         reports = replay(
             layout,
             records,

@@ -1,0 +1,195 @@
+"""Declarative fault plans: what to break, where, and when.
+
+A :class:`FaultPlan` is a seed plus a list of :class:`FaultSpec` entries.
+Each spec names an injection *site* (see :mod:`repro.faults.sites`), a
+fault *kind* that site understands, exactly one *trigger*, and an
+optional payload of kind-specific knobs.
+
+Triggers (exactly one per spec):
+
+* ``nth`` — fire on the nth hit of the site (1-based);
+* ``probability`` — fire per hit with the given probability, drawn from
+  a generator seeded by ``(plan seed, spec index)`` so two runs of the
+  same plan inject the same faults at the same hits;
+* ``after_bytes`` — fire once the site has seen at least this many
+  payload bytes.
+
+``times`` bounds how often a spec may fire (default once; 0 means
+unlimited), so a single plan entry can model both a one-shot crash and
+a persistently flaky link.
+
+Plans are plain JSON on disk (``repro serve --fault-plan plan.json``)::
+
+    {
+      "seed": 1234,
+      "faults": [
+        {"site": "worker.batch", "kind": "crash", "nth": 2},
+        {"site": "client.send", "kind": "truncate-frame",
+         "probability": 0.05, "times": 3}
+      ]
+    }
+
+Every malformed plan — bad JSON, unknown site or kind, zero or two
+triggers, out-of-range probability — raises :class:`FaultPlanError`
+(a :class:`~repro.errors.ReproError`) with a one-line message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import ReproError
+from .sites import SITES
+
+
+class FaultPlanError(ReproError):
+    """Raised when a fault plan cannot be parsed or validated."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: site + kind + trigger + payload."""
+
+    site: str
+    kind: str
+    nth: Optional[int] = None
+    probability: Optional[float] = None
+    after_bytes: Optional[int] = None
+    #: Maximum number of firings; 0 means unlimited.
+    times: int = 1
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        kinds = SITES.get(self.site)
+        if kinds is None:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if self.kind not in kinds:
+            raise FaultPlanError(
+                f"site {self.site!r} does not understand fault kind "
+                f"{self.kind!r}; it supports: {', '.join(sorted(kinds))}"
+            )
+        triggers = [t for t in (self.nth, self.probability, self.after_bytes)
+                    if t is not None]
+        if len(triggers) != 1:
+            raise FaultPlanError(
+                f"fault spec for {self.site!r} needs exactly one trigger "
+                "(nth, probability, or after_bytes), got "
+                f"{len(triggers)}"
+            )
+        if self.nth is not None and (not isinstance(self.nth, int)
+                                     or self.nth < 1):
+            raise FaultPlanError(f"nth trigger must be an integer >= 1, "
+                                 f"got {self.nth!r}")
+        if self.probability is not None and not (0.0 < self.probability <= 1.0):
+            raise FaultPlanError(
+                f"probability trigger must be in (0, 1], got {self.probability!r}"
+            )
+        if self.after_bytes is not None and (
+                not isinstance(self.after_bytes, int) or self.after_bytes < 0):
+            raise FaultPlanError(
+                f"after_bytes trigger must be an integer >= 0, "
+                f"got {self.after_bytes!r}"
+            )
+        if not isinstance(self.times, int) or self.times < 0:
+            raise FaultPlanError(f"times must be an integer >= 0, "
+                                 f"got {self.times!r}")
+        if not isinstance(self.payload, Mapping):
+            raise FaultPlanError(f"payload must be an object, "
+                                 f"got {type(self.payload).__name__}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"site": self.site, "kind": self.kind}
+        for key in ("nth", "probability", "after_bytes"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.times != 1:
+            out["times"] = self.times
+        if self.payload:
+            out["payload"] = dict(self.payload)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(payload, Mapping):
+            raise FaultPlanError(
+                f"fault spec must be an object, got {type(payload).__name__}")
+        unknown = set(payload) - {"site", "kind", "nth", "probability",
+                                  "after_bytes", "times", "payload"}
+        if unknown:
+            raise FaultPlanError(
+                f"fault spec has unknown fields: {', '.join(sorted(unknown))}")
+        for required in ("site", "kind"):
+            if not isinstance(payload.get(required), str):
+                raise FaultPlanError(f"fault spec needs a string {required!r}")
+        return cls(
+            site=payload["site"],
+            kind=payload["kind"],
+            nth=payload.get("nth"),
+            probability=payload.get("probability"),
+            after_bytes=payload.get("after_bytes"),
+            times=payload.get("times", 1),
+            payload=dict(payload.get("payload") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable set of fault specs; the unit ``--fault-plan`` loads."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise FaultPlanError(f"plan seed must be an integer, "
+                                 f"got {self.seed!r}")
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+        if self.name:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, Mapping):
+            raise FaultPlanError(
+                f"fault plan must be an object, got {type(payload).__name__}")
+        faults = payload.get("faults", [])
+        if not isinstance(faults, (list, tuple)):
+            raise FaultPlanError("fault plan 'faults' must be a list")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(spec) for spec in faults),
+            seed=payload.get("seed", 0),
+            name=str(payload.get("name", "")),
+        )
+
+
+def fault_plan_from_json(text: str) -> FaultPlan:
+    """Parse a JSON fault plan; raises :class:`FaultPlanError` on garbage."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+    return FaultPlan.from_dict(payload)
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Load a fault plan from disk with clean errors for every failure."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise FaultPlanError(f"cannot read fault plan {path!r}: {exc}") from exc
+    return fault_plan_from_json(text)

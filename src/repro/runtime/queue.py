@@ -25,6 +25,8 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..errors import QueueError
+from ..faults import NULL_FAULTS, resolve_faults
+from ..faults import sites as fault_sites
 from ..gpu.interpreter import EventSink
 from ..events import RECORD_BYTES, LogRecord
 from ..obs import NULL_OBS, Observability
@@ -149,6 +151,26 @@ class LogQueue:
         if depth0 + count > stats.max_depth:
             stats.max_depth = depth0 + count
 
+    def push_uncommitted(self, record: LogRecord, seq: int = 0) -> None:
+        """Write a slot and advance the write head *without* committing.
+
+        Models the §4.2 hazard of a producer that dies between the slot
+        write and the commit: the record is invisible to the host until a
+        later push re-commits past it (``push`` sets ``commit_index`` to
+        the write head, covering the gap).  A trailing uncommitted record
+        is simply lost.  Only the fault-injection layer calls this.
+        """
+        if self.full():
+            raise QueueError("push on full queue; drain first")
+        slot = self.write_head % self.capacity
+        self._slots[slot] = record
+        self._seqs[slot] = seq
+        self.write_head += 1
+        self.stats.pushed += 1
+        if self.write_head % self.capacity == 0:
+            self.stats.wraps += 1
+        self.stats.sample_depth(self.write_head - self.read_head)
+
     def head_seq(self) -> Optional[int]:
         """Commit stamp of the oldest unread record, or None if drained."""
         if self.read_head >= self.commit_index:
@@ -197,6 +219,7 @@ class QueueSet(EventSink):
         block_of_record: Optional[Callable[[LogRecord], int]] = None,
         on_full: Optional[Callable[["QueueSet", int], None]] = None,
         obs: Observability = NULL_OBS,
+        faults=NULL_FAULTS,
     ) -> None:
         if num_queues < 1:
             raise QueueError(f"need at least one queue, got {num_queues}")
@@ -204,6 +227,9 @@ class QueueSet(EventSink):
         self._block_of_record = block_of_record
         self.on_full = on_full
         self._seq = 0
+        # Pre-resolved fault injector: None unless a plan is active, so
+        # the per-record path pays one is-None check (NULL_FAULTS pattern).
+        self._faults = resolve_faults(faults)
         # Pre-resolved instruments: None when metrics are disabled, so
         # the per-record path pays one is-None check.
         self._depth_hist = self._stall_hist = None
@@ -232,9 +258,8 @@ class QueueSet(EventSink):
         # affinity).
         return record.warp
 
-    def emit(self, record: LogRecord) -> int:
-        queue_index = self.queue_for_block(self._block_of(record))
-        queue = self.queues[queue_index]
+    def _make_room(self, queue: LogQueue, queue_index: int) -> int:
+        """Drain a full queue via ``on_full``; returns the stall cycles."""
         stall = 0
         while queue.full():
             if self.on_full is None:
@@ -251,6 +276,18 @@ class QueueSet(EventSink):
                 )
             stall += max(drained, 1) * STALL_CYCLES_PER_RECORD
             queue.stats.stalls += 1
+        return stall
+
+    def emit(self, record: LogRecord) -> int:
+        if self._faults is not None:
+            fault = self._faults.check(fault_sites.QUEUE_PUSH, RECORD_BYTES)
+            if fault is not None:
+                return self._emit_faulty(record, fault)
+        queue_index = self.queue_for_block(self._block_of(record))
+        queue = self.queues[queue_index]
+        stall = 0
+        if queue.full():
+            stall = self._make_room(queue, queue_index)
         queue.push(record, seq=self._seq)
         self._seq += 1
         queue.stats.stall_cycles += stall
@@ -263,6 +300,61 @@ class QueueSet(EventSink):
                 self._stall_hist.observe(stall, queue=label)
         return stall
 
+    # ------------------------------------------------------------------
+    # Fault-injected paths (repro.faults; never taken under NULL_FAULTS)
+    # ------------------------------------------------------------------
+    def _emit_faulty(self, record: LogRecord, fault) -> int:
+        queue_index = self.queue_for_block(self._block_of(record))
+        queue = self.queues[queue_index]
+        stall = self._make_room(queue, queue_index) if queue.full() else 0
+        if fault.kind == fault_sites.RING_FULL:
+            # Forced producer stall: behave as though the write head had
+            # caught the read head — drain through ``on_full`` and charge
+            # the stall — even though space remains.  Lossless by design.
+            if self.on_full is not None:
+                self.on_full(self, queue_index)
+            stall += int(fault.arg("stall_cycles", STALL_CYCLES_PER_RECORD))
+            queue.stats.stalls += 1
+            queue.push(record, seq=self._seq)
+            self._seq += 1
+            queue.stats.stall_cycles += stall
+            return stall
+        # drop-commit: the record is written and the write head advances,
+        # but the commit index is withheld (a lost §4.2 commit).  The next
+        # successful push re-commits past it; a trailing drop is lost.
+        queue.push_uncommitted(record, seq=self._seq)
+        self._seq += 1
+        queue.stats.stall_cycles += stall
+        return stall
+
+    def _emit_batch_faulty(self, records: List[LogRecord], fault) -> int:
+        if fault.kind == fault_sites.TORN_BATCH:
+            # Only a prefix of the batch lands; the tail vanishes without
+            # an error — the silent tear the chaos suite must detect.
+            keep = int(fault.arg("keep", len(records) // 2))
+            keep = max(0, min(keep, len(records)))
+            return self._emit_batch_core(records[:keep])
+        if fault.kind == fault_sites.RING_FULL:
+            stall = 0
+            if records:
+                queue_index = self.queue_for_block(self._block_of(records[0]))
+                if self.on_full is not None:
+                    self.on_full(self, queue_index)
+                queue = self.queues[queue_index]
+                stall = int(fault.arg("stall_cycles", STALL_CYCLES_PER_RECORD))
+                queue.stats.stalls += 1
+                queue.stats.stall_cycles += stall
+            return stall + self._emit_batch_core(records)
+        # drop-commit: the whole batch is written but the final commit is
+        # withheld for the last record's queue.
+        stall = self._emit_batch_core(records)
+        if records:
+            queue_index = self.queue_for_block(self._block_of(records[-1]))
+            queue = self.queues[queue_index]
+            if queue.commit_index > queue.read_head:
+                queue.commit_index -= 1
+        return stall
+
     def emit_batch(self, records: List[LogRecord]) -> int:
         """Emit a run of records with the bookkeeping amortized.
 
@@ -272,6 +364,14 @@ class QueueSet(EventSink):
         (and ``on_full`` draining) stays bit-identical to the unbatched
         path.  Returns the summed stall cycles, like per-record emits.
         """
+        if self._faults is not None:
+            fault = self._faults.check(
+                fault_sites.QUEUE_PUSH_BATCH, RECORD_BYTES * len(records))
+            if fault is not None:
+                return self._emit_batch_faulty(records, fault)
+        return self._emit_batch_core(records)
+
+    def _emit_batch_core(self, records: List[LogRecord]) -> int:
         total_stall = 0
         queue_for = self.queue_for_block
         block_of = self._block_of

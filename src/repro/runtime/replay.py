@@ -20,6 +20,8 @@ from ..core.races import DetectorReports
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
 from ..events import LogRecord, RecordKind
+from ..faults import NULL_FAULTS, resolve_faults
+from ..faults import sites as fault_sites
 from ..gpu.interpreter import EventSink
 from ..trace.layout import GridLayout
 from ..trace.operations import Scope, Space
@@ -93,14 +95,32 @@ def _record_from_json(payload: dict) -> LogRecord:
         raise ReproError(f"malformed capture record: {exc}") from exc
 
 
-def record_line_to_record(line: str, lineno: int = 0) -> LogRecord:
+def apply_line_fault(line: str, fault) -> str:
+    """Corrupt one capture line per an active ``replay.record_line`` fault."""
+    if fault.kind == fault_sites.TRUNCATE_LINE:
+        keep = int(fault.arg("keep_chars", len(line) // 2))
+        return line[:max(0, min(keep, max(len(line) - 1, 0)))]
+    return str(fault.arg("text", "}{ injected garbage"))
+
+
+def record_line_to_record(line: str, lineno: int = 0,
+                          faults=NULL_FAULTS) -> LogRecord:
     """Parse one capture JSONL record line, raising :class:`ReproError`.
 
     All malformedness — garbage JSON, a non-object line, missing or
     mistyped fields — surfaces as :class:`ReproError` so consumers (the
     offline loader and the detection service) can fail one capture
     cleanly instead of crashing on a stray ``JSONDecodeError``.
+
+    An active fault plan may corrupt the line before parsing (the
+    ``replay.record_line`` site), which exercises exactly this error
+    surface.
     """
+    injector = resolve_faults(faults)
+    if injector is not None:
+        fault = injector.check(fault_sites.REPLAY_LINE, len(line))
+        if fault is not None:
+            line = apply_line_fault(line, fault)
     where = f" on line {lineno}" if lineno else ""
     try:
         payload = json.loads(line)
@@ -111,7 +131,8 @@ def record_line_to_record(line: str, lineno: int = 0) -> LogRecord:
     return _record_from_json(payload)
 
 
-def record_lines_to_records(lines: Iterable[str]) -> List[LogRecord]:
+def record_lines_to_records(lines: Iterable[str],
+                            faults=NULL_FAULTS) -> List[LogRecord]:
     """Decode a batch of capture JSONL lines in one pass.
 
     The batched equivalent of calling :func:`record_line_to_record` per
@@ -119,11 +140,16 @@ def record_lines_to_records(lines: Iterable[str]) -> List[LogRecord]:
     constructor resolved once — the ingest path the decoded-engine
     service workers use.
     """
+    injector = resolve_faults(faults)
     loads = json.loads
     from_json = _record_from_json
     records: List[LogRecord] = []
     append = records.append
     for line in lines:
+        if injector is not None:
+            fault = injector.check(fault_sites.REPLAY_LINE, len(line))
+            if fault is not None:
+                line = apply_line_fault(line, fault)
         try:
             payload = loads(line)
         except json.JSONDecodeError as exc:
@@ -182,14 +208,15 @@ def save_capture(
     return count
 
 
-def load_capture(stream: IO[str]) -> Tuple[GridLayout, str, List[LogRecord]]:
+def load_capture(stream: IO[str],
+                 faults=NULL_FAULTS) -> Tuple[GridLayout, str, List[LogRecord]]:
     """Read a capture back; returns (layout, kernel name, records)."""
     header_line = stream.readline()
     if not header_line:
         raise ReproError("empty capture")
     layout, kernel = read_header(header_line)
     records = [
-        record_line_to_record(line, lineno)
+        record_line_to_record(line, lineno, faults=faults)
         for lineno, line in enumerate(stream, start=2)
         if line.strip()
     ]

@@ -108,9 +108,17 @@ class BarracudaSession:
         obs: Observability = NULL_OBS,
         static_prune: bool = False,
         engine: str = DEFAULT_ENGINE,
+        faults=None,
     ) -> None:
         resolve_engine(engine)  # fail fast on unknown engine names
         self.engine = engine
+        # Fault injection (repro.faults): a FaultPlan is instantiated
+        # into one session-lifetime injector; an injector passes through.
+        from ..faults import FaultInjector, FaultPlan, NULL_FAULTS
+
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults, obs=obs)
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.device = GpuDevice(arch)
         self.num_queues = num_queues
         self.queue_capacity = queue_capacity
@@ -233,6 +241,7 @@ class BarracudaSession:
             ),
             on_full=lambda queue_set, index: host.drain_some(queue_set, index),
             obs=self.obs,
+            faults=self.faults,
         )
         sink: EventSink = queues
         recording: Optional[RecordingSink] = None

@@ -10,8 +10,16 @@ stats surface (:mod:`~repro.service.stats`).  ``python -m repro serve``
 and ``python -m repro submit`` are the CLI front doors.
 """
 
-from .client import JobResult, ServiceClient, ServiceJobError, submit_capture
-from .pipeline import ShardedDetectorPool
+from .client import (
+    BackoffPolicy,
+    InjectedWireFault,
+    JobResult,
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceJobError,
+    submit_capture,
+)
+from .pipeline import ShardCrashError, ShardedDetectorPool
 from .protocol import (
     FrameDecoder,
     ProtocolError,
@@ -21,7 +29,13 @@ from .protocol import (
     reports_to_payload,
     send_frame,
 )
-from .server import DEFAULT_HIGH_WATER, RaceService, ServiceThread
+from .server import (
+    DEFAULT_HIGH_WATER,
+    DEFAULT_JOB_TIMEOUT,
+    DEFAULT_MAX_REQUEUES,
+    RaceService,
+    ServiceThread,
+)
 from .stats import (
     JobStats,
     ServiceStats,

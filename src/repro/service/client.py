@@ -9,21 +9,36 @@ receive the job's :class:`~repro.core.races.DetectorReports`.
 The capture content itself is never parsed client-side — lines travel
 raw, and the service validates them per job — so a corrupt capture
 produces a clean server-reported error, identical for every client.
+
+Transient failures — connection drops, truncated or garbled frames,
+stream desync — are retried by :func:`submit_capture` under a
+:class:`BackoffPolicy`, and every attempt reuses one client-generated
+``resubmit_key`` so the server can recognize the retry: a job that
+actually finished is answered from the server's report cache instead of
+being run twice.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+import uuid
 from dataclasses import dataclass, field
-from typing import IO, Iterable, List, Optional
+from typing import IO, Callable, Iterable, List, Optional
 
 from ..core.races import DetectorReports
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
+from ..faults import NULL_FAULTS, resolve_faults
+from ..faults import sites as fault_sites
 from . import protocol
 
 #: Record lines per RECORDS frame.
 DEFAULT_BATCH_SIZE = 256
+
+#: Default transparent retries in :func:`submit_capture`.
+DEFAULT_MAX_RETRIES = 3
 
 
 class ServiceJobError(ReproError):
@@ -32,6 +47,56 @@ class ServiceJobError(ReproError):
     def __init__(self, message: str, job_id: Optional[str] = None) -> None:
         self.job_id = job_id
         super().__init__(message)
+
+
+class ServiceConnectionError(ReproError, ConnectionError):
+    """The service connection died mid-conversation (retryable)."""
+
+
+class InjectedWireFault(ServiceConnectionError):
+    """A client-side fault plan corrupted the outgoing stream.
+
+    The injecting client cannot keep using a connection it just poisoned
+    (frame sync is gone), so it closes the socket and raises this — a
+    ``ConnectionError`` like any real network casualty, which is exactly
+    how the retry layer classifies it.
+    """
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with bounded multiplicative jitter.
+
+    The pre-jitter ("ideal") delay for attempt *n* is
+    ``min(cap, base * factor**n)`` — non-decreasing in *n* — and the
+    realized delay lands in ``[ideal, ideal * (1 + jitter)]``.  The rng
+    is seeded, so a retry schedule is reproducible.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.factor < 1.0 or self.cap < self.base:
+            raise ReproError(
+                f"invalid backoff policy: base={self.base} factor={self.factor} "
+                f"cap={self.cap}")
+        if self.jitter < 0:
+            raise ReproError(f"jitter must be >= 0, got {self.jitter}")
+
+    def ideal(self, attempt: int) -> float:
+        return min(self.cap, self.base * self.factor ** attempt)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        return self.ideal(attempt) * (1.0 + self.jitter * rng.random())
+
+    def schedule(self, attempts: int) -> List[float]:
+        """The first ``attempts`` delays under this policy's seed."""
+        rng = random.Random(self.seed)
+        return [self.delay(attempt, rng) for attempt in range(attempts)]
 
 
 @dataclass
@@ -44,6 +109,15 @@ class JobResult:
     #: percentiles, peak queue depth); see ``repro.service.stats``.
     stats: dict = field(default_factory=dict)
     records_processed: int = 0
+    #: True when the server gave up on the job after exhausting its
+    #: requeue budget; ``reports`` is then explicitly empty and
+    #: ``failure_log`` says why, one line per failure.
+    degraded: bool = False
+    failure_log: List[str] = field(default_factory=list)
+    #: Retry bookkeeping filled in by :func:`submit_capture`.
+    attempts: int = 1
+    backoff_schedule: List[float] = field(default_factory=list)
+    transient_failures: List[str] = field(default_factory=list)
 
 
 class ServiceClient:
@@ -55,9 +129,15 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: Optional[int] = None,
         timeout: float = 60.0,
+        faults=NULL_FAULTS,
     ) -> None:
         if socket_path is None and port is None:
             raise ReproError("client needs a unix socket path or a TCP port")
+        self._faults = resolve_faults(faults)
+        if self._faults is not None:
+            fault = self._faults.check(fault_sites.CLIENT_CONNECT)
+            if fault is not None:
+                raise ConnectionRefusedError("injected connect failure")
         if socket_path is not None:
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             self._sock.settimeout(timeout)
@@ -68,11 +148,51 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Request/response plumbing
     # ------------------------------------------------------------------
+    def _send_frame(self, frame: dict) -> None:
+        data = protocol.encode_frame(frame)
+        if self._faults is not None:
+            fault = self._faults.check(fault_sites.CLIENT_SEND, len(data))
+            if fault is not None:
+                self._send_faulty(data, fault)
+                return
+        self._sock.sendall(data)
+
+    def _send_faulty(self, data: bytes, fault) -> None:
+        kind = fault.kind
+        if kind == fault_sites.SLOW_WRITE:
+            # The frame still arrives whole, just in a trickle — the
+            # incremental decoder must cope with arbitrary chunking.
+            half = max(1, len(data) // 2)
+            self._sock.sendall(data[:half])
+            time.sleep(float(fault.arg("seconds", 0.05)))
+            self._sock.sendall(data[half:])
+            return
+        if kind == fault_sites.DUPLICATE_FRAME:
+            # Sent twice: the spurious second reply desynchronizes the
+            # request/reply cadence, surfacing as a ProtocolError later.
+            self._sock.sendall(data)
+            self._sock.sendall(data)
+            return
+        if kind == fault_sites.GARBAGE_FRAME:
+            corrupted = bytearray(data)
+            for i in range(4, len(corrupted)):
+                corrupted[i] ^= 0x5A
+            self._sock.sendall(bytes(corrupted))
+            self.close()
+            raise InjectedWireFault("injected garbage frame")
+        if kind == fault_sites.TRUNCATE_FRAME:
+            self._sock.sendall(data[: max(1, len(data) // 2)])
+            self.close()
+            raise InjectedWireFault("injected truncated frame")
+        # connection-reset: drop the socket mid-conversation.
+        self.close()
+        raise InjectedWireFault("injected connection reset")
+
     def _request(self, frame: dict) -> dict:
-        protocol.send_frame(self._sock, frame)
+        self._send_frame(frame)
         reply = protocol.recv_frame(self._sock)
         if reply is None:
-            raise ReproError("service closed the connection")
+            raise ServiceConnectionError("service closed the connection")
         return reply
 
     @staticmethod
@@ -97,11 +217,13 @@ class ServiceClient:
         stream: IO[str],
         batch_size: int = DEFAULT_BATCH_SIZE,
         config: Optional[DetectorConfig] = None,
+        resubmit_key: Optional[str] = None,
     ) -> JobResult:
         """Stream one capture (header line + record lines) as one job."""
         header_line = stream.readline()
         reply = self._expect(
-            self._request(protocol.open_frame(header_line, config)),
+            self._request(protocol.open_frame(header_line, config,
+                                              resubmit_key=resubmit_key)),
             protocol.ACCEPT,
         )
         job_id = reply["job_id"]
@@ -123,6 +245,8 @@ class ServiceClient:
             reports=protocol.reports_from_payload(payload),
             stats=report.get("stats", {}),
             records_processed=payload.get("records_processed", 0),
+            degraded=bool(report.get("degraded", False)),
+            failure_log=list(report.get("failure_log", [])),
         )
 
     def _send_batch(self, job_id: str, lines: Iterable[str]) -> None:
@@ -130,9 +254,11 @@ class ServiceClient:
                      protocol.ACK)
 
     def submit_path(self, path: str, batch_size: int = DEFAULT_BATCH_SIZE,
-                    config: Optional[DetectorConfig] = None) -> JobResult:
+                    config: Optional[DetectorConfig] = None,
+                    resubmit_key: Optional[str] = None) -> JobResult:
         with open(path) as stream:
-            return self.submit(stream, batch_size=batch_size, config=config)
+            return self.submit(stream, batch_size=batch_size, config=config,
+                               resubmit_key=resubmit_key)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -151,6 +277,11 @@ class ServiceClient:
                              protocol.METRICS_REPLY)
         return {"text": reply.get("text", ""),
                 "snapshot": reply.get("snapshot", {})}
+
+    def health(self) -> dict:
+        """Fetch per-shard liveness/backlog (the ``HEALTH`` verb)."""
+        return self._expect(self._request(protocol.health_frame()),
+                            protocol.HEALTH_REPLY)["health"]
 
     # ------------------------------------------------------------------
     # Teardown
@@ -175,7 +306,49 @@ def submit_capture(
     port: Optional[int] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     config: Optional[DetectorConfig] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff: Optional[BackoffPolicy] = None,
+    timeout: float = 60.0,
+    faults=NULL_FAULTS,
+    resubmit_key: Optional[str] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> JobResult:
-    """One-shot convenience: connect, submit one capture, disconnect."""
-    with ServiceClient(socket_path=socket_path, host=host, port=port) as client:
-        return client.submit_path(path, batch_size=batch_size, config=config)
+    """Connect, submit one capture, disconnect — retrying transients.
+
+    Transient failures (connection errors including injected wire
+    faults, and protocol desync) are retried up to ``max_retries`` times
+    under ``backoff``; deterministic job failures
+    (:class:`ServiceJobError`) are not, because resubmitting a bad
+    capture reproduces them.  Every attempt carries the same
+    ``resubmit_key``, making the whole retry loop idempotent
+    server-side.  ``sleep`` is injectable so tests retry instantly.
+    """
+    policy = backoff if backoff is not None else BackoffPolicy()
+    rng = random.Random(policy.seed)
+    key = resubmit_key if resubmit_key is not None else f"sub-{uuid.uuid4().hex}"
+    injector = resolve_faults(faults)
+    schedule: List[float] = []
+    failures: List[str] = []
+    attempt = 0
+    while True:
+        try:
+            with ServiceClient(socket_path=socket_path, host=host, port=port,
+                               timeout=timeout,
+                               faults=injector if injector is not None
+                               else NULL_FAULTS) as client:
+                result = client.submit_path(path, batch_size=batch_size,
+                                            config=config, resubmit_key=key)
+            result.attempts = attempt + 1
+            result.backoff_schedule = schedule
+            result.transient_failures = failures
+            return result
+        except (OSError, protocol.ProtocolError) as exc:
+            failures.append(f"attempt {attempt + 1}: {exc}")
+            if attempt >= max_retries:
+                raise ServiceJobError(
+                    f"submission failed after {attempt + 1} attempt(s): {exc}"
+                ) from exc
+            delay = policy.delay(attempt, rng)
+            schedule.append(delay)
+            sleep(delay)
+            attempt += 1

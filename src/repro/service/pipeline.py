@@ -24,13 +24,16 @@ without ``fork``, and by the modeled-throughput benchmark.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
+from ..faults import FaultInjector, FaultPlan
+from ..faults import sites as fault_sites
 from ..gpu.engine import DEFAULT_ENGINE, resolve_engine
 from ..obs import NULL_OBS, Observability
 from ..runtime.host import HostDetector
@@ -38,6 +41,19 @@ from ..runtime.replay import record_line_to_record, record_lines_to_records
 from ..trace.layout import GridLayout
 from . import protocol
 from .stats import WorkerStats
+
+
+class ShardCrashError(Exception):
+    """A shard worker died mid-job (the inline-mode stand-in for a
+    ``BrokenProcessPool``).
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: job-level
+    errors (garbage records, poison) fail the job deterministically,
+    while a shard crash is a runtime casualty the server answers with
+    respawn + requeue.  Keeping the types apart keeps the two recovery
+    paths apart.
+    """
+
 
 # ----------------------------------------------------------------------
 # Worker-process side.  Each shard process keeps the detectors of the
@@ -48,16 +64,41 @@ _WORKER_JOBS: Dict[str, HostDetector] = {}
 #: Per-job ingest mode, mirroring the execution-engine choice: jobs
 #: opened under the decoded engine decode record batches in one pass.
 _WORKER_ENGINES: Dict[str, str] = {}
+#: Per-job fault injector (from the service's ``--fault-plan``) and the
+#: inline flag that decides how a ``crash`` fault manifests.
+_WORKER_FAULTS: Dict[str, Tuple[FaultInjector, bool]] = {}
 
 
 def _worker_open(job_id: str, layout: GridLayout,
                  config: Optional[DetectorConfig],
-                 engine: str = DEFAULT_ENGINE) -> bool:
+                 engine: str = DEFAULT_ENGINE,
+                 fault_plan: Optional[dict] = None,
+                 inline: bool = False) -> bool:
     if job_id in _WORKER_JOBS:
         raise ReproError(f"job {job_id!r} already open on this shard")
     _WORKER_JOBS[job_id] = HostDetector(layout, config)
     _WORKER_ENGINES[job_id] = engine
+    if fault_plan:
+        _WORKER_FAULTS[job_id] = (
+            FaultInjector(FaultPlan.from_dict(fault_plan)), inline)
     return True
+
+
+def _apply_worker_fault(fault, inline: bool) -> None:
+    if fault.kind == fault_sites.CRASH:
+        if inline:
+            # No process to kill in inline mode; surface the same
+            # condition as the typed crash marker instead.
+            raise ShardCrashError("injected worker crash")
+        os._exit(int(fault.arg("exit_code", 23)))
+    if fault.kind == fault_sites.HANG:
+        # The server-side watchdog is what bounds this sleep; a hung
+        # worker never returns on its own.
+        time.sleep(float(fault.arg("seconds", 3600.0)))
+        return
+    # poison: a deterministic per-record failure — fails the job, not
+    # the shard, and requeueing would only reproduce it.
+    raise ReproError("injected poison record in batch")
 
 
 def _worker_batch(job_id: str, lines: Sequence[str]) -> Tuple[int, float]:
@@ -65,6 +106,13 @@ def _worker_batch(job_id: str, lines: Sequence[str]) -> Tuple[int, float]:
     detector = _WORKER_JOBS.get(job_id)
     if detector is None:
         raise ReproError(f"job {job_id!r} is not open on this shard")
+    faulty = _WORKER_FAULTS.get(job_id)
+    if faulty is not None:
+        injector, inline = faulty
+        fault = injector.check(fault_sites.WORKER_BATCH,
+                               sum(len(line) for line in lines))
+        if fault is not None:
+            _apply_worker_fault(fault, inline)
     start = time.perf_counter()
     if _WORKER_ENGINES.get(job_id) == "naive":
         detector.consume(record_line_to_record(line) for line in lines)
@@ -80,6 +128,7 @@ def _worker_close(job_id: str) -> dict:
     """Finish a job; returns the deterministically-serialized reports."""
     detector = _WORKER_JOBS.pop(job_id, None)
     _WORKER_ENGINES.pop(job_id, None)
+    _WORKER_FAULTS.pop(job_id, None)
     if detector is None:
         raise ReproError(f"job {job_id!r} is not open on this shard")
     payload = protocol.reports_to_payload(detector.reports)
@@ -89,6 +138,7 @@ def _worker_close(job_id: str) -> dict:
 
 def _worker_discard(job_id: str) -> bool:
     _WORKER_ENGINES.pop(job_id, None)
+    _WORKER_FAULTS.pop(job_id, None)
     return _WORKER_JOBS.pop(job_id, None) is not None
 
 
@@ -112,12 +162,17 @@ class ShardedDetectorPool:
         workers: int = 2,
         obs: Observability = NULL_OBS,
         engine: str = DEFAULT_ENGINE,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if workers < 0:
             raise ReproError(f"worker count must be >= 0, got {workers}")
         resolve_engine(engine)  # fail fast on unknown engine names
         self.workers = workers
         self.engine = engine
+        # Shipped to workers as a plain dict; each shard process builds
+        # its own injector per job so nth-hit counting is deterministic
+        # regardless of which shard a job lands on.
+        self.fault_plan_payload = fault_plan.to_dict() if fault_plan else None
         # Coordinator-side tracing: batch spans are recorded here from
         # the futures' dispatch/completion times (one track per shard),
         # so no trace state crosses the process boundary.
@@ -128,7 +183,11 @@ class ShardedDetectorPool:
         self._assignments: Dict[str, int] = {}
         self._next_shard = 0
         self._lock = threading.Lock()
-        self.worker_stats = [WorkerStats(shard=i) for i in range(max(workers, 1))]
+        shards = max(workers, 1)
+        self.worker_stats = [WorkerStats(shard=i) for i in range(shards)]
+        self._backlog = [0] * shards
+        self._broken = [False] * shards
+        self._restarts = [0] * shards
 
     @property
     def inline(self) -> bool:
@@ -159,7 +218,13 @@ class ShardedDetectorPool:
                 return _completed(fn(*args))
             except Exception as exc:  # parity with executor futures
                 return _failed(exc)
-        return self._executors[shard].submit(fn, *args)
+        try:
+            return self._executors[shard].submit(fn, *args)
+        except (BrokenExecutor, RuntimeError) as exc:
+            # A broken (crashed) or shut-down executor rejects at submit
+            # time; fold that into the future so callers have one error
+            # path.
+            return _failed(exc)
 
     # ------------------------------------------------------------------
     # Job lifecycle
@@ -168,7 +233,8 @@ class ShardedDetectorPool:
                  config: Optional[DetectorConfig] = None) -> Future:
         shard = self._assign(job_id)
         return self._dispatch(
-            shard, _worker_open, job_id, layout, config, self.engine
+            shard, _worker_open, job_id, layout, config, self.engine,
+            self.fault_plan_payload, self.inline,
         )
 
     def submit_batch(self, job_id: str, lines: Sequence[str]) -> Future:
@@ -176,8 +242,11 @@ class ShardedDetectorPool:
         shard = self.shard_of(job_id)
         tracer = self.obs.tracer
         start_us = tracer.now_us() if tracer.enabled else 0.0
+        with self._lock:
+            self._backlog[shard] += 1
+        generation = None if self.inline else self._executors[shard]
         future = self._dispatch(shard, _worker_batch, job_id, list(lines))
-        future.add_done_callback(lambda f: self._account(shard, f))
+        future.add_done_callback(lambda f: self._account(shard, f, generation))
         if tracer.enabled:
             count = len(lines)
             future.add_done_callback(
@@ -192,8 +261,25 @@ class ShardedDetectorPool:
             )
         return future
 
-    def _account(self, shard: int, future: Future) -> None:
-        if future.cancelled() or future.exception() is not None:
+    def _account(self, shard: int, future: Future,
+                 generation=None) -> None:
+        # Futures of a terminated executor can resolve *after* the shard
+        # was respawned; only the current generation may touch liveness.
+        current = (generation is None
+                   or (shard < len(self._executors)
+                       and self._executors[shard] is generation))
+        with self._lock:
+            if current:
+                self._backlog[shard] = max(0, self._backlog[shard] - 1)
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None:
+            # A broken executor means the shard process itself is gone;
+            # mark it dead so HEALTH reflects reality until a respawn.
+            if current and isinstance(exc, (BrokenExecutor, ShardCrashError)):
+                with self._lock:
+                    self._broken[shard] = True
             return
         count, busy = future.result()
         with self._lock:
@@ -216,7 +302,90 @@ class ShardedDetectorPool:
             shard = self._assignments.pop(job_id, None)
         if shard is None:
             return _completed(False)
+        if not self.inline and self._broken[shard]:
+            # Nothing to clean up: the shard process (and the detector
+            # state it held) is already gone.
+            return _completed(True)
         return self._dispatch(shard, _worker_discard, job_id)
+
+    # ------------------------------------------------------------------
+    # Failure recovery
+    # ------------------------------------------------------------------
+    def respawn_shard(self, shard: int) -> None:
+        """Replace a crashed or hung shard process with a fresh one.
+
+        Hung workers do not respond to a graceful shutdown, so the old
+        executor's processes are terminated outright; its queued futures
+        fail with ``BrokenProcessPool``/cancellation, which the server's
+        per-batch watchers already treat as a shard casualty.
+        """
+        if self.inline:
+            with self._lock:
+                self._broken[0] = False
+                self._backlog[0] = 0
+                self._restarts[0] += 1
+            return
+        old = self._executors[shard]
+        for process in list(getattr(old, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except OSError:
+                pass
+        old.shutdown(wait=False, cancel_futures=True)
+        self._executors[shard] = ProcessPoolExecutor(max_workers=1)
+        with self._lock:
+            self._broken[shard] = False
+            self._backlog[shard] = 0
+            self._restarts[shard] += 1
+
+    def requeue_job(self, job_id: str, layout: GridLayout,
+                    config: Optional[DetectorConfig] = None,
+                    ) -> Tuple[Future, int]:
+        """Reassign a job to a surviving shard and re-open it there.
+
+        Picks the least-backlogged live shard other than the one the job
+        was on (with a single shard, the respawned shard itself).
+        Returns ``(open future, new shard)``; the caller replays the
+        job's buffered record lines once the open resolves.
+        """
+        with self._lock:
+            old = self._assignments.pop(job_id, None)
+            candidates = [
+                s for s in range(max(self.workers, 1))
+                if s != old and not self._broken[s]
+            ] or [s for s in range(max(self.workers, 1)) if not self._broken[s]]
+            if not candidates:
+                raise ReproError("no live shard to requeue onto")
+            new = min(candidates, key=lambda s: (self._backlog[s], s))
+            self._assignments[job_id] = new
+            self.worker_stats[new].jobs_assigned += 1
+        if self.inline:
+            # Same process: drop whatever half-ingested detector state
+            # the crashed attempt left behind before re-opening.
+            _worker_discard(job_id)
+        return (
+            self._dispatch(
+                new, _worker_open, job_id, layout, config, self.engine,
+                self.fault_plan_payload, self.inline,
+            ),
+            new,
+        )
+
+    def shard_health(self) -> List[dict]:
+        """Per-shard liveness/backlog snapshot for the HEALTH verb."""
+        with self._lock:
+            return [
+                {
+                    "shard": i,
+                    "alive": not self._broken[i],
+                    "backlog": self._backlog[i],
+                    "restarts": self._restarts[i],
+                    "jobs_assigned": self.worker_stats[i].jobs_assigned,
+                    "batches": self.worker_stats[i].batches,
+                    "records": self.worker_stats[i].records,
+                }
+                for i in range(max(self.workers, 1))
+            ]
 
     # ------------------------------------------------------------------
     # Teardown

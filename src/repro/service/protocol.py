@@ -56,6 +56,7 @@ RECORDS = "records"
 CLOSE = "close"
 STATS = "stats"
 METRICS = "metrics"
+HEALTH = "health"
 
 # Server → client verbs.
 ACCEPT = "accept"
@@ -64,6 +65,7 @@ REPORT = "report"
 ERROR = "error"
 STATS_REPLY = "stats-reply"
 METRICS_REPLY = "metrics-reply"
+HEALTH_REPLY = "health-reply"
 
 
 class ProtocolError(ReproError):
@@ -156,10 +158,20 @@ def recv_frame(sock: socket.socket) -> Optional[dict]:
 # ----------------------------------------------------------------------
 # Message constructors
 # ----------------------------------------------------------------------
-def open_frame(header_line: str, config: Optional[DetectorConfig] = None) -> dict:
+def open_frame(header_line: str, config: Optional[DetectorConfig] = None,
+               resubmit_key: Optional[str] = None) -> dict:
+    """``OPEN``; ``resubmit_key`` makes the submission idempotent.
+
+    A client that retries after a transient failure re-opens with the
+    same key; the server supersedes any half-finished job under that key
+    and replays the finished report from its cache when the first
+    attempt actually completed — so a retry can never double-run a job.
+    """
     message = {"verb": OPEN, "header_line": header_line}
     if config is not None:
         message["config"] = config_to_payload(config)
+    if resubmit_key is not None:
+        message["resubmit_key"] = resubmit_key
     return message
 
 
@@ -179,6 +191,15 @@ def metrics_frame() -> dict:
     return {"verb": METRICS}
 
 
+def health_frame() -> dict:
+    return {"verb": HEALTH}
+
+
+def health_reply_frame(health: dict) -> dict:
+    """The HEALTH reply: per-shard liveness, backlog, and restart counts."""
+    return {"verb": HEALTH_REPLY, "health": health}
+
+
 def accept_frame(job_id: str) -> dict:
     return {"verb": ACCEPT, "job_id": job_id}
 
@@ -188,9 +209,23 @@ def ack_frame(job_id: str, accepted: int, pending: int) -> dict:
             "pending": pending}
 
 
-def report_frame(job_id: str, reports: dict, stats: dict) -> dict:
-    return {"verb": REPORT, "job_id": job_id, "reports": reports,
-            "stats": stats}
+def report_frame(job_id: str, reports: dict, stats: dict,
+                 degraded: bool = False,
+                 failure_log: Optional[List[str]] = None) -> dict:
+    """``REPORT``; ``degraded`` marks a best-effort result.
+
+    A degraded report is the clean alternative to a hang: the job hit an
+    unrecoverable runtime failure (shard crashed more than the requeue
+    budget, worker hung past the watchdog), and the reply says so
+    explicitly — ``failure_log`` carries one line per failure — instead
+    of silently returning partial findings as if they were complete.
+    """
+    frame: Dict[str, object] = {"verb": REPORT, "job_id": job_id,
+                                "reports": reports, "stats": stats}
+    if degraded:
+        frame["degraded"] = True
+        frame["failure_log"] = list(failure_log or [])
+    return frame
 
 
 def error_frame(message: str, job_id: Optional[str] = None) -> dict:

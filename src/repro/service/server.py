@@ -20,19 +20,41 @@ import asyncio
 import contextlib
 import os
 import threading
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
+from ..faults import FaultPlan
 from ..gpu.engine import DEFAULT_ENGINE
 from ..runtime.replay import read_header
+from ..trace.layout import GridLayout
 from . import protocol
-from .pipeline import ShardedDetectorPool
+from .pipeline import ShardCrashError, ShardedDetectorPool
 from .stats import JobStats, ServiceStats, metrics_registry_from_snapshot
 
 #: Default pending-record high-water mark per job.
 DEFAULT_HIGH_WATER = 8192
+
+#: Default per-batch (and open/close) watchdog timeout, seconds.
+DEFAULT_JOB_TIMEOUT = 30.0
+
+#: Default bound on requeue attempts before a job degrades.
+DEFAULT_MAX_REQUEUES = 2
+
+#: Bound on remembered finished reports for idempotent resubmission.
+RESUBMIT_CACHE_SIZE = 256
+
+#: Report payload served for degraded jobs: explicitly empty findings,
+#: never partial findings dressed up as complete ones.
+_EMPTY_REPORT_PAYLOAD = {
+    "races": [],
+    "barrier_divergences": [],
+    "filtered_same_value": 0,
+    "records_processed": 0,
+}
 
 
 @dataclass
@@ -41,14 +63,35 @@ class _Job:
 
     job_id: str
     stats: JobStats
+    layout: Optional[GridLayout] = None
+    config: Optional[DetectorConfig] = None
+    resubmit_key: Optional[str] = None
+    #: Finished report replayed for an idempotent resubmission; when
+    #: set, the job never touches the pool.
+    cached: Optional[dict] = None
+    #: Every record line accepted so far, retained so a requeued job can
+    #: be replayed from scratch on a surviving shard.
+    lines: List[str] = field(default_factory=list)
     drained: asyncio.Event = field(default_factory=asyncio.Event)
     failed: bool = False
     error: str = ""
+    #: Bumped on every recovery; in-flight batch watchers from before the
+    #: failure compare epochs and stand down instead of double-recovering.
+    epoch: int = 0
+    requeues: int = 0
+    recovering: bool = False
+    degraded: bool = False
+    failure_log: List[str] = field(default_factory=list)
 
     def fail(self, message: str) -> None:
         if not self.failed:
             self.failed = True
             self.error = message
+        self.drained.set()
+
+    def degrade(self, message: str) -> None:
+        self.failure_log.append(message)
+        self.degraded = True
         self.drained.set()
 
 
@@ -66,11 +109,16 @@ class RaceService:
         pool: Optional[ShardedDetectorPool] = None,
         default_config: Optional[DetectorConfig] = None,
         engine: str = DEFAULT_ENGINE,
+        job_timeout: float = DEFAULT_JOB_TIMEOUT,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if socket_path is None and port is None:
             raise ReproError("service needs a unix socket path and/or a TCP port")
         if high_water < 1:
             raise ReproError(f"high-water mark must be positive, got {high_water}")
+        if job_timeout <= 0:
+            raise ReproError(f"job timeout must be positive, got {job_timeout}")
         self.socket_path = socket_path
         self.host = host
         self.port = port
@@ -78,10 +126,12 @@ class RaceService:
         self.bound_port: Optional[int] = None
         self.high_water = high_water
         self.low_water = low_water if low_water is not None else max(1, high_water // 2)
+        self.job_timeout = job_timeout
+        self.max_requeues = max_requeues
         self.pool = (
             pool
             if pool is not None
-            else ShardedDetectorPool(workers, engine=engine)
+            else ShardedDetectorPool(workers, engine=engine, fault_plan=fault_plan)
         )
         self._owns_pool = pool is None
         self.default_config = default_config
@@ -92,6 +142,13 @@ class RaceService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._conn_tasks: Set[asyncio.Task] = set()
         self._conn_writers: Set[asyncio.StreamWriter] = set()
+        self._watch_tasks: Set[asyncio.Task] = set()
+        #: Finished reports by resubmit key (bounded, LRU-evicted) plus
+        #: the in-flight job currently holding each key.
+        self._finished_by_key: "OrderedDict[str, dict]" = OrderedDict()
+        self._key_to_job: Dict[str, str] = {}
+        self.requeues_total = 0
+        self.watchdog_timeouts_total = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -118,6 +175,11 @@ class RaceService:
         self._servers = []
         for job_id in list(self._jobs):
             self._abort_job(job_id, "service shutting down")
+        for task in list(self._watch_tasks):
+            task.cancel()
+        if self._watch_tasks:
+            await asyncio.gather(*list(self._watch_tasks), return_exceptions=True)
+        self._watch_tasks.clear()
         # Nudge live connections to completion instead of cancelling their
         # tasks — a cancelled stream handler logs noisy tracebacks.
         for writer in list(self._conn_writers):
@@ -220,6 +282,9 @@ class RaceService:
                 self.stats.snapshot(self.pool.worker_stats))
             await self._send(writer, protocol.metrics_reply_frame(
                 registry.render_prometheus(), registry.snapshot()))
+        elif verb == protocol.HEALTH:
+            await self._send(writer, protocol.health_reply_frame(
+                self.health_snapshot()))
         else:
             await self._send(writer, protocol.error_frame(
                 f"unknown verb {verb!r}"))
@@ -227,6 +292,17 @@ class RaceService:
     # ------------------------------------------------------------------
     # Verbs
     # ------------------------------------------------------------------
+    def health_snapshot(self) -> dict:
+        """The HEALTH verb's payload: shard liveness plus recovery totals."""
+        return {
+            "shards": self.pool.shard_health(),
+            "jobs_open": sum(
+                1 for j in self.stats.jobs.values() if j.state == "open"),
+            "jobs_degraded": self.stats.jobs_degraded,
+            "requeues_total": self.requeues_total,
+            "watchdog_timeouts_total": self.watchdog_timeouts_total,
+        }
+
     async def _handle_open(self, message: dict, conn_jobs: Set[str],
                            writer: asyncio.StreamWriter) -> None:
         try:
@@ -237,11 +313,55 @@ class RaceService:
         except ReproError as exc:
             await self._send(writer, protocol.error_frame(str(exc)))
             return
+        resubmit_key = message.get("resubmit_key")
+        resubmit_key = resubmit_key if isinstance(resubmit_key, str) and resubmit_key else None
+        if resubmit_key is not None:
+            cached = self._finished_by_key.get(resubmit_key)
+            if cached is not None:
+                # The first attempt finished; replay its report instead
+                # of running the capture a second time.
+                job_id = f"job-{self._next_job_id}"
+                self._next_job_id += 1
+                job = _Job(job_id=job_id,
+                           stats=self.stats.open_job(job_id, kernel),
+                           resubmit_key=resubmit_key, cached=cached)
+                self._jobs[job_id] = job
+                conn_jobs.add(job_id)
+                await self._send(writer, protocol.accept_frame(job_id))
+                return
+            stale = self._key_to_job.pop(resubmit_key, None)
+            if stale is not None and stale in self._jobs:
+                # A half-finished earlier attempt: the retry supersedes it.
+                self._abort_job(
+                    stale, f"superseded by resubmission {resubmit_key!r}")
         job_id = f"job-{self._next_job_id}"
         self._next_job_id += 1
-        await asyncio.wrap_future(self.pool.open_job(job_id, layout, config))
-        job = _Job(job_id=job_id, stats=self.stats.open_job(job_id, kernel))
+        try:
+            await asyncio.wait_for(
+                asyncio.wrap_future(self.pool.open_job(job_id, layout, config)),
+                timeout=self.job_timeout)
+        except asyncio.CancelledError:
+            raise
+        except Exception as first_exc:
+            # The assigned shard is dead (or hung): respawn it and retry
+            # the open once on the least-loaded surviving shard.
+            with contextlib.suppress(Exception):
+                self.pool.respawn_shard(self.pool.shard_of(job_id))
+            try:
+                future, _shard = self.pool.requeue_job(job_id, layout, config)
+                await asyncio.wait_for(asyncio.wrap_future(future),
+                                       timeout=self.job_timeout)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self.pool.discard_job(job_id)
+                raise ReproError(
+                    f"could not open job: {exc or first_exc}") from exc
+        job = _Job(job_id=job_id, stats=self.stats.open_job(job_id, kernel),
+                   layout=layout, config=config, resubmit_key=resubmit_key)
         self._jobs[job_id] = job
+        if resubmit_key is not None:
+            self._key_to_job[resubmit_key] = job_id
         conn_jobs.add(job_id)
         await self._send(writer, protocol.accept_frame(job_id))
 
@@ -263,60 +383,200 @@ class RaceService:
         lines = message.get("lines")
         if not isinstance(lines, list) or not all(isinstance(l, str) for l in lines):
             raise ReproError("RECORDS frame needs a list of record lines")
+        if job.cached is not None or job.degraded:
+            # Replayed or degraded jobs eat the stream without forwarding
+            # it: the report is already decided.
+            await self._send(writer, protocol.ack_frame(
+                job.job_id, len(lines), 0))
+            return
         # Backpressure: hold the ACK while this job is over its high-water
-        # mark.  The connection reads no further frames meanwhile, so the
-        # client (and eventually the kernel socket buffer) stalls.
-        while job.stats.pending_records > self.high_water and not job.failed:
+        # mark (or mid-recovery).  The connection reads no further frames
+        # meanwhile, so the client (and eventually the kernel socket
+        # buffer) stalls.
+        while ((job.stats.pending_records > self.high_water or job.recovering)
+               and not job.failed and not job.degraded):
             job.drained.clear()
             await job.drained.wait()
         if job.failed:
             await self._send(writer, protocol.error_frame(job.error, job.job_id))
             return
+        if job.degraded:
+            await self._send(writer, protocol.ack_frame(
+                job.job_id, len(lines), 0))
+            return
         job.stats.batch_submitted(len(lines))
+        job.lines.extend(lines)
         future = self.pool.submit_batch(job.job_id, lines)
-        loop = self._loop
-        future.add_done_callback(
-            lambda f: loop.call_soon_threadsafe(self._on_batch_done, job, f))
+        self._spawn_watch(job, future)
         await self._send(writer, protocol.ack_frame(
             job.job_id, len(lines), job.stats.pending_records))
 
-    def _on_batch_done(self, job: _Job, future) -> None:
-        exc = future.exception() if not future.cancelled() else None
-        if future.cancelled():
-            job.fail("batch cancelled during shutdown")
-        elif exc is not None:
-            job.fail(str(exc))
+    # ------------------------------------------------------------------
+    # Batch watchdog + recovery
+    # ------------------------------------------------------------------
+    def _spawn_watch(self, job: _Job, future, replay: bool = False) -> None:
+        task = self._loop.create_task(
+            self._watch_batch(job, future, job.epoch, replay))
+        self._watch_tasks.add(task)
+        task.add_done_callback(self._watch_tasks.discard)
+
+    async def _watch_batch(self, job: _Job, future, epoch: int,
+                           replay: bool) -> None:
+        try:
+            count, busy = await asyncio.wait_for(
+                asyncio.wrap_future(future), timeout=self.job_timeout)
+        except asyncio.CancelledError:
+            raise
+        except asyncio.TimeoutError:
+            self.watchdog_timeouts_total += 1
+            await self._recover_job(
+                job, epoch,
+                f"worker hung: batch exceeded the {self.job_timeout}s watchdog")
+        except (BrokenExecutor, ShardCrashError) as exc:
+            await self._recover_job(
+                job, epoch,
+                f"shard crashed mid-job: {exc or type(exc).__name__}")
+        except ReproError as exc:
+            # Deterministic job-level failure (garbage record, poison):
+            # requeueing would only reproduce it, so fail the job cleanly.
+            if job.epoch == epoch:
+                job.fail(str(exc))
+        except Exception as exc:
+            if job.epoch == epoch:
+                job.fail(f"batch failed: {exc}")
         else:
-            count, busy = future.result()
-            job.stats.batch_done(count, busy)
+            if job.epoch != epoch:
+                return
+            if replay:
+                # The requeue replay: one batch covering every buffered
+                # line.  Pending was reset when recovery began.
+                job.stats.pending_records = 0
+                job.stats.busy_seconds += busy
+            else:
+                job.stats.batch_done(count, busy)
             if job.stats.pending_records <= self.low_water:
                 job.drained.set()
+
+    async def _recover_job(self, job: _Job, epoch: int, reason: str) -> None:
+        """Respawn the job's shard and replay the job elsewhere (bounded)."""
+        if (job.job_id not in self._jobs or job.epoch != epoch
+                or job.failed or job.degraded):
+            return
+        job.epoch += 1
+        job.recovering = True
+        job.failure_log.append(reason)
+        try:
+            shard = None
+            with contextlib.suppress(Exception):
+                shard = self.pool.shard_of(job.job_id)
+            if shard is not None:
+                self.pool.respawn_shard(shard)
+            if job.requeues >= self.max_requeues:
+                job.degrade(
+                    f"requeue budget of {self.max_requeues} exhausted")
+                return
+            job.requeues += 1
+            self.requeues_total += 1
+            try:
+                future, _shard = self.pool.requeue_job(
+                    job.job_id, job.layout, job.config)
+                await asyncio.wait_for(asyncio.wrap_future(future),
+                                       timeout=self.job_timeout)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                job.degrade(f"requeue failed: {exc}")
+                return
+            job.stats.pending_records = len(job.lines)
+            if job.lines:
+                replay = self.pool.submit_batch(job.job_id, list(job.lines))
+                self._spawn_watch(job, replay, replay=True)
+            else:
+                job.stats.pending_records = 0
+        finally:
+            job.recovering = False
+            job.drained.set()
+
+    # ------------------------------------------------------------------
+    # Close + idempotency cache
+    # ------------------------------------------------------------------
+    def _remember(self, key: Optional[str], frame: dict) -> None:
+        if key is None:
+            return
+        self._finished_by_key[key] = {
+            "reports": frame["reports"],
+            "stats": frame["stats"],
+            "degraded": bool(frame.get("degraded", False)),
+            "failure_log": list(frame.get("failure_log", [])),
+        }
+        self._finished_by_key.move_to_end(key)
+        while len(self._finished_by_key) > RESUBMIT_CACHE_SIZE:
+            self._finished_by_key.popitem(last=False)
 
     async def _handle_close(self, message: dict, conn_jobs: Set[str],
                             writer: asyncio.StreamWriter) -> None:
         job = self._job_for(message, conn_jobs)
-        while job.stats.pending_records > 0 and not job.failed:
+        if job.cached is not None:
+            conn_jobs.discard(job.job_id)
+            del self._jobs[job.job_id]
+            self.stats.finish_job(job.job_id, "done")
+            cached = job.cached
+            await self._send(writer, protocol.report_frame(
+                job.job_id, cached["reports"], cached["stats"],
+                degraded=cached.get("degraded", False),
+                failure_log=cached.get("failure_log") or None))
+            return
+        while (job.stats.pending_records > 0 or job.recovering) \
+                and not job.failed and not job.degraded:
             job.drained.clear()
             await job.drained.wait()
         conn_jobs.discard(job.job_id)
         del self._jobs[job.job_id]
+        if job.resubmit_key is not None \
+                and self._key_to_job.get(job.resubmit_key) == job.job_id:
+            del self._key_to_job[job.resubmit_key]
         if job.failed:
             self.stats.finish_job(job.job_id, "failed", job.error)
             await asyncio.wrap_future(self.pool.discard_job(job.job_id))
             await self._send(writer, protocol.error_frame(job.error, job.job_id))
             return
-        payload = await asyncio.wrap_future(self.pool.close_job(job.job_id))
-        self.stats.finish_job(job.job_id, "done")
-        await self._send(writer, protocol.report_frame(
-            job.job_id, payload, job.stats.snapshot()))
+        if job.degraded:
+            with contextlib.suppress(Exception):
+                await asyncio.wrap_future(self.pool.discard_job(job.job_id))
+            payload = dict(_EMPTY_REPORT_PAYLOAD)
+        else:
+            try:
+                payload = await asyncio.wait_for(
+                    asyncio.wrap_future(self.pool.close_job(job.job_id)),
+                    timeout=self.job_timeout)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # A close that crashes or hangs still answers: degraded.
+                job.degraded = True
+                job.failure_log.append(f"close failed: {exc}")
+                payload = dict(_EMPTY_REPORT_PAYLOAD)
+        state = "degraded" if job.degraded else "done"
+        self.stats.finish_job(job.job_id, state,
+                              "; ".join(job.failure_log) if job.degraded else "")
+        frame = protocol.report_frame(
+            job.job_id, payload, job.stats.snapshot(),
+            degraded=job.degraded,
+            failure_log=job.failure_log if job.degraded else None)
+        self._remember(job.resubmit_key, frame)
+        await self._send(writer, frame)
 
     def _abort_job(self, job_id: str, reason: str) -> None:
         job = self._jobs.pop(job_id, None)
         if job is None:
             return
+        if job.resubmit_key is not None \
+                and self._key_to_job.get(job.resubmit_key) == job_id:
+            del self._key_to_job[job.resubmit_key]
         job.fail(reason)
         self.stats.finish_job(job_id, "aborted", reason)
-        self.pool.discard_job(job_id)
+        if job.cached is None:
+            self.pool.discard_job(job_id)
 
 
 class ServiceThread:

@@ -137,6 +137,7 @@ class ServiceStats:
         self.jobs_done = 0
         self.jobs_failed = 0
         self.jobs_aborted = 0
+        self.jobs_degraded = 0
 
     def open_job(self, job_id: str, kernel: str = "") -> JobStats:
         job = JobStats(job_id=job_id, kernel=kernel)
@@ -154,6 +155,8 @@ class ServiceStats:
             self.jobs_failed += 1
         elif state == "aborted":
             self.jobs_aborted += 1
+        elif state == "degraded":
+            self.jobs_degraded += 1
 
     @property
     def uptime_seconds(self) -> float:
@@ -167,6 +170,7 @@ class ServiceStats:
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
             "jobs_aborted": self.jobs_aborted,
+            "jobs_degraded": self.jobs_degraded,
             "records_in": sum(j.records_in for j in self.jobs.values()),
             "pending_records": sum(j.pending_records for j in self.jobs.values()),
             "jobs": {job_id: job.snapshot() for job_id, job in self.jobs.items()},
@@ -190,7 +194,7 @@ def metrics_registry_from_snapshot(snapshot: dict) -> MetricsRegistry:
     jobs_gauge = registry.gauge(
         "repro_service_jobs", "Jobs by lifecycle state", ("state",)
     )
-    for state in ("open", "done", "failed", "aborted"):
+    for state in ("open", "done", "failed", "aborted", "degraded"):
         jobs_gauge.set(snapshot.get(f"jobs_{state}", 0), state=state)
     registry.counter(
         "repro_service_records_in_total", "Records ingested across all jobs"
@@ -267,7 +271,8 @@ def render_service_stats(snapshot: dict) -> str:
         f"  jobs                    : {snapshot.get('jobs_open', 0)} open / "
         f"{snapshot.get('jobs_done', 0)} done / "
         f"{snapshot.get('jobs_failed', 0)} failed / "
-        f"{snapshot.get('jobs_aborted', 0)} aborted",
+        f"{snapshot.get('jobs_aborted', 0)} aborted / "
+        f"{snapshot.get('jobs_degraded', 0)} degraded",
         f"  records ingested        : {snapshot.get('records_in', 0)} "
         f"({snapshot.get('pending_records', 0)} pending)",
     ]

@@ -1,0 +1,187 @@
+"""CLI error surfaces: every bad input exits non-zero with a one-line
+``error:`` diagnostic on stderr — never a traceback — and degraded
+service results get their own exit code.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.cudac import compile_cuda
+from repro.faults import FaultPlan, FaultSpec, sites
+from repro.gpu import GpuDevice, ListSink
+from repro.gpu.hierarchy import LaunchConfig
+from repro.instrument import Instrumenter
+from repro.runtime.replay import save_capture
+from repro.service import RaceService, ServiceThread
+
+RACY = """
+__global__ void racy(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = blockIdx.x + 1;
+    }
+    data[1] = 7;
+}
+"""
+
+
+def _write_kernel(tmp_path):
+    path = tmp_path / "racy.cu"
+    path.write_text(RACY)
+    return str(path)
+
+
+def _write_capture(tmp_path):
+    module, _ = Instrumenter().instrument_module(compile_cuda(RACY))
+    device = GpuDevice()
+    data = device.alloc(1024)
+    sink = ListSink()
+    device.launch(module, module.kernels[0].name, grid=2, block=32,
+                  warp_size=8, params={"data": data}, sink=sink,
+                  instrumented=True)
+    path = tmp_path / "capture.jsonl"
+    with open(path, "w") as stream:
+        save_capture(stream, LaunchConfig.of(2, 32, 8).layout(),
+                     sink.records, kernel="k")
+    return str(path)
+
+
+def _assert_clean_error(capsys):
+    err = capsys.readouterr().err
+    lines = [line for line in err.splitlines() if line]
+    assert len(lines) == 1
+    assert lines[0].startswith("error: ")
+    assert "Traceback" not in err
+    return lines[0]
+
+
+class TestCheckErrors:
+    def test_missing_source_is_a_one_line_error(self, capsys):
+        assert cli.main(["check", "/nonexistent/kernel.cu"]) == 2
+        _assert_clean_error(capsys)
+
+    def test_bad_engine_is_rejected_by_argparse(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["check", _write_kernel(tmp_path), "--engine", "warp9"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_bad_fault_plan_json_is_a_one_line_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{not json")
+        assert cli.main(["check", _write_kernel(tmp_path),
+                         "--fault-plan", str(plan)]) == 2
+        assert "fault plan" in _assert_clean_error(capsys)
+
+    def test_missing_fault_plan_file_is_a_one_line_error(self, tmp_path,
+                                                         capsys):
+        assert cli.main(["check", _write_kernel(tmp_path),
+                         "--fault-plan", str(tmp_path / "absent.json")]) == 2
+        _assert_clean_error(capsys)
+
+    def test_unknown_fault_site_is_a_one_line_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(
+            {"seed": 0, "faults": [{"site": "queue.psuh", "kind": "ring-full",
+                                    "nth": 1}]}))
+        assert cli.main(["check", _write_kernel(tmp_path),
+                         "--fault-plan", str(plan)]) == 2
+        assert "queue.psuh" in _assert_clean_error(capsys)
+
+
+class TestReplayErrors:
+    def test_missing_capture_is_a_one_line_error(self, capsys):
+        assert cli.main(["replay", "/nonexistent/capture.jsonl"]) == 2
+        _assert_clean_error(capsys)
+
+    def test_truncated_capture_is_a_one_line_error(self, tmp_path, capsys):
+        source = _write_capture(tmp_path)
+        truncated = tmp_path / "truncated.jsonl"
+        text = open(source).read()
+        truncated.write_text(text[: len(text) // 2])
+        assert cli.main(["replay", str(truncated)]) == 2
+        _assert_clean_error(capsys)
+
+    def test_garbage_header_is_a_one_line_error(self, tmp_path, capsys):
+        capture = tmp_path / "garbage.jsonl"
+        capture.write_text("this is not a capture header\n")
+        assert cli.main(["replay", str(capture)]) == 2
+        _assert_clean_error(capsys)
+
+    def test_fault_plan_corruption_surfaces_as_clean_error(self, tmp_path,
+                                                           capsys):
+        capture = _write_capture(tmp_path)
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(
+            {"seed": 7, "faults": [{"site": sites.REPLAY_LINE,
+                                    "kind": sites.GARBAGE_LINE, "nth": 1}]}))
+        assert cli.main(["replay", capture, "--fault-plan", str(plan)]) == 2
+        _assert_clean_error(capsys)
+
+
+class TestServeErrors:
+    def test_bad_fault_plan_json_is_a_one_line_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("[1, 2, 3]")
+        assert cli.main(["serve", "--socket", str(tmp_path / "s.sock"),
+                         "--fault-plan", str(plan)]) == 2
+        _assert_clean_error(capsys)
+
+
+class TestSubmitErrors:
+    def test_unreachable_service_is_a_one_line_error(self, tmp_path, capsys):
+        capture = _write_capture(tmp_path)
+        assert cli.main(["submit", capture, "--socket",
+                         str(tmp_path / "nope.sock"),
+                         "--max-retries", "0"]) == 2
+        _assert_clean_error(capsys)
+
+    def test_bad_fault_plan_json_is_a_one_line_error(self, tmp_path, capsys):
+        capture = _write_capture(tmp_path)
+        plan = tmp_path / "plan.json"
+        plan.write_text("{not json")
+        assert cli.main(["submit", capture, "--socket",
+                         str(tmp_path / "nope.sock"),
+                         "--fault-plan", str(plan)]) == 2
+        _assert_clean_error(capsys)
+
+    def test_degraded_job_exits_4_with_failure_log(self, tmp_path, capsys):
+        capture = _write_capture(tmp_path)
+        sock = str(tmp_path / "svc.sock")
+        plan = FaultPlan(specs=(FaultSpec(site=sites.WORKER_BATCH,
+                                          kind=sites.CRASH, nth=1),))
+        thread = ServiceThread(RaceService(socket_path=sock, workers=0,
+                                           max_requeues=1,
+                                           fault_plan=plan)).start()
+        try:
+            code = cli.main(["submit", capture, "--socket", sock])
+        finally:
+            thread.stop()
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "degraded" in err
+        assert "requeue budget" in err
+        assert "Traceback" not in err
+
+    def test_retry_notice_is_printed_on_transient_failure(self, tmp_path,
+                                                          capsys):
+        capture = _write_capture(tmp_path)
+        sock = str(tmp_path / "svc.sock")
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(
+            {"seed": 0, "faults": [{"site": sites.CLIENT_SEND,
+                                    "kind": sites.CONNECTION_RESET,
+                                    "nth": 1, "times": 1}]}))
+        thread = ServiceThread(RaceService(socket_path=sock,
+                                           workers=0)).start()
+        try:
+            code = cli.main(["submit", capture, "--socket", sock,
+                             "--fault-plan", str(plan)])
+        finally:
+            thread.stop()
+        assert code == 1  # races found in the racy capture
+        err = capsys.readouterr().err
+        assert "succeeded on attempt 2" in err
