@@ -1,0 +1,178 @@
+"""Predictive-subsystem overhead guard.
+
+The predictive layer (``repro.predict``) must be pay-for-what-you-use:
+
+* a plain ``repro check`` run — no ``--predict``, default scheduler —
+  pays nothing for the new machinery beyond the round-robin fairness
+  fix.  We pin that by timing the shipped check pipeline against a twin
+  driven by the seed's original scheduler (advance-then-pick cursor),
+  and requiring the shipped path within 2% wall-time;
+* a sweep's cost is ~linear in the number of schedules: the marginal
+  cost of four extra schedules must look like four extra runs, not a
+  superlinear merge.
+
+Min-of-N paired timing as in ``test_faults_overhead.py``: variants run
+back to back within a repeat so host noise cancels out of the ratio.
+Results land in ``BENCH_predict.json`` at the repository root.
+"""
+
+import json
+import os
+import time
+
+from conftest import print_table
+
+from repro.gpu.scheduler import Scheduler
+from repro.predict import LaunchSpec, run_spec, run_sweep
+from repro.suite import schedule_program
+
+REPEATS = 9
+CHECK_BATCH = 8
+MAX_CHECK_OVERHEAD = 0.02
+SWEEP_SMALL = 2
+SWEEP_LARGE = 6
+#: Marginal per-schedule cost tolerance: four extra schedules may cost
+#: at most this multiple of four average small-sweep schedules.
+MAX_MARGINAL_RATIO = 2.0
+SEED = 7
+
+_JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_predict.json"
+)
+
+
+class SeedRoundRobinScheduler(Scheduler):
+    """The seed's round-robin pick: advance the cursor, then index.
+
+    The shipped scheduler fixed the fairness bug (warp 0 now gets the
+    first slot); this twin replicates the original arithmetic so the
+    comparison isolates the cost of everything the predictive subsystem
+    added to the default check path.
+    """
+
+    def __init__(self, drain_interval: int = 4) -> None:
+        self._cursor = 0
+        self._steps = 0
+        self.drain_interval = drain_interval
+
+    def pick(self, runnable):
+        self._cursor = (self._cursor + 1) % len(runnable)
+        return runnable[self._cursor]
+
+    def after_step(self, execution) -> None:
+        self._steps += 1
+        if self.drain_interval and self._steps % self.drain_interval == 0:
+            for block in range(execution.layout.num_blocks):
+                execution.global_mem.drain_one(block)
+
+
+def _check_spec() -> LaunchSpec:
+    # The spinning handoff drives the longest default-schedule run of
+    # the schedule suite: a representative check workload.
+    return LaunchSpec.from_program(schedule_program("handoff_spin_control"))
+
+
+def _time_check(spec: LaunchSpec, make_scheduler) -> float:
+    # Several launches per sample: one run is ~3ms, too close to timer
+    # and allocator noise for a 2% bound.
+    start = time.perf_counter()
+    for _ in range(CHECK_BATCH):
+        run_spec(spec, scheduler=make_scheduler())
+    return time.perf_counter() - start
+
+
+def test_plain_check_pays_nothing_for_predict():
+    spec = _check_spec()
+    for make_scheduler in (SeedRoundRobinScheduler, lambda: None):  # warmup
+        _time_check(spec, make_scheduler)
+    runs = [
+        (_time_check(spec, SeedRoundRobinScheduler),
+         _time_check(spec, lambda: None))
+        for _ in range(REPEATS)
+    ]
+    seed_best = min(run[0] for run in runs)
+    shipped_best = min(run[1] for run in runs)
+    # Assert on the cleanest paired observation (host noise hitting one
+    # repeat cancels out); report the ratio of bests, which is the more
+    # honest headline.
+    paired_overhead = min(run[1] / run[0] for run in runs) - 1.0
+    overhead = shipped_best / seed_best - 1.0
+
+    print_table(
+        "Plain `repro check` vs seed scheduler twin",
+        f"{'variant':<22} | {'best ms':>9} | {'overhead':>9}",
+        [
+            f"{'seed round-robin':<22} | {seed_best * 1e3:>9.2f} | {'—':>9}",
+            f"{'shipped default':<22} | {shipped_best * 1e3:>9.2f} | "
+            f"{overhead:>8.1%}",
+        ],
+    )
+    assert paired_overhead <= MAX_CHECK_OVERHEAD, (
+        f"plain check path regressed {paired_overhead:.1%} over the seed "
+        f"scheduler (budget {MAX_CHECK_OVERHEAD:.0%})"
+    )
+    _write_payload(check={
+        "seed_best_s": round(seed_best, 6),
+        "shipped_best_s": round(shipped_best, 6),
+        "overhead": round(overhead, 4),
+        "budget": MAX_CHECK_OVERHEAD,
+    })
+
+
+def test_sweep_cost_is_linear_in_schedules():
+    spec = LaunchSpec.from_program(schedule_program("handoff_no_spin"))
+    run_sweep(spec, schedules=SWEEP_SMALL, seed=SEED)  # warmup, untimed
+
+    def timed(schedules: int) -> float:
+        start = time.perf_counter()
+        run_sweep(spec, schedules=schedules, seed=SEED)
+        return time.perf_counter() - start
+
+    runs = [(timed(SWEEP_SMALL), timed(SWEEP_LARGE)) for _ in range(REPEATS)]
+    small = min(run[0] for run in runs)
+    large = min(run[1] for run in runs)
+    # Marginal cost of the extra schedules, in units of one average
+    # small-sweep schedule (which includes base run + analysis, so this
+    # bound is conservative).
+    per_schedule = small / SWEEP_SMALL
+    extra = SWEEP_LARGE - SWEEP_SMALL
+    marginal_ratio = (large - small) / (extra * per_schedule)
+
+    print_table(
+        "Sweep cost vs schedule count",
+        f"{'sweep':<22} | {'best ms':>9} | {'ms/sched':>9}",
+        [
+            f"{f'{SWEEP_SMALL} schedules':<22} | {small * 1e3:>9.2f} | "
+            f"{small / SWEEP_SMALL * 1e3:>9.2f}",
+            f"{f'{SWEEP_LARGE} schedules':<22} | {large * 1e3:>9.2f} | "
+            f"{large / SWEEP_LARGE * 1e3:>9.2f}",
+        ],
+    )
+    assert large >= small, "more schedules cannot be cheaper"
+    assert marginal_ratio <= MAX_MARGINAL_RATIO, (
+        f"marginal schedule cost {marginal_ratio:.2f}x a base schedule "
+        f"(budget {MAX_MARGINAL_RATIO}x): sweep scaling is superlinear"
+    )
+    _write_payload(sweep={
+        "small_schedules": SWEEP_SMALL,
+        "large_schedules": SWEEP_LARGE,
+        "small_best_s": round(small, 6),
+        "large_best_s": round(large, 6),
+        "marginal_ratio": round(marginal_ratio, 3),
+        "budget": MAX_MARGINAL_RATIO,
+    })
+
+
+def _write_payload(**sections) -> None:
+    payload = {}
+    if os.path.exists(_JSON_PATH):
+        try:
+            with open(_JSON_PATH) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(sections)
+    payload["repeats"] = REPEATS
+    with open(_JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

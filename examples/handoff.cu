@@ -1,0 +1,17 @@
+__global__ void handoff(int* data, int* flag, int* out) {
+    if (blockIdx.x == 0) {
+        if (threadIdx.x == 0) {
+            data[0] = 42;
+            __threadfence();
+            flag[0] = 1;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            for (int i = 0; i < 24; i = i + 1) { }
+            int seen = flag[0];
+            __threadfence();
+            out[0] = data[0];
+            out[1] = seen;
+        }
+    }
+}

@@ -11,15 +11,24 @@ requested device buffers, launches the kernel under a full
 :class:`BarracudaSession`, and prints race and barrier-divergence
 reports grouped by location, plus instrumentation and queue statistics.
 
-Six subcommands front the system; the kernel-checking flow above stays
-the default whenever the first argument is not a subcommand name::
+Seven subcommands front the system; the kernel-checking flow above
+stays the default whenever the first argument is not a subcommand name::
 
     python -m repro check kernel.cu --grid 2 ...   # explicit form of the above
     python -m repro lint kernel.cu --format json   # static race lint, no run
     python -m repro explain kernel.cu --grid 2 ... # race provenance timelines
+    python -m repro sweep kernel.cu --schedules 9 --seed 7  # predictive sweep
     python -m repro serve --socket /tmp/barracuda.sock --workers 4
     python -m repro submit capture.jsonl --socket /tmp/barracuda.sock --stats
     python -m repro replay capture.jsonl --reference
+
+``check`` takes ``--scheduler`` (any :data:`repro.gpu.SCHEDULER_KINDS`
+name) plus ``--seed`` to pick the warp schedule, and ``--predict`` to
+run the trace-level predictive analysis over the captured event stream;
+``sweep`` runs the full schedule-exploration driver with
+replay-confirmed witness schedules (``--witness-dir`` saves them), or
+forwards the sweep to a running service when given ``--socket``/
+``--port``.
 
 Observability flags (``--trace out.json`` for a Chrome trace-event file,
 ``--metrics`` for a Prometheus-style snapshot, ``--stats-format json``)
@@ -125,6 +134,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inject deterministic faults from a JSON fault "
                         "plan (queue stalls, dropped commits, torn batches; "
                         "see docs/robustness.md)")
+    from .gpu.scheduler import SCHEDULER_KINDS
+
+    parser.add_argument("--scheduler", choices=SCHEDULER_KINDS,
+                        default="roundrobin",
+                        help="warp scheduling strategy (default: fair "
+                        "round-robin; the sweep strategies take --seed)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the randomized/sweep schedulers")
+    parser.add_argument("--predict", action="store_true",
+                        help="run the predictive relaxed-order analysis over "
+                        "the captured event stream and report races other "
+                        "legal schedules could exhibit (see docs/predictive.md)")
     return parser
 
 
@@ -168,6 +189,9 @@ def _print_reports(reports, max_reports: int) -> int:
                 if race.static_prediction is not None:
                     tag += (f" [statically predicted:"
                             f" {race.static_prediction.rule}]")
+                if race.predicted:
+                    status = "confirmed" if race.confirmed else "unconfirmed"
+                    tag += f" [predicted, {status}]"
                 print(f"    {race.kind}: {race.prior_access} by t{race.prior_tid}"
                       f" vs {race.current_access} by t{race.current_tid}{tag}")
             if len(races) > max_reports:
@@ -178,6 +202,24 @@ def _print_reports(reports, max_reports: int) -> int:
         print(f"(filtered {reports.filtered_same_value} benign "
               "same-value intra-warp stores)")
     return exit_code
+
+
+def _print_predictions(predicted, max_reports: int,
+                       truncated: bool = False) -> int:
+    """Render predictive findings; returns 1 when any were reported."""
+    if truncated:
+        print("warning: capture exceeded the predictive analysis op "
+              "budget; predictions are partial", file=sys.stderr)
+    if not predicted:
+        print("--------- no additional races predicted")
+        return 0
+    print(f"--------- {len(predicted)} predicted race(s) under other "
+          "legal schedules (run `repro sweep` to confirm)")
+    for race in predicted[:max_reports]:
+        print(f"  {race}")
+    if len(predicted) > max_reports:
+        print(f"  ... and {len(predicted) - max_reports} more")
+    return 1
 
 
 def _attach_static_predictions(reports, pristine_module) -> None:
@@ -265,6 +307,8 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
     kernel = args.kernel or module.kernels[0].name
     params, buffers = _alloc_params(session, args)
 
+    from .gpu.scheduler import make_scheduler
+
     try:
         launch = session.launch(
             kernel,
@@ -272,7 +316,9 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
             block=args.block,
             warp_size=args.warp_size,
             params=params,
+            scheduler=make_scheduler(args.scheduler, args.seed),
             max_steps=args.max_steps,
+            capture_records=args.predict,
         )
     except StepLimitExceeded as exc:
         print(f"HANG: {exc}", file=sys.stderr)
@@ -284,6 +330,25 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
     with obs.tracer.span("report", kernel=kernel):
         _attach_static_predictions(launch.reports, session.pristine_module(handle))
         exit_code = _print_reports(launch.reports, args.max_reports)
+
+    if args.predict:
+        from .gpu.hierarchy import LaunchConfig
+        from .predict import predict_races, predicted_to_report, trace_from_records
+        from .predict.sweep import race_key
+
+        layout = LaunchConfig.of(args.grid, args.block, args.warp_size).layout()
+        with obs.tracer.span("predict", kernel=kernel):
+            trace = trace_from_records(launch.captured_records or [], layout)
+            prediction = predict_races(trace)
+        observed = {race_key(race) for race in launch.races}
+        predicted = []
+        for entry in prediction.predicted:
+            report = predicted_to_report(trace, entry)
+            if race_key(report) not in observed:
+                predicted.append(report)
+        exit_code = _print_predictions(
+            predicted, args.max_reports, truncated=prediction.truncated
+        ) or exit_code
 
     if args.stats and args.stats_format == "text":
         report = session.instrumentation_report(handle)
@@ -481,6 +546,175 @@ def run_explain(argv: Optional[Sequence[str]] = None) -> int:
 
 
 # ----------------------------------------------------------------------
+# Predictive schedule sweeps (repro sweep)
+# ----------------------------------------------------------------------
+def _write_witnesses(result, directory: str) -> int:
+    """Save each finding's witness schedule as JSON; returns file count."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    written = set()
+    for race in result.findings:
+        witness = race.witness
+        if witness is None:
+            continue
+        name = f"witness-{witness.schedule_index:03d}-{witness.kind}.json"
+        if name in written:
+            continue
+        with open(os.path.join(directory, name), "w") as handle:
+            handle.write(witness.to_json())
+            handle.write("\n")
+        written.add(name)
+    return len(written)
+
+
+def _print_sweep_result(result, max_reports: int) -> int:
+    print(f"========= sweep: {result.schedules} schedule(s), "
+          f"seed {result.seed}, kernel {result.kernel or '<first>'}")
+    print(f"base schedule: {len(result.base_races)} race report(s), "
+          f"{result.base_divergences} barrier divergence(s)")
+    for run in result.runs:
+        status = ""
+        if run.get("hung"):
+            status = "  (hung; tolerated)"
+        elif run.get("error"):
+            status = f"  (error: {run['error']})"
+        print(f"  run {run['index']:>3}  {run['kind']:<16} "
+              f"seed={run['seed']:<11} races={run['races']}{status}")
+    if result.truncated:
+        print("warning: capture exceeded the predictive analysis op "
+              "budget; trace-level predictions are partial",
+              file=sys.stderr)
+    if not result.findings:
+        print("========= no findings beyond the base schedule")
+        return 0
+    confirmed = len(result.confirmed)
+    print(f"========= {len(result.findings)} finding(s) beyond the base "
+          f"schedule ({confirmed} confirmed by witness replay)")
+    for race in result.findings[:max_reports]:
+        print(f"  {race}")
+        witness = race.witness
+        if witness is not None:
+            print(f"      witness: {witness.kind} seed={witness.seed} "
+                  f"(schedule {witness.schedule_index}, "
+                  f"{len(witness.decisions)} decision(s))")
+    if len(result.findings) > max_reports:
+        print(f"  ... and {len(result.findings) - max_reports} more")
+    return 1
+
+
+def run_sweep_cmd(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Predictive race detection via schedule sweeps: run "
+        "N seeded schedule-exploration strategies plus the relaxed-order "
+        "trace analysis over the base run, then confirm every new "
+        "finding by deterministically replaying its witness schedule. "
+        "With --socket/--port the sweep is fanned out by a running "
+        "service instead of executing locally.",
+    )
+    parser.add_argument("source", help="kernel source file (.cu mini CUDA-C or .ptx)")
+    parser.add_argument("--kernel", help="kernel name (default: first in the module)")
+    parser.add_argument("--grid", type=int, default=1)
+    parser.add_argument("--block", type=int, default=32)
+    parser.add_argument("--warp-size", type=int, default=32)
+    parser.add_argument("--buffer", action="append", default=[],
+                        type=_parse_buffer, metavar="NAME:WORDS[:V0,V1,...]")
+    parser.add_argument("--scalar", action="append", default=[],
+                        type=_parse_scalar, metavar="NAME:VALUE")
+    parser.add_argument("--arch", choices=sorted(_ARCHES), default="titanx")
+    parser.add_argument("--engine", choices=("naive", "decoded"),
+                        default="decoded")
+    parser.add_argument("--max-steps", type=int, default=400_000)
+    parser.add_argument("--schedules", type=int, default=9,
+                        help="seeded schedule runs (cycled over the sweep "
+                        "strategies)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed; per-run seeds are derived from it")
+    parser.add_argument("--witness-dir", metavar="DIR",
+                        help="write each finding's witness schedule as a "
+                        "replayable JSON file")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="render the sweep result as human text "
+                        "(default) or as the serialized payload")
+    parser.add_argument("--max-reports", type=int, default=10,
+                        help="findings to print in text format")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace-event JSON file of the "
+                        "sweep phases")
+    _add_endpoint_args(parser)
+    args = parser.parse_args(argv)
+
+    if args.schedules < 1:
+        print("error: --schedules must be at least 1", file=sys.stderr)
+        return 2
+
+    from .predict import LaunchSpec, SweepResult, run_sweep
+
+    try:
+        with open(args.source) as handle:
+            source_text = handle.read()
+        spec = LaunchSpec(
+            source=source_text,
+            kernel=args.kernel or "",
+            is_ptx=args.source.endswith(".ptx"),
+            grid=args.grid,
+            block=args.block,
+            warp_size=args.warp_size,
+            buffers=tuple(
+                (name, words, tuple(init)) for name, words, init in args.buffer
+            ),
+            scalars=tuple(args.scalar),
+            arch=args.arch,
+            max_steps=args.max_steps,
+        )
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    obs = make_observability(trace=bool(args.trace))
+    remote = args.socket is not None or args.port is not None
+    try:
+        if remote:
+            from .service.client import ServiceClient
+
+            with ServiceClient(socket_path=args.socket, host=args.host,
+                               port=args.port, timeout=600.0) as client:
+                result = SweepResult.from_payload(
+                    client.sweep(spec.to_payload(), args.schedules, args.seed)
+                )
+        else:
+            result = run_sweep(
+                spec,
+                schedules=args.schedules,
+                seed=args.seed,
+                engine=args.engine,
+                obs=obs,
+            )
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.witness_dir:
+        written = _write_witnesses(result, args.witness_dir)
+        print(f"{written} witness schedule(s) written to {args.witness_dir}",
+              file=sys.stderr)
+
+    if args.format == "json":
+        print(json.dumps(result.to_payload(), indent=2, sort_keys=True))
+        exit_code = 1 if result.findings else 0
+    else:
+        exit_code = _print_sweep_result(result, args.max_reports)
+
+    if args.trace:
+        obs.tracer.write(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(obs.tracer.span_names())} distinct phases)",
+              file=sys.stderr)
+    return exit_code
+
+
+# ----------------------------------------------------------------------
 # Service subcommands
 # ----------------------------------------------------------------------
 def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -639,6 +873,10 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
                         help="race reports to print per location")
     parser.add_argument("--stats", action="store_true",
                         help="print capture statistics")
+    parser.add_argument("--predict", action="store_true",
+                        help="run the predictive relaxed-order analysis over "
+                        "the capture and report races other legal schedules "
+                        "could exhibit")
     parser.add_argument("--fault-plan", metavar="PLAN.json",
                         help="corrupt capture lines while loading (truncate/"
                         "garbage) from a JSON fault plan — exercises the "
@@ -666,6 +904,21 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     exit_code = _print_reports(reports, args.max_reports)
+    if args.predict:
+        from .predict import predict_races, predicted_to_report, trace_from_records
+        from .predict.sweep import race_key
+
+        trace = trace_from_records(records, layout)
+        prediction = predict_races(trace)
+        observed = {race_key(race) for race in reports.races}
+        predicted = []
+        for entry in prediction.predicted:
+            report = predicted_to_report(trace, entry)
+            if race_key(report) not in observed:
+                predicted.append(report)
+        exit_code = _print_predictions(
+            predicted, args.max_reports, truncated=prediction.truncated
+        ) or exit_code
     if args.stats:
         print("--------- statistics")
         print(f"  kernel                  : {kernel or '<unknown>'}")
@@ -679,6 +932,7 @@ _SUBCOMMANDS = {
     "check": run_check,
     "lint": run_lint,
     "explain": run_explain,
+    "sweep": run_sweep_cmd,
     "serve": run_serve,
     "submit": run_submit,
     "replay": run_replay,

@@ -70,9 +70,25 @@ class RaceReport:
     static_prediction: Optional[StaticPrediction] = field(
         default=None, compare=False, repr=False
     )
+    #: True when this report came from the predictive layer
+    #: (``repro.predict``) rather than the observed schedule.  Compare-
+    #: excluded so a predicted race deduplicates against the identical
+    #: observed one.
+    predicted: bool = field(default=False, compare=False)
+    #: Predictive confirmation status: ``True`` once a witness schedule
+    #: deterministically reproduced the race, ``False`` for an
+    #: unconfirmed prediction, ``None`` for ordinary observed races.
+    confirmed: Optional[bool] = field(default=None, compare=False)
+    #: The :class:`~repro.predict.witness.WitnessSchedule` that reproduces
+    #: this race (present on confirmed predictive findings).  Typed
+    #: loosely to keep ``repro.core`` free of a ``repro.predict`` import.
+    witness: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         tag = " (branch ordering)" if self.branch_ordering else ""
+        if self.predicted:
+            status = "confirmed" if self.confirmed else "unconfirmed"
+            tag += f" [predicted, {status}]"
         return (
             f"{self.kind} race{tag} on {self.loc}: "
             f"{self.prior_access} by t{self.prior_tid} vs "

@@ -66,6 +66,16 @@ class BarrierDivergenceError(SimulationError):
     inactive — the "barrier divergence" bug class of the paper (§3.3.2)."""
 
 
+class ScheduleDivergence(SimulationError):
+    """Raised when a recorded witness schedule cannot be replayed.
+
+    A :class:`~repro.gpu.scheduler.ReplayScheduler` raises this when the
+    warp its decision trace names is not runnable at that step (or the
+    trace is exhausted while warps still run) — the execution being
+    replayed has diverged from the one that was recorded, so the witness
+    does not apply."""
+
+
 class InstrumentationError(ReproError):
     """Raised when the binary instrumentation engine cannot rewrite PTX."""
 

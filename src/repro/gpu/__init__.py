@@ -21,8 +21,17 @@ from .memory import (
     SharedMemory,
 )
 from .scheduler import (
+    BarrierShuffleScheduler,
     RandomScheduler,
+    RecordingScheduler,
+    ReplayScheduler,
     RoundRobinScheduler,
+    SCHEDULER_KINDS,
+    SWEEP_KINDS,
     Scheduler,
+    StoreDrainScheduler,
+    SweepScheduler,
+    WarpOrderScheduler,
     WarpSerializingScheduler,
+    make_scheduler,
 )

@@ -1,0 +1,92 @@
+"""Witness schedules: serializable, replayable race reproductions.
+
+A predicted race is only as good as its reproduction.  Every schedule
+the sweep driver runs is recorded as a decision trace (the warp id of
+every pick); when a run manifests a race the default schedule misses,
+the trace becomes a :class:`WitnessSchedule` — a self-contained recipe
+(scheduler kind + seed + decisions) that a
+:class:`~repro.gpu.scheduler.ReplayScheduler` re-executes deterministically.
+
+The two-RNG design of :class:`~repro.gpu.scheduler.SweepScheduler` is
+what makes the recipe exact: replay substitutes the recorded picks while
+a fresh inner scheduler of the same kind and seed regenerates the
+store-drain stream, so the replayed execution is bit-identical to the
+recorded one — including weak-memory reorderings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ReproError
+from ..gpu.scheduler import ReplayScheduler, SWEEP_KINDS, make_scheduler
+
+FORMAT = "barracuda-witness"
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WitnessSchedule:
+    """One reproducible schedule: strategy, seed, and decision trace."""
+
+    kind: str
+    seed: int
+    decisions: Tuple[int, ...]
+    kernel: str = ""
+    #: Index of the sweep run that produced this witness (for artifact
+    #: naming and deterministic tie-breaking); -1 when standalone.
+    schedule_index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in SWEEP_KINDS:
+            raise ReproError(
+                f"witness scheduler kind {self.kind!r} is not replayable "
+                f"(choose from {', '.join(SWEEP_KINDS)})"
+            )
+
+    def build_scheduler(self) -> ReplayScheduler:
+        """A scheduler that re-executes this witness deterministically."""
+        return ReplayScheduler(self.decisions, make_scheduler(self.kind, self.seed))
+
+    def to_payload(self) -> dict:
+        return {
+            "format": FORMAT,
+            "version": FORMAT_VERSION,
+            "kind": self.kind,
+            "seed": self.seed,
+            "kernel": self.kernel,
+            "schedule_index": self.schedule_index,
+            "decisions": list(self.decisions),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WitnessSchedule":
+        if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+            raise ReproError("not a barracuda witness schedule")
+        if payload.get("version") != FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported witness version {payload.get('version')!r}"
+            )
+        try:
+            return cls(
+                kind=str(payload["kind"]),
+                seed=int(payload["seed"]),
+                decisions=tuple(int(d) for d in payload["decisions"]),
+                kernel=str(payload.get("kernel", "")),
+                schedule_index=int(payload.get("schedule_index", -1)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed witness schedule: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "WitnessSchedule":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"garbage witness JSON: {exc}") from exc
+        return cls.from_payload(payload)

@@ -261,6 +261,24 @@ class ServiceClient:
                                resubmit_key=resubmit_key)
 
     # ------------------------------------------------------------------
+    # Predictive sweeps
+    # ------------------------------------------------------------------
+    def sweep(self, spec: dict, schedules: int, seed: int) -> dict:
+        """Run a predictive schedule sweep server-side (``SWEEP`` verb).
+
+        ``spec`` is a serialized :class:`repro.predict.LaunchSpec`
+        payload; the reply is a serialized
+        :class:`repro.predict.SweepResult` payload, bit-identical to
+        what the local driver produces for the same (spec, schedules,
+        seed).
+        """
+        reply = self._expect(
+            self._request(protocol.sweep_frame(spec, schedules, seed)),
+            protocol.SWEEP_REPLY,
+        )
+        return reply.get("result", {})
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:

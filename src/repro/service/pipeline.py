@@ -142,6 +142,37 @@ def _worker_discard(job_id: str) -> bool:
     return _WORKER_JOBS.pop(job_id, None) is not None
 
 
+def _worker_sweep_run(spec_payload: dict, index: int, seed: int,
+                      engine: str = DEFAULT_ENGINE) -> dict:
+    """Execute one seeded schedule run of a predictive sweep.
+
+    Stateless: the launch spec payload carries everything needed to
+    rebuild the launch, so sweep runs can land on any shard.  The
+    ``repro.predict`` import stays lazy — record-stream jobs never pay
+    for the simulator stack.
+    """
+    from ..predict.sweep import LaunchSpec, run_schedule
+
+    spec = LaunchSpec.from_payload(spec_payload)
+    return run_schedule(spec, index, seed, engine=engine).to_payload()
+
+
+def _worker_sweep_finalize(spec_payload: dict, run_payloads: Sequence[dict],
+                           schedules: int, seed: int,
+                           engine: str = DEFAULT_ENGINE) -> dict:
+    """Finalize a sweep: base run, trace prediction, witness confirmation.
+
+    Also stateless; the merge is deterministic in the (sorted) run
+    payloads, so the service path and the local driver produce identical
+    result bytes for the same inputs.
+    """
+    from ..predict.sweep import LaunchSpec, SweepRun, finalize_sweep
+
+    spec = LaunchSpec.from_payload(spec_payload)
+    runs = [SweepRun.from_payload(payload) for payload in run_payloads]
+    return finalize_sweep(spec, runs, schedules, seed, engine=engine).to_payload()
+
+
 def _completed(result) -> Future:
     future: Future = Future()
     future.set_result(result)
@@ -307,6 +338,30 @@ class ShardedDetectorPool:
             # state it held) is already gone.
             return _completed(True)
         return self._dispatch(shard, _worker_discard, job_id)
+
+    # ------------------------------------------------------------------
+    # Predictive sweeps
+    # ------------------------------------------------------------------
+    def submit_sweep_run(self, spec_payload: dict, index: int,
+                         seed: int) -> Future:
+        """Run sweep schedule ``index``; sharded ``index % shards``.
+
+        The assignment is arithmetic, not round-robin state, so the
+        fan-out is deterministic regardless of interleaved record jobs.
+        """
+        shard = index % max(self.workers, 1)
+        return self._dispatch(
+            shard, _worker_sweep_run, spec_payload, index, seed, self.engine,
+        )
+
+    def submit_sweep_finalize(self, spec_payload: dict,
+                              run_payloads: Sequence[dict],
+                              schedules: int, seed: int) -> Future:
+        """Finalize a sweep (base run + predict + confirm) on shard 0."""
+        return self._dispatch(
+            0, _worker_sweep_finalize, spec_payload, list(run_payloads),
+            int(schedules), int(seed), self.engine,
+        )
 
     # ------------------------------------------------------------------
     # Failure recovery

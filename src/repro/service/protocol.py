@@ -57,6 +57,7 @@ CLOSE = "close"
 STATS = "stats"
 METRICS = "metrics"
 HEALTH = "health"
+SWEEP = "sweep"
 
 # Server → client verbs.
 ACCEPT = "accept"
@@ -66,6 +67,7 @@ ERROR = "error"
 STATS_REPLY = "stats-reply"
 METRICS_REPLY = "metrics-reply"
 HEALTH_REPLY = "health-reply"
+SWEEP_REPLY = "sweep-reply"
 
 
 class ProtocolError(ReproError):
@@ -244,6 +246,23 @@ def metrics_reply_frame(text: str, snapshot: dict) -> dict:
     return {"verb": METRICS_REPLY, "text": text, "snapshot": snapshot}
 
 
+def sweep_frame(spec: dict, schedules: int, seed: int) -> dict:
+    """``SWEEP``: run a predictive schedule sweep over a launch spec.
+
+    ``spec`` is a :meth:`repro.predict.sweep.LaunchSpec.to_payload`
+    payload; the server fans the ``schedules`` seeded runs across the
+    sharded pool and merges deterministically, so the reply bytes depend
+    only on ``(spec, schedules, seed)``.
+    """
+    return {"verb": SWEEP, "spec": spec, "schedules": int(schedules),
+            "seed": int(seed)}
+
+
+def sweep_reply_frame(result: dict) -> dict:
+    """The SWEEP reply: a serialized sweep result payload."""
+    return {"verb": SWEEP_REPLY, "result": result}
+
+
 # ----------------------------------------------------------------------
 # Detector configuration and report payloads
 # ----------------------------------------------------------------------
@@ -293,6 +312,52 @@ def race_sort_key(race: RaceReport) -> Tuple:
     )
 
 
+def race_to_payload(race: RaceReport) -> dict:
+    """Serialize one race report, including predictive metadata."""
+    payload = {
+        "loc": location_to_payload(race.loc),
+        "current_tid": race.current_tid,
+        "current_access": race.current_access.value,
+        "prior_tid": race.prior_tid,
+        "prior_access": race.prior_access.value,
+        "kind": race.kind.value,
+        "branch_ordering": race.branch_ordering,
+        "current_pc": race.current_pc,
+        "prior_pc": race.prior_pc,
+    }
+    if race.predicted:
+        payload["predicted"] = True
+        payload["confirmed"] = bool(race.confirmed)
+    if race.witness is not None:
+        payload["witness"] = race.witness.to_payload()
+    return payload
+
+
+def race_from_payload(payload: dict) -> RaceReport:
+    """Deserialize one race report (the inverse of :func:`race_to_payload`)."""
+    witness = None
+    if payload.get("witness") is not None:
+        # Local import: repro.predict imports this module for payload
+        # serialization, so the reverse dependency must stay lazy.
+        from ..predict.witness import WitnessSchedule
+
+        witness = WitnessSchedule.from_payload(payload["witness"])
+    return RaceReport(
+        loc=location_from_payload(payload["loc"]),
+        current_tid=payload["current_tid"],
+        current_access=AccessType(payload["current_access"]),
+        prior_tid=payload["prior_tid"],
+        prior_access=AccessType(payload["prior_access"]),
+        kind=RaceKind(payload["kind"]),
+        branch_ordering=payload.get("branch_ordering", False),
+        current_pc=payload.get("current_pc", -1),
+        prior_pc=payload.get("prior_pc", -1),
+        predicted=payload.get("predicted", False),
+        confirmed=payload.get("confirmed") if "confirmed" in payload else None,
+        witness=witness,
+    )
+
+
 def reports_to_payload(reports: DetectorReports) -> dict:
     """Serialize a :class:`DetectorReports`, sorting races deterministically.
 
@@ -302,17 +367,7 @@ def reports_to_payload(reports: DetectorReports) -> dict:
     """
     return {
         "races": [
-            {
-                "loc": location_to_payload(race.loc),
-                "current_tid": race.current_tid,
-                "current_access": race.current_access.value,
-                "prior_tid": race.prior_tid,
-                "prior_access": race.prior_access.value,
-                "kind": race.kind.value,
-                "branch_ordering": race.branch_ordering,
-                "current_pc": race.current_pc,
-                "prior_pc": race.prior_pc,
-            }
+            race_to_payload(race)
             for race in sorted(reports.races, key=race_sort_key)
         ],
         "barrier_divergences": [
@@ -332,20 +387,7 @@ def reports_to_payload(reports: DetectorReports) -> dict:
 
 def reports_from_payload(payload: dict) -> DetectorReports:
     try:
-        races = [
-            RaceReport(
-                loc=location_from_payload(race["loc"]),
-                current_tid=race["current_tid"],
-                current_access=AccessType(race["current_access"]),
-                prior_tid=race["prior_tid"],
-                prior_access=AccessType(race["prior_access"]),
-                kind=RaceKind(race["kind"]),
-                branch_ordering=race.get("branch_ordering", False),
-                current_pc=race.get("current_pc", -1),
-                prior_pc=race.get("prior_pc", -1),
-            )
-            for race in payload.get("races", [])
-        ]
+        races = [race_from_payload(race) for race in payload.get("races", [])]
         divergences = [
             BarrierDivergenceReport(
                 block=report["block"],

@@ -274,6 +274,8 @@ class RaceService:
             await self._handle_records(message, conn_jobs, writer)
         elif verb == protocol.CLOSE:
             await self._handle_close(message, conn_jobs, writer)
+        elif verb == protocol.SWEEP:
+            await self._handle_sweep(message, writer)
         elif verb == protocol.STATS:
             await self._send(writer, protocol.stats_reply_frame(
                 self.stats.snapshot(self.pool.worker_stats)))
@@ -565,6 +567,87 @@ class RaceService:
             failure_log=job.failure_log if job.degraded else None)
         self._remember(job.resubmit_key, frame)
         await self._send(writer, frame)
+
+    async def _handle_sweep(self, message: dict,
+                            writer: asyncio.StreamWriter) -> None:
+        """Fan a predictive schedule sweep across the worker pool.
+
+        Each schedule run lands on shard ``index % shards``; the
+        finalize phase (base run, trace prediction, witness replay,
+        merge) runs on shard 0.  A run that crashes or times out is
+        folded into the merge as an error payload at its index, so
+        partial casualties degrade the sweep deterministically instead
+        of failing it.  The merged result is byte-identical to the
+        local driver's for the same (spec, schedules, seed).
+        """
+        from ..predict.sweep import LaunchSpec, derive_seed, kind_for
+
+        spec_payload = message.get("spec")
+        if not isinstance(spec_payload, dict):
+            await self._send(writer, protocol.error_frame(
+                "sweep needs a launch spec payload"))
+            return
+        try:
+            schedules = int(message.get("schedules", 0))
+            seed = int(message.get("seed", 0))
+        except (TypeError, ValueError):
+            await self._send(writer, protocol.error_frame(
+                "sweep schedules/seed must be integers"))
+            return
+        if schedules < 1:
+            await self._send(writer, protocol.error_frame(
+                "sweep needs at least one schedule"))
+            return
+        try:
+            LaunchSpec.from_payload(spec_payload)  # reject garbage early
+        except ReproError as exc:
+            await self._send(writer, protocol.error_frame(str(exc)))
+            return
+        # A sweep run is a whole simulated kernel execution, not one
+        # record batch; scale the watchdog with the work fanned out.
+        timeout = self.job_timeout * max(1, schedules)
+        futures = [
+            self.pool.submit_sweep_run(spec_payload, index, seed)
+            for index in range(schedules)
+        ]
+        run_payloads: List[dict] = []
+        shards = max(self.pool.workers, 1)
+        for index, future in enumerate(futures):
+            try:
+                payload = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout=timeout)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                if isinstance(exc, (BrokenExecutor, ShardCrashError,
+                                    asyncio.TimeoutError)):
+                    if isinstance(exc, asyncio.TimeoutError):
+                        self.watchdog_timeouts_total += 1
+                    with contextlib.suppress(Exception):
+                        self.pool.respawn_shard(index % shards)
+                payload = {
+                    "index": index,
+                    "kind": kind_for(index),
+                    "seed": derive_seed(seed, index),
+                    "decisions": [],
+                    "races": [],
+                    "barrier_divergences": 0,
+                    "hung": False,
+                    "error": f"schedule run failed: {exc or type(exc).__name__}",
+                }
+            run_payloads.append(payload)
+        try:
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(self.pool.submit_sweep_finalize(
+                    spec_payload, run_payloads, schedules, seed)),
+                timeout=timeout)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            await self._send(writer, protocol.error_frame(
+                f"sweep finalize failed: {exc or type(exc).__name__}"))
+            return
+        await self._send(writer, protocol.sweep_reply_frame(result))
 
     def _abort_job(self, job_id: str, reason: str) -> None:
         job = self._jobs.pop(job_id, None)

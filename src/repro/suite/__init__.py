@@ -2,6 +2,7 @@
 
 from .model import Buffer, Expected, SuiteProgram, Verdict, run_program
 from .programs_atomics import ATOMIC_PROGRAMS
+from .programs_schedule import SCHEDULE_PROGRAMS, schedule_program
 from .programs_branch import BRANCH_PROGRAMS
 from .programs_fences import FENCE_PROGRAMS
 from .programs_grid import GRID_PROGRAMS
@@ -9,7 +10,9 @@ from .programs_locks import LOCK_PROGRAMS
 from .programs_memory import MEMORY_PROGRAMS
 from .programs_warp import MISC_PROGRAMS, WARP_PROGRAMS
 
-#: All 66 programs, in suite order.
+#: All 66 programs, in suite order.  The schedule-sensitive companions
+#: (:data:`SCHEDULE_PROGRAMS`) are deliberately excluded: their verdict
+#: depends on the schedule, which is the point of ``repro.predict``.
 ALL_PROGRAMS = (
     MEMORY_PROGRAMS
     + BRANCH_PROGRAMS

@@ -79,6 +79,9 @@ class SuiteProgram:
     #: Rules tolerated on a race-free program (documented false alarms).
     #: The suite test asserts everything fired is listed here.
     lint_exceptions: Tuple[str, ...] = ()
+    #: Memory-model profile to simulate ("titanx" or "k520"); the
+    #: schedule-sensitive weak-memory programs need the relaxed profile.
+    arch: str = "titanx"
 
     def compile(self) -> Module:
         if self.is_ptx:
@@ -137,7 +140,11 @@ def run_program(
     scheduler: Optional[Scheduler] = None,
 ) -> Verdict:
     """Run one suite program under BARRACUDA and summarize the verdict."""
-    session = session or BarracudaSession()
+    if session is None:
+        from ..gpu.memory import KEPLER_K520, MAXWELL_TITANX
+
+        arch = KEPLER_K520 if program.arch == "k520" else MAXWELL_TITANX
+        session = BarracudaSession(arch=arch)
     module = program.compile()
     session.register_module(module)
     params: Dict[str, int] = {}

@@ -1,0 +1,192 @@
+"""Schedule-sensitive companion programs for the predictive layer.
+
+These are deliberately **not** part of :data:`repro.suite.ALL_PROGRAMS`:
+each one is racy only under schedules the default fair round-robin run
+never produces, so their single-schedule verdict is ``NO_RACE`` (or a
+race on *different* locations) and they would be misclassified by the
+66-program expected-verdict tests.  They exist to exercise
+``repro.predict`` — every family has at least one race the base run
+misses that a seeded schedule sweep manifests and a witness schedule
+deterministically reproduces.
+
+Three families, one per sweep strategy:
+
+* **warp-order** — a fenced flag handoff whose reader does *not* spin:
+  the delay loop makes the default schedule always observe the flag set
+  (release→acquire orders the data), but nothing *forces* that order, so
+  reader-first permutations race on the data word.  This family is also
+  caught by the trace-level relaxation (a single non-spinning acquire is
+  relaxable evidence).
+* **barrier-shuffle** — an atomic-guarded post-barrier writer pair whose
+  guard observes the flag too early under fair scheduling; running the
+  setting warp wholesale first flips the guard and manifests the
+  write-write race.  Not trace-predictable (the racing store is on an
+  unexecuted branch) — only the sweep finds it.
+* **store-drain** — a two-variable reordering pattern on the relaxed
+  (Kepler) profile: the writer stores matching values to ``a`` then
+  ``b`` in a loop, so under FIFO draining ``a``'s visible value is
+  always at least ``b``'s; randomized relaxed draining lets ``b`` run
+  ahead (``ra < rb``), enabling a guarded store that collides with the
+  writer's.  The base run reports the (unfenced) ``a``/``b`` races in
+  every schedule; the ``out`` race is the one only weak drains expose.
+
+``handoff_spin_control`` is the negative control: the same handoff with
+a spinning reader must produce *no* predictions (spin evidence forces
+the acquire edge) and no sweep findings (serializing strategies starve
+the spinner into a hang, which the driver tolerates).
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+_HANDOFF_SOURCE = """
+__global__ void handoff(int* data, int* flag, int* out) {
+    if (blockIdx.x == 0) {
+        if (threadIdx.x == 0) {
+            data[0] = 42;
+            __threadfence();
+            flag[0] = 1;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            for (int i = 0; i < 24; i = i + 1) { }
+            int seen = flag[0];
+            __threadfence();
+            out[0] = data[0];
+            out[1] = seen;
+        }
+    }
+}
+"""
+
+_HANDOFF_SPIN_SOURCE = """
+__global__ void handoff_spin(int* data, int* flag, int* out) {
+    if (blockIdx.x == 0) {
+        if (threadIdx.x == 0) {
+            data[0] = 42;
+            __threadfence();
+            flag[0] = 1;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            while (flag[0] == 0) { }
+            __threadfence();
+            out[0] = data[0];
+        }
+    }
+}
+"""
+
+_BARRIER_GUARD_SOURCE = """
+__global__ void barrier_guard(int* flag, int* out) {
+    __syncthreads();
+    if (threadIdx.x == 0) {
+        for (int i = 0; i < 32; i = i + 1) { }
+        atomicExch(&flag[0], 1);
+        out[0] = 2;
+    }
+    if (threadIdx.x == 32) {
+        int seen = atomicAdd(&flag[0], 0);
+        if (seen == 1) {
+            out[0] = 7;
+        }
+    }
+}
+"""
+
+_REORDER_SOURCE = """
+__global__ void drain_reorder(int* a, int* b, int* out) {
+    if (blockIdx.x == 0) {
+        if (threadIdx.x == 0) {
+            for (int j = 1; j < 6; j = j + 1) {
+                a[0] = j;
+                b[0] = j;
+            }
+            out[0] = 2;
+        }
+    } else {
+        if (threadIdx.x == 0) {
+            for (int i = 0; i < 16; i = i + 1) {
+                int rb = b[0];
+                int ra = a[0];
+                if (ra < rb) {
+                    out[0] = 5;
+                }
+            }
+        }
+    }
+}
+"""
+
+SCHEDULE_PROGRAMS = [
+    SuiteProgram(
+        name="handoff_no_spin",
+        category="schedule",
+        description="Fenced flag handoff without a spin: the delayed "
+        "reader always observes the flag under the fair default "
+        "schedule, but no schedule is forced to — reader-first "
+        "permutations race on data[0].",
+        source=_HANDOFF_SOURCE,
+        expected=Expected.NO_RACE,  # the default-schedule verdict
+        race_space="global",
+        grid=2,
+        block=32,
+        buffers=(Buffer("data", 4), Buffer("flag", 4), Buffer("out", 4)),
+        max_steps=50_000,
+    ),
+    SuiteProgram(
+        name="handoff_spin_control",
+        category="schedule",
+        description="The same handoff with a spinning reader: ordered "
+        "under every schedule; the negative control for the "
+        "spin-evidence relaxation rule.",
+        source=_HANDOFF_SPIN_SOURCE,
+        expected=Expected.NO_RACE,
+        grid=2,
+        block=32,
+        buffers=(Buffer("data", 4), Buffer("flag", 4), Buffer("out", 4)),
+        max_steps=20_000,
+    ),
+    SuiteProgram(
+        name="barrier_guard_flip",
+        category="schedule",
+        description="Post-barrier atomic-guarded stores: the fair "
+        "schedule reads the guard before it is set, so only one "
+        "warp ever writes out[0]; warp-0-first orders flip the "
+        "guard and manifest the write-write race.",
+        source=_BARRIER_GUARD_SOURCE,
+        expected=Expected.NO_RACE,
+        race_space="global",
+        grid=1,
+        block=64,
+        buffers=(Buffer("flag", 4), Buffer("out", 4)),
+        max_steps=50_000,
+    ),
+    SuiteProgram(
+        name="drain_reorder_guard",
+        category="schedule",
+        description="Two-variable reorder on the relaxed profile: "
+        "randomized store draining lets b's visible value run "
+        "ahead of a's (impossible under FIFO drains), enabling "
+        "the guarded out[0] store that collides with the "
+        "writer's (the a/b races are base-visible; the out "
+        "race is drain-order-only).",
+        source=_REORDER_SOURCE,
+        expected=Expected.RACE,  # the unfenced a/b races are always seen
+        race_space="global",
+        grid=2,
+        block=32,
+        buffers=(Buffer("a", 4), Buffer("b", 4), Buffer("out", 4)),
+        max_steps=50_000,
+        arch="k520",
+    ),
+]
+
+
+def schedule_program(name: str) -> SuiteProgram:
+    """Look up a schedule-sensitive program by name."""
+    for entry in SCHEDULE_PROGRAMS:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)
