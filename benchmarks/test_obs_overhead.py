@@ -111,3 +111,151 @@ def test_disabled_observability_is_free():
         f"disabled observability path costs {overhead:.1%} over a "
         f"registry-less run (budget {MAX_DISABLED_OVERHEAD:.0%})"
     )
+
+
+# ----------------------------------------------------------------------
+# repro.obs v2: profiler-off decode path and always-on flight recorder
+# ----------------------------------------------------------------------
+#: Budget for the v2 always-on / off-by-default hot paths (ISSUE 7).
+MAX_V2_OVERHEAD = 0.02
+
+LOOP_KERNEL = """
+__global__ void hotloop(int* data) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int acc = 0;
+    for (int i = 0; i < 48; i++) {
+        acc = acc + data[i];
+    }
+    data[gid] = acc;
+}
+"""
+
+PROFILE_GRID = 8
+PROFILE_BLOCK = 64
+PROFILE_REPEATS = 9
+
+
+def test_profiler_off_decode_path_is_free():
+    """The disabled profiler costs one is-None check per decoded
+    statement; the dispatch loop is untouched.  Compare the shipped
+    decoded engine (profiler off) against a twin whose ``_decode_ctx``
+    has the hook edited out entirely."""
+    from repro.cudac import compile_cuda
+    from repro.gpu import GpuDevice
+    from repro.gpu.engine import ENGINES, DecodedKernelExecution
+    from repro.obs import make_observability
+    from repro.ptx.ast import Instruction
+
+    class HooklessDecodedExecution(DecodedKernelExecution):
+        """The pre-profiler decode loop: no hook check at all."""
+
+        def _decode_ctx(self, ctx):
+            body = ctx.kernel.body
+            ops = [None] * len(body)
+            conv = set(ctx.cfg.convergence_points())
+            for pc in range(len(body) - 1, -1, -1):
+                stmt = body[pc]
+                if not isinstance(stmt, Instruction):
+                    continue
+                try:
+                    op = self._decode_insn(ctx, pc, stmt, ops, conv)
+                except Exception:
+                    op = self._fallback_op(stmt)
+                ops[pc] = op
+            ctx.decoded = ops
+            return ops
+
+    module = compile_cuda(LOOP_KERNEL)
+    words = PROFILE_GRID * PROFILE_BLOCK
+
+    def launch_time(engine, obs=None):
+        # Fresh device per run so every measurement includes a cold
+        # decode (the only place the disabled hook lives at all).
+        device = GpuDevice()
+        data = device.alloc(words * 4)
+        kwargs = {"obs": obs} if obs is not None else {}
+        start = time.perf_counter()
+        device.launch(module, "hotloop", grid=PROFILE_GRID,
+                      block=PROFILE_BLOCK, params={"data": data},
+                      engine=engine, **kwargs)
+        return time.perf_counter() - start
+
+    ENGINES["hookless"] = HooklessDecodedExecution
+    try:
+        launch_time("hookless")  # warm caches outside the measurement
+        hookless = min(launch_time("hookless")
+                       for _ in range(PROFILE_REPEATS))
+        shipped = min(launch_time("decoded")
+                      for _ in range(PROFILE_REPEATS))
+        profiling = make_observability(profile=True)
+        enabled = min(launch_time("decoded", obs=profiling)
+                      for _ in range(PROFILE_REPEATS))
+    finally:
+        del ENGINES["hookless"]
+
+    overhead = shipped / hookless - 1.0
+    print_table(
+        f"Profiler hook overhead ({PROFILE_GRID}x{PROFILE_BLOCK} hotloop, "
+        f"best of {PROFILE_REPEATS})",
+        "engine            | ms        | overhead",
+        [
+            f"hookless twin     | {hookless * 1e3:>9.2f} | {'—':>9}",
+            f"shipped, prof off | {shipped * 1e3:>9.2f} | {overhead:>8.1%}",
+            f"shipped, prof on  | {enabled * 1e3:>9.2f} | "
+            f"{enabled / hookless - 1.0:>8.1%}",
+        ],
+    )
+    assert overhead < MAX_V2_OVERHEAD, (
+        f"profiler-off decode path costs {overhead:.1%} over a hookless "
+        f"engine (budget {MAX_V2_OVERHEAD:.0%})"
+    )
+
+
+def test_flight_recorder_hot_path_is_cheap():
+    """The always-on flight ring plus the worker's pre-resolved batch
+    counters, exercised once per batch (chattier than the shipped
+    per-job-lifecycle cadence), must stay under 2% of batch cost."""
+    from repro.obs import MetricsRegistry
+    from repro.obs.flight import NULL_FLIGHT, FlightRecorder
+
+    jobs = [_job_records(seed=31 * j) for j in range(JOBS)]
+    batch = 24
+
+    def run_load_with(flight, counters):
+        start = time.perf_counter()
+        for records in jobs:
+            detector = HostDetector(LAYOUT)
+            for lo in range(0, len(records), batch):
+                chunk = records[lo:lo + batch]
+                flight.record("batch", records=len(chunk))
+                if counters is not None:
+                    batches, recs = counters
+                    batches.inc()
+                    recs.inc(len(chunk))
+                detector.consume(chunk)
+            assert detector.reports.races
+        return time.perf_counter() - start
+
+    registry = MetricsRegistry()
+    counters = (
+        registry.counter("repro_worker_batches_total", "batches"),
+        registry.counter("repro_worker_records_total", "records"),
+    )
+    silent = min(run_load_with(NULL_FLIGHT, None) for _ in range(REPEATS))
+    recording = min(run_load_with(FlightRecorder("bench"), counters)
+                    for _ in range(REPEATS))
+
+    overhead = recording / silent - 1.0
+    print_table(
+        f"Flight-recorder hot path ({JOBS} jobs x {RECORDS_PER_JOB} "
+        f"records, batch {batch}, best of {REPEATS})",
+        "pipeline          | ms        | overhead",
+        [
+            f"no recording      | {silent * 1e3:>9.2f} | {'—':>9}",
+            f"ring + counters   | {recording * 1e3:>9.2f} | {overhead:>8.1%}",
+        ],
+    )
+    assert overhead < MAX_V2_OVERHEAD, (
+        f"always-on flight/counter path costs {overhead:.1%} per batch "
+        f"(budget {MAX_V2_OVERHEAD:.0%})"
+    )

@@ -11,13 +11,14 @@ requested device buffers, launches the kernel under a full
 :class:`BarracudaSession`, and prints race and barrier-divergence
 reports grouped by location, plus instrumentation and queue statistics.
 
-Seven subcommands front the system; the kernel-checking flow above
+Eight subcommands front the system; the kernel-checking flow above
 stays the default whenever the first argument is not a subcommand name::
 
     python -m repro check kernel.cu --grid 2 ...   # explicit form of the above
     python -m repro lint kernel.cu --format json   # static race lint, no run
     python -m repro explain kernel.cu --grid 2 ... # race provenance timelines
     python -m repro sweep kernel.cu --schedules 9 --seed 7  # predictive sweep
+    python -m repro profile kernel.cu --grid 2 ... # hot-path profile
     python -m repro serve --socket /tmp/barracuda.sock --workers 4
     python -m repro submit capture.jsonl --socket /tmp/barracuda.sock --stats
     python -m repro replay capture.jsonl --reference
@@ -32,8 +33,13 @@ forwards the sweep to a running service when given ``--socket``/
 
 Observability flags (``--trace out.json`` for a Chrome trace-event file,
 ``--metrics`` for a Prometheus-style snapshot, ``--stats-format json``)
-ride on ``check``; ``submit --metrics`` queries the service's METRICS
-verb.
+ride on ``check``, ``sweep``, ``replay`` and ``lint``; ``submit
+--metrics`` queries the service's METRICS verb (which aggregates every
+shard worker's registry), ``submit --trace`` writes a merged
+client/server/shard distributed trace, ``submit --flight-dump`` and
+``explain --flight`` expose the always-on flight recorder, and
+``profile`` renders decoded-engine hot paths (text/JSON/collapsed
+stacks).  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -401,27 +407,50 @@ def run_lint(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("source", help="kernel source file (.cu mini CUDA-C or .ptx)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="render findings as human text (default) or JSON")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace-event JSON file of the "
+                        "lint phases")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style metrics snapshot")
     args = parser.parse_args(argv)
 
     from .staticcheck import SEVERITY_ERROR, render_json, render_text
     from .staticcheck import run_lint as static_lint
 
+    obs = make_observability(trace=bool(args.trace), metrics=args.metrics)
     try:
-        module = _load_module(args.source)
-        if not args.source.endswith(".ptx"):
-            # Compiled modules carry frontend AST lines; reparse the
-            # printed PTX so findings point at real PTX text lines (the
-            # same convention the session uses for race-report PCs).
-            module = parse_ptx(str(module))
-        findings = static_lint(module)
+        with obs.tracer.span("cuda-frontend", source=args.source):
+            module = _load_module(args.source)
+            if not args.source.endswith(".ptx"):
+                # Compiled modules carry frontend AST lines; reparse the
+                # printed PTX so findings point at real PTX text lines (the
+                # same convention the session uses for race-report PCs).
+                module = parse_ptx(str(module))
+        with obs.tracer.span("static-lint", source=args.source):
+            findings = static_lint(module)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if obs.metrics.enabled:
+        counter = obs.metrics.counter(
+            "repro_lint_findings_total", "Static lint findings", ("severity",)
+        )
+        for finding in findings:
+            counter.inc(severity=finding.severity)
 
     if args.format == "json":
         sys.stdout.write(render_json(findings, source_name=args.source))
     else:
         sys.stdout.write(render_text(findings, source_name=args.source))
+    if args.metrics:
+        print("--------- metrics")
+        print(obs.metrics.render_prometheus(), end="")
+    if args.trace:
+        obs.tracer.write(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(obs.tracer.span_names())} distinct phases)",
+              file=sys.stderr)
     return 1 if any(f.severity == SEVERITY_ERROR for f in findings) else 0
 
 
@@ -477,10 +506,15 @@ def run_explain(argv: Optional[Sequence[str]] = None) -> int:
         description="Re-run race detection with provenance tracking and "
         "print a per-race evidence timeline (recent accesses per "
         "conflicting thread, PTX source locations, and the failed "
-        "vector-clock comparison).",
+        "vector-clock comparison).  With --flight, instead render a "
+        "flight-recorder dump (from `submit --flight-dump` or a "
+        "degraded job) as a merged timeline.",
     )
-    parser.add_argument("source", help="kernel source (.cu/.ptx) or a "
-                        "replay capture (.jsonl/.capture)")
+    parser.add_argument("source", nargs="?", help="kernel source (.cu/.ptx) "
+                        "or a replay capture (.jsonl/.capture)")
+    parser.add_argument("--flight", metavar="DUMP.json",
+                        help="render a flight-recorder dump as a merged "
+                        "cross-process timeline instead of explaining races")
     parser.add_argument("--kernel", help="kernel name (default: first)")
     parser.add_argument("--grid", type=int, default=1)
     parser.add_argument("--block", type=int, default=32)
@@ -497,6 +531,21 @@ def run_explain(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-reports", type=int, default=10,
                         help="races to explain")
     args = parser.parse_args(argv)
+    if args.flight:
+        from .obs import render_flight
+
+        try:
+            with open(args.flight) as handle:
+                dump = json.load(handle)
+            print(render_flight(dump))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    if not args.source:
+        print("error: a kernel source/capture or --flight is required",
+              file=sys.stderr)
+        return 2
     if args.depth < 1:
         print("error: --depth must be at least 1", file=sys.stderr)
         return 2
@@ -641,7 +690,11 @@ def run_sweep_cmd(argv: Optional[Sequence[str]] = None) -> int:
                         help="findings to print in text format")
     parser.add_argument("--trace", metavar="PATH",
                         help="write a Chrome trace-event JSON file of the "
-                        "sweep phases")
+                        "sweep phases; with --socket/--port this is the "
+                        "merged client/server/shard distributed trace")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style metrics snapshot "
+                        "(remote sweeps query the service's METRICS verb)")
     _add_endpoint_args(parser)
     args = parser.parse_args(argv)
 
@@ -672,17 +725,27 @@ def run_sweep_cmd(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    obs = make_observability(trace=bool(args.trace))
     remote = args.socket is not None or args.port is not None
+    obs = make_observability(trace=bool(args.trace) and not remote,
+                             metrics=args.metrics and not remote)
+    span_buffer = None
+    metrics_text = ""
     try:
         if remote:
             from .service.client import ServiceClient
 
+            if args.trace:
+                from .obs import SpanBuffer
+
+                span_buffer = SpanBuffer("client")
             with ServiceClient(socket_path=args.socket, host=args.host,
                                port=args.port, timeout=600.0) as client:
                 result = SweepResult.from_payload(
-                    client.sweep(spec.to_payload(), args.schedules, args.seed)
+                    client.sweep(spec.to_payload(), args.schedules, args.seed,
+                                 trace=span_buffer)
                 )
+                if args.metrics:
+                    metrics_text = client.metrics()["text"]
         else:
             result = run_sweep(
                 spec,
@@ -706,11 +769,25 @@ def run_sweep_cmd(argv: Optional[Sequence[str]] = None) -> int:
     else:
         exit_code = _print_sweep_result(result, args.max_reports)
 
+    if args.metrics:
+        print("--------- metrics")
+        print(metrics_text if remote else obs.metrics.render_prometheus(),
+              end="")
     if args.trace:
-        obs.tracer.write(args.trace)
-        print(f"trace written to {args.trace} "
-              f"({len(obs.tracer.span_names())} distinct phases)",
-              file=sys.stderr)
+        if span_buffer is not None:
+            from .obs import write_merged_trace
+
+            trace_obj = write_merged_trace(
+                args.trace, span_buffer.collected_payloads()
+            )
+            print(f"merged distributed trace written to {args.trace} "
+                  f"({len(trace_obj['traceEvents'])} events)",
+                  file=sys.stderr)
+        else:
+            obs.tracer.write(args.trace)
+            print(f"trace written to {args.trace} "
+                  f"({len(obs.tracer.span_names())} distinct phases)",
+                  file=sys.stderr)
     return exit_code
 
 
@@ -800,6 +877,14 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--health", action="store_true",
                         help="print per-shard liveness and backlog "
                         "(the HEALTH verb)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="propagate a distributed trace context with "
+                        "the job and write the merged client/server/shard "
+                        "Chrome trace here")
+    parser.add_argument("--flight-dump", metavar="PATH",
+                        help="write the flight-recorder dump here (the "
+                        "degraded-job payload when present, otherwise the "
+                        "DUMP verb)")
     parser.add_argument("--max-retries", type=int, default=3,
                         help="transparent retries on transient connection "
                         "failures (idempotent resubmission)")
@@ -812,6 +897,11 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
     from .service.client import ServiceClient, submit_capture
     from .service.stats import render_job_stats, render_service_stats
 
+    span_buffer = None
+    if args.trace:
+        from .obs import SpanBuffer
+
+        span_buffer = SpanBuffer("client")
     try:
         fault_plan = _load_fault_plan_arg(args.fault_plan)
         result = submit_capture(
@@ -822,19 +912,39 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
             batch_size=args.batch_size,
             max_retries=args.max_retries,
             faults=fault_plan,
+            trace=span_buffer,
         )
         service_stats = None
         metrics_text = ""
         health = None
-        if args.stats or args.metrics or args.health:
+        flight_dump = result.flight
+        if (args.stats or args.metrics or args.health
+                or (args.flight_dump and flight_dump is None)):
             with ServiceClient(socket_path=args.socket, host=args.host,
                                port=args.port) as client:
                 service_stats = client.stats() if args.stats else None
                 metrics_text = client.metrics()["text"] if args.metrics else ""
                 health = client.health() if args.health else None
+                if args.flight_dump and flight_dump is None:
+                    flight_dump = client.dump()
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.trace:
+        from .obs import write_merged_trace
+
+        trace_obj = write_merged_trace(
+            args.trace, span_buffer.collected_payloads()
+        )
+        print(f"merged distributed trace written to {args.trace} "
+              f"({len(trace_obj['traceEvents'])} events)", file=sys.stderr)
+    if args.flight_dump:
+        from .obs import write_flight_dump
+
+        write_flight_dump(args.flight_dump, flight_dump or {})
+        print(f"flight-recorder dump written to {args.flight_dump}",
+              file=sys.stderr)
 
     if result.attempts > 1:
         print(f"(succeeded on attempt {result.attempts} after "
@@ -881,35 +991,53 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
                         help="corrupt capture lines while loading (truncate/"
                         "garbage) from a JSON fault plan — exercises the "
                         "loader's error surface")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace-event JSON file of the "
+                        "replay phases")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style metrics snapshot")
     args = parser.parse_args(argv)
 
     from .core.reference import DetectorConfig
     from .faults import NULL_FAULTS
     from .runtime.replay import load_capture, replay
 
+    obs = make_observability(trace=bool(args.trace), metrics=args.metrics)
     try:
         fault_plan = _load_fault_plan_arg(args.fault_plan)
-        with open(args.capture) as stream:
-            layout, kernel, records = load_capture(
-                stream, faults=fault_plan if fault_plan is not None
-                else NULL_FAULTS)
-        reports = replay(
-            layout,
-            records,
-            config=DetectorConfig(filter_same_value=not args.no_filter_same_value),
-            reference=args.reference,
-        )
+        with obs.tracer.span("load-capture", source=args.capture):
+            with open(args.capture) as stream:
+                layout, kernel, records = load_capture(
+                    stream, faults=fault_plan if fault_plan is not None
+                    else NULL_FAULTS)
+        with obs.tracer.span("replay", records=len(records)):
+            reports = replay(
+                layout,
+                records,
+                config=DetectorConfig(
+                    filter_same_value=not args.no_filter_same_value),
+                reference=args.reference,
+            )
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if obs.metrics.enabled:
+        obs.metrics.counter(
+            "repro_replay_records_total", "Records replayed offline"
+        ).inc(len(records))
+        obs.metrics.counter(
+            "repro_replay_races_total", "Races found by offline replay"
+        ).inc(len(reports.races))
 
     exit_code = _print_reports(reports, args.max_reports)
     if args.predict:
         from .predict import predict_races, predicted_to_report, trace_from_records
         from .predict.sweep import race_key
 
-        trace = trace_from_records(records, layout)
-        prediction = predict_races(trace)
+        with obs.tracer.span("predict", records=len(records)):
+            trace = trace_from_records(records, layout)
+            prediction = predict_races(trace)
         observed = {race_key(race) for race in reports.races}
         predicted = []
         for entry in prediction.predicted:
@@ -925,7 +1053,122 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  records replayed        : {len(records)}")
         print(f"  grid                    : {layout.num_blocks} block(s) x "
               f"{layout.threads_per_block} thread(s), warp {layout.warp_size}")
+    if args.metrics:
+        print("--------- metrics")
+        print(obs.metrics.render_prometheus(), end="")
+    if args.trace:
+        obs.tracer.write(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(obs.tracer.span_names())} distinct phases)",
+              file=sys.stderr)
     return exit_code
+
+
+# ----------------------------------------------------------------------
+# Hot-path profiling (repro profile)
+# ----------------------------------------------------------------------
+def run_profile(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Profile the detection hot path per PTX opcode and "
+        "source line. Kernel sources (.cu/.ptx) run under the decoded "
+        "engine with its closure-dispatch profiler; replay captures "
+        "(.jsonl/.capture) are profiled through the detector's "
+        "per-record consume path. The default text output is "
+        "count-ordered and deterministic across repeated runs.",
+    )
+    parser.add_argument("source", help="kernel source (.cu/.ptx) or a "
+                        "replay capture (.jsonl/.capture)")
+    parser.add_argument("--kernel", help="kernel name (default: first)")
+    parser.add_argument("--grid", type=int, default=1)
+    parser.add_argument("--block", type=int, default=32)
+    parser.add_argument("--warp-size", type=int, default=32)
+    parser.add_argument("--buffer", action="append", default=[],
+                        type=_parse_buffer, metavar="NAME:WORDS[:V0,V1,...]")
+    parser.add_argument("--scalar", action="append", default=[],
+                        type=_parse_scalar, metavar="NAME:VALUE")
+    parser.add_argument("--arch", choices=sorted(_ARCHES), default="titanx")
+    parser.add_argument("--max-steps", type=int, default=2_000_000)
+    parser.add_argument("--top", type=int, default=20,
+                        help="sites to show in text format")
+    parser.add_argument("--format", choices=("text", "json", "collapsed"),
+                        default="text",
+                        help="text top-N (default), JSON, or flamegraph.pl "
+                        "collapsed stacks")
+    parser.add_argument("--show-time", action="store_true",
+                        help="include measured exclusive seconds in the "
+                        "text output (non-deterministic across runs)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the profile here instead of stdout")
+    args = parser.parse_args(argv)
+
+    from .obs import Profiler
+
+    source_lines: Dict[int, str] = {}
+    try:
+        if args.source.endswith((".jsonl", ".capture")):
+            from time import perf_counter
+
+            from .core.detector import BarracudaDetector
+            from .core.reference import DetectorConfig
+            from .events import record_to_ops
+            from .runtime.replay import load_capture
+
+            profiler = Profiler()
+            with open(args.source) as stream:
+                layout, _kernel, records = load_capture(stream)
+            config = DetectorConfig()
+            detector = BarracudaDetector(layout, config)
+            for record in records:
+                start = perf_counter()
+                for op in record_to_ops(record, layout,
+                                        config.granularity_bytes):
+                    detector.process(op)
+                profiler.account(record.kind.value, max(record.pc, 0),
+                                 seconds=perf_counter() - start)
+        else:
+            obs = make_observability(profile=True)
+            module = _load_module(args.source)
+            session = BarracudaSession(
+                arch=_ARCHES[args.arch], obs=obs, engine="decoded"
+            )
+            handle = session.register_module(module)
+            source_lines = _source_line_map(session.pristine_module(handle))
+            kernel = args.kernel or module.kernels[0].name
+            params, _buffers = _alloc_params(session, args)
+            session.launch(
+                kernel,
+                grid=args.grid,
+                block=args.block,
+                warp_size=args.warp_size,
+                params=params,
+                max_steps=args.max_steps,
+            )
+            profiler = obs.profiler
+    except StepLimitExceeded as exc:
+        print(f"HANG: {exc}", file=sys.stderr)
+        return 3
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        text = json.dumps(profiler.to_json(source_lines), indent=1,
+                          sort_keys=True)
+    elif args.format == "collapsed":
+        text = profiler.render_collapsed(source_lines=source_lines)
+    else:
+        text = profiler.render_text(top=args.top, source_lines=source_lines,
+                                    show_time=args.show_time)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print(f"profile written to {args.out} "
+              f"({profiler.total_events} events)", file=sys.stderr)
+    else:
+        print(text)
+    return 0
 
 
 _SUBCOMMANDS = {
@@ -933,6 +1176,7 @@ _SUBCOMMANDS = {
     "lint": run_lint,
     "explain": run_explain,
     "sweep": run_sweep_cmd,
+    "profile": run_profile,
     "serve": run_serve,
     "submit": run_submit,
     "replay": run_replay,

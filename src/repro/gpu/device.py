@@ -110,6 +110,10 @@ class GpuDevice:
             sink=sink,
             instrumented=instrumented,
         )
+        if obs.profiler.enabled:
+            # Hot-path profiling: the decoded engine wraps each closure
+            # at decode time; the naive engine ignores the attribute.
+            execution.profiler = obs.profiler
         scheduler = scheduler or RoundRobinScheduler()
         tracer = obs.tracer
         tracing = tracer.enabled

@@ -134,6 +134,12 @@ class DecodedKernelExecution(KernelExecution):
     and device functions are compiled exactly once per launch.
     """
 
+    #: Optional hot-path profiler (``repro.obs.profiler.Profiler``),
+    #: attached by ``GpuDevice.launch`` when profiling is enabled.  The
+    #: cost of a disabled profiler is this one is-None check per decoded
+    #: statement at decode time — the dispatch loop never changes.
+    profiler = None
+
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
@@ -205,16 +211,24 @@ class DecodedKernelExecution(KernelExecution):
         body = ctx.kernel.body
         ops: List[Optional[DecodedOp]] = [None] * len(body)
         conv = set(ctx.cfg.convergence_points())
+        profiler = self.profiler
         # Decode back-to-front so a ``_log`` can fuse with the already
-        # decoded closure of the access it guards.
+        # decoded closure of the access it guards.  Profiler wrapping
+        # happens here too, so a fusing ``_log`` captures the *wrapped*
+        # follower and per-opcode counts match dynamic instruction
+        # counts exactly.
         for pc in range(len(body) - 1, -1, -1):
             stmt = body[pc]
             if not isinstance(stmt, Instruction):
                 continue
             try:
-                ops[pc] = self._decode_insn(ctx, pc, stmt, ops, conv)
+                op = self._decode_insn(ctx, pc, stmt, ops, conv)
             except Exception:
-                ops[pc] = self._fallback_op(stmt)
+                op = self._fallback_op(stmt)
+            if profiler is not None:
+                op = profiler.wrap_op(op, stmt.opcode,
+                                      getattr(stmt, "line", 0))
+            ops[pc] = op
         ctx.decoded = ops
         return ops
 

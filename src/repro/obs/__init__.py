@@ -1,8 +1,8 @@
-"""Observability: tracing, metrics, and race provenance.
+"""Observability: tracing, metrics, profiling, and race provenance.
 
 This package is deliberately dependency-free (both of third-party
 packages and of the rest of ``repro``) so every layer of the pipeline
-can import it without cycles.  It has three pillars:
+can import it without cycles.  It has six pillars:
 
 * :mod:`~repro.obs.tracer` — nestable spans with a context-manager and
   decorator API, exportable as Chrome ``trace_event`` JSON
@@ -12,15 +12,45 @@ can import it without cycles.  It has three pillars:
   exposition and a JSON-able snapshot;
 * :mod:`~repro.obs.provenance` — per-race evidence: the most recent
   logged events of the conflicting threads on the racy address and the
-  vector-clock comparison that failed.
+  vector-clock comparison that failed;
+* :mod:`~repro.obs.distributed` — wire-encodable spans with a
+  :class:`TraceContext` that crosses the service's process boundary,
+  merged into one clock-normalized Chrome trace spanning client,
+  server, and every shard;
+* :mod:`~repro.obs.profiler` — a counting profiler hooked into the
+  decoded engine's closure dispatch (per-opcode / per-source-line
+  exclusive time), feeding ``repro profile``;
+* :mod:`~repro.obs.flight` — an always-on bounded ring of structured
+  lifecycle events per process, dumped into degraded-job payloads and
+  via the service ``DUMP`` verb.
 
-Everything defaults to the shared :data:`NULL_OBS` bundle, whose tracer
-and registry are permanently-disabled no-ops.  Hot paths guard on the
+Everything defaults to the shared :data:`NULL_OBS` bundle, whose
+components are permanently-disabled no-ops.  Hot paths guard on the
 ``enabled`` flags, so the disabled path costs one attribute check.
 """
 
 from dataclasses import dataclass, field
 
+from .distributed import (
+    NULL_SPANS,
+    NullSpanBuffer,
+    SpanBuffer,
+    TraceContext,
+    WireSpan,
+    merge_spans,
+    new_span_id,
+    new_trace_id,
+    root_context,
+    write_merged_trace,
+)
+from .flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+    merge_flight_dumps,
+    render_flight,
+    write_flight_dump,
+)
 from .metrics import (
     NULL_METRICS,
     Counter,
@@ -29,8 +59,10 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     TopK,
+    lint_metric_names,
     parse_exposition,
 )
+from .profiler import NULL_PROFILER, NullProfiler, Profiler
 from .provenance import (
     ClockComparison,
     ProvenanceEvent,
@@ -43,23 +75,28 @@ from .tracer import NULL_TRACER, NullTracer, Tracer, validate_chrome_trace
 
 @dataclass
 class Observability:
-    """One bundle of tracer + metrics threaded through the pipeline."""
+    """One bundle of tracer + metrics + profiler threaded through the
+    pipeline."""
 
     tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
+    profiler: Profiler = field(default_factory=lambda: NULL_PROFILER)
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.metrics.enabled
+        return (self.tracer.enabled or self.metrics.enabled
+                or self.profiler.enabled)
 
 
 #: The shared all-disabled bundle; the default everywhere.
 NULL_OBS = Observability()
 
 
-def make_observability(trace: bool = False, metrics: bool = False) -> Observability:
+def make_observability(trace: bool = False, metrics: bool = False,
+                       profile: bool = False) -> Observability:
     """Build a bundle with only the requested pillars enabled."""
     return Observability(
         tracer=Tracer() if trace else NULL_TRACER,
         metrics=MetricsRegistry() if metrics else NULL_METRICS,
+        profiler=Profiler() if profile else NULL_PROFILER,
     )

@@ -1,0 +1,494 @@
+"""Distributed tracing: spans that survive the process boundary.
+
+The in-process :class:`~repro.obs.tracer.Tracer` keeps everything in one
+registry and exports relative timestamps, which is exactly wrong for the
+sharded service: a job's work spans the client process, the server
+process, and every shard worker it touched, each with its own clock
+epoch.  This module is the wire-friendly half of ``repro.obs``:
+
+* a :class:`TraceContext` — trace id, parent span id, and the origin
+  process's wall-clock epoch — small enough to ride as one optional
+  field on protocol frames;
+* :class:`WireSpan` — one finished span in absolute wall-clock seconds
+  with a stable JSON payload encoding (:meth:`WireSpan.to_payload` /
+  :meth:`WireSpan.from_payload` round-trip exactly);
+* :class:`SpanBuffer` — a bounded per-process collector that stamps a
+  ``(wall, perf_counter)`` epoch pair at construction, so spans carry
+  monotonic-clock durations projected onto the wall clock and can be
+  merged across processes;
+* :func:`merge_spans` — folds span payloads from any number of
+  processes into one clock-normalized Chrome ``trace_event`` object,
+  clamping children to never start before their parents (cross-process
+  clocks are close, not identical) and rendering span ``links`` as
+  Chrome flow arrows (SWEEP fan-out children point at their parent).
+
+Like the rest of ``repro.obs`` this module is dependency-free and
+import-cheap; worker processes pull it in at fork time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Version stamp carried by span payloads (wire-compat guard).
+SPAN_WIRE_VERSION = 1
+
+#: Default bound on retained spans per :class:`SpanBuffer`.
+DEFAULT_SPAN_LIMIT = 512
+
+#: Process names with a fixed merge order; everything else sorts after.
+_PROCESS_ORDER = {"client": 0, "server": 1}
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What crosses the wire: enough to parent remote spans correctly.
+
+    ``origin_wall`` is the root process's wall-clock epoch; receivers
+    keep their own epochs, and :func:`merge_spans` normalizes everything
+    against the earliest epoch it sees, so the field mostly serves as a
+    sanity anchor (and lets a receiver estimate its clock offset).
+    """
+
+    trace_id: str
+    parent_span_id: str = ""
+    origin_wall: float = 0.0
+
+    def child(self, parent_span_id: str) -> "TraceContext":
+        """The context a child process should parent its spans under."""
+        return replace(self, parent_span_id=parent_span_id)
+
+    def to_payload(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+            "origin_wall": self.origin_wall,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Optional[dict]) -> Optional["TraceContext"]:
+        """None for an absent payload; :class:`ValueError` on garbage."""
+        if not payload:
+            return None
+        if not isinstance(payload, dict):
+            raise ValueError(f"trace context must be an object, got {payload!r}")
+        trace_id = payload.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ValueError("trace context needs a non-empty 'trace_id'")
+        parent = payload.get("parent_span_id", "")
+        if not isinstance(parent, str):
+            raise ValueError("'parent_span_id' must be a string")
+        try:
+            origin = float(payload.get("origin_wall", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad 'origin_wall': {exc}") from exc
+        return cls(trace_id=trace_id, parent_span_id=parent, origin_wall=origin)
+
+
+def root_context() -> TraceContext:
+    """A fresh root context for the process starting a distributed trace."""
+    return TraceContext(trace_id=new_trace_id(), origin_wall=time.time())
+
+
+@dataclass(frozen=True)
+class WireSpan:
+    """One finished span (or instant) in wire form.
+
+    Timestamps are absolute wall-clock seconds as projected by the
+    recording process's :class:`SpanBuffer` epoch; durations are
+    monotonic-clock measured.  ``links`` name other span ids this span
+    is causally tied to beyond its parent (rendered as flow arrows).
+    """
+
+    name: str
+    span_id: str
+    trace_id: str
+    process: str
+    parent_id: str = ""
+    track: str = "main"
+    start_wall: float = 0.0
+    duration: float = 0.0
+    kind: str = "span"  # "span" | "instant"
+    args: Dict[str, object] = field(default_factory=dict)
+    links: Tuple[str, ...] = ()
+
+    def to_payload(self) -> dict:
+        payload = {
+            "v": SPAN_WIRE_VERSION,
+            "name": self.name,
+            "id": self.span_id,
+            "trace": self.trace_id,
+            "process": self.process,
+            "track": self.track,
+            "start": self.start_wall,
+            "dur": self.duration,
+            "kind": self.kind,
+        }
+        if self.parent_id:
+            payload["parent"] = self.parent_id
+        if self.args:
+            payload["args"] = dict(self.args)
+        if self.links:
+            payload["links"] = list(self.links)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WireSpan":
+        if not isinstance(payload, dict):
+            raise ValueError(f"span payload must be an object, got {payload!r}")
+        version = payload.get("v")
+        if version != SPAN_WIRE_VERSION:
+            raise ValueError(f"unsupported span wire version {version!r}")
+        for key in ("name", "id", "trace", "process"):
+            value = payload.get(key)
+            if not isinstance(value, str) or not value:
+                raise ValueError(f"span payload needs a non-empty {key!r}")
+        kind = payload.get("kind", "span")
+        if kind not in ("span", "instant"):
+            raise ValueError(f"unknown span kind {kind!r}")
+        args = payload.get("args", {})
+        if not isinstance(args, dict):
+            raise ValueError("span 'args' must be an object")
+        links = payload.get("links", [])
+        if not isinstance(links, list) or not all(
+            isinstance(link, str) for link in links
+        ):
+            raise ValueError("span 'links' must be a list of span ids")
+        try:
+            start = float(payload.get("start", 0.0))
+            duration = float(payload.get("dur", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad span timestamps: {exc}") from exc
+        if duration < 0:
+            raise ValueError(f"negative span duration {duration!r}")
+        parent = payload.get("parent", "")
+        if not isinstance(parent, str):
+            raise ValueError("span 'parent' must be a string")
+        return cls(
+            name=payload["name"],
+            span_id=payload["id"],
+            trace_id=payload["trace"],
+            process=payload["process"],
+            parent_id=parent,
+            track=str(payload.get("track", "main")),
+            start_wall=start,
+            duration=duration,
+            kind=kind,
+            args=dict(args),
+            links=tuple(links),
+        )
+
+
+class SpanBuffer:
+    """Bounded per-process span collector for one distributed trace.
+
+    The buffer stamps a paired ``(time.time(), perf_counter())`` epoch
+    at construction and projects every span start onto the wall clock
+    through the monotonic clock — so durations are immune to wall-clock
+    steps, and starts are comparable (to within clock offset) across
+    processes.  Over-limit spans are dropped and counted, never grown:
+    a shard worker must not balloon because a job traced a million
+    batches.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        process: str,
+        context: Optional[TraceContext] = None,
+        limit: int = DEFAULT_SPAN_LIMIT,
+        clock: Callable[[], float] = time.perf_counter,
+        wall: Callable[[], float] = time.time,
+    ) -> None:
+        self.process = process
+        self.context = context if context is not None else root_context()
+        self.limit = limit
+        self._clock = clock
+        self._epoch_wall = wall()
+        self._epoch_perf = clock()
+        self._spans: List[WireSpan] = []
+        self._foreign: List[dict] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def now_wall(self) -> float:
+        """The wall-clock 'now' as projected through the monotonic clock."""
+        return self._epoch_wall + (self._clock() - self._epoch_perf)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _parent(self, explicit: Optional[str]) -> str:
+        if explicit is not None:
+            return explicit
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1]
+        return self.context.parent_span_id
+
+    def _push(self, span: WireSpan) -> None:
+        with self._lock:
+            if len(self._spans) >= self.limit:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    @contextmanager
+    def span(self, name: str, track: str = "main",
+             parent_id: Optional[str] = None,
+             links: Sequence[str] = (), **args):
+        """Record a span around a block; yields the new span's id.
+
+        Nesting is tracked per thread: an inner ``span()`` parents to
+        the enclosing one unless ``parent_id`` is given explicitly.
+        """
+        span_id = new_span_id()
+        parent = self._parent(parent_id)
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span_id)
+        start = self.now_wall()
+        try:
+            yield span_id
+        finally:
+            stack.pop()
+            self._push(WireSpan(
+                name=name,
+                span_id=span_id,
+                trace_id=self.context.trace_id,
+                process=self.process,
+                parent_id=parent,
+                track=track,
+                start_wall=start,
+                duration=max(0.0, self.now_wall() - start),
+                args=dict(args) if args else {},
+                links=tuple(links),
+            ))
+
+    def instant(self, name: str, track: str = "main",
+                parent_id: Optional[str] = None, **args) -> None:
+        """Record a zero-duration marker (fault fired, retry, watchdog)."""
+        self._push(WireSpan(
+            name=name,
+            span_id=new_span_id(),
+            trace_id=self.context.trace_id,
+            process=self.process,
+            parent_id=self._parent(parent_id),
+            track=track,
+            start_wall=self.now_wall(),
+            kind="instant",
+            args=dict(args) if args else {},
+        ))
+
+    # ------------------------------------------------------------------
+    # Shipping and merging
+    # ------------------------------------------------------------------
+    def absorb(self, payloads: Optional[Sequence[dict]]) -> None:
+        """Keep span payloads recorded by *other* processes for merging."""
+        if not payloads:
+            return
+        with self._lock:
+            self._foreign.extend(p for p in payloads if isinstance(p, dict))
+
+    def to_payloads(self) -> List[dict]:
+        """This process's own spans, wire-encoded."""
+        with self._lock:
+            return [span.to_payload() for span in self._spans]
+
+    def collected_payloads(self) -> List[dict]:
+        """Own spans plus everything absorbed from other processes."""
+        with self._lock:
+            own = [span.to_payload() for span in self._spans]
+            return own + list(self._foreign)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class NullSpanBuffer(SpanBuffer):
+    """Permanently-disabled buffer; records nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no epoch, no state
+        self.process = ""
+        self.context = TraceContext(trace_id="null")
+        self.dropped = 0
+        self._foreign: List[dict] = []
+
+    def now_wall(self) -> float:
+        return 0.0
+
+    @contextmanager
+    def span(self, name, track="main", parent_id=None, links=(), **args):
+        yield ""
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def absorb(self, payloads) -> None:
+        pass
+
+    def to_payloads(self) -> List[dict]:
+        return []
+
+    def collected_payloads(self) -> List[dict]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared disabled buffer; the default wherever a span buffer is accepted.
+NULL_SPANS = NullSpanBuffer()
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+def _process_key(process: str) -> Tuple[int, str]:
+    return (_PROCESS_ORDER.get(process, 2), process)
+
+
+def _normalize(spans: List[WireSpan]) -> Dict[str, float]:
+    """Clock-normalized start (µs) per span id, children clamped.
+
+    Cross-process wall clocks agree only approximately; a child span
+    recorded on a shard can carry a start a few microseconds before the
+    server span that caused it.  Clamping every child to start no
+    earlier than its parent restores causal order without touching
+    durations.
+    """
+    base = min(span.start_wall for span in spans)
+    by_id = {span.span_id: span for span in spans}
+    starts: Dict[str, float] = {}
+
+    def start_of(span: WireSpan, seen: Tuple[str, ...] = ()) -> float:
+        cached = starts.get(span.span_id)
+        if cached is not None:
+            return cached
+        value = (span.start_wall - base) * 1e6
+        parent = by_id.get(span.parent_id)
+        if parent is not None and span.span_id not in seen:
+            value = max(value, start_of(parent, seen + (span.span_id,)))
+        starts[span.span_id] = value
+        return value
+
+    for span in spans:
+        start_of(span)
+    return starts
+
+
+def merge_spans(payloads: Sequence[dict],
+                producer: str = "repro.obs.distributed") -> dict:
+    """Merge wire-span payloads from any processes into one Chrome trace.
+
+    Invalid payloads are skipped (and counted in ``otherData``) rather
+    than failing the merge: a trace is diagnostic output, and one
+    corrupt span from a crashing shard must not hide the rest.
+    """
+    spans: List[WireSpan] = []
+    skipped = 0
+    for payload in payloads:
+        try:
+            spans.append(WireSpan.from_payload(payload))
+        except ValueError:
+            skipped += 1
+    events: List[dict] = []
+    trace_ids = sorted({span.trace_id for span in spans})
+    if spans:
+        starts = _normalize(spans)
+        # Deterministic pid/tid assignment: client, server, then the
+        # shards in name order; tracks in name order within a process.
+        processes = sorted({span.process for span in spans}, key=_process_key)
+        pids = {name: index + 1 for index, name in enumerate(processes)}
+        tids: Dict[Tuple[str, str], int] = {}
+        for process in processes:
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[process],
+                "tid": 0, "args": {"name": process},
+            })
+            tracks = sorted({span.track for span in spans
+                             if span.process == process})
+            for index, track in enumerate(tracks, start=1):
+                tids[(process, track)] = index
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pids[process],
+                    "tid": index, "args": {"name": track},
+                })
+        by_id = {span.span_id: span for span in spans}
+        flow_id = 0
+        for span in sorted(spans, key=lambda s: (starts[s.span_id],
+                                                 s.process, s.span_id)):
+            pid = pids[span.process]
+            tid = tids[(span.process, span.track)]
+            ts = round(starts[span.span_id], 3)
+            args = dict(span.args)
+            args["span_id"] = span.span_id
+            if span.parent_id:
+                args["parent_id"] = span.parent_id
+            if span.kind == "instant":
+                events.append({"ph": "i", "name": span.name, "ts": ts,
+                               "pid": pid, "tid": tid, "s": "t",
+                               "args": args})
+                continue
+            events.append({
+                "ph": "X", "name": span.name, "ts": ts,
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid, "tid": tid, "args": args,
+            })
+            for target_id in span.links:
+                target = by_id.get(target_id)
+                if target is None:
+                    continue
+                flow_id += 1
+                events.append({
+                    "ph": "s", "cat": "link", "name": "fan-out",
+                    "id": flow_id, "ts": round(starts[target_id], 3),
+                    "pid": pids[target.process],
+                    "tid": tids[(target.process, target.track)],
+                })
+                events.append({
+                    "ph": "f", "cat": "link", "name": "fan-out", "bp": "e",
+                    "id": flow_id, "ts": ts, "pid": pid, "tid": tid,
+                })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": producer,
+            "trace_ids": trace_ids,
+            "skipped_spans": skipped,
+        },
+    }
+
+
+def write_merged_trace(path: str, payloads: Sequence[dict]) -> dict:
+    """Merge and write a Chrome trace file; returns the trace object."""
+    trace = merge_spans(payloads)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1)
+    return trace

@@ -285,6 +285,31 @@ class MetricsRegistry:
              labelnames: Sequence[str] = (), k: int = DEFAULT_TOP_K) -> TopK:
         return self._get(TopK, name, help, labelnames, k=k)
 
+    def reset(self, keep: Sequence[str] = ()) -> None:
+        """Forget every instrument except ``keep``, whose samples are
+        cleared but whose handles stay valid.
+
+        For processes that inherit a parent's registry state (a
+        fork-started shard worker, an inline pool reusing the server
+        process): pre-resolved instruments survive the reset, anything
+        registered by a previous lifetime is dropped.
+        """
+        kept_names = set(keep)
+        with self._lock:
+            self._instruments = {
+                name: instrument
+                for name, instrument in self._instruments.items()
+                if name in kept_names
+            }
+            for instrument in self._instruments.values():
+                if isinstance(instrument, Counter):
+                    instrument.values.clear()
+                elif isinstance(instrument, Histogram):
+                    instrument._counts.clear()
+                    instrument._sums.clear()
+                elif isinstance(instrument, TopK):
+                    instrument._items.clear()
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
@@ -313,6 +338,78 @@ class MetricsRegistry:
             }
             for instrument in instruments
         }
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge_snapshot(self, snapshot: dict,
+                       extra_labels: Optional[Dict[str, str]] = None) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the service's METRICS verb to aggregate the shard
+        workers' registries into the server view: each worker snapshot
+        is merged with ``extra_labels={"shard": "<n>"}`` so series stay
+        distinguishable.  Counter values add, gauges overwrite, top-K
+        counts add, and histograms are restored bucket-exactly when the
+        boundaries line up (they do between workers running the same
+        code) with a per-sample ``observe`` fallback when they don't.
+        """
+        extra = dict(extra_labels or {})
+        extra_names = tuple(sorted(extra))
+        for name, family in snapshot.items():
+            labelnames = tuple(family.get("labels", ())) + extra_names
+            kind = family.get("type", "untyped")
+            help_text = family.get("help", "")
+            values = family.get("values", {})
+            for label_key, value in values.items():
+                parts = tuple(label_key.split(",")) if label_key else ()
+                if len(parts) != len(family.get("labels", ())):
+                    continue  # snapshot label key we cannot decode
+                labels = dict(zip(family.get("labels", ()), parts))
+                labels.update(extra)
+                if kind == "counter":
+                    self.counter(name, help_text, labelnames).inc(
+                        value, **labels)
+                elif kind == "gauge":
+                    self.gauge(name, help_text, labelnames).set(
+                        value, **labels)
+                elif kind == "topk":
+                    instrument = self.topk(name, help_text, labelnames)
+                    for item, count in value.items():
+                        instrument.observe(item, count, **labels)
+                elif kind == "histogram":
+                    self._merge_histogram(name, help_text, labelnames,
+                                          labels, value)
+
+    def _merge_histogram(self, name, help_text, labelnames,
+                         labels, value) -> None:
+        buckets = value.get("buckets", {})
+        try:
+            bounds = tuple(sorted(float(bound) for bound in buckets))
+        except (TypeError, ValueError):
+            return
+        instrument = self.histogram(name, help_text, labelnames,
+                                    buckets=bounds or DEFAULT_BUCKETS)
+        total = int(value.get("count", 0))
+        in_buckets = sum(int(count) for count in buckets.values())
+        key = _label_key(instrument.labelnames, labels)
+        with instrument._lock:
+            counts = instrument._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(instrument.buckets) + 1)
+                instrument._counts[key] = counts
+                instrument._sums[key] = 0.0
+            if tuple(float(b) for b in instrument.buckets) == bounds:
+                for bound, count in buckets.items():
+                    counts[bisect_left(instrument.buckets,
+                                       float(bound))] += int(count)
+                counts[-1] += max(0, total - in_buckets)
+            else:  # boundary mismatch: approximate by re-observing
+                for bound, count in buckets.items():
+                    index = bisect_left(instrument.buckets, float(bound))
+                    counts[index] += int(count)
+                counts[-1] += max(0, total - in_buckets)
+            instrument._sums[key] += float(value.get("sum", 0.0))
 
 
 class _NullInstrument:
@@ -418,3 +515,31 @@ def parse_exposition(text: str) -> Dict[str, List[Tuple[dict, float]]]:
             (labels, float(match.group("value")))
         )
     return samples
+
+
+def lint_metric_names(text: str, prefix: str = "repro_") -> List[str]:
+    """Naming lint over a Prometheus exposition; returns violations.
+
+    Enforces the repo's conventions: every metric family carries the
+    one ``repro_`` prefix, counters end in ``_total``, and
+    non-counters don't (the Prometheus histogram series suffixes
+    ``_bucket``/``_sum``/``_count`` are generated, not declared, so the
+    lint runs on ``# TYPE`` declarations).  An empty return means the
+    exposition is clean; tests assert exactly that.
+    """
+    problems: List[str] = []
+    for line in text.splitlines():
+        if not line.startswith("# TYPE "):
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            problems.append(f"malformed TYPE line: {line!r}")
+            continue
+        _, _, name, kind = parts
+        if not name.startswith(prefix):
+            problems.append(f"{name}: missing {prefix!r} prefix")
+        if kind == "counter" and not name.endswith("_total"):
+            problems.append(f"{name}: counter without '_total' suffix")
+        if kind != "counter" and name.endswith("_total"):
+            problems.append(f"{name}: '_total' suffix on a {kind}")
+    return problems

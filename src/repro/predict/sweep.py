@@ -274,19 +274,22 @@ def run_schedule(
     index: int,
     seed: int,
     engine: str = DEFAULT_ENGINE,
+    obs: Observability = NULL_OBS,
 ) -> SweepRun:
     """Execute sweep run ``index``, recording its decision trace.
 
     Hangs (a serializing strategy starving a spinning warp) and
     simulation errors are folded into the run result — one pathological
-    schedule must not abort the sweep.
+    schedule must not abort the sweep.  ``obs`` reaches the underlying
+    session, so a shard worker's always-on registry counts the
+    simulator work a sweep run performs on its behalf.
     """
     kind = kind_for(index)
     run_seed = derive_seed(seed, index)
     scheduler = RecordingScheduler(make_scheduler(kind, run_seed))
     run = SweepRun(index=index, kind=kind, seed=run_seed)
     try:
-        launch = run_spec(spec, scheduler=scheduler, engine=engine)
+        launch = run_spec(spec, scheduler=scheduler, engine=engine, obs=obs)
     except StepLimitExceeded:
         run.hung = True
         run.decisions = tuple(scheduler.decisions)

@@ -32,6 +32,7 @@ from ..core.reference import DetectorConfig
 from ..errors import ReproError
 from ..faults import NULL_FAULTS, resolve_faults
 from ..faults import sites as fault_sites
+from ..obs import SpanBuffer
 from . import protocol
 
 #: Record lines per RECORDS frame.
@@ -118,6 +119,13 @@ class JobResult:
     attempts: int = 1
     backoff_schedule: List[float] = field(default_factory=list)
     transient_failures: List[str] = field(default_factory=list)
+    #: Distributed tracing: the wire-span payloads the server piggybacked
+    #: on the REPORT frame (server + every shard the job touched).  When
+    #: the submission ran with a client-side SpanBuffer these are also
+    #: absorbed into it, ready for one merged Chrome trace.
+    spans: List[dict] = field(default_factory=list)
+    #: Flight-recorder dump attached by the server (degraded jobs).
+    flight: Optional[dict] = None
 
 
 class ServiceClient:
@@ -218,12 +226,33 @@ class ServiceClient:
         batch_size: int = DEFAULT_BATCH_SIZE,
         config: Optional[DetectorConfig] = None,
         resubmit_key: Optional[str] = None,
+        trace: Optional[SpanBuffer] = None,
     ) -> JobResult:
-        """Stream one capture (header line + record lines) as one job."""
+        """Stream one capture (header line + record lines) as one job.
+
+        ``trace`` is an optional client-side :class:`SpanBuffer`; when
+        given, the whole submission is recorded as a ``submit`` span
+        whose child context travels on the OPEN frame, and the server's
+        piggybacked spans are absorbed back into the buffer — so
+        ``trace.collected_payloads()`` afterwards merges into one
+        Chrome trace spanning client, server, and every shard.
+        """
+        if trace is None or not trace.enabled:
+            return self._submit(stream, batch_size, config, resubmit_key)
+        with trace.span("submit") as submit_span:
+            result = self._submit(
+                stream, batch_size, config, resubmit_key,
+                trace_payload=trace.context.child(submit_span).to_payload())
+        trace.absorb(result.spans)
+        return result
+
+    def _submit(self, stream, batch_size, config, resubmit_key,
+                trace_payload: Optional[dict] = None) -> JobResult:
         header_line = stream.readline()
         reply = self._expect(
             self._request(protocol.open_frame(header_line, config,
-                                              resubmit_key=resubmit_key)),
+                                              resubmit_key=resubmit_key,
+                                              trace=trace_payload)),
             protocol.ACCEPT,
         )
         job_id = reply["job_id"]
@@ -247,6 +276,8 @@ class ServiceClient:
             records_processed=payload.get("records_processed", 0),
             degraded=bool(report.get("degraded", False)),
             failure_log=list(report.get("failure_log", [])),
+            spans=list(report.get("spans", [])),
+            flight=report.get("flight"),
         )
 
     def _send_batch(self, job_id: str, lines: Iterable[str]) -> None:
@@ -255,27 +286,42 @@ class ServiceClient:
 
     def submit_path(self, path: str, batch_size: int = DEFAULT_BATCH_SIZE,
                     config: Optional[DetectorConfig] = None,
-                    resubmit_key: Optional[str] = None) -> JobResult:
+                    resubmit_key: Optional[str] = None,
+                    trace: Optional[SpanBuffer] = None) -> JobResult:
         with open(path) as stream:
             return self.submit(stream, batch_size=batch_size, config=config,
-                               resubmit_key=resubmit_key)
+                               resubmit_key=resubmit_key, trace=trace)
 
     # ------------------------------------------------------------------
     # Predictive sweeps
     # ------------------------------------------------------------------
-    def sweep(self, spec: dict, schedules: int, seed: int) -> dict:
+    def sweep(self, spec: dict, schedules: int, seed: int,
+              trace: Optional[SpanBuffer] = None) -> dict:
         """Run a predictive schedule sweep server-side (``SWEEP`` verb).
 
         ``spec`` is a serialized :class:`repro.predict.LaunchSpec`
         payload; the reply is a serialized
         :class:`repro.predict.SweepResult` payload, bit-identical to
         what the local driver produces for the same (spec, schedules,
-        seed).
+        seed).  With ``trace``, the request is recorded as a
+        ``sweep-request`` span and the server/shard spans piggybacked
+        on the reply are absorbed into the buffer.
         """
-        reply = self._expect(
-            self._request(protocol.sweep_frame(spec, schedules, seed)),
-            protocol.SWEEP_REPLY,
-        )
+        if trace is None or not trace.enabled:
+            reply = self._expect(
+                self._request(protocol.sweep_frame(spec, schedules, seed)),
+                protocol.SWEEP_REPLY,
+            )
+            return reply.get("result", {})
+        with trace.span("sweep-request", schedules=schedules,
+                        seed=seed) as request_span:
+            payload = trace.context.child(request_span).to_payload()
+            reply = self._expect(
+                self._request(protocol.sweep_frame(spec, schedules, seed,
+                                                   trace=payload)),
+                protocol.SWEEP_REPLY,
+            )
+        trace.absorb(reply.get("spans", []))
         return reply.get("result", {})
 
     # ------------------------------------------------------------------
@@ -300,6 +346,11 @@ class ServiceClient:
         """Fetch per-shard liveness/backlog (the ``HEALTH`` verb)."""
         return self._expect(self._request(protocol.health_frame()),
                             protocol.HEALTH_REPLY)["health"]
+
+    def dump(self) -> dict:
+        """Fetch the merged flight-recorder rings (the ``DUMP`` verb)."""
+        return self._expect(self._request(protocol.dump_frame()),
+                            protocol.DUMP_REPLY)["flight"]
 
     # ------------------------------------------------------------------
     # Teardown
@@ -330,6 +381,7 @@ def submit_capture(
     faults=NULL_FAULTS,
     resubmit_key: Optional[str] = None,
     sleep: Callable[[float], None] = time.sleep,
+    trace: Optional[SpanBuffer] = None,
 ) -> JobResult:
     """Connect, submit one capture, disconnect — retrying transients.
 
@@ -340,11 +392,17 @@ def submit_capture(
     capture reproduces them.  Every attempt carries the same
     ``resubmit_key``, making the whole retry loop idempotent
     server-side.  ``sleep`` is injectable so tests retry instantly.
+
+    With ``trace``, each transient failure and backoff delay is stamped
+    as an instant on the client buffer, so the merged trace shows the
+    retry history alongside the server-side spans of the attempt that
+    finally succeeded.
     """
     policy = backoff if backoff is not None else BackoffPolicy()
     rng = random.Random(policy.seed)
     key = resubmit_key if resubmit_key is not None else f"sub-{uuid.uuid4().hex}"
     injector = resolve_faults(faults)
+    buffer = trace if trace is not None and trace.enabled else None
     schedule: List[float] = []
     failures: List[str] = []
     attempt = 0
@@ -355,13 +413,17 @@ def submit_capture(
                                faults=injector if injector is not None
                                else NULL_FAULTS) as client:
                 result = client.submit_path(path, batch_size=batch_size,
-                                            config=config, resubmit_key=key)
+                                            config=config, resubmit_key=key,
+                                            trace=buffer)
             result.attempts = attempt + 1
             result.backoff_schedule = schedule
             result.transient_failures = failures
             return result
         except (OSError, protocol.ProtocolError) as exc:
             failures.append(f"attempt {attempt + 1}: {exc}")
+            if buffer is not None:
+                buffer.instant("transient-failure", attempt=attempt + 1,
+                               error=str(exc))
             if attempt >= max_retries:
                 raise ServiceJobError(
                     f"submission failed after {attempt + 1} attempt(s): {exc}"

@@ -35,7 +35,14 @@ from ..errors import ReproError
 from ..faults import FaultInjector, FaultPlan
 from ..faults import sites as fault_sites
 from ..gpu.engine import DEFAULT_ENGINE, resolve_engine
-from ..obs import NULL_OBS, Observability
+from ..obs import (
+    NULL_OBS,
+    FlightRecorder,
+    MetricsRegistry,
+    Observability,
+    SpanBuffer,
+    TraceContext,
+)
 from ..runtime.host import HostDetector
 from ..runtime.replay import record_line_to_record, record_lines_to_records
 from ..trace.layout import GridLayout
@@ -67,20 +74,56 @@ _WORKER_ENGINES: Dict[str, str] = {}
 #: Per-job fault injector (from the service's ``--fault-plan``) and the
 #: inline flag that decides how a ``crash`` fault manifests.
 _WORKER_FAULTS: Dict[str, Tuple[FaultInjector, bool]] = {}
+#: Per-job distributed-trace span buffer (only for traced jobs); shipped
+#: back piggybacked on the close payload.
+_WORKER_SPANS: Dict[str, SpanBuffer] = {}
+#: Always-on per-process registry, aggregated by the server's METRICS
+#: verb under a ``shard`` label.  Instruments are pre-resolved so the
+#: batch hot path pays three plain ``inc`` calls.
+_WORKER_METRICS = MetricsRegistry()
+_WORKER_BATCHES = _WORKER_METRICS.counter(
+    "repro_worker_batches_total", "Record batches processed by this shard")
+_WORKER_RECORDS = _WORKER_METRICS.counter(
+    "repro_worker_records_total", "Records processed by this shard")
+_WORKER_BUSY = _WORKER_METRICS.counter(
+    "repro_worker_busy_seconds_total", "Detector busy time on this shard")
+#: Always-on flight recorder, named lazily once the shard index is known.
+_WORKER_FLIGHT = FlightRecorder("shard-?")
+
+
+def _worker_ident(shard: int) -> str:
+    """Name this worker process after its shard (idempotent)."""
+    name = f"shard-{shard}"
+    if _WORKER_FLIGHT.process != name:
+        _WORKER_FLIGHT.process = name
+    return name
 
 
 def _worker_open(job_id: str, layout: GridLayout,
                  config: Optional[DetectorConfig],
                  engine: str = DEFAULT_ENGINE,
                  fault_plan: Optional[dict] = None,
-                 inline: bool = False) -> bool:
+                 inline: bool = False,
+                 trace: Optional[dict] = None,
+                 shard: int = 0) -> bool:
     if job_id in _WORKER_JOBS:
         raise ReproError(f"job {job_id!r} already open on this shard")
+    process = _worker_ident(shard)
     _WORKER_JOBS[job_id] = HostDetector(layout, config)
     _WORKER_ENGINES[job_id] = engine
+    context = TraceContext.from_payload(trace)
+    if context is not None:
+        _WORKER_SPANS[job_id] = SpanBuffer(process, context=context)
     if fault_plan:
         _WORKER_FAULTS[job_id] = (
-            FaultInjector(FaultPlan.from_dict(fault_plan)), inline)
+            FaultInjector(FaultPlan.from_dict(fault_plan),
+                          obs=Observability(metrics=_WORKER_METRICS),
+                          flight=_WORKER_FLIGHT,
+                          spans=_WORKER_SPANS.get(job_id)),
+            inline,
+        )
+    _WORKER_FLIGHT.record("job-open", job=job_id, engine=engine,
+                          traced=context is not None)
     return True
 
 
@@ -113,48 +156,119 @@ def _worker_batch(job_id: str, lines: Sequence[str]) -> Tuple[int, float]:
                                sum(len(line) for line in lines))
         if fault is not None:
             _apply_worker_fault(fault, inline)
+    spans = _WORKER_SPANS.get(job_id)
     start = time.perf_counter()
     if _WORKER_ENGINES.get(job_id) == "naive":
-        detector.consume(record_line_to_record(line) for line in lines)
-    else:
+        if spans is None:
+            detector.consume(record_line_to_record(line) for line in lines)
+        else:
+            with spans.span("shard-batch", job=job_id, records=len(lines)):
+                detector.consume(record_line_to_record(line)
+                                 for line in lines)
+    elif spans is None:
         # Batched ingest: one pass over the lines with the JSON decoder
         # resolved once — the pipeline analogue of the decoded engine's
         # ``emit_batch``.  Same records, same order, same errors.
         detector.consume(record_lines_to_records(lines))
-    return len(lines), time.perf_counter() - start
+    else:
+        with spans.span("shard-batch", job=job_id, records=len(lines)):
+            detector.consume(record_lines_to_records(lines))
+    busy = time.perf_counter() - start
+    _WORKER_BATCHES.inc()
+    _WORKER_RECORDS.inc(len(lines))
+    _WORKER_BUSY.inc(busy)
+    return len(lines), busy
 
 
 def _worker_close(job_id: str) -> dict:
-    """Finish a job; returns the deterministically-serialized reports."""
+    """Finish a job; returns the deterministically-serialized reports.
+
+    A traced job's shard spans ride back piggybacked under a ``spans``
+    key; the server pops it before the payload becomes the report body,
+    so report bytes stay independent of whether tracing was on.
+    """
     detector = _WORKER_JOBS.pop(job_id, None)
     _WORKER_ENGINES.pop(job_id, None)
     _WORKER_FAULTS.pop(job_id, None)
+    spans = _WORKER_SPANS.pop(job_id, None)
     if detector is None:
         raise ReproError(f"job {job_id!r} is not open on this shard")
     payload = protocol.reports_to_payload(detector.reports)
     payload["records_processed"] = detector.records_processed
+    _WORKER_FLIGHT.record("job-close", job=job_id,
+                          records=detector.records_processed)
+    if spans is not None:
+        payload["spans"] = spans.to_payloads()
     return payload
 
 
 def _worker_discard(job_id: str) -> bool:
     _WORKER_ENGINES.pop(job_id, None)
     _WORKER_FAULTS.pop(job_id, None)
-    return _WORKER_JOBS.pop(job_id, None) is not None
+    _WORKER_SPANS.pop(job_id, None)
+    dropped = _WORKER_JOBS.pop(job_id, None) is not None
+    if dropped:
+        _WORKER_FLIGHT.record("job-discard", job=job_id)
+    return dropped
+
+
+def _worker_init() -> None:
+    """Start a shard process from a clean slate.
+
+    Fork-started workers inherit whatever this module accumulated in
+    the parent (an inline pool's detectors, counters and flight events
+    look like this shard's own history otherwise), so every executor
+    runs this as its initializer; inline pools call it at construction
+    for the same per-pool-lifetime semantics.
+    """
+    _WORKER_JOBS.clear()
+    _WORKER_ENGINES.clear()
+    _WORKER_FAULTS.clear()
+    _WORKER_SPANS.clear()
+    _WORKER_METRICS.reset(keep=(_WORKER_BATCHES.name, _WORKER_RECORDS.name,
+                                _WORKER_BUSY.name))
+    _WORKER_FLIGHT.clear()
+
+
+def _worker_metrics_snapshot() -> dict:
+    """This shard process's registry, for the METRICS-verb aggregation."""
+    return _WORKER_METRICS.snapshot()
+
+
+def _worker_flight_dump(shard: int = 0) -> dict:
+    """This shard process's flight ring, for DUMP and degraded reports."""
+    _worker_ident(shard)
+    return _WORKER_FLIGHT.dump()
 
 
 def _worker_sweep_run(spec_payload: dict, index: int, seed: int,
-                      engine: str = DEFAULT_ENGINE) -> dict:
+                      engine: str = DEFAULT_ENGINE,
+                      trace: Optional[dict] = None,
+                      shard: int = 0) -> dict:
     """Execute one seeded schedule run of a predictive sweep.
 
     Stateless: the launch spec payload carries everything needed to
     rebuild the launch, so sweep runs can land on any shard.  The
     ``repro.predict`` import stays lazy — record-stream jobs never pay
-    for the simulator stack.
+    for the simulator stack.  Traced runs attach their spans under a
+    ``spans`` key (popped server-side before the deterministic merge)
+    with a link back to the client's fan-out parent span.
     """
     from ..predict.sweep import LaunchSpec, run_schedule
 
     spec = LaunchSpec.from_payload(spec_payload)
-    return run_schedule(spec, index, seed, engine=engine).to_payload()
+    context = TraceContext.from_payload(trace)
+    worker_obs = Observability(metrics=_WORKER_METRICS)
+    if context is None:
+        return run_schedule(spec, index, seed, engine=engine,
+                            obs=worker_obs).to_payload()
+    buffer = SpanBuffer(_worker_ident(shard), context=context)
+    links = (context.parent_span_id,) if context.parent_span_id else ()
+    with buffer.span("sweep-run", links=links, index=index, seed=seed):
+        payload = run_schedule(spec, index, seed, engine=engine,
+                               obs=worker_obs).to_payload()
+    payload["spans"] = buffer.to_payloads()
+    return payload
 
 
 def _worker_sweep_finalize(spec_payload: dict, run_payloads: Sequence[dict],
@@ -205,12 +319,17 @@ class ShardedDetectorPool:
         # regardless of which shard a job lands on.
         self.fault_plan_payload = fault_plan.to_dict() if fault_plan else None
         # Coordinator-side tracing: batch spans are recorded here from
-        # the futures' dispatch/completion times (one track per shard),
-        # so no trace state crosses the process boundary.
+        # the futures' dispatch/completion times (one track per shard).
+        # Distributed traces additionally cross the process boundary:
+        # traced jobs carry a TraceContext into the worker, which fills
+        # a bounded SpanBuffer shipped back on the close payload.
         self.obs = obs
         self._executors: List[ProcessPoolExecutor] = [
-            ProcessPoolExecutor(max_workers=1) for _ in range(workers)
+            ProcessPoolExecutor(max_workers=1, initializer=_worker_init)
+            for _ in range(workers)
         ]
+        if not workers:
+            _worker_init()
         self._assignments: Dict[str, int] = {}
         self._next_shard = 0
         self._lock = threading.Lock()
@@ -261,11 +380,12 @@ class ShardedDetectorPool:
     # Job lifecycle
     # ------------------------------------------------------------------
     def open_job(self, job_id: str, layout: GridLayout,
-                 config: Optional[DetectorConfig] = None) -> Future:
+                 config: Optional[DetectorConfig] = None,
+                 trace: Optional[dict] = None) -> Future:
         shard = self._assign(job_id)
         return self._dispatch(
             shard, _worker_open, job_id, layout, config, self.engine,
-            self.fault_plan_payload, self.inline,
+            self.fault_plan_payload, self.inline, trace, shard,
         )
 
     def submit_batch(self, job_id: str, lines: Sequence[str]) -> Future:
@@ -343,7 +463,7 @@ class ShardedDetectorPool:
     # Predictive sweeps
     # ------------------------------------------------------------------
     def submit_sweep_run(self, spec_payload: dict, index: int,
-                         seed: int) -> Future:
+                         seed: int, trace: Optional[dict] = None) -> Future:
         """Run sweep schedule ``index``; sharded ``index % shards``.
 
         The assignment is arithmetic, not round-robin state, so the
@@ -352,6 +472,7 @@ class ShardedDetectorPool:
         shard = index % max(self.workers, 1)
         return self._dispatch(
             shard, _worker_sweep_run, spec_payload, index, seed, self.engine,
+            trace, shard,
         )
 
     def submit_sweep_finalize(self, spec_payload: dict,
@@ -387,7 +508,8 @@ class ShardedDetectorPool:
             except OSError:
                 pass
         old.shutdown(wait=False, cancel_futures=True)
-        self._executors[shard] = ProcessPoolExecutor(max_workers=1)
+        self._executors[shard] = ProcessPoolExecutor(
+            max_workers=1, initializer=_worker_init)
         with self._lock:
             self._broken[shard] = False
             self._backlog[shard] = 0
@@ -395,6 +517,7 @@ class ShardedDetectorPool:
 
     def requeue_job(self, job_id: str, layout: GridLayout,
                     config: Optional[DetectorConfig] = None,
+                    trace: Optional[dict] = None,
                     ) -> Tuple[Future, int]:
         """Reassign a job to a surviving shard and re-open it there.
 
@@ -421,10 +544,38 @@ class ShardedDetectorPool:
         return (
             self._dispatch(
                 new, _worker_open, job_id, layout, config, self.engine,
-                self.fault_plan_payload, self.inline,
+                self.fault_plan_payload, self.inline, trace, new,
             ),
             new,
         )
+
+    # ------------------------------------------------------------------
+    # Cross-process observability gathering
+    # ------------------------------------------------------------------
+    def metrics_futures(self) -> List[Tuple[int, Future]]:
+        """One registry-snapshot future per live shard.
+
+        Used by the METRICS verb to aggregate worker registries into
+        the server view; broken shards are skipped (they have no
+        process to answer, and HEALTH already reports them dead).
+        """
+        futures = []
+        for shard in range(max(self.workers, 1)):
+            if not self.inline and self._broken[shard]:
+                continue
+            futures.append(
+                (shard, self._dispatch(shard, _worker_metrics_snapshot)))
+        return futures
+
+    def flight_futures(self) -> List[Tuple[int, Future]]:
+        """One flight-recorder-dump future per live shard."""
+        futures = []
+        for shard in range(max(self.workers, 1)):
+            if not self.inline and self._broken[shard]:
+                continue
+            futures.append(
+                (shard, self._dispatch(shard, _worker_flight_dump, shard)))
+        return futures
 
     def shard_health(self) -> List[dict]:
         """Per-shard liveness/backlog snapshot for the HEALTH verb."""

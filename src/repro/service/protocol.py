@@ -14,11 +14,21 @@ connection and a server can ingest several jobs concurrently:
 
 Client → server verbs::
 
-    OPEN    {header_line, config?}     -> ACCEPT {job_id} | ERROR
+    OPEN    {header_line, config?, trace?} -> ACCEPT {job_id} | ERROR
     RECORDS {job_id, lines: [str]}     -> ACK {job_id, accepted, pending} | ERROR
-    CLOSE   {job_id}                   -> REPORT {job_id, reports, stats} | ERROR
+    CLOSE   {job_id}                   -> REPORT {job_id, reports, stats,
+                                                  spans?, flight?} | ERROR
     STATS   {}                         -> STATS_REPLY {stats}
     METRICS {}                         -> METRICS_REPLY {text, snapshot}
+    DUMP    {}                         -> DUMP_REPLY {flight}
+
+The optional ``trace`` field on OPEN and SWEEP is a serialized
+:class:`repro.obs.TraceContext`; when present, the server and every
+shard worker the job touches record wire spans parented under the
+client's context and ship them back on the result frame (``spans``), so
+the client can merge one Chrome trace spanning all three tiers.
+``flight`` carries a flight-recorder dump: automatically on degraded
+reports, on demand via ``DUMP``.
 
 ``ACK`` doubles as the backpressure signal: the server withholds it
 while a job's pending-record count sits above the high-water mark, which
@@ -58,6 +68,7 @@ STATS = "stats"
 METRICS = "metrics"
 HEALTH = "health"
 SWEEP = "sweep"
+DUMP = "dump"
 
 # Server → client verbs.
 ACCEPT = "accept"
@@ -68,6 +79,7 @@ STATS_REPLY = "stats-reply"
 METRICS_REPLY = "metrics-reply"
 HEALTH_REPLY = "health-reply"
 SWEEP_REPLY = "sweep-reply"
+DUMP_REPLY = "dump-reply"
 
 
 class ProtocolError(ReproError):
@@ -161,19 +173,26 @@ def recv_frame(sock: socket.socket) -> Optional[dict]:
 # Message constructors
 # ----------------------------------------------------------------------
 def open_frame(header_line: str, config: Optional[DetectorConfig] = None,
-               resubmit_key: Optional[str] = None) -> dict:
+               resubmit_key: Optional[str] = None,
+               trace: Optional[dict] = None) -> dict:
     """``OPEN``; ``resubmit_key`` makes the submission idempotent.
 
     A client that retries after a transient failure re-opens with the
     same key; the server supersedes any half-finished job under that key
     and replays the finished report from its cache when the first
     attempt actually completed — so a retry can never double-run a job.
+
+    ``trace`` is an optional serialized ``TraceContext``; it asks the
+    server (and the shard workers it dispatches to) to record spans for
+    this job and ship them back on the REPORT frame.
     """
     message = {"verb": OPEN, "header_line": header_line}
     if config is not None:
         message["config"] = config_to_payload(config)
     if resubmit_key is not None:
         message["resubmit_key"] = resubmit_key
+    if trace is not None:
+        message["trace"] = trace
     return message
 
 
@@ -213,7 +232,9 @@ def ack_frame(job_id: str, accepted: int, pending: int) -> dict:
 
 def report_frame(job_id: str, reports: dict, stats: dict,
                  degraded: bool = False,
-                 failure_log: Optional[List[str]] = None) -> dict:
+                 failure_log: Optional[List[str]] = None,
+                 spans: Optional[List[dict]] = None,
+                 flight: Optional[dict] = None) -> dict:
     """``REPORT``; ``degraded`` marks a best-effort result.
 
     A degraded report is the clean alternative to a hang: the job hit an
@@ -221,12 +242,20 @@ def report_frame(job_id: str, reports: dict, stats: dict,
     budget, worker hung past the watchdog), and the reply says so
     explicitly — ``failure_log`` carries one line per failure — instead
     of silently returning partial findings as if they were complete.
+
+    ``spans`` piggybacks the server/shard wire spans of a traced job;
+    ``flight`` attaches a merged flight-recorder dump (always present on
+    degraded reports so the post-mortem travels with the failure).
     """
     frame: Dict[str, object] = {"verb": REPORT, "job_id": job_id,
                                 "reports": reports, "stats": stats}
     if degraded:
         frame["degraded"] = True
         frame["failure_log"] = list(failure_log or [])
+    if spans:
+        frame["spans"] = list(spans)
+    if flight is not None:
+        frame["flight"] = flight
     return frame
 
 
@@ -246,21 +275,42 @@ def metrics_reply_frame(text: str, snapshot: dict) -> dict:
     return {"verb": METRICS_REPLY, "text": text, "snapshot": snapshot}
 
 
-def sweep_frame(spec: dict, schedules: int, seed: int) -> dict:
+def sweep_frame(spec: dict, schedules: int, seed: int,
+                trace: Optional[dict] = None) -> dict:
     """``SWEEP``: run a predictive schedule sweep over a launch spec.
 
     ``spec`` is a :meth:`repro.predict.sweep.LaunchSpec.to_payload`
     payload; the server fans the ``schedules`` seeded runs across the
     sharded pool and merges deterministically, so the reply bytes depend
-    only on ``(spec, schedules, seed)``.
+    only on ``(spec, schedules, seed)``.  ``trace`` optionally carries a
+    serialized ``TraceContext``; span payloads ride back on the reply's
+    ``spans`` field (outside ``result``, so the result bytes stay a
+    pure function of the sweep inputs).
     """
-    return {"verb": SWEEP, "spec": spec, "schedules": int(schedules),
-            "seed": int(seed)}
+    message = {"verb": SWEEP, "spec": spec, "schedules": int(schedules),
+               "seed": int(seed)}
+    if trace is not None:
+        message["trace"] = trace
+    return message
 
 
-def sweep_reply_frame(result: dict) -> dict:
+def sweep_reply_frame(result: dict,
+                      spans: Optional[List[dict]] = None) -> dict:
     """The SWEEP reply: a serialized sweep result payload."""
-    return {"verb": SWEEP_REPLY, "result": result}
+    frame: Dict[str, object] = {"verb": SWEEP_REPLY, "result": result}
+    if spans:
+        frame["spans"] = list(spans)
+    return frame
+
+
+def dump_frame() -> dict:
+    """``DUMP``: fetch the merged server + shard flight-recorder rings."""
+    return {"verb": DUMP}
+
+
+def dump_reply_frame(flight: dict) -> dict:
+    """The DUMP reply: a merged flight-recorder dump."""
+    return {"verb": DUMP_REPLY, "flight": flight}
 
 
 # ----------------------------------------------------------------------

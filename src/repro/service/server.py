@@ -29,6 +29,12 @@ from ..core.reference import DetectorConfig
 from ..errors import ReproError
 from ..faults import FaultPlan
 from ..gpu.engine import DEFAULT_ENGINE
+from ..obs import (
+    FlightRecorder,
+    SpanBuffer,
+    TraceContext,
+    merge_flight_dumps,
+)
 from ..runtime.replay import read_header
 from ..trace.layout import GridLayout
 from . import protocol
@@ -82,6 +88,11 @@ class _Job:
     recovering: bool = False
     degraded: bool = False
     failure_log: List[str] = field(default_factory=list)
+    #: Distributed tracing: the client's serialized TraceContext (also
+    #: forwarded to the worker on open/requeue) and the server-side span
+    #: buffer recording this job's server spans + recovery instants.
+    trace_payload: Optional[dict] = None
+    spans: Optional[SpanBuffer] = None
 
     def fail(self, message: str) -> None:
         if not self.failed:
@@ -149,6 +160,9 @@ class RaceService:
         self._key_to_job: Dict[str, str] = {}
         self.requeues_total = 0
         self.watchdog_timeouts_total = 0
+        #: Always-on bounded ring of lifecycle events; merged with the
+        #: shard rings on degraded reports and by the DUMP verb.
+        self.flight = FlightRecorder("server")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -242,6 +256,7 @@ class RaceService:
                     message = protocol.decode_payload(payload)
                 except protocol.ProtocolError as exc:
                     # Framing is still intact: reject this frame only.
+                    self.flight.record("protocol-error", error=str(exc))
                     await self._send(writer, protocol.error_frame(str(exc)))
                     continue
                 try:
@@ -282,14 +297,44 @@ class RaceService:
         elif verb == protocol.METRICS:
             registry = metrics_registry_from_snapshot(
                 self.stats.snapshot(self.pool.worker_stats))
+            # Aggregate the shard workers' always-on registries under a
+            # `shard` label; a dead or slow shard is skipped — METRICS
+            # answers with whatever the fleet can report right now.
+            for shard, snapshot in await self._gather_shards(
+                    self.pool.metrics_futures()):
+                registry.merge_snapshot(snapshot, {"shard": str(shard)})
             await self._send(writer, protocol.metrics_reply_frame(
                 registry.render_prometheus(), registry.snapshot()))
+        elif verb == protocol.DUMP:
+            await self._send(writer, protocol.dump_reply_frame(
+                await self._merged_flight()))
         elif verb == protocol.HEALTH:
             await self._send(writer, protocol.health_reply_frame(
                 self.health_snapshot()))
         else:
             await self._send(writer, protocol.error_frame(
                 f"unknown verb {verb!r}"))
+
+    async def _gather_shards(self, futures, timeout: float = 5.0):
+        """Await per-shard observability futures, skipping casualties."""
+        results = []
+        for shard, future in futures:
+            try:
+                value = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout=timeout)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                continue
+            results.append((shard, value))
+        return results
+
+    async def _merged_flight(self) -> dict:
+        """The server's flight ring merged with every live shard's."""
+        dumps: List[Optional[dict]] = [self.flight.dump()]
+        dumps.extend(dump for _shard, dump in await self._gather_shards(
+            self.pool.flight_futures()))
+        return merge_flight_dumps(dumps)
 
     # ------------------------------------------------------------------
     # Verbs
@@ -315,6 +360,15 @@ class RaceService:
         except ReproError as exc:
             await self._send(writer, protocol.error_frame(str(exc)))
             return
+        try:
+            context = TraceContext.from_payload(message.get("trace"))
+        except ValueError as exc:
+            await self._send(writer, protocol.error_frame(
+                f"bad trace context: {exc}"))
+            return
+        trace_payload = context.to_payload() if context is not None else None
+        spans = (SpanBuffer("server", context=context)
+                 if context is not None else None)
         resubmit_key = message.get("resubmit_key")
         resubmit_key = resubmit_key if isinstance(resubmit_key, str) and resubmit_key else None
         if resubmit_key is not None:
@@ -338,29 +392,42 @@ class RaceService:
                     stale, f"superseded by resubmission {resubmit_key!r}")
         job_id = f"job-{self._next_job_id}"
         self._next_job_id += 1
-        try:
-            await asyncio.wait_for(
-                asyncio.wrap_future(self.pool.open_job(job_id, layout, config)),
-                timeout=self.job_timeout)
-        except asyncio.CancelledError:
-            raise
-        except Exception as first_exc:
-            # The assigned shard is dead (or hung): respawn it and retry
-            # the open once on the least-loaded surviving shard.
-            with contextlib.suppress(Exception):
-                self.pool.respawn_shard(self.pool.shard_of(job_id))
+        self.flight.record("job-open", job=job_id, kernel=kernel,
+                           traced=context is not None)
+        open_cm = (spans.span("server-open", job=job_id, kernel=kernel)
+                   if spans is not None else contextlib.nullcontext(""))
+        with open_cm:
             try:
-                future, _shard = self.pool.requeue_job(job_id, layout, config)
-                await asyncio.wait_for(asyncio.wrap_future(future),
-                                       timeout=self.job_timeout)
+                await asyncio.wait_for(
+                    asyncio.wrap_future(self.pool.open_job(
+                        job_id, layout, config, trace_payload)),
+                    timeout=self.job_timeout)
             except asyncio.CancelledError:
                 raise
-            except Exception as exc:
-                self.pool.discard_job(job_id)
-                raise ReproError(
-                    f"could not open job: {exc or first_exc}") from exc
+            except Exception as first_exc:
+                # The assigned shard is dead (or hung): respawn it and
+                # retry the open once on the least-loaded surviving shard.
+                self.flight.record("open-retry", job=job_id,
+                                   error=str(first_exc) or
+                                   type(first_exc).__name__)
+                with contextlib.suppress(Exception):
+                    self.pool.respawn_shard(self.pool.shard_of(job_id))
+                try:
+                    future, _shard = self.pool.requeue_job(
+                        job_id, layout, config, trace_payload)
+                    await asyncio.wait_for(asyncio.wrap_future(future),
+                                           timeout=self.job_timeout)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    self.pool.discard_job(job_id)
+                    self.flight.record("open-failed", job=job_id,
+                                       error=str(exc or first_exc))
+                    raise ReproError(
+                        f"could not open job: {exc or first_exc}") from exc
         job = _Job(job_id=job_id, stats=self.stats.open_job(job_id, kernel),
-                   layout=layout, config=config, resubmit_key=resubmit_key)
+                   layout=layout, config=config, resubmit_key=resubmit_key,
+                   trace_payload=trace_payload, spans=spans)
         self._jobs[job_id] = job
         if resubmit_key is not None:
             self._key_to_job[resubmit_key] = job_id
@@ -431,10 +498,18 @@ class RaceService:
             raise
         except asyncio.TimeoutError:
             self.watchdog_timeouts_total += 1
+            self.flight.record("watchdog-timeout", job=job.job_id,
+                               timeout_s=self.job_timeout)
+            if job.spans is not None:
+                job.spans.instant("watchdog-timeout", job=job.job_id)
             await self._recover_job(
                 job, epoch,
                 f"worker hung: batch exceeded the {self.job_timeout}s watchdog")
         except (BrokenExecutor, ShardCrashError) as exc:
+            self.flight.record("shard-crash", job=job.job_id,
+                               error=str(exc) or type(exc).__name__)
+            if job.spans is not None:
+                job.spans.instant("shard-crash", job=job.job_id)
             await self._recover_job(
                 job, epoch,
                 f"shard crashed mid-job: {exc or type(exc).__name__}")
@@ -473,20 +548,33 @@ class RaceService:
                 shard = self.pool.shard_of(job.job_id)
             if shard is not None:
                 self.pool.respawn_shard(shard)
+                self.flight.record("shard-respawn", shard=shard,
+                                   job=job.job_id)
             if job.requeues >= self.max_requeues:
+                self.flight.record("job-degraded", job=job.job_id,
+                                   reason="requeue budget exhausted")
+                if job.spans is not None:
+                    job.spans.instant("job-degraded", job=job.job_id)
                 job.degrade(
                     f"requeue budget of {self.max_requeues} exhausted")
                 return
             job.requeues += 1
             self.requeues_total += 1
+            self.flight.record("job-requeue", job=job.job_id,
+                               attempt=job.requeues, reason=reason)
+            if job.spans is not None:
+                job.spans.instant("job-requeue", job=job.job_id,
+                                  attempt=job.requeues)
             try:
                 future, _shard = self.pool.requeue_job(
-                    job.job_id, job.layout, job.config)
+                    job.job_id, job.layout, job.config, job.trace_payload)
                 await asyncio.wait_for(asyncio.wrap_future(future),
                                        timeout=self.job_timeout)
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
+                self.flight.record("job-degraded", job=job.job_id,
+                                   reason=f"requeue failed: {exc}")
                 job.degrade(f"requeue failed: {exc}")
                 return
             job.stats.pending_records = len(job.lines)
@@ -542,29 +630,47 @@ class RaceService:
             await asyncio.wrap_future(self.pool.discard_job(job.job_id))
             await self._send(writer, protocol.error_frame(job.error, job.job_id))
             return
+        shard_spans: List[dict] = []
         if job.degraded:
             with contextlib.suppress(Exception):
                 await asyncio.wrap_future(self.pool.discard_job(job.job_id))
             payload = dict(_EMPTY_REPORT_PAYLOAD)
         else:
-            try:
-                payload = await asyncio.wait_for(
-                    asyncio.wrap_future(self.pool.close_job(job.job_id)),
-                    timeout=self.job_timeout)
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:
-                # A close that crashes or hangs still answers: degraded.
-                job.degraded = True
-                job.failure_log.append(f"close failed: {exc}")
-                payload = dict(_EMPTY_REPORT_PAYLOAD)
+            close_cm = (job.spans.span("server-close", job=job.job_id)
+                        if job.spans is not None
+                        else contextlib.nullcontext(""))
+            with close_cm:
+                try:
+                    payload = await asyncio.wait_for(
+                        asyncio.wrap_future(self.pool.close_job(job.job_id)),
+                        timeout=self.job_timeout)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    # A close that crashes or hangs still answers: degraded.
+                    job.degraded = True
+                    job.failure_log.append(f"close failed: {exc}")
+                    payload = dict(_EMPTY_REPORT_PAYLOAD)
+            # The shard's piggybacked spans must come off before the
+            # payload becomes the report body: report bytes stay
+            # independent of whether the job was traced.
+            if isinstance(payload, dict):
+                shard_spans = payload.pop("spans", []) or []
         state = "degraded" if job.degraded else "done"
+        self.flight.record("job-close", job=job.job_id, state=state)
         self.stats.finish_job(job.job_id, state,
                               "; ".join(job.failure_log) if job.degraded else "")
+        spans = None
+        if job.spans is not None:
+            spans = job.spans.to_payloads() + shard_spans
+        # Degraded reports carry the post-mortem with them: the merged
+        # server + shard flight rings.
+        flight = await self._merged_flight() if job.degraded else None
         frame = protocol.report_frame(
             job.job_id, payload, job.stats.snapshot(),
             degraded=job.degraded,
-            failure_log=job.failure_log if job.degraded else None)
+            failure_log=job.failure_log if job.degraded else None,
+            spans=spans, flight=flight)
         self._remember(job.resubmit_key, frame)
         await self._send(writer, frame)
 
@@ -603,56 +709,90 @@ class RaceService:
         except ReproError as exc:
             await self._send(writer, protocol.error_frame(str(exc)))
             return
+        try:
+            context = TraceContext.from_payload(message.get("trace"))
+        except ValueError as exc:
+            await self._send(writer, protocol.error_frame(
+                f"bad trace context: {exc}"))
+            return
+        spans = (SpanBuffer("server", context=context)
+                 if context is not None else None)
+        self.flight.record("sweep", schedules=schedules, seed=seed,
+                           traced=context is not None)
         # A sweep run is a whole simulated kernel execution, not one
         # record batch; scale the watchdog with the work fanned out.
         timeout = self.job_timeout * max(1, schedules)
-        futures = [
-            self.pool.submit_sweep_run(spec_payload, index, seed)
-            for index in range(schedules)
-        ]
-        run_payloads: List[dict] = []
-        shards = max(self.pool.workers, 1)
-        for index, future in enumerate(futures):
+        sweep_cm = (spans.span("sweep", schedules=schedules, seed=seed)
+                    if spans is not None else contextlib.nullcontext(""))
+        run_spans: List[dict] = []
+        with sweep_cm as sweep_span:
+            # Each fan-out child parents under (and links back to) the
+            # server's sweep span, which itself parents under the
+            # client's request span.
+            run_trace = (context.child(sweep_span).to_payload()
+                         if spans is not None else None)
+            futures = [
+                self.pool.submit_sweep_run(spec_payload, index, seed,
+                                           run_trace)
+                for index in range(schedules)
+            ]
+            run_payloads: List[dict] = []
+            shards = max(self.pool.workers, 1)
+            for index, future in enumerate(futures):
+                try:
+                    payload = await asyncio.wait_for(
+                        asyncio.wrap_future(future), timeout=timeout)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    if isinstance(exc, (BrokenExecutor, ShardCrashError,
+                                        asyncio.TimeoutError)):
+                        if isinstance(exc, asyncio.TimeoutError):
+                            self.watchdog_timeouts_total += 1
+                        with contextlib.suppress(Exception):
+                            self.pool.respawn_shard(index % shards)
+                    self.flight.record("sweep-run-failed", index=index,
+                                       error=str(exc) or type(exc).__name__)
+                    if spans is not None:
+                        spans.instant("sweep-run-failed", index=index)
+                    payload = {
+                        "index": index,
+                        "kind": kind_for(index),
+                        "seed": derive_seed(seed, index),
+                        "decisions": [],
+                        "races": [],
+                        "barrier_divergences": 0,
+                        "hung": False,
+                        "error": f"schedule run failed: "
+                                 f"{exc or type(exc).__name__}",
+                    }
+                # The worker piggybacks its spans on the run payload;
+                # they MUST come off before the finalize merge so the
+                # result bytes stay a pure function of the sweep inputs.
+                if isinstance(payload, dict):
+                    run_spans.extend(payload.pop("spans", []) or [])
+                run_payloads.append(payload)
             try:
-                payload = await asyncio.wait_for(
-                    asyncio.wrap_future(future), timeout=timeout)
+                result = await asyncio.wait_for(
+                    asyncio.wrap_future(self.pool.submit_sweep_finalize(
+                        spec_payload, run_payloads, schedules, seed)),
+                    timeout=timeout)
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
-                if isinstance(exc, (BrokenExecutor, ShardCrashError,
-                                    asyncio.TimeoutError)):
-                    if isinstance(exc, asyncio.TimeoutError):
-                        self.watchdog_timeouts_total += 1
-                    with contextlib.suppress(Exception):
-                        self.pool.respawn_shard(index % shards)
-                payload = {
-                    "index": index,
-                    "kind": kind_for(index),
-                    "seed": derive_seed(seed, index),
-                    "decisions": [],
-                    "races": [],
-                    "barrier_divergences": 0,
-                    "hung": False,
-                    "error": f"schedule run failed: {exc or type(exc).__name__}",
-                }
-            run_payloads.append(payload)
-        try:
-            result = await asyncio.wait_for(
-                asyncio.wrap_future(self.pool.submit_sweep_finalize(
-                    spec_payload, run_payloads, schedules, seed)),
-                timeout=timeout)
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:
-            await self._send(writer, protocol.error_frame(
-                f"sweep finalize failed: {exc or type(exc).__name__}"))
-            return
-        await self._send(writer, protocol.sweep_reply_frame(result))
+                await self._send(writer, protocol.error_frame(
+                    f"sweep finalize failed: {exc or type(exc).__name__}"))
+                return
+        reply_spans = (spans.to_payloads() + run_spans
+                       if spans is not None else None)
+        await self._send(writer, protocol.sweep_reply_frame(
+            result, spans=reply_spans))
 
     def _abort_job(self, job_id: str, reason: str) -> None:
         job = self._jobs.pop(job_id, None)
         if job is None:
             return
+        self.flight.record("job-abort", job=job_id, reason=reason)
         if job.resubmit_key is not None \
                 and self._key_to_job.get(job.resubmit_key) == job_id:
             del self._key_to_job[job.resubmit_key]

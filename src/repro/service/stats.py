@@ -230,8 +230,10 @@ def metrics_registry_from_snapshot(snapshot: dict) -> MetricsRegistry:
     worker_records = registry.counter(
         "repro_service_worker_records_total", "Records per pool shard", ("shard",)
     )
-    worker_busy = registry.gauge(
-        "repro_service_worker_busy_seconds", "Busy time per pool shard", ("shard",)
+    worker_busy = registry.counter(
+        "repro_service_worker_busy_seconds_total",
+        "Busy time per pool shard",
+        ("shard",),
     )
     worker_util = registry.gauge(
         "repro_service_worker_utilization",
@@ -242,7 +244,7 @@ def metrics_registry_from_snapshot(snapshot: dict) -> MetricsRegistry:
         shard = str(worker.get("shard", 0))
         worker_batches.inc(worker.get("batches", 0), shard=shard)
         worker_records.inc(worker.get("records", 0), shard=shard)
-        worker_busy.set(worker.get("busy_seconds", 0.0), shard=shard)
+        worker_busy.inc(worker.get("busy_seconds", 0.0), shard=shard)
         worker_util.set(worker.get("utilization", 0.0), shard=shard)
     return registry
 

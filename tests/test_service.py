@@ -397,13 +397,18 @@ class TestMetricsVerb:
         assert self._sample(
             parsed, "repro_service_records_in_total") == len(records)
         assert parsed["repro_service_worker_records_total"]
-        # The METRICS verb is the STATS snapshot through the registry:
-        # rebuilding locally yields the same snapshot format (uptime is
-        # the only clock-dependent series).
+        # The METRICS verb is the STATS snapshot through the registry
+        # (rebuilding locally yields the same snapshot format; uptime is
+        # the only clock-dependent series), plus each shard worker's own
+        # always-on registry merged under a shard label.
         local = metrics_registry_from_snapshot(stats).snapshot()
         remote = metrics["snapshot"]
-        assert set(remote) == set(local)
-        for name in remote:
+        worker_families = {name for name in remote
+                           if name.startswith("repro_worker_")}
+        assert set(remote) - worker_families == set(local)
+        for name in worker_families:
+            assert "shard" in remote[name]["labels"]
+        for name in local:
             assert remote[name]["type"] == local[name]["type"]
             assert remote[name]["labels"] == local[name]["labels"]
 
