@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -402,11 +403,18 @@ def run_lint(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro lint",
         description="Statically lint a kernel for races, barrier "
         "divergence and missing-fence idioms without running it. "
-        "Exit code 1 when any error-severity finding fires.",
+        "--fail-on picks which findings make the exit code 1 "
+        "(default: error-severity findings).",
     )
     parser.add_argument("source", help="kernel source file (.cu mini CUDA-C or .ptx)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="render findings as human text (default) or JSON")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="render findings as human text (default), JSON, "
+                        "or a SARIF 2.1.0 log for code-scanning upload")
+    parser.add_argument("--fail-on", choices=("error", "warning", "never"),
+                        default="error",
+                        help="exit 1 on error-severity findings (default), "
+                        "on any finding (warning), or never")
     parser.add_argument("--trace", metavar="PATH",
                         help="write a Chrome trace-event JSON file of the "
                         "lint phases")
@@ -414,7 +422,12 @@ def run_lint(argv: Optional[Sequence[str]] = None) -> int:
                         help="print a Prometheus-style metrics snapshot")
     args = parser.parse_args(argv)
 
-    from .staticcheck import SEVERITY_ERROR, render_json, render_text
+    from .staticcheck import (
+        SEVERITY_ERROR,
+        render_json,
+        render_sarif,
+        render_text,
+    )
     from .staticcheck import run_lint as static_lint
 
     obs = make_observability(trace=bool(args.trace), metrics=args.metrics)
@@ -441,6 +454,8 @@ def run_lint(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         sys.stdout.write(render_json(findings, source_name=args.source))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(findings, source_name=args.source))
     else:
         sys.stdout.write(render_text(findings, source_name=args.source))
     if args.metrics:
@@ -451,6 +466,10 @@ def run_lint(argv: Optional[Sequence[str]] = None) -> int:
         print(f"trace written to {args.trace} "
               f"({len(obs.tracer.span_names())} distinct phases)",
               file=sys.stderr)
+    if args.fail_on == "never":
+        return 0
+    if args.fail_on == "warning":
+        return 1 if findings else 0
     return 1 if any(f.severity == SEVERITY_ERROR for f in findings) else 0
 
 
@@ -789,6 +808,217 @@ def run_sweep_cmd(argv: Optional[Sequence[str]] = None) -> int:
                   f"({len(obs.tracer.span_names())} distinct phases)",
                   file=sys.stderr)
     return exit_code
+
+
+# ----------------------------------------------------------------------
+# Automated race repair (repro fix)
+# ----------------------------------------------------------------------
+def _print_fix_result(result, max_reports: int) -> None:
+    from .fix.patches import render_diff
+
+    print(f"========= {len(result.targets)} race group(s), "
+          f"{len(result.candidates)} candidate patch(es), "
+          f"{len(result.verified)} verified")
+    for target in result.targets:
+        space, offset, block, pcs = target["key"]
+        state = (f"repaired by candidate #{target['best']}"
+                 if target["repaired"] else "NOT repaired")
+        print(f"  {space}[0x{offset:x}] block {block} "
+              f"PTX lines {pcs[0]}/{pcs[1]}: {state}")
+    for candidate in result.candidates[:max_reports]:
+        marker = "ok " if candidate["status"] == "verified" else "   "
+        print(f"  {marker}#{candidate['index']} {candidate['strategy']} "
+              f"(+{candidate['delta']} insn) [{candidate['status']}] "
+              f"{candidate['description']}")
+        if candidate["status"] != "verified" and candidate["detail"]:
+            print(f"        {candidate['detail']}")
+    if len(result.candidates) > max_reports:
+        print(f"  ... and {len(result.candidates) - max_reports} more")
+    best = result.verified_candidates
+    if best:
+        print(f"--------- best patch: candidate #{best[0]['index']} "
+              f"({best[0]['strategy']})")
+        sys.stdout.write(render_diff(result.source,
+                                     best[0]["patched_source"],
+                                     f"{result.kernel}.ptx"))
+
+
+def _write_patches(result, patch_dir: str) -> int:
+    from .fix.patches import render_diff
+
+    os.makedirs(patch_dir, exist_ok=True)
+    written = 0
+    for rank, candidate in enumerate(result.verified_candidates):
+        path = os.path.join(
+            patch_dir,
+            f"{result.kernel}-{rank:02d}-{candidate['strategy']}.patch",
+        )
+        with open(path, "w") as handle:
+            handle.write(render_diff(result.source,
+                                     candidate["patched_source"],
+                                     f"{result.kernel}.ptx"))
+        written += 1
+    return written
+
+
+def run_fix_cmd(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro fix",
+        description="Automated race repair: detect races (base schedule + "
+        "predictive sweep), synthesize minimal PTX patches from their "
+        "static lint classification (barrier insertion, fence widening, "
+        "atomic promotion, uniform-guard hoisting), verify every candidate "
+        "by a full pipeline re-run, and rank survivors by instruction-count "
+        "delta. With --socket/--port the verification is fanned out by a "
+        "running service. Exit 0 when every race group has a verified "
+        "patch (or there was nothing to repair), 1 otherwise.",
+    )
+    parser.add_argument("source", help="kernel source file (.cu mini CUDA-C or .ptx)")
+    parser.add_argument("--kernel", help="kernel name (default: first in the module)")
+    parser.add_argument("--grid", type=int, default=1)
+    parser.add_argument("--block", type=int, default=32)
+    parser.add_argument("--warp-size", type=int, default=32)
+    parser.add_argument("--buffer", action="append", default=[],
+                        type=_parse_buffer, metavar="NAME:WORDS[:V0,V1,...]")
+    parser.add_argument("--scalar", action="append", default=[],
+                        type=_parse_scalar, metavar="NAME:VALUE")
+    parser.add_argument("--arch", choices=sorted(_ARCHES), default="titanx")
+    parser.add_argument("--engine", choices=("naive", "decoded"),
+                        default="decoded")
+    parser.add_argument("--max-steps", type=int, default=400_000)
+    parser.add_argument("--max-candidates", type=int, default=16,
+                        help="cap on synthesized candidate patches")
+    parser.add_argument("--verify-schedules", type=int, default=4,
+                        help="seeded schedules in each verification sweep")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed for the verification sweeps")
+    parser.add_argument("--format", choices=("text", "json", "patch"),
+                        default="text",
+                        help="render the repair as human text (default), "
+                        "the serialized result payload, or the best "
+                        "verified patch as a unified diff")
+    parser.add_argument("--patch-dir", metavar="DIR",
+                        help="write every verified patch as a .patch file")
+    parser.add_argument("--max-reports", type=int, default=20,
+                        help="candidates to print in text format")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace-event JSON file of the "
+                        "repair phases; with --socket/--port this is the "
+                        "merged client/server/shard distributed trace")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style metrics snapshot "
+                        "(remote repairs query the service's METRICS verb)")
+    _add_endpoint_args(parser)
+    args = parser.parse_args(argv)
+
+    if args.verify_schedules < 1:
+        print("error: --verify-schedules must be at least 1", file=sys.stderr)
+        return 2
+    if args.max_candidates < 1:
+        print("error: --max-candidates must be at least 1", file=sys.stderr)
+        return 2
+
+    from .fix import FixResult, run_fix
+    from .predict import LaunchSpec
+
+    try:
+        with open(args.source) as handle:
+            source_text = handle.read()
+        spec = LaunchSpec(
+            source=source_text,
+            kernel=args.kernel or "",
+            is_ptx=args.source.endswith(".ptx"),
+            grid=args.grid,
+            block=args.block,
+            warp_size=args.warp_size,
+            buffers=tuple(
+                (name, words, tuple(init)) for name, words, init in args.buffer
+            ),
+            scalars=tuple(args.scalar),
+            arch=args.arch,
+            max_steps=args.max_steps,
+        )
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    remote = args.socket is not None or args.port is not None
+    obs = make_observability(trace=bool(args.trace) and not remote,
+                             metrics=args.metrics and not remote)
+    span_buffer = None
+    metrics_text = ""
+    try:
+        if remote:
+            from .service.client import ServiceClient
+
+            if args.trace:
+                from .obs import SpanBuffer
+
+                span_buffer = SpanBuffer("client")
+            with ServiceClient(socket_path=args.socket, host=args.host,
+                               port=args.port, timeout=600.0) as client:
+                result = FixResult.from_payload(
+                    client.fix(spec.to_payload(), args.max_candidates,
+                               args.verify_schedules, args.seed,
+                               trace=span_buffer)
+                )
+                if args.metrics:
+                    metrics_text = client.metrics()["text"]
+        else:
+            result = run_fix(
+                spec,
+                max_candidates=args.max_candidates,
+                verify_schedules=args.verify_schedules,
+                seed=args.seed,
+                engine=args.engine,
+                obs=obs,
+            )
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.patch_dir:
+        written = _write_patches(result, args.patch_dir)
+        print(f"{written} verified patch(es) written to {args.patch_dir}",
+              file=sys.stderr)
+
+    if args.format == "json":
+        print(json.dumps(result.to_payload(), indent=2, sort_keys=True))
+    elif args.format == "patch":
+        best = result.verified_candidates
+        if best:
+            from .fix.patches import render_diff
+
+            sys.stdout.write(render_diff(result.source,
+                                         best[0]["patched_source"],
+                                         f"{result.kernel}.ptx"))
+        else:
+            print("no verified patch", file=sys.stderr)
+    else:
+        _print_fix_result(result, args.max_reports)
+
+    if args.metrics:
+        print("--------- metrics")
+        print(metrics_text if remote else obs.metrics.render_prometheus(),
+              end="")
+    if args.trace:
+        if span_buffer is not None:
+            from .obs import write_merged_trace
+
+            trace_obj = write_merged_trace(
+                args.trace, span_buffer.collected_payloads()
+            )
+            print(f"merged distributed trace written to {args.trace} "
+                  f"({len(trace_obj['traceEvents'])} events)",
+                  file=sys.stderr)
+        else:
+            obs.tracer.write(args.trace)
+            print(f"trace written to {args.trace} "
+                  f"({len(obs.tracer.span_names())} distinct phases)",
+                  file=sys.stderr)
+    if not result.targets:
+        return 0
+    return 0 if result.repaired_all else 1
 
 
 # ----------------------------------------------------------------------
@@ -1176,6 +1406,7 @@ _SUBCOMMANDS = {
     "lint": run_lint,
     "explain": run_explain,
     "sweep": run_sweep_cmd,
+    "fix": run_fix_cmd,
     "profile": run_profile,
     "serve": run_serve,
     "submit": run_submit,

@@ -1,0 +1,288 @@
+"""Candidate PTX patches and their application.
+
+A :class:`Patch` is a small, serializable edit script over one kernel's
+body, expressed in *original statement indices* so the same patch can be
+re-applied deterministically by any worker process.  Four primitive
+edits cover the repair strategies:
+
+* ``insert-barrier`` — insert an unpredicated ``bar.sync 0`` before a
+  statement, ordering every thread of the block across that point.
+* ``widen-fence`` — rewrite ``membar.cta`` to ``membar.gl``: the
+  Figure 4 fix for a handshake fenced only at block scope.
+* ``promote-store`` / ``promote-load`` — replace a plain access with the
+  matching atomic (``st`` becomes ``atom.exch`` into a scratch register,
+  ``ld`` becomes ``atom.add`` of 0, which returns the old value); the
+  detector's atomics never race with each other, and both forms leave
+  the memory image and destination registers bit-identical.
+* ``guard-store`` — hoist a divergent store behind a uniform guard
+  (``%tid.x == 0`` or ``%ctaid.x == 0``), pinning one writer.
+
+``apply_patch`` re-prints and re-parses the patched module, so callers
+get back both the patched module *and* the line map from original PTX
+lines to patched ones — race-report PCs and lint lines are PTX text
+lines, and insertions (including new register declarations) shift them.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..ptx import parse_ptx
+from ..ptx.ast import (
+    ImmOperand,
+    Instruction,
+    Kernel,
+    MemOperand,
+    Module,
+    RegDecl,
+    RegOperand,
+    SpecialRegOperand,
+)
+
+#: Register-family prefixes reserved for patch-introduced scratch and
+#: predicate registers (chosen to never collide with compiler output).
+SCRATCH_PREFIX = "%fxr"
+PRED_PREFIX = "%fxp"
+
+EDIT_OPS = (
+    "insert-barrier",
+    "widen-fence",
+    "promote-store",
+    "promote-load",
+    "guard-store",
+)
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One primitive rewrite, anchored at an original statement index."""
+
+    op: str
+    index: int
+    #: ``guard-store`` only: which special register pins the writer
+    #: ("tid" or "ctaid").
+    guard: str = "tid"
+
+    def to_payload(self) -> list:
+        return [self.op, self.index, self.guard]
+
+    @classmethod
+    def from_payload(cls, payload) -> "Edit":
+        op, index, guard = payload
+        if op not in EDIT_OPS:
+            raise ReproError(f"unknown patch edit op {op!r}")
+        return cls(op=str(op), index=int(index), guard=str(guard))
+
+
+@dataclass(frozen=True)
+class Patch:
+    """A serializable candidate repair for one kernel."""
+
+    kernel: str
+    strategy: str
+    description: str
+    edits: Tuple[Edit, ...]
+    #: PTX line the ranking tie-breaks on (the repaired site).
+    anchor_line: int = 0
+
+    def to_payload(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "strategy": self.strategy,
+            "description": self.description,
+            "edits": [edit.to_payload() for edit in self.edits],
+            "anchor_line": self.anchor_line,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Patch":
+        try:
+            return cls(
+                kernel=str(payload["kernel"]),
+                strategy=str(payload["strategy"]),
+                description=str(payload["description"]),
+                edits=tuple(
+                    Edit.from_payload(edit) for edit in payload["edits"]
+                ),
+                anchor_line=int(payload.get("anchor_line", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed patch payload: {exc}") from exc
+
+
+def _barrier() -> Instruction:
+    return Instruction(opcode="bar", modifiers=("sync",), operands=(ImmOperand(0),))
+
+
+def _widen_fence(insn: Instruction) -> Instruction:
+    if insn.opcode not in ("membar", "fence") or "cta" not in insn.modifiers:
+        raise ReproError(f"widen-fence edit targets a non-cta fence: {insn}")
+    modifiers = tuple("gl" if m == "cta" else m for m in insn.modifiers)
+    return Instruction(
+        opcode=insn.opcode, modifiers=modifiers, operands=insn.operands,
+        pred=insn.pred,
+    )
+
+
+def _promote_store(insn: Instruction, scratch: str) -> Instruction:
+    if insn.opcode != "st" or len(insn.operands) < 2:
+        raise ReproError(f"promote-store edit targets a non-store: {insn}")
+    space = insn.state_space().value
+    type_name = insn.value_type() or "u32"
+    mem, value = insn.operands[0], insn.operands[1]
+    if not isinstance(mem, MemOperand):
+        raise ReproError(f"promote-store on a non-memory operand: {insn}")
+    return Instruction(
+        opcode="atom",
+        modifiers=(space, "exch", type_name),
+        operands=(RegOperand(scratch), mem, value),
+        pred=insn.pred,
+    )
+
+
+def _promote_load(insn: Instruction) -> Instruction:
+    if insn.opcode != "ld" or len(insn.operands) < 2:
+        raise ReproError(f"promote-load edit targets a non-load: {insn}")
+    space = insn.state_space().value
+    type_name = insn.value_type() or "u32"
+    dst, mem = insn.operands[0], insn.operands[1]
+    if not isinstance(mem, MemOperand):
+        raise ReproError(f"promote-load on a non-memory operand: {insn}")
+    return Instruction(
+        opcode="atom",
+        modifiers=(space, "add", type_name),
+        operands=(dst, mem, ImmOperand(0)),
+        pred=insn.pred,
+    )
+
+
+def _guard_prelude(insn: Instruction, guard: str, scratch: str,
+                   pred: str) -> Tuple[List[Instruction], Instruction]:
+    if insn.opcode != "st":
+        raise ReproError(f"guard-store edit targets a non-store: {insn}")
+    if insn.pred is not None:
+        # Keeping the original predicate would need an `and.pred`; the
+        # synthesizer only guards unpredicated stores.
+        raise ReproError(f"guard-store on an already-predicated store: {insn}")
+    special = SpecialRegOperand(f"%{guard}", "x")
+    prelude = [
+        Instruction(opcode="mov", modifiers=("u32",),
+                    operands=(RegOperand(scratch), special)),
+        Instruction(opcode="setp", modifiers=("eq", "s32"),
+                    operands=(RegOperand(pred), RegOperand(scratch),
+                              ImmOperand(0))),
+    ]
+    guarded = Instruction(
+        opcode=insn.opcode, modifiers=insn.modifiers, operands=insn.operands,
+        pred=(pred, False),
+    )
+    return prelude, guarded
+
+
+def apply_patch(
+    module: Module, patch: Patch
+) -> Tuple[Module, Dict[int, int]]:
+    """Apply ``patch`` to a copy of ``module``.
+
+    Returns the patched module (re-parsed from its printed PTX, so its
+    statement ``line`` numbers are real text lines) and the map from
+    each original statement's PTX line to its patched line.  Every
+    original statement survives a patch — edits replace or insert, never
+    delete — so the map is total over the kernel's statements.
+    """
+    work = copy.deepcopy(module)
+    try:
+        kernel = work.kernel(patch.kernel)
+        original = module.kernel(patch.kernel)
+    except KeyError as exc:
+        raise ReproError(str(exc)) from exc
+    if any(not 0 <= e.index < len(kernel.body) for e in patch.edits):
+        raise ReproError(f"patch edit index out of range for {patch.kernel!r}")
+
+    inserts: Dict[int, List[Instruction]] = {}
+    replaces: Dict[int, Instruction] = {}
+    scratch_count = 0
+    pred_count = 0
+    for edit in patch.edits:
+        statement = kernel.body[edit.index]
+        if not isinstance(statement, Instruction):
+            raise ReproError(f"patch edit {edit.op} targets a label")
+        if edit.op == "insert-barrier":
+            inserts.setdefault(edit.index, []).append(_barrier())
+        elif edit.op == "widen-fence":
+            replaces[edit.index] = _widen_fence(statement)
+        elif edit.op == "promote-store":
+            scratch = f"{SCRATCH_PREFIX}{scratch_count}"
+            scratch_count += 1
+            replaces[edit.index] = _promote_store(statement, scratch)
+        elif edit.op == "promote-load":
+            replaces[edit.index] = _promote_load(statement)
+        elif edit.op == "guard-store":
+            scratch = f"{SCRATCH_PREFIX}{scratch_count}"
+            scratch_count += 1
+            pred = f"{PRED_PREFIX}{pred_count}"
+            pred_count += 1
+            prelude, guarded = _guard_prelude(statement, edit.guard,
+                                              scratch, pred)
+            inserts.setdefault(edit.index, []).extend(prelude)
+            replaces[edit.index] = guarded
+        else:
+            raise ReproError(f"unknown patch edit op {edit.op!r}")
+
+    if scratch_count:
+        kernel.regs.append(RegDecl("u32", SCRATCH_PREFIX, scratch_count))
+    if pred_count:
+        kernel.regs.append(RegDecl("pred", PRED_PREFIX, pred_count))
+
+    new_body: List = []
+    origin: List[Optional[int]] = []
+    for index, statement in enumerate(kernel.body):
+        for inserted in inserts.get(index, ()):
+            new_body.append(inserted)
+            origin.append(None)
+        new_body.append(replaces.get(index, statement))
+        origin.append(index)
+    kernel.body = new_body
+
+    patched = parse_ptx(str(work))
+    patched_kernel = patched.kernel(patch.kernel)
+    if len(patched_kernel.body) != len(new_body):  # pragma: no cover - guard
+        raise ReproError("patched module did not round-trip statement-exact")
+
+    line_map: Dict[int, int] = {}
+    for position, orig_index in enumerate(origin):
+        if orig_index is None:
+            continue
+        old_line = getattr(original.body[orig_index], "line", 0)
+        new_line = getattr(patched_kernel.body[position], "line", 0)
+        if old_line:
+            line_map[old_line] = new_line
+    return patched, line_map
+
+
+def instruction_delta(patch: Patch) -> int:
+    """Static instruction-count delta of a patch (the ranking key)."""
+    delta = 0
+    for edit in patch.edits:
+        if edit.op == "insert-barrier":
+            delta += 1
+        elif edit.op == "guard-store":
+            delta += 2  # mov + setp; the store itself is replaced in place
+    return delta
+
+
+def render_diff(original_source: str, patched_source: str,
+                name: str = "kernel.ptx") -> str:
+    """Unified diff between the original and patched PTX text."""
+    import difflib
+
+    lines = difflib.unified_diff(
+        original_source.splitlines(keepends=True),
+        patched_source.splitlines(keepends=True),
+        fromfile=f"a/{name}",
+        tofile=f"b/{name}",
+    )
+    return "".join(lines)

@@ -1,0 +1,243 @@
+"""Repair-candidate synthesis from confirmed races and lint findings.
+
+Races are grouped by their schedule-insensitive *pc key* — location plus
+the unordered pair of PTX lines — and each group is mapped, through the
+lint classification that covers those lines, to the repair strategies
+that can plausibly dissolve it:
+
+* ``insufficient-fence-scope`` → widen each ``membar.cta`` to
+  ``membar.gl`` (one global-scope side suffices, Figure 4).
+* atomic/plain mixes and cross-block pairs → promote every plain
+  endpoint to the matching atomic (the detector's atomics never race
+  with each other).
+* intra-block pairs → insert ``bar.sync`` at a divergence-safe position
+  on the barrier-free path between the sites (for a same-block pair the
+  path runs around the enclosing loop, so candidate positions come from
+  the cycle's uniform statements).
+* intra-instruction divergent stores → atomic promotion, plus a
+  uniform-guard hoist (``%tid.x == 0`` / ``%ctaid.x == 0``) that pins a
+  single writer.
+
+Synthesis is deliberately generous — a candidate only has to be
+*plausible*; the verifier re-runs the full pipeline on every one and
+kills those that miss, regress, or change outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.races import RaceReport
+from ..ptx.ast import Instruction, Module
+from ..ptx.isa import ATOMIC_OPCODES
+from ..staticcheck.lint import Finding, KernelContext
+from .patches import Edit, Patch
+
+#: A race group identity: (space, offset, block, sorted (pc, pc)).
+PcKey = Tuple[str, int, int, Tuple[int, int]]
+
+
+def pc_key(race: RaceReport) -> PcKey:
+    """Location plus unordered PTX-line endpoints of a race."""
+    pcs = sorted((int(race.current_pc), int(race.prior_pc)))
+    return (
+        race.loc.space.value,
+        race.loc.offset,
+        race.loc.block,
+        (pcs[0], pcs[1]),
+    )
+
+
+def key_to_payload(key: PcKey) -> list:
+    return [key[0], key[1], key[2], [key[3][0], key[3][1]]]
+
+
+def key_from_payload(payload: Sequence) -> PcKey:
+    space, offset, block, pcs = payload
+    return (str(space), int(offset), int(block), (int(pcs[0]), int(pcs[1])))
+
+
+def translate_key(key: PcKey, line_map: Dict[int, int]) -> PcKey:
+    """Re-anchor a key's PTX lines through a patch's line map."""
+    pcs = sorted(line_map.get(pc, pc) for pc in key[3])
+    return (key[0], key[1], key[2], (pcs[0], pcs[1]))
+
+
+def _findings_by_line(findings: Iterable[Finding],
+                      kernel_name: str) -> Dict[int, Finding]:
+    by_line: Dict[int, Finding] = {}
+    for finding in findings:
+        if finding.kernel != kernel_name:
+            continue
+        for line in (finding.line,) + finding.related_lines:
+            by_line.setdefault(line, finding)
+    return by_line
+
+
+def _safe_barrier_position(ctx: KernelContext, index: int) -> bool:
+    """Can an unpredicated ``bar.sync`` go before statement ``index``
+    without risking barrier divergence?  Yes when every enclosing branch
+    arm belongs to a non-divergent (thread-uniform) branch — a branch on
+    ``ctaid`` is uniform *within* a block, which is all a barrier needs."""
+    statement = ctx.body[index]
+    if not isinstance(statement, Instruction):
+        return False
+    for info, _arm in ctx.guards.arms_of(index):
+        if ctx.taint.is_divergent(info.index):
+            return False
+    return True
+
+
+def _barrier_positions(ctx: KernelContext, a: int, b: int) -> List[int]:
+    """Divergence-safe insertion points that can cut the path between
+    two conflicting statement indices."""
+    lo, hi = min(a, b), max(a, b)
+    if ctx.cfg.block_of(a).index == ctx.cfg.block_of(b).index:
+        # Same basic block: the racing path runs around the enclosing
+        # cycle (the reduction shape), so any uniform statement of the
+        # cycle is a candidate cut point.
+        positions = [
+            index
+            for index in range(len(ctx.body))
+            if _safe_barrier_position(ctx, index) and ctx.same_cycle(index, a)
+        ]
+    else:
+        positions = [
+            index
+            for index in range(lo + 1, hi + 1)
+            if _safe_barrier_position(ctx, index)
+        ]
+    return positions
+
+
+def _line_of(ctx: KernelContext, index: int) -> int:
+    return getattr(ctx.body[index], "line", 0)
+
+
+def _guard_register(ctx: KernelContext, store_index: int) -> str:
+    """Pick the pinning guard for a divergent store: thread 0 when the
+    value varies per-thread, block 0 when it varies per-block."""
+    from ..staticcheck.taint import CTAID, LANE, TID
+
+    statement = ctx.body[store_index]
+    if len(statement.operands) >= 2:
+        taint = ctx.taint.operand_taint(statement.operands[1])
+        if TID in taint or LANE in taint:
+            return "tid"
+        if CTAID in taint:
+            return "ctaid"
+    return "tid"
+
+
+def synthesize_candidates(
+    module: Module,
+    kernel_name: str,
+    races: Sequence[RaceReport],
+    findings: Sequence[Finding],
+    max_candidates: int = 16,
+) -> List[dict]:
+    """Candidate payloads (``{"patch", "targets", "rule"}``) for every
+    distinct race group, deterministically ordered and capped."""
+    kernel = module.kernel(kernel_name)
+    ctx = KernelContext(kernel, module)
+    by_line = _findings_by_line(findings, kernel_name)
+    line_to_index: Dict[int, int] = {}
+    for index, statement in enumerate(kernel.body):
+        line = getattr(statement, "line", 0)
+        if line and isinstance(statement, Instruction):
+            line_to_index.setdefault(line, index)
+
+    groups: Dict[PcKey, RaceReport] = {}
+    for race in races:
+        groups.setdefault(pc_key(race), race)
+
+    fence_indices = [
+        index
+        for index, statement in enumerate(kernel.body)
+        if isinstance(statement, Instruction)
+        and statement.opcode in ("membar", "fence")
+        and "cta" in statement.modifiers
+    ]
+
+    candidates: List[dict] = []
+
+    def emit(key: PcKey, rule: Optional[str], strategy: str,
+             description: str, edits: Sequence[Edit], anchor: int) -> None:
+        patch = Patch(
+            kernel=kernel_name,
+            strategy=strategy,
+            description=description,
+            edits=tuple(edits),
+            anchor_line=anchor,
+        )
+        candidates.append({
+            "patch": patch.to_payload(),
+            "targets": [key_to_payload(key)],
+            "rule": rule or "",
+        })
+
+    for key in sorted(groups):
+        lines = key[3]
+        indices = sorted({
+            line_to_index[line] for line in set(lines) if line in line_to_index
+        })
+        if not indices:
+            continue
+        finding = by_line.get(lines[0]) or by_line.get(lines[1])
+        rule = finding.rule if finding is not None else None
+        statements = [kernel.body[index] for index in indices]
+        anchor = min(lines)
+
+        # Fence widening: zero instructions added, try each cta fence
+        # alone and (when several exist) all of them together.
+        if rule == "insufficient-fence-scope" and fence_indices:
+            for fence in fence_indices:
+                emit(key, rule, "widen-fence",
+                     f"widen membar.cta at line {_line_of(ctx, fence)} to "
+                     "membar.gl (Figure 4: one global-scope side suffices)",
+                     [Edit("widen-fence", fence)], anchor)
+            if len(fence_indices) > 1:
+                emit(key, rule, "widen-fence",
+                     "widen every membar.cta to membar.gl",
+                     [Edit("widen-fence", f) for f in fence_indices], anchor)
+
+        # Atomic promotion: replace each plain endpoint in place.
+        promote_edits: List[Edit] = []
+        promotable = True
+        for index, statement in zip(indices, statements):
+            if statement.opcode == "st":
+                promote_edits.append(Edit("promote-store", index))
+            elif statement.opcode == "ld":
+                promote_edits.append(Edit("promote-load", index))
+            elif statement.opcode in ATOMIC_OPCODES:
+                continue
+            else:
+                promotable = False
+        if promotable and promote_edits:
+            sites = ", ".join(str(_line_of(ctx, i)) for i in indices)
+            emit(key, rule, "promote-atomic",
+                 f"promote the plain access(es) at line(s) {sites} to "
+                 "atomics (atomics never race with each other)",
+                 promote_edits, anchor)
+
+        # Barrier insertion on the barrier-free path between two sites.
+        if len(indices) >= 2:
+            for position in _barrier_positions(ctx, indices[0], indices[-1])[:4]:
+                emit(key, rule, "insert-barrier",
+                     f"insert bar.sync before line {_line_of(ctx, position)} "
+                     "to order the conflicting accesses block-wide",
+                     [Edit("insert-barrier", position)], anchor)
+
+        # Uniform-guard hoist for intra-instruction divergent stores.
+        if (
+            len(indices) == 1
+            and statements[0].opcode == "st"
+            and statements[0].pred is None
+        ):
+            guard = _guard_register(ctx, indices[0])
+            emit(key, rule, "guard-store",
+                 f"hoist the divergent store at line {anchor} behind a "
+                 f"uniform %{guard}.x == 0 guard (single writer)",
+                 [Edit("guard-store", indices[0], guard)], anchor)
+
+    return candidates[: max(0, int(max_candidates))]

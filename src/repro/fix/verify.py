@@ -1,0 +1,283 @@
+"""Candidate verification: the full pipeline re-run behind every patch.
+
+A candidate survives only when, against the unpatched baseline:
+
+1. the dynamic detector no longer reports the target race under the
+   deterministic base schedule, and reports nothing the baseline did
+   not already contain;
+2. a predictive sweep (``repro.predict``) over ``verify_schedules``
+   seeded schedules finds no schedule-dependent race beyond the
+   baseline's (and none of the targets);
+3. the static lint does not regress — no more errors, no more warnings,
+   and especially no new barrier-divergence findings;
+4. the reference outputs (every device buffer after the base-schedule
+   run) are bit-identical to the unpatched program's.
+
+All comparisons happen in *pc-key space* translated through the patch's
+line map, because insertions (and new register declarations) shift PTX
+text lines.  Everything here is a pure function of its arguments, so
+the local driver and the service's ``FIX`` workers produce identical
+payload bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ReproError, SimulationError, StepLimitExceeded
+from ..gpu.engine import DEFAULT_ENGINE
+from ..gpu.memory import KEPLER_K520, MAXWELL_TITANX
+from ..obs import NULL_OBS, Observability
+from ..ptx import parse_ptx
+from ..ptx.ast import Module
+from ..runtime.session import BarracudaSession
+from ..service import protocol
+from ..staticcheck import SEVERITY_ERROR, run_lint
+from .patches import Patch, apply_patch, instruction_delta
+from .synthesize import (
+    PcKey,
+    key_from_payload,
+    key_to_payload,
+    pc_key,
+    translate_key,
+)
+
+_ARCHES = {"titanx": MAXWELL_TITANX, "k520": KEPLER_K520}
+
+#: Candidate verification statuses, from best to worst.
+STATUS_VERIFIED = "verified"
+STATUS_RACE_PERSISTS = "race-persists"
+STATUS_NEW_RACE = "new-race"
+STATUS_LINT_REGRESSION = "lint-regression"
+STATUS_OUTPUT_DIVERGED = "output-diverged"
+STATUS_DIVERGENCE = "barrier-divergence"
+STATUS_ERROR = "error"
+
+
+def canonicalize(spec) -> Tuple[object, Module]:
+    """Rewrite a spec onto its canonical printed-PTX source.
+
+    The session registers modules by printing and re-parsing them, so
+    race-report PCs are text lines of ``str(module)`` — the same space
+    lint findings and patch line maps live in.  Pinning the spec to
+    that exact text makes every later comparison line-stable.
+    """
+    module = parse_ptx(str(spec.compile()))
+    kernel = spec.kernel or module.kernels[0].name
+    return replace(spec, source=str(module), is_ptx=True, kernel=kernel), module
+
+
+def run_with_outputs(
+    spec, scheduler=None, engine: str = DEFAULT_ENGINE,
+    obs: Observability = NULL_OBS,
+):
+    """One launch of ``spec`` that also reads back every device buffer.
+
+    Mirrors :func:`repro.predict.sweep.run_spec` but keeps the session
+    so the final buffer contents — the reference outputs — can be
+    compared bit-for-bit."""
+    session = BarracudaSession(arch=_ARCHES[spec.arch], engine=engine, obs=obs)
+    module = spec.compile()
+    session.register_module(module)
+    params: Dict[str, int] = {}
+    allocs: List[Tuple[str, int, int]] = []
+    for name, words, init in spec.buffers:
+        addr = session.device.alloc(words * 4)
+        values = list(init) + [0] * (words - len(init))
+        session.device.memcpy_to_device(addr, values[:words])
+        params[name] = addr
+        allocs.append((name, addr, words))
+    for name, value in spec.scalars:
+        params[name] = value
+    kernel = spec.kernel or module.kernels[0].name
+    launch = session.launch(
+        kernel,
+        grid=spec.grid,
+        block=spec.block,
+        warp_size=spec.warp_size,
+        params=params,
+        scheduler=scheduler,
+        max_steps=spec.max_steps,
+    )
+    outputs = {
+        name: list(session.device.memcpy_from_device(addr, words))
+        for name, addr, words in allocs
+    }
+    return launch, outputs
+
+
+def _lint_summary(module: Module) -> Dict[str, int]:
+    findings = run_lint(module)
+    return {
+        "errors": sum(1 for f in findings if f.severity == SEVERITY_ERROR),
+        "warnings": sum(1 for f in findings if f.severity != SEVERITY_ERROR),
+        "barrier_divergence": sum(
+            1 for f in findings if f.rule == "barrier-divergence"
+        ),
+    }
+
+
+def _sweep_keys(spec, verify_schedules: int, seed: int, engine: str,
+                obs: Observability = NULL_OBS):
+    """The predictive sweep's race keys plus per-run health flags."""
+    from ..predict.sweep import run_sweep
+
+    result = run_sweep(spec, schedules=verify_schedules, seed=seed,
+                       engine=engine, obs=obs)
+    keys: Set[PcKey] = set()
+    for race in result.base_races:
+        keys.add(pc_key(race))
+    for race in result.findings:
+        keys.add(pc_key(race))
+    unhealthy = sum(
+        1 for run in result.runs if run.get("hung") or run.get("error")
+    )
+    return result, keys, unhealthy
+
+
+def compute_baseline(
+    spec_payload: dict,
+    verify_schedules: int,
+    seed: int,
+    engine: str = DEFAULT_ENGINE,
+    obs: Observability = NULL_OBS,
+) -> dict:
+    """The unpatched program's reference behavior, as a payload."""
+    from ..predict.sweep import LaunchSpec
+
+    spec = LaunchSpec.from_payload(spec_payload)
+    cspec, module = canonicalize(spec)
+    launch, outputs = run_with_outputs(cspec, engine=engine, obs=obs)
+    findings = run_lint(module)
+    sweep, sweep_keys, unhealthy = _sweep_keys(
+        cspec, verify_schedules, seed, engine, obs
+    )
+    races = sorted(launch.races, key=protocol.race_sort_key)
+    confirmed = sorted(
+        (race for race in sweep.findings if race.confirmed),
+        key=protocol.race_sort_key,
+    )
+    base_keys = {pc_key(race) for race in races}
+    return {
+        "kernel": cspec.kernel,
+        "source": cspec.source,
+        "races": [protocol.race_to_payload(race) for race in races],
+        "confirmed": [protocol.race_to_payload(race) for race in confirmed],
+        "race_keys": sorted(key_to_payload(k) for k in base_keys),
+        "sweep_keys": sorted(key_to_payload(k) for k in sweep_keys),
+        "divergences": len(launch.reports.barrier_divergences),
+        "unhealthy_runs": unhealthy,
+        "lint": _lint_summary(module),
+        "outputs": {name: values for name, values in sorted(outputs.items())},
+    }
+
+
+def verify_candidate_payload(
+    spec_payload: dict,
+    baseline: dict,
+    candidate: dict,
+    index: int,
+    verify_schedules: int,
+    seed: int,
+    engine: str = DEFAULT_ENGINE,
+    obs: Observability = NULL_OBS,
+) -> dict:
+    """Run the full verification pipeline over one candidate patch."""
+    from ..predict.sweep import LaunchSpec
+
+    patch = Patch.from_payload(candidate["patch"])
+    targets = {key_from_payload(k) for k in candidate.get("targets", [])}
+    result = {
+        "index": int(index),
+        "strategy": patch.strategy,
+        "description": patch.description,
+        "rule": candidate.get("rule", ""),
+        "targets": sorted(key_to_payload(k) for k in targets),
+        "delta": instruction_delta(patch),
+        "anchor_line": patch.anchor_line,
+        "status": STATUS_ERROR,
+        "detail": "",
+    }
+
+    try:
+        module = parse_ptx(baseline["source"])
+        patched, line_map = apply_patch(module, patch)
+        pspec = replace(
+            LaunchSpec.from_payload(spec_payload),
+            source=str(patched),
+            is_ptx=True,
+            kernel=baseline["kernel"],
+        )
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        result["detail"] = f"patch application failed: {exc}"
+        return result
+
+    translated_targets = {translate_key(k, line_map) for k in targets}
+    allowed = {
+        translate_key(key_from_payload(k), line_map)
+        for k in baseline["race_keys"] + baseline["sweep_keys"]
+    } - translated_targets
+
+    try:
+        launch, outputs = run_with_outputs(pspec, engine=engine, obs=obs)
+    except (StepLimitExceeded, SimulationError, ReproError) as exc:
+        result["detail"] = f"patched base run failed: {exc}"
+        return result
+
+    patched_keys = {pc_key(race) for race in launch.races}
+    if patched_keys & translated_targets:
+        result["status"] = STATUS_RACE_PERSISTS
+        result["detail"] = "target race still detected on the base schedule"
+        return result
+    if patched_keys - allowed:
+        result["status"] = STATUS_NEW_RACE
+        result["detail"] = "patched run reports a race the baseline did not"
+        return result
+    if len(launch.reports.barrier_divergences) > baseline["divergences"]:
+        result["status"] = STATUS_DIVERGENCE
+        result["detail"] = "patch introduced barrier divergence"
+        return result
+    if outputs != baseline["outputs"]:
+        result["status"] = STATUS_OUTPUT_DIVERGED
+        result["detail"] = "reference outputs are not bit-identical"
+        return result
+
+    lint = _lint_summary(patched)
+    base_lint = baseline["lint"]
+    if (
+        lint["barrier_divergence"] > base_lint["barrier_divergence"]
+        or lint["errors"] > base_lint["errors"]
+        or lint["warnings"] > base_lint["warnings"]
+    ):
+        result["status"] = STATUS_LINT_REGRESSION
+        result["detail"] = (
+            f"lint regressed: {lint['errors']}e/{lint['warnings']}w vs "
+            f"baseline {base_lint['errors']}e/{base_lint['warnings']}w"
+        )
+        return result
+
+    try:
+        _sweep, sweep_keys, unhealthy = _sweep_keys(
+            pspec, verify_schedules, seed, engine, obs
+        )
+    except ReproError as exc:
+        result["detail"] = f"patched sweep failed: {exc}"
+        return result
+    if unhealthy > baseline["unhealthy_runs"]:
+        result["status"] = STATUS_DIVERGENCE
+        result["detail"] = "patched schedule runs hang or error"
+        return result
+    if sweep_keys & translated_targets:
+        result["status"] = STATUS_RACE_PERSISTS
+        result["detail"] = "target race reappears under swept schedules"
+        return result
+    if sweep_keys - allowed:
+        result["status"] = STATUS_NEW_RACE
+        result["detail"] = "sweep found a schedule-dependent race the baseline did not"
+        return result
+
+    result["status"] = STATUS_VERIFIED
+    result["detail"] = "race gone, sweep clean, lint clean, outputs bit-identical"
+    result["patched_source"] = str(patched)
+    return result

@@ -325,6 +325,39 @@ class ServiceClient:
         return reply.get("result", {})
 
     # ------------------------------------------------------------------
+    # Race repair
+    # ------------------------------------------------------------------
+    def fix(self, spec: dict, max_candidates: int, verify_schedules: int,
+            seed: int, trace: Optional[SpanBuffer] = None) -> dict:
+        """Synthesize and verify race-repair patches server-side
+        (the ``FIX`` verb).
+
+        ``spec`` is a serialized :class:`repro.predict.LaunchSpec`
+        payload; the reply is a serialized :class:`repro.fix.FixResult`
+        payload, byte-identical to a local :func:`repro.fix.run_fix`
+        over the same inputs.  ``trace`` works exactly as for
+        :meth:`sweep`.
+        """
+        if trace is None or not trace.enabled:
+            reply = self._expect(
+                self._request(protocol.fix_frame(
+                    spec, max_candidates, verify_schedules, seed)),
+                protocol.FIX_REPLY,
+            )
+            return reply.get("result", {})
+        with trace.span("fix-request", candidates=max_candidates,
+                        schedules=verify_schedules, seed=seed) as request_span:
+            payload = trace.context.child(request_span).to_payload()
+            reply = self._expect(
+                self._request(protocol.fix_frame(
+                    spec, max_candidates, verify_schedules, seed,
+                    trace=payload)),
+                protocol.FIX_REPLY,
+            )
+        trace.absorb(reply.get("spans", []))
+        return reply.get("result", {})
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:

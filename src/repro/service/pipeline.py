@@ -287,6 +287,70 @@ def _worker_sweep_finalize(spec_payload: dict, run_payloads: Sequence[dict],
     return finalize_sweep(spec, runs, schedules, seed, engine=engine).to_payload()
 
 
+def _worker_fix_plan(spec_payload: dict, max_candidates: int,
+                     verify_schedules: int, seed: int,
+                     engine: str = DEFAULT_ENGINE,
+                     trace: Optional[dict] = None,
+                     shard: int = 0) -> dict:
+    """Stage one of a FIX job: baseline + candidate synthesis.
+
+    Stateless like the sweep workers; the ``repro.fix`` import stays
+    lazy so record-stream jobs never pay for the repair stack.
+    """
+    from ..fix import plan_fix
+
+    context = TraceContext.from_payload(trace)
+    worker_obs = Observability(metrics=_WORKER_METRICS)
+    if context is None:
+        return plan_fix(spec_payload, max_candidates, verify_schedules, seed,
+                        engine=engine, obs=worker_obs)
+    buffer = SpanBuffer(_worker_ident(shard), context=context)
+    links = (context.parent_span_id,) if context.parent_span_id else ()
+    with buffer.span("fix-plan", links=links, candidates=max_candidates):
+        plan = plan_fix(spec_payload, max_candidates, verify_schedules, seed,
+                        engine=engine, obs=worker_obs)
+    plan["spans"] = buffer.to_payloads()
+    return plan
+
+
+def _worker_fix_verify(spec_payload: dict, baseline: dict, candidate: dict,
+                       index: int, verify_schedules: int, seed: int,
+                       engine: str = DEFAULT_ENGINE,
+                       trace: Optional[dict] = None,
+                       shard: int = 0) -> dict:
+    """Stage two of a FIX job: one candidate's full verification re-run."""
+    from ..fix import verify_candidate
+
+    context = TraceContext.from_payload(trace)
+    worker_obs = Observability(metrics=_WORKER_METRICS)
+    if context is None:
+        return verify_candidate(spec_payload, baseline, candidate, index,
+                                verify_schedules, seed, engine=engine,
+                                obs=worker_obs)
+    buffer = SpanBuffer(_worker_ident(shard), context=context)
+    links = (context.parent_span_id,) if context.parent_span_id else ()
+    strategy = str(candidate.get("patch", {}).get("strategy", ""))
+    with buffer.span("fix-verify", links=links, index=index,
+                     strategy=strategy):
+        payload = verify_candidate(spec_payload, baseline, candidate, index,
+                                   verify_schedules, seed, engine=engine,
+                                   obs=worker_obs)
+    payload["spans"] = buffer.to_payloads()
+    return payload
+
+
+def _worker_fix_finalize(spec_payload: dict, baseline: dict,
+                         candidates: Sequence[dict],
+                         verifications: Sequence[dict],
+                         verify_schedules: int, seed: int) -> dict:
+    """Stage three of a FIX job: deterministic merge and ranking."""
+    from ..fix import finalize_fix
+
+    return finalize_fix(spec_payload, baseline, list(candidates),
+                        list(verifications), int(verify_schedules), int(seed),
+                        obs=Observability(metrics=_WORKER_METRICS))
+
+
 def _completed(result) -> Future:
     future: Future = Future()
     future.set_result(result)
@@ -482,6 +546,43 @@ class ShardedDetectorPool:
         return self._dispatch(
             0, _worker_sweep_finalize, spec_payload, list(run_payloads),
             int(schedules), int(seed), self.engine,
+        )
+
+    # ------------------------------------------------------------------
+    # Race repair (the FIX verb)
+    # ------------------------------------------------------------------
+    def submit_fix_plan(self, spec_payload: dict, max_candidates: int,
+                        verify_schedules: int, seed: int,
+                        trace: Optional[dict] = None) -> Future:
+        """Plan a repair (baseline + synthesis) on shard 0."""
+        return self._dispatch(
+            0, _worker_fix_plan, spec_payload, int(max_candidates),
+            int(verify_schedules), int(seed), self.engine, trace, 0,
+        )
+
+    def submit_fix_verify(self, spec_payload: dict, baseline: dict,
+                          candidate: dict, index: int, verify_schedules: int,
+                          seed: int, trace: Optional[dict] = None) -> Future:
+        """Verify candidate ``index``; sharded ``index % shards``.
+
+        Arithmetic assignment, like sweep runs, so the fan-out is
+        deterministic regardless of interleaved record jobs.
+        """
+        shard = index % max(self.workers, 1)
+        return self._dispatch(
+            shard, _worker_fix_verify, spec_payload, baseline, candidate,
+            int(index), int(verify_schedules), int(seed), self.engine, trace,
+            shard,
+        )
+
+    def submit_fix_finalize(self, spec_payload: dict, baseline: dict,
+                            candidates: Sequence[dict],
+                            verifications: Sequence[dict],
+                            verify_schedules: int, seed: int) -> Future:
+        """Merge and rank verification payloads on shard 0."""
+        return self._dispatch(
+            0, _worker_fix_finalize, spec_payload, baseline, list(candidates),
+            list(verifications), int(verify_schedules), int(seed),
         )
 
     # ------------------------------------------------------------------

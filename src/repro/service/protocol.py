@@ -68,6 +68,7 @@ STATS = "stats"
 METRICS = "metrics"
 HEALTH = "health"
 SWEEP = "sweep"
+FIX = "fix"
 DUMP = "dump"
 
 # Server → client verbs.
@@ -79,6 +80,7 @@ STATS_REPLY = "stats-reply"
 METRICS_REPLY = "metrics-reply"
 HEALTH_REPLY = "health-reply"
 SWEEP_REPLY = "sweep-reply"
+FIX_REPLY = "fix-reply"
 DUMP_REPLY = "dump-reply"
 
 
@@ -298,6 +300,34 @@ def sweep_reply_frame(result: dict,
                       spans: Optional[List[dict]] = None) -> dict:
     """The SWEEP reply: a serialized sweep result payload."""
     frame: Dict[str, object] = {"verb": SWEEP_REPLY, "result": result}
+    if spans:
+        frame["spans"] = list(spans)
+    return frame
+
+
+def fix_frame(spec: dict, max_candidates: int, verify_schedules: int,
+              seed: int, trace: Optional[dict] = None) -> dict:
+    """``FIX``: synthesize and verify race-repair patches for a spec.
+
+    ``spec`` is a :meth:`repro.predict.sweep.LaunchSpec.to_payload`
+    payload.  The server plans on shard 0, fans candidate verification
+    across the pool (candidate ``index % shards``), and finalizes on
+    shard 0; the merged result bytes depend only on ``(spec,
+    max_candidates, verify_schedules, seed)``.  ``trace`` optionally
+    carries a serialized ``TraceContext`` exactly as for ``SWEEP``.
+    """
+    message = {"verb": FIX, "spec": spec,
+               "max_candidates": int(max_candidates),
+               "verify_schedules": int(verify_schedules), "seed": int(seed)}
+    if trace is not None:
+        message["trace"] = trace
+    return message
+
+
+def fix_reply_frame(result: dict,
+                    spans: Optional[List[dict]] = None) -> dict:
+    """The FIX reply: a serialized :class:`repro.fix.FixResult` payload."""
+    frame: Dict[str, object] = {"verb": FIX_REPLY, "result": result}
     if spans:
         frame["spans"] = list(spans)
     return frame

@@ -291,6 +291,8 @@ class RaceService:
             await self._handle_close(message, conn_jobs, writer)
         elif verb == protocol.SWEEP:
             await self._handle_sweep(message, writer)
+        elif verb == protocol.FIX:
+            await self._handle_fix(message, writer)
         elif verb == protocol.STATS:
             await self._send(writer, protocol.stats_reply_frame(
                 self.stats.snapshot(self.pool.worker_stats)))
@@ -786,6 +788,148 @@ class RaceService:
         reply_spans = (spans.to_payloads() + run_spans
                        if spans is not None else None)
         await self._send(writer, protocol.sweep_reply_frame(
+            result, spans=reply_spans))
+
+    async def _handle_fix(self, message: dict,
+                          writer: asyncio.StreamWriter) -> None:
+        """Fan race-repair candidate verification across the worker pool.
+
+        Planning (baseline + synthesis) runs on shard 0, candidate
+        ``index`` verifies on shard ``index % shards``, the finalize
+        merge runs on shard 0 again.  A verification that crashes or
+        times out is folded into the merge as an ``error``-status
+        payload at its index, so partial casualties degrade the repair
+        deterministically.  The merged result is byte-identical to the
+        local driver's for the same (spec, max_candidates,
+        verify_schedules, seed).
+        """
+        from ..predict.sweep import LaunchSpec
+
+        spec_payload = message.get("spec")
+        if not isinstance(spec_payload, dict):
+            await self._send(writer, protocol.error_frame(
+                "fix needs a launch spec payload"))
+            return
+        try:
+            max_candidates = int(message.get("max_candidates", 16))
+            verify_schedules = int(message.get("verify_schedules", 0))
+            seed = int(message.get("seed", 0))
+        except (TypeError, ValueError):
+            await self._send(writer, protocol.error_frame(
+                "fix max_candidates/verify_schedules/seed must be integers"))
+            return
+        if verify_schedules < 1:
+            await self._send(writer, protocol.error_frame(
+                "fix needs at least one verification schedule"))
+            return
+        try:
+            LaunchSpec.from_payload(spec_payload)  # reject garbage early
+        except ReproError as exc:
+            await self._send(writer, protocol.error_frame(str(exc)))
+            return
+        try:
+            context = TraceContext.from_payload(message.get("trace"))
+        except ValueError as exc:
+            await self._send(writer, protocol.error_frame(
+                f"bad trace context: {exc}"))
+            return
+        spans = (SpanBuffer("server", context=context)
+                 if context is not None else None)
+        self.flight.record("fix", max_candidates=max_candidates,
+                           schedules=verify_schedules, seed=seed,
+                           traced=context is not None)
+        # Every candidate verification replays the base schedule plus a
+        # full sweep; scale the watchdog like SWEEP does.
+        timeout = self.job_timeout * max(1, verify_schedules)
+        fix_cm = (spans.span("fix", candidates=max_candidates,
+                             schedules=verify_schedules, seed=seed)
+                  if spans is not None else contextlib.nullcontext(""))
+        worker_spans: List[dict] = []
+        with fix_cm as fix_span:
+            stage_trace = (context.child(fix_span).to_payload()
+                           if spans is not None else None)
+            try:
+                plan = await asyncio.wait_for(
+                    asyncio.wrap_future(self.pool.submit_fix_plan(
+                        spec_payload, max_candidates, verify_schedules, seed,
+                        stage_trace)),
+                    timeout=timeout)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                if isinstance(exc, (BrokenExecutor, ShardCrashError,
+                                    asyncio.TimeoutError)):
+                    if isinstance(exc, asyncio.TimeoutError):
+                        self.watchdog_timeouts_total += 1
+                    with contextlib.suppress(Exception):
+                        self.pool.respawn_shard(0)
+                self.flight.record("fix-plan-failed",
+                                   error=str(exc) or type(exc).__name__)
+                await self._send(writer, protocol.error_frame(
+                    f"fix plan failed: {exc or type(exc).__name__}"))
+                return
+            worker_spans.extend(plan.pop("spans", []) or [])
+            baseline = plan.get("baseline", {})
+            candidates = plan.get("candidates", [])
+            futures = [
+                self.pool.submit_fix_verify(spec_payload, baseline, candidate,
+                                            index, verify_schedules, seed,
+                                            stage_trace)
+                for index, candidate in enumerate(candidates)
+            ]
+            verifications: List[dict] = []
+            shards = max(self.pool.workers, 1)
+            for index, future in enumerate(futures):
+                try:
+                    payload = await asyncio.wait_for(
+                        asyncio.wrap_future(future), timeout=timeout)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    if isinstance(exc, (BrokenExecutor, ShardCrashError,
+                                        asyncio.TimeoutError)):
+                        if isinstance(exc, asyncio.TimeoutError):
+                            self.watchdog_timeouts_total += 1
+                        with contextlib.suppress(Exception):
+                            self.pool.respawn_shard(index % shards)
+                    self.flight.record("fix-verify-failed", index=index,
+                                       error=str(exc) or type(exc).__name__)
+                    if spans is not None:
+                        spans.instant("fix-verify-failed", index=index)
+                    patch = candidates[index].get("patch", {})
+                    payload = {
+                        "index": index,
+                        "strategy": str(patch.get("strategy", "")),
+                        "description": str(patch.get("description", "")),
+                        "rule": str(candidates[index].get("rule", "")),
+                        "targets": list(candidates[index].get("targets", [])),
+                        "delta": 0,
+                        "anchor_line": int(patch.get("anchor_line", 0)),
+                        "status": "error",
+                        "detail": f"verification failed: "
+                                  f"{exc or type(exc).__name__}",
+                    }
+                # Piggybacked worker spans MUST come off before the
+                # finalize merge so result bytes stay a pure function of
+                # the repair inputs.
+                if isinstance(payload, dict):
+                    worker_spans.extend(payload.pop("spans", []) or [])
+                verifications.append(payload)
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.wrap_future(self.pool.submit_fix_finalize(
+                        spec_payload, baseline, candidates, verifications,
+                        verify_schedules, seed)),
+                    timeout=timeout)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                await self._send(writer, protocol.error_frame(
+                    f"fix finalize failed: {exc or type(exc).__name__}"))
+                return
+        reply_spans = (spans.to_payloads() + worker_spans
+                       if spans is not None else None)
+        await self._send(writer, protocol.fix_reply_frame(
             result, spans=reply_spans))
 
     def _abort_job(self, job_id: str, reason: str) -> None:

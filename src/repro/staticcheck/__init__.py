@@ -32,6 +32,7 @@ from .lint import (
     SEVERITY_WARNING,
     lint_kernel,
     render_json,
+    render_sarif,
     render_text,
     run_lint,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "lint_kernel",
     "prune_private_sites",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
 ]

@@ -56,6 +56,16 @@ _GID_PRODUCT: Monomial = ("ctaid.x", "ntid.x")
 #: Factor prefixes that denote an addressable region base.
 _BASE_PREFIXES = ("param:", "shared:", "global:")
 
+#: Factor prefix for a recognized loop-halving stride register (the
+#: reduction-tree counter).  The factor is block-uniform *within one
+#: iteration* but varies across iterations, so it must never support a
+#: privacy (disjointness) proof — see :func:`classify_site_privacy`.
+STRIDE_PREFIX = "stride:"
+
+
+def is_stride_factor(factor: str) -> bool:
+    return factor.startswith(STRIDE_PREFIX)
+
 
 def _is_base_factor(factor: str) -> bool:
     return factor.startswith(_BASE_PREFIXES)
@@ -150,7 +160,7 @@ class SymbolicEvaluator:
     def _eval_reg(self, name: str) -> Optional[Affine]:
         def_index = self.def_use.unique_def(name)
         if def_index < 0:
-            return None
+            return self._halving_stride(name)
         insn = self.body[def_index]
         if not isinstance(insn, Instruction) or insn.pred is not None:
             return None
@@ -203,6 +213,80 @@ class SymbolicEvaluator:
                 prefix = "param:" if mem.base in self.pointer_params else "paramval:"
                 return {(prefix + mem.base,): 1}
         return None  # div/rem/shr/bitwise/selp/atom/ld: out of model
+
+    # ------------------------------------------------------------------
+    # Halving strides (the reduction-tree counter)
+    # ------------------------------------------------------------------
+    def _halving_stride(self, name: str) -> Optional[Affine]:
+        """Recognize ``stride /= 2`` loop counters as a symbolic factor.
+
+        A multiply-defined register is normally out of model, which is
+        what makes the tree-reduction idiom (``s[tid] += s[tid+stride]``
+        with ``stride`` halving each iteration) invisible to the race
+        rules.  The one multi-def shape we structurally recognize is
+        exactly two definitions of which exactly one halves the register
+        itself — a ``div``/``shr`` by a power-of-two immediate, possibly
+        through a ``mov``/``cvt`` chain (the frontend compiles
+        ``stride / 2`` to ``div.s32``).  Such a register evaluates to a
+        fresh ``stride:<reg>`` factor: enough for the pair scan to see
+        that ``s[tid]`` and ``s[tid + stride]`` differ by a stride term,
+        while :func:`classify_site_privacy` refuses to build any
+        disjointness proof on it (the factor varies across iterations).
+        """
+        defs = self.def_use.defs.get(name, [])
+        if len(defs) != 2:
+            return None
+        halving = sum(1 for index in defs if self._is_self_halving(name, index))
+        if halving != 1:
+            return None
+        return {(STRIDE_PREFIX + name,): 1}
+
+    def _is_self_halving(self, name: str, def_index: int) -> bool:
+        insn = self.body[def_index]
+        if not isinstance(insn, Instruction):
+            return False
+        if (
+            insn.opcode in ("mov", "cvt")
+            and len(insn.operands) == 2
+            and isinstance(insn.operands[1], RegOperand)
+        ):
+            return self._traces_to_halving(insn.operands[1].name, name, set())
+        return self._halves_target(insn, name)
+
+    def _traces_to_halving(self, reg: str, target: str, seen: Set[str]) -> bool:
+        if reg in seen:
+            return False
+        seen.add(reg)
+        def_index = self.def_use.unique_def(reg)
+        if def_index < 0:
+            return False
+        insn = self.body[def_index]
+        if not isinstance(insn, Instruction) or insn.pred is not None:
+            return False
+        if (
+            insn.opcode in ("mov", "cvt")
+            and len(insn.operands) == 2
+            and isinstance(insn.operands[1], RegOperand)
+        ):
+            return self._traces_to_halving(insn.operands[1].name, target, seen)
+        return self._halves_target(insn, target)
+
+    @staticmethod
+    def _halves_target(insn: Instruction, target: str) -> bool:
+        """Is ``insn`` a power-of-two division of ``target`` itself?"""
+        ops = insn.operands
+        if len(ops) != 3 or not isinstance(ops[1], RegOperand):
+            return False
+        if ops[1].name != target or not isinstance(ops[2], ImmOperand):
+            return False
+        value = ops[2].value
+        if not isinstance(value, int):
+            return False
+        if insn.opcode == "div":
+            return value >= 2 and (value & (value - 1)) == 0
+        if insn.opcode == "shr":
+            return 1 <= value < 32
+        return False
 
     def operand(self, operand: Operand) -> Optional[Affine]:
         if isinstance(operand, ImmOperand):
@@ -359,6 +443,11 @@ def _site_kind(insn: Instruction) -> str:
 
 def classify_site_privacy(space: str, offset: Optional[Affine], width: int) -> Privacy:
     if offset is None:
+        return Privacy.UNKNOWN
+    if any(any(is_stride_factor(f) for f in m) for m in offset):
+        # A halving-stride factor is only uniform within one loop
+        # iteration; cross-iteration instances of the "same" offset form
+        # land on different addresses, so no disjointness proof holds.
         return Privacy.UNKNOWN
     thread_monomials = [
         m for m in offset if any(_thread_varying(f) for f in m)

@@ -32,6 +32,7 @@ from .addresses import (
     _thread_varying,
     affine_add,
     collect_access_sites,
+    is_stride_factor,
 )
 from .dataflow import build_def_use, read_registers, written_registers
 from .guards import (
@@ -208,6 +209,10 @@ class KernelContext:
                 return False
             if space != "shared" and _block_varying(factor):
                 return False
+            if is_stride_factor(factor):
+                # Uniform within one loop iteration only; the racing
+                # instances may come from different iterations.
+                return False
         return True
 
     # ------------------------------------------------------------------
@@ -365,8 +370,18 @@ def _data_pairs(
     handshake/atomic rules), regions resolved, different basic blocks
     (a straight-line same-warp pair executes in program order; the
     dynamic layer owns cross-warp same-block interleavings — see
-    docs/static-analysis.md for why this trade keeps the reduction
-    idioms quiet)."""
+    docs/static-analysis.md for why this trade keeps well-barriered
+    reduction idioms quiet).
+
+    One same-block shape IS enumerated: a pair whose offsets differ by
+    a recognized halving-stride term and whose enclosing loop carries a
+    barrier-free back path — the tree-reduction race (``s[tid] +=
+    s[tid+stride]`` with no ``__syncthreads()`` in the loop).  The
+    straight-line pair is ordered within one iteration, but the store
+    of iteration *k* races the load of iteration *k+1* across warps,
+    and the barrier-free cycle is exactly what permits that
+    interleaving.  A barrier anywhere on the back path (the correct
+    reduction) blocks the scan and keeps the pair out."""
     sites = [
         s
         for s in ctx.sites
@@ -384,8 +399,24 @@ def _data_pairs(
                 if not (a.is_write or b.is_write):
                     continue
                 if ctx.cfg.block_of(a.index).index == ctx.cfg.block_of(b.index).index:
+                    if _stride_loop_pair(ctx, a, b):
+                        yield (a, b)
                     continue
                 yield (a, b)
+
+
+def _stride_loop_pair(ctx: KernelContext, a: AccessSite, b: AccessSite) -> bool:
+    """Same-block pair reachable across loop iterations through a
+    halving stride: offsets differ by a ``stride:`` term and the cycle
+    from the later site back to the earlier one crosses no barrier."""
+    o1, o2 = a.offset, b.offset
+    if o1 is None or o2 is None:
+        return False
+    difference = affine_add(o1, o2, -1)
+    if not any(any(is_stride_factor(f) for f in m) for m in difference):
+        return False
+    later, earlier = (b, a) if b.index >= a.index else (a, b)
+    return ctx.barrier_free_path(later.index, earlier.index)
 
 
 def _oriented(a: AccessSite, b: AccessSite) -> List[Tuple[AccessSite, AccessSite]]:
@@ -844,5 +875,81 @@ def render_json(findings: Sequence[Finding], source_name: str = "<ptx>") -> str:
         "errors": sum(1 for f in findings if f.severity == SEVERITY_ERROR),
         "warnings": sum(1 for f in findings if f.severity == SEVERITY_WARNING),
         "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+#: The published SARIF 2.1.0 schema URI (code-scanning consumers key on it).
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+
+def render_sarif(findings: Sequence[Finding],
+                 source_name: str = "<ptx>") -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, one artifact).
+
+    Severities map ``error`` → ``error`` and ``warning`` → ``warning``;
+    every registered rule ships in the tool descriptor so consumers can
+    resolve ``ruleId`` even when it produced no result, and a finding's
+    ``related_lines`` become SARIF ``relatedLocations``.
+    """
+    uri = source_name if source_name != "<ptx>" else "kernel.ptx"
+
+    def _location(line: int) -> dict:
+        region = {"startLine": max(1, int(line))}
+        return {
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                "region": region,
+            }
+        }
+
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": ("error" if finding.severity == SEVERITY_ERROR
+                      else "warning"),
+            "message": {
+                "text": f"kernel {finding.kernel}: {finding.message}",
+            },
+            "locations": [_location(finding.line)],
+        }
+        if finding.related_lines:
+            result["relatedLocations"] = [
+                _location(line) for line in finding.related_lines
+            ]
+        results.append(result)
+
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "https://github.com/upenn-acg/barracuda",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {"text": description},
+                                "defaultConfiguration": {
+                                    "level": ("error"
+                                              if severity == SEVERITY_ERROR
+                                              else "warning"),
+                                },
+                            }
+                            for rule, (_runner, severity, description)
+                            in sorted(RULES.items())
+                        ],
+                    }
+                },
+                "artifacts": [{"location": {"uri": uri}}],
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"

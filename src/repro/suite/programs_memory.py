@@ -259,10 +259,10 @@ __global__ void reduction_ok(int* data, int* out) {
     ),
     SuiteProgram(
         name="shared_reduction_missing_barrier",
-        # Known static miss: the racing pair sits in one basic block,
-        # which the lint excludes to keep correct reductions quiet
+        # The halving-stride affine extension recognises the
+        # cross-iteration overlap, so the same-block pair now fires
         # (docs/static-analysis.md).
-        expected_lint=(),
+        expected_lint=("shared-race",),
         category="shared",
         description="The same reduction with the per-level barrier "
         "removed: at the 64-to-32 level transition, warp 0 "

@@ -185,3 +185,47 @@ class TestSubmitErrors:
         assert code == 1  # races found in the racy capture
         err = capsys.readouterr().err
         assert "succeeded on attempt 2" in err
+
+
+class TestLintExitCodes:
+    """``repro lint --fail-on`` picks which findings drive the exit code."""
+
+    WARNING_ONLY = None  # populated lazily from the suite
+
+    def _warning_only_kernel(self, tmp_path):
+        # spinlock_missing_acquire_fence lints as exactly one
+        # warning-severity finding (unfenced-lock), no errors.
+        from repro.suite import ALL_PROGRAMS
+
+        program = next(p for p in ALL_PROGRAMS
+                       if p.name == "spinlock_missing_acquire_fence")
+        path = tmp_path / "warn.cu"
+        path.write_text(program.source)
+        return str(path)
+
+    def test_error_findings_exit_1_by_default(self, tmp_path, capsys):
+        assert cli.main(["lint", _write_kernel(tmp_path)]) == 1
+        assert "divergent-store" in capsys.readouterr().out
+
+    def test_warning_only_kernel_exits_0_by_default(self, tmp_path, capsys):
+        assert cli.main(["lint", self._warning_only_kernel(tmp_path)]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_fail_on_warning_exits_1_on_warning_only_kernel(self, tmp_path):
+        assert cli.main(["lint", self._warning_only_kernel(tmp_path),
+                         "--fail-on", "warning"]) == 1
+
+    def test_fail_on_never_exits_0_on_errors(self, tmp_path):
+        assert cli.main(["lint", _write_kernel(tmp_path),
+                         "--fail-on", "never"]) == 0
+
+    def test_fail_on_rejects_unknown_value(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["lint", _write_kernel(tmp_path),
+                      "--fail-on", "info"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_missing_source_is_a_one_line_error(self, capsys):
+        assert cli.main(["lint", "/nonexistent/kernel.cu"]) == 2
+        _assert_clean_error(capsys)

@@ -1,0 +1,357 @@
+"""Automated race repair (repro.fix): patches, verification, service
+fan-out, and the ``repro fix`` CLI.
+
+The acceptance bar for the subsystem: at least one verified patch for
+the racy suite programs below, spanning three repair strategies;
+candidates ranked by instruction-count delta; and byte-identical result
+payloads between the local driver, the inline service pool, and the
+sharded ``FIX`` verb.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.errors import ReproError
+from repro.fix import Edit, FixResult, Patch, apply_patch, run_fix
+from repro.fix.patches import instruction_delta, render_diff
+from repro.predict import LaunchSpec
+from repro.ptx import parse_ptx
+from repro.suite import ALL_PROGRAMS
+
+_BY_NAME = {p.name: p for p in ALL_PROGRAMS}
+
+#: program -> (max_candidates, verify_schedules); the slow spin-loop
+#: program gets the smallest budget that still proves fence widening.
+REPAIRABLE = {
+    "shared_ww_intra_block": (8, 2),
+    "shared_neighbor_read_no_barrier": (8, 2),
+    "atomic_vs_plain_write": (8, 2),
+    "global_ww_inter_block": (8, 2),
+    "shared_ww_intra_warp_diff_values": (8, 2),
+    "global_ww_intra_block": (8, 2),
+    "mp_block_fences_across_blocks": (2, 1),
+}
+
+
+def _spec(name):
+    return LaunchSpec.from_program(_BY_NAME[name])
+
+
+@pytest.fixture(scope="module")
+def repairs():
+    """One repair run per acceptance program."""
+    results = {}
+    for name, (max_candidates, verify_schedules) in REPAIRABLE.items():
+        results[name] = run_fix(
+            _spec(name),
+            max_candidates=max_candidates,
+            verify_schedules=verify_schedules,
+            seed=0,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# patch primitives
+# ----------------------------------------------------------------------
+def test_patch_payload_round_trip():
+    patch = Patch(
+        kernel="k",
+        strategy="insert-barrier",
+        description="bar.sync before the read",
+        edits=(Edit("insert-barrier", 4), Edit("widen-fence", 2)),
+        anchor_line=17,
+    )
+    assert Patch.from_payload(patch.to_payload()) == patch
+
+
+def test_patch_rejects_unknown_edit_op():
+    payload = {"kernel": "k", "strategy": "s", "description": "d",
+               "edits": [["drop-instruction", 0, "tid"]], "anchor_line": 0}
+    with pytest.raises(ReproError):
+        Patch.from_payload(payload)
+
+
+def test_instruction_delta_per_strategy():
+    def patch_with(*edits):
+        return Patch(kernel="k", strategy="s", description="d",
+                     edits=tuple(edits))
+
+    assert instruction_delta(patch_with(Edit("widen-fence", 0))) == 0
+    assert instruction_delta(patch_with(Edit("promote-store", 0))) == 0
+    assert instruction_delta(patch_with(Edit("insert-barrier", 0))) == 1
+    assert instruction_delta(patch_with(Edit("guard-store", 0))) == 2
+
+
+HEADER = ".version 4.3\n.target sm_35\n.address_size 64\n"
+SIMPLE_PTX = (
+    HEADER
+    + ".visible .entry k(.param .u64 data)\n{\n"
+    + ".reg .u32 %r<4>;\n.reg .u64 %rd<4>;\n"
+    + "ld.param.u64 %rd1, [data];\n"
+    + "mov.u32 %r1, %tid.x;\n"
+    + "st.global.u32 [%rd1], %r1;\n"
+    + "ld.global.u32 %r2, [%rd1];\n"
+    + "ret;\n}\n"
+)
+
+
+def test_apply_patch_inserts_barrier_and_maps_lines():
+    module = parse_ptx(SIMPLE_PTX)
+    kernel = module.kernels[0]
+    store = next(i for i, s in enumerate(kernel.body)
+                 if getattr(s, "opcode", "") == "st")
+    patch = Patch(kernel=kernel.name, strategy="insert-barrier",
+                  description="d", edits=(Edit("insert-barrier", store),))
+    patched, line_map = apply_patch(module, patch)
+    body = patched.kernels[0].body
+    opcodes = [getattr(s, "opcode", "") for s in body]
+    assert "bar" in opcodes
+    assert len(body) == len(kernel.body) + 1
+    # The map is total over the original statements and order-preserving,
+    # and the inserted barrier occupies a line no original maps to.
+    assert len(line_map) == len(kernel.body)
+    ordered = [line_map[s.line] for s in kernel.body]
+    assert ordered == sorted(ordered) and len(set(ordered)) == len(ordered)
+    barrier_line = next(s.line for s in body
+                        if getattr(s, "opcode", "") == "bar")
+    assert barrier_line not in line_map.values()
+
+
+def test_apply_patch_promote_store_declares_scratch():
+    module = parse_ptx(SIMPLE_PTX)
+    kernel = module.kernels[0]
+    store = next(i for i, s in enumerate(kernel.body)
+                 if getattr(s, "opcode", "") == "st")
+    patch = Patch(kernel=kernel.name, strategy="promote-atomic",
+                  description="d", edits=(Edit("promote-store", store),))
+    patched, line_map = apply_patch(module, patch)
+    text = str(patched)
+    assert "atom.global.exch.u32" in text
+    assert "%fxr" in text
+    # In-place replacement: statement count and lines unchanged.
+    assert len(line_map) == len([old for old in line_map])
+    assert all(old == new for old, new in line_map.items()) or "%fxr<" in text
+
+
+def test_apply_patch_out_of_range_edit_is_an_error():
+    module = parse_ptx(SIMPLE_PTX)
+    patch = Patch(kernel="k", strategy="insert-barrier", description="d",
+                  edits=(Edit("insert-barrier", 99),))
+    with pytest.raises(ReproError):
+        apply_patch(module, patch)
+
+
+def test_render_diff_shows_the_rewrite():
+    module = parse_ptx(SIMPLE_PTX)
+    kernel = module.kernels[0]
+    store = next(i for i, s in enumerate(kernel.body)
+                 if getattr(s, "opcode", "") == "st")
+    patch = Patch(kernel=kernel.name, strategy="promote-atomic",
+                  description="d", edits=(Edit("promote-store", store),))
+    patched, _ = apply_patch(module, patch)
+    diff = render_diff(str(module), str(patched), "k.ptx")
+    assert diff.startswith("--- a/k.ptx")
+    removed = [l for l in diff.splitlines() if l.startswith("-")]
+    added = [l for l in diff.splitlines() if l.startswith("+")]
+    assert any("st.global.u32" in l for l in removed)
+    assert any("atom.global.exch.u32" in l for l in added)
+
+
+def test_fix_result_payload_round_trip():
+    result = FixResult(kernel="k", schedules=2, seed=7, source="src",
+                       targets=[{"key": ["shared", 0, 0, [3, 4]],
+                                 "repaired": True, "best": 1}],
+                       candidates=[{"index": 0}, {"index": 1}],
+                       verified=[1], status_counts={"verified": 1})
+    again = FixResult.from_payload(result.to_payload())
+    assert again == result
+    assert again.verified_candidates == [{"index": 1}]
+
+
+def test_fix_result_rejects_garbage():
+    with pytest.raises(ReproError):
+        FixResult.from_payload({"kernel": "k"})  # missing schedules/seed
+
+
+# ----------------------------------------------------------------------
+# acceptance: verified repairs across the racy suite
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(REPAIRABLE))
+def test_every_acceptance_program_gets_a_verified_patch(repairs, name):
+    result = repairs[name]
+    assert result.verified, f"{name}: no candidate survived verification"
+    assert result.repaired_all, f"{name}: some race group left unrepaired"
+    for candidate in result.verified_candidates:
+        assert candidate["status"] == "verified"
+        assert candidate["patched_source"]
+
+
+def test_repairs_span_three_strategies(repairs):
+    strategies = {
+        candidate["strategy"]
+        for result in repairs.values()
+        for candidate in result.verified_candidates
+    }
+    assert {"insert-barrier", "promote-atomic", "widen-fence"} <= strategies
+
+
+def test_verified_candidates_are_ranked_by_delta(repairs):
+    for name, result in repairs.items():
+        deltas = [c["delta"] for c in result.verified_candidates]
+        assert deltas == sorted(deltas), f"{name}: ranking out of order"
+        # Zero-cost rewrites outrank instruction-adding ones.
+        if deltas and deltas[0] == 0:
+            first = result.verified_candidates[0]
+            assert first["strategy"] in ("widen-fence", "promote-atomic")
+
+
+def test_statuses_partition_the_candidates(repairs):
+    for result in repairs.values():
+        assert sum(result.status_counts.values()) == len(result.candidates)
+        assert result.status_counts.get("verified", 0) == len(result.verified)
+
+
+def test_race_free_program_has_nothing_to_repair():
+    result = run_fix(_spec("global_disjoint_slots"), max_candidates=4,
+                     verify_schedules=1, seed=0)
+    assert result.targets == []
+    assert result.candidates == []
+    assert not result.repaired_all  # vacuous truth is not claimed
+
+
+def test_repair_runs_are_deterministic():
+    first = run_fix(_spec("shared_ww_intra_block"), max_candidates=4,
+                    verify_schedules=2, seed=0)
+    second = run_fix(_spec("shared_ww_intra_block"), max_candidates=4,
+                     verify_schedules=2, seed=0)
+    assert (json.dumps(first.to_payload(), sort_keys=True)
+            == json.dumps(second.to_payload(), sort_keys=True))
+
+
+# ----------------------------------------------------------------------
+# service FIX verb: inline pool and sharded fan-out match the local
+# driver byte for byte
+# ----------------------------------------------------------------------
+def _service_fix(tmp_path, spec, workers, max_candidates, verify_schedules):
+    from repro.service.client import ServiceClient
+    from repro.service.server import RaceService, ServiceThread
+
+    sock = str(tmp_path / f"svc-{workers}.sock")
+    with ServiceThread(RaceService(socket_path=sock, workers=workers)):
+        with ServiceClient(socket_path=sock, timeout=300.0) as client:
+            return client.fix(spec.to_payload(), max_candidates,
+                              verify_schedules, 0)
+
+
+def test_fix_verb_matches_local_driver_inline_and_sharded(tmp_path):
+    spec = _spec("shared_ww_intra_block")
+    local = run_fix(spec, max_candidates=6, verify_schedules=2,
+                    seed=0).to_payload()
+    inline = _service_fix(tmp_path, spec, 0, 6, 2)
+    sharded = _service_fix(tmp_path, spec, 2, 6, 2)
+    expected = json.dumps(local, sort_keys=True)
+    assert json.dumps(inline, sort_keys=True) == expected
+    assert json.dumps(sharded, sort_keys=True) == expected
+
+
+def test_fix_verb_rejects_garbage(tmp_path):
+    from repro.service.client import ServiceClient, ServiceJobError
+    from repro.service.server import RaceService, ServiceThread
+
+    sock = str(tmp_path / "svc.sock")
+    with ServiceThread(RaceService(socket_path=sock, workers=0)):
+        with ServiceClient(socket_path=sock) as client:
+            with pytest.raises(ServiceJobError):
+                client.fix("not-a-spec", 4, 2, 0)
+        with ServiceClient(socket_path=sock) as client:
+            with pytest.raises(ServiceJobError):
+                client.fix(_spec("shared_ww_intra_block").to_payload(),
+                           4, 0, 0)  # verify_schedules < 1
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+RACY_CU = _BY_NAME["shared_ww_intra_block"].source
+
+
+@pytest.fixture()
+def racy_file(tmp_path):
+    path = tmp_path / "racy.cu"
+    path.write_text(RACY_CU)
+    return str(path)
+
+
+def _fix_args(racy_file, *extra):
+    program = _BY_NAME["shared_ww_intra_block"]
+    args = ["fix", racy_file, "--grid", str(program.grid),
+            "--block", str(program.block),
+            "--warp-size", str(program.warp_size),
+            "--verify-schedules", "2", "--max-candidates", "6"]
+    for buffer in program.buffers:
+        args += ["--buffer", f"{buffer.name}:{buffer.words}"]
+    return args + list(extra)
+
+
+def test_cli_fix_text_reports_repair_and_exits_0(racy_file, capsys):
+    assert cli.main(_fix_args(racy_file)) == 0
+    out = capsys.readouterr().out
+    assert "race group(s)" in out
+    assert "repaired by candidate" in out
+    assert "best patch" in out
+
+
+def test_cli_fix_json_round_trips(racy_file, capsys):
+    assert cli.main(_fix_args(racy_file, "--format", "json")) == 0
+    payload = json.loads(capsys.readouterr().out)
+    result = FixResult.from_payload(payload)
+    assert result.repaired_all
+    assert result.verified
+
+
+def test_cli_fix_patch_format_prints_a_diff(racy_file, capsys):
+    assert cli.main(_fix_args(racy_file, "--format", "patch")) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("--- a/")
+    assert "+++ b/" in out
+
+
+def test_cli_fix_patch_dir_writes_verified_patches(racy_file, tmp_path,
+                                                   capsys):
+    patch_dir = str(tmp_path / "patches")
+    assert cli.main(_fix_args(racy_file, "--patch-dir", patch_dir)) == 0
+    written = sorted(os.listdir(patch_dir))
+    assert written
+    assert all(name.endswith(".patch") for name in written)
+    body = open(os.path.join(patch_dir, written[0])).read()
+    assert body.startswith("--- a/")
+
+
+def test_cli_fix_bad_schedule_count_is_a_clean_error(racy_file, capsys):
+    assert cli.main(["fix", racy_file, "--verify-schedules", "0"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_cli_fix_missing_source_is_a_clean_error(capsys):
+    assert cli.main(["fix", "/nonexistent/kernel.cu"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_cli_fix_remote_matches_local(racy_file, tmp_path, capsys):
+    from repro.service.server import RaceService, ServiceThread
+
+    assert cli.main(_fix_args(racy_file, "--format", "json")) == 0
+    local = capsys.readouterr().out
+    sock = str(tmp_path / "svc.sock")
+    with ServiceThread(RaceService(socket_path=sock, workers=2)):
+        assert cli.main(_fix_args(racy_file, "--format", "json",
+                                  "--socket", sock)) == 0
+    assert capsys.readouterr().out == local

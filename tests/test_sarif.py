@@ -1,0 +1,220 @@
+"""SARIF 2.1.0 output for the static lint (`repro lint --format sarif`).
+
+The rendered log is validated against a JSON Schema distilled from the
+OASIS SARIF 2.1.0 schema (the subset of properties we emit, with the
+same requiredness and enums).  When the ``jsonschema`` package is
+available the validation is real schema validation; otherwise the same
+constraints are asserted structurally so CI without the package still
+exercises the shape.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.cudac import compile_cuda
+from repro.ptx import parse_ptx
+from repro.staticcheck import RULES, render_sarif, run_lint
+from repro.staticcheck.lint import SARIF_SCHEMA, SARIF_VERSION
+
+try:
+    import jsonschema
+except ImportError:  # pragma: no cover - CI installs no jsonschema
+    jsonschema = None
+
+RACY = """
+__global__ void racy(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = blockIdx.x + 1;
+    }
+    data[1] = 7;
+}
+"""
+
+# The emitted subset of the OASIS sarif-schema-2.1.0.json, with the
+# spec's requiredness: version/runs at top level, tool.driver.name per
+# run, message per result.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning",
+                                             "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type":
+                                                                "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "artifacts": {"type": "array"},
+                },
+            },
+        },
+    },
+}
+
+
+def _findings():
+    return run_lint(parse_ptx(str(compile_cuda(RACY))))
+
+
+def _log(findings=None, source="kernel.cu"):
+    rendered = render_sarif(
+        _findings() if findings is None else findings, source_name=source
+    )
+    return json.loads(rendered)
+
+
+def _validate(log):
+    if jsonschema is not None:
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+        return
+    # Structural fallback: the same requiredness by hand.
+    assert log["version"] == "2.1.0"
+    assert isinstance(log["runs"], list)
+    for run in log["runs"]:
+        assert run["tool"]["driver"]["name"]
+        for result in run.get("results", []):
+            assert result["message"]["text"]
+            assert result.get("level") in ("none", "note", "warning", "error")
+
+
+def test_sarif_log_matches_schema():
+    log = _log()
+    _validate(log)
+    assert log["version"] == SARIF_VERSION
+    assert log["$schema"] == SARIF_SCHEMA
+
+
+def test_sarif_results_mirror_findings():
+    findings = _findings()
+    assert findings, "test kernel must produce findings"
+    results = _log(findings)["runs"][0]["results"]
+    assert len(results) == len(findings)
+    by_rule = {r["ruleId"] for r in results}
+    assert by_rule == {f.rule for f in findings}
+    for result, finding in zip(results, findings):
+        level = "error" if finding.severity == "error" else "warning"
+        assert result["level"] == level
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == max(1, finding.line)
+        assert finding.kernel in result["message"]["text"]
+
+
+def test_sarif_driver_declares_every_rule():
+    driver = _log()["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    declared = [rule["id"] for rule in driver["rules"]]
+    assert declared == sorted(RULES)
+
+
+def test_sarif_empty_findings_is_valid_and_empty():
+    log = _log(findings=[])
+    _validate(log)
+    assert log["runs"][0]["results"] == []
+
+
+def test_sarif_artifact_uri_tracks_source_name():
+    log = _log(source="kernels/reduce.cu")
+    run = log["runs"][0]
+    assert run["artifacts"][0]["location"]["uri"] == "kernels/reduce.cu"
+    location = run["results"][0]["locations"][0]
+    assert (location["physicalLocation"]["artifactLocation"]["uri"]
+            == "kernels/reduce.cu")
+
+
+def test_sarif_placeholder_source_falls_back_to_kernel_ptx():
+    log = _log(source="<ptx>")
+    assert log["runs"][0]["artifacts"][0]["location"]["uri"] == "kernel.ptx"
+
+
+def test_sarif_output_is_deterministic():
+    findings = _findings()
+    assert (render_sarif(findings, source_name="a.cu")
+            == render_sarif(findings, source_name="a.cu"))
+
+
+def test_cli_lint_sarif_round_trips(tmp_path, capsys):
+    path = tmp_path / "racy.cu"
+    path.write_text(RACY)
+    code = cli.main(["lint", str(path), "--format", "sarif",
+                     "--fail-on", "never"])
+    assert code == 0
+    log = json.loads(capsys.readouterr().out)
+    _validate(log)
+    assert log["runs"][0]["results"]

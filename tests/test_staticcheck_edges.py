@@ -1,0 +1,331 @@
+"""Edge-case tests for the static analysis passes.
+
+Covers the corners called out alongside the repair work: negative and
+symbolic strides in the affine model, the halving-stride recognizer
+behind the reduction-tree rule, :meth:`KernelContext.handshake` on
+loops with several back edges, and :meth:`dependency_closure` on
+self-referencing registers.
+"""
+
+from repro.cudac import compile_cuda
+from repro.ptx import parse_ptx
+from repro.staticcheck import (
+    Privacy,
+    SymbolicEvaluator,
+    build_def_use,
+    classify_site_privacy,
+    run_lint,
+)
+from repro.staticcheck.addresses import (
+    _GID_PRODUCT,
+    _TID_X,
+    STRIDE_PREFIX,
+    is_stride_factor,
+)
+from repro.staticcheck.lint import KernelContext
+
+HEADER = ".version 4.3\n.target sm_35\n.address_size 64\n"
+
+
+def kernel_with(body: str, params: str = ".param .u64 data"):
+    source = (
+        HEADER
+        + f".visible .entry k({params})\n{{\n"
+        + ".reg .u32 %r<16>;\n.reg .u64 %rd<16>;\n.reg .pred %p<8>;\n"
+        + body
+        + "\n}\n"
+    )
+    return parse_ptx(source)
+
+
+def evaluator_for(module):
+    kernel = module.kernels[0]
+    return SymbolicEvaluator(kernel, module, build_def_use(kernel))
+
+
+# ----------------------------------------------------------------------
+# negative and symbolic strides
+# ----------------------------------------------------------------------
+def test_negative_shared_stride_is_still_private():
+    # s[-tid] strides downward but threads remain disjoint.
+    assert classify_site_privacy("shared", {_TID_X: -4}, 4) is Privacy.THREAD_PRIVATE
+
+
+def test_negative_shared_stride_narrower_than_width_is_not_private():
+    assert classify_site_privacy("shared", {_TID_X: -2}, 4) is not Privacy.THREAD_PRIVATE
+
+
+def test_negative_global_gid_stride_is_private():
+    # data[-gid]: the canonical grid shape with a negated coefficient is
+    # injective exactly like the positive one.
+    offset = {_TID_X: -4, _GID_PRODUCT: -4}
+    assert classify_site_privacy("global", offset, 4) is Privacy.THREAD_PRIVATE
+
+
+def test_mismatched_negative_coefficients_are_unknown():
+    # tid strides down while the block term strides up: slots collide.
+    offset = {_TID_X: -4, _GID_PRODUCT: 4}
+    assert classify_site_privacy("global", offset, 4) is Privacy.UNKNOWN
+
+
+def test_symbolic_stride_factor_blocks_privacy_proofs():
+    # data[tid * n] with a runtime n: the thread monomial is not the
+    # bare tid term, so no disjointness proof may be built on it.
+    offset = {("paramval:n", "tid.x"): 4}
+    assert classify_site_privacy("shared", offset, 4) is Privacy.UNKNOWN
+    assert classify_site_privacy("global", offset, 4) is Privacy.UNKNOWN
+
+
+def test_neg_instruction_evaluates_to_negative_affine():
+    module = kernel_with(
+        "mov.u32 %r1, %tid.x;\n"
+        "neg.s32 %r2, %r1;\n"
+        "ret;"
+    )
+    evaluator = evaluator_for(module)
+    assert evaluator.reg("%r2") == {_TID_X: -1}
+
+
+# ----------------------------------------------------------------------
+# halving-stride recognition
+# ----------------------------------------------------------------------
+def _stride_affine(name):
+    return {(STRIDE_PREFIX + name,): 1}
+
+
+def test_div_halving_loop_counter_becomes_stride_factor():
+    module = kernel_with(
+        "mov.u32 %r1, 64;\n"  # def 1: init
+        "$L_loop:\n"
+        "div.s32 %r1, %r1, 2;\n"  # def 2: self-halving
+        "setp.gt.u32 %p1, %r1, 0;\n"
+        "@%p1 bra $L_loop;\n"
+        "ret;"
+    )
+    assert evaluator_for(module).reg("%r1") == _stride_affine("%r1")
+
+
+def test_shr_halving_loop_counter_becomes_stride_factor():
+    module = kernel_with(
+        "mov.u32 %r1, 64;\n"
+        "$L_loop:\n"
+        "shr.u32 %r1, %r1, 1;\n"
+        "setp.gt.u32 %p1, %r1, 0;\n"
+        "@%p1 bra $L_loop;\n"
+        "ret;"
+    )
+    assert evaluator_for(module).reg("%r1") == _stride_affine("%r1")
+
+
+def test_halving_through_mov_chain_is_recognized():
+    # The frontend compiles `stride = stride / 2` through a temporary:
+    # div into %r2, then mov back into the loop counter.
+    module = kernel_with(
+        "mov.u32 %r1, 64;\n"
+        "$L_loop:\n"
+        "div.s32 %r2, %r1, 2;\n"
+        "mov.u32 %r1, %r2;\n"
+        "setp.gt.u32 %p1, %r1, 0;\n"
+        "@%p1 bra $L_loop;\n"
+        "ret;"
+    )
+    assert evaluator_for(module).reg("%r1") == _stride_affine("%r1")
+
+
+def test_non_power_of_two_divisor_is_out_of_model():
+    module = kernel_with(
+        "mov.u32 %r1, 64;\n"
+        "$L_loop:\n"
+        "div.s32 %r1, %r1, 3;\n"
+        "setp.gt.u32 %p1, %r1, 0;\n"
+        "@%p1 bra $L_loop;\n"
+        "ret;"
+    )
+    assert evaluator_for(module).reg("%r1") is None
+
+
+def test_three_defs_are_out_of_model():
+    module = kernel_with(
+        "mov.u32 %r1, 64;\n"
+        "$L_loop:\n"
+        "div.s32 %r1, %r1, 2;\n"
+        "add.u32 %r1, %r1, 0;\n"  # third def: no longer the pure idiom
+        "setp.gt.u32 %p1, %r1, 0;\n"
+        "@%p1 bra $L_loop;\n"
+        "ret;"
+    )
+    assert evaluator_for(module).reg("%r1") is None
+
+
+def test_two_halvings_are_out_of_model():
+    module = kernel_with(
+        "shr.u32 %r1, %r1, 1;\n"
+        "shr.u32 %r1, %r1, 1;\n"
+        "ret;"
+    )
+    assert evaluator_for(module).reg("%r1") is None
+
+
+def test_single_def_div_stays_out_of_model():
+    # A uniquely-defined div is plain non-affine arithmetic, not a
+    # loop-carried stride.
+    module = kernel_with(
+        "mov.u32 %r1, %tid.x;\n"
+        "div.s32 %r2, %r1, 2;\n"
+        "ret;"
+    )
+    assert evaluator_for(module).reg("%r2") is None
+
+
+def test_stride_factor_poisons_privacy():
+    assert is_stride_factor(STRIDE_PREFIX + "%r8")
+    offset = {_TID_X: 4, (STRIDE_PREFIX + "%r8",): 4}
+    assert classify_site_privacy("shared", offset, 4) is Privacy.UNKNOWN
+
+
+def test_missing_barrier_reduction_fires_and_correct_one_is_quiet():
+    racy = compile_cuda(
+        """
+        __global__ void reduce_bad(int* data, int* out) {
+            __shared__ int s[128];
+            int tid = threadIdx.x;
+            s[tid] = data[tid];
+            __syncthreads();
+            for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+                if (tid < stride) {
+                    s[tid] = s[tid] + s[tid + stride];
+                }
+            }
+            __syncthreads();
+            if (tid == 0) { out[0] = s[0]; }
+        }
+        """
+    )
+    clean = compile_cuda(
+        """
+        __global__ void reduce_ok(int* data, int* out) {
+            __shared__ int s[128];
+            int tid = threadIdx.x;
+            s[tid] = data[tid];
+            __syncthreads();
+            for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+                if (tid < stride) {
+                    s[tid] = s[tid] + s[tid + stride];
+                }
+                __syncthreads();
+            }
+            if (tid == 0) { out[0] = s[0]; }
+        }
+        """
+    )
+    racy_rules = {f.rule for f in run_lint(parse_ptx(str(racy)))}
+    clean_rules = {f.rule for f in run_lint(parse_ptx(str(clean)))}
+    assert "shared-race" in racy_rules
+    assert "shared-race" not in clean_rules
+
+
+# ----------------------------------------------------------------------
+# handshake on multi-back-edge loops
+# ----------------------------------------------------------------------
+def _handshake_module(fence: str):
+    # Producer arm: data store, fence, flag store (an inferred release).
+    # Consumer arm: a spin loop with TWO back edges around the flag load
+    # (an inferred acquire), then the data read.
+    return kernel_with(
+        "ld.param.u64 %rd1, [data];\n"  # flag word
+        "add.u64 %rd2, %rd1, 64;\n"  # data word
+        "mov.u32 %r1, %tid.x;\n"
+        "mov.u32 %r5, 1;\n"
+        "setp.eq.u32 %p1, %r1, 0;\n"
+        "@%p1 bra $L_consume;\n"
+        "st.global.u32 [%rd2], %r1;\n"  # data store (writer site)
+        f"{fence};\n"
+        "st.global.u32 [%rd1], %r5;\n"  # flag store -> release
+        "bra.uni $L_end;\n"
+        "$L_consume:\n"
+        "$L_spin:\n"
+        "ld.global.u32 %r2, [%rd1];\n"  # flag load -> acquire
+        f"{fence};\n"
+        "setp.eq.u32 %p2, %r2, 0;\n"
+        "@%p2 bra $L_spin;\n"  # back edge 1: flag still clear
+        "setp.gt.u32 %p3, %r2, 5;\n"
+        "@%p3 bra $L_spin;\n"  # back edge 2: stale value re-check
+        "ld.global.u32 %r3, [%rd2];\n"  # data load (reader site)
+        "$L_end:\n"
+        "ret;"
+    )
+
+
+def _data_sites(ctx):
+    writer = next(
+        s for s in ctx.sites if s.kind == "store" and not s.is_sync
+    )
+    reader = next(
+        s
+        for s in ctx.sites
+        if s.kind == "load" and not s.is_sync and s.index > writer.index
+    )
+    return writer, reader
+
+
+def test_handshake_across_multi_back_edge_spin_is_global():
+    module = _handshake_module("membar.gl")
+    ctx = KernelContext(module.kernels[0], module)
+    writer, reader = _data_sites(ctx)
+    assert ctx.handshake(writer, reader) is True
+
+
+def test_handshake_across_multi_back_edge_spin_block_scope():
+    module = _handshake_module("membar.cta")
+    ctx = KernelContext(module.kernels[0], module)
+    writer, reader = _data_sites(ctx)
+    assert ctx.handshake(writer, reader) is False
+
+
+def test_multi_back_edge_loop_barrier_free_path_terminates():
+    module = _handshake_module("membar.gl")
+    ctx = KernelContext(module.kernels[0], module)
+    writer, reader = _data_sites(ctx)
+    # The spin loop reaches itself barrier-free through either back edge;
+    # the point of the test is termination despite the shared header.
+    flag_load = next(s for s in ctx.sites if s.kind == "load" and s.is_sync)
+    assert ctx.barrier_free_path(flag_load.index, flag_load.index)
+    assert not ctx.barrier_free_path(reader.index, writer.index)
+
+
+def test_multi_back_edge_lint_runs_clean_of_crashes():
+    module = _handshake_module("membar.gl")
+    findings = run_lint(module)
+    assert isinstance(findings, list)
+
+
+# ----------------------------------------------------------------------
+# dependency closure on self-referencing registers
+# ----------------------------------------------------------------------
+def test_dependency_closure_self_increment_terminates():
+    module = kernel_with(
+        "mov.u32 %r1, 0;\n"
+        "$L_loop:\n"
+        "add.u32 %r1, %r1, 1;\n"  # self-referencing def
+        "mul.lo.u32 %r2, %r1, 4;\n"
+        "setp.lt.u32 %p1, %r1, 8;\n"
+        "@%p1 bra $L_loop;\n"
+        "ret;"
+    )
+    ctx = KernelContext(module.kernels[0], module)
+    closure = ctx.dependency_closure("%r1")
+    assert "%r1" in closure
+    assert "%r2" in closure
+    assert "%rd1" not in closure
+
+
+def test_dependency_closure_mutual_self_reference():
+    module = kernel_with(
+        "add.u32 %r1, %r2, 1;\n"
+        "add.u32 %r2, %r1, 1;\n"
+        "ret;"
+    )
+    ctx = KernelContext(module.kernels[0], module)
+    assert {"%r1", "%r2"} <= ctx.dependency_closure("%r2")
+    # Closure is cached and stable on repeat queries.
+    assert ctx.dependency_closure("%r2") == ctx.dependency_closure("%r2")

@@ -47,7 +47,6 @@ def test_racy_programs_fire_their_expected_rules(name):
         # and docs/static-analysis.md lists it.  Guard the list here so
         # new misses are a conscious decision.
         assert name in {
-            "shared_reduction_missing_barrier",
             "spinlock_block_fences_across_blocks",
             "warp_pairwise_collision",
         }, f"{name}: racy program with no expected_lint and not documented"
