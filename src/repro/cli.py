@@ -153,6 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the predictive relaxed-order analysis over "
                         "the captured event stream and report races other "
                         "legal schedules could exhibit (see docs/predictive.md)")
+    parser.add_argument("--capture", metavar="PATH",
+                        help="write the captured log-record stream to PATH "
+                        "(replayable later with 'repro replay')")
+    parser.add_argument("--capture-format",
+                        choices=("auto", "jsonl", "binary"), default="auto",
+                        help="format for --capture: 'auto' (default) picks "
+                        "binary for .bin/.bcap paths and JSONL otherwise; "
+                        "see docs/performance.md for the binary layout")
+    parser.add_argument("--columnar", action="store_true",
+                        help="run host-side detection over columnar "
+                        "warp-batches (the fused inner loop) instead of "
+                        "per-record operation expansion; reports and stats "
+                        "are bit-identical, only speed differs")
     return parser
 
 
@@ -309,6 +322,7 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
         static_prune=args.prune_instrumentation,
         engine=args.engine,
         faults=fault_plan,
+        columnar_host=args.columnar,
     )
     handle = session.register_module(module)
     kernel = args.kernel or module.kernels[0].name
@@ -325,7 +339,7 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
             params=params,
             scheduler=make_scheduler(args.scheduler, args.seed),
             max_steps=args.max_steps,
-            capture_records=args.predict,
+            capture_records=args.predict or bool(args.capture),
         )
     except StepLimitExceeded as exc:
         print(f"HANG: {exc}", file=sys.stderr)
@@ -337,6 +351,29 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
     with obs.tracer.span("report", kernel=kernel):
         _attach_static_predictions(launch.reports, session.pristine_module(handle))
         exit_code = _print_reports(launch.reports, args.max_reports)
+
+    if args.capture:
+        from .gpu.hierarchy import LaunchConfig
+        from .runtime.replay import save_capture, save_capture_binary
+
+        layout = LaunchConfig.of(args.grid, args.block, args.warp_size).layout()
+        records = launch.captured_records or []
+        fmt = args.capture_format
+        if fmt == "auto":
+            fmt = ("binary" if args.capture.endswith((".bin", ".bcap"))
+                   else "jsonl")
+        try:
+            if fmt == "binary":
+                with open(args.capture, "wb") as stream:
+                    save_capture_binary(stream, layout, records, kernel=kernel)
+            else:
+                with open(args.capture, "w", encoding="utf-8") as stream:
+                    save_capture(stream, layout, records, kernel=kernel)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"capture written to {args.capture} "
+              f"({len(records)} record(s), {fmt})", file=sys.stderr)
 
     if args.predict:
         from .gpu.hierarchy import LaunchConfig
@@ -530,7 +567,7 @@ def run_explain(argv: Optional[Sequence[str]] = None) -> int:
         "degraded job) as a merged timeline.",
     )
     parser.add_argument("source", nargs="?", help="kernel source (.cu/.ptx) "
-                        "or a replay capture (.jsonl/.capture)")
+                        "or a replay capture (.jsonl/.capture/.bin/.bcap)")
     parser.add_argument("--flight", metavar="DUMP.json",
                         help="render a flight-recorder dump as a merged "
                         "cross-process timeline instead of explaining races")
@@ -577,11 +614,10 @@ def run_explain(argv: Optional[Sequence[str]] = None) -> int:
     )
     source_lines: Dict[int, str] = {}
     try:
-        if args.source.endswith((".jsonl", ".capture")):
-            from .runtime.replay import load_capture, replay
+        if args.source.endswith((".jsonl", ".capture", ".bin", ".bcap")):
+            from .runtime.replay import load_capture_path, replay
 
-            with open(args.source) as stream:
-                layout, _kernel, records = load_capture(stream)
+            layout, _kernel, records, _fmt = load_capture_path(args.source)
             reports = replay(layout, records, config=config)
         else:
             module = _load_module(args.source)
@@ -1093,7 +1129,7 @@ def run_submit(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro submit",
         description="Submit a replay capture to a running service.",
     )
-    parser.add_argument("capture", help="capture file (JSONL, from save_capture)")
+    parser.add_argument("capture", help="capture file (JSONL or binary; auto-detected)")
     _add_endpoint_args(parser)
     parser.add_argument("--batch-size", type=int, default=256,
                         help="record lines per protocol frame")
@@ -1204,9 +1240,13 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro replay",
         description="Replay a capture through the detector in-process.",
     )
-    parser.add_argument("capture", help="capture file (JSONL, from save_capture)")
+    parser.add_argument("capture", help="capture file (JSONL or binary; the "
+                        "format is auto-detected from the magic bytes)")
     parser.add_argument("--reference", action="store_true",
                         help="use the uncompressed reference detector")
+    parser.add_argument("--columnar", action="store_true",
+                        help="replay through the detector's fused columnar "
+                        "batch loop (identical reports, faster)")
     parser.add_argument("--no-filter-same-value", action="store_true",
                         help="report benign same-value intra-warp stores too")
     parser.add_argument("--max-reports", type=int, default=10,
@@ -1230,16 +1270,22 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
 
     from .core.reference import DetectorConfig
     from .faults import NULL_FAULTS
-    from .runtime.replay import load_capture, replay
+    from .runtime.replay import (
+        detect_capture_format, load_capture_path, replay,
+    )
 
     obs = make_observability(trace=bool(args.trace), metrics=args.metrics)
     try:
         fault_plan = _load_fault_plan_arg(args.fault_plan)
         with obs.tracer.span("load-capture", source=args.capture):
-            with open(args.capture) as stream:
-                layout, kernel, records = load_capture(
-                    stream, faults=fault_plan if fault_plan is not None
-                    else NULL_FAULTS)
+            if (fault_plan is not None
+                    and detect_capture_format(args.capture) == "binary"):
+                print("warning: --fault-plan line faults apply to JSONL "
+                      "captures only; ignored for this binary capture",
+                      file=sys.stderr)
+            layout, kernel, records, _fmt = load_capture_path(
+                args.capture, faults=fault_plan if fault_plan is not None
+                else NULL_FAULTS)
         with obs.tracer.span("replay", records=len(records)):
             reports = replay(
                 layout,
@@ -1247,6 +1293,7 @@ def run_replay(argv: Optional[Sequence[str]] = None) -> int:
                 config=DetectorConfig(
                     filter_same_value=not args.no_filter_same_value),
                 reference=args.reference,
+                columnar=args.columnar and not args.reference,
             )
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1303,12 +1350,12 @@ def run_profile(argv: Optional[Sequence[str]] = None) -> int:
         description="Profile the detection hot path per PTX opcode and "
         "source line. Kernel sources (.cu/.ptx) run under the decoded "
         "engine with its closure-dispatch profiler; replay captures "
-        "(.jsonl/.capture) are profiled through the detector's "
+        "(.jsonl/.capture/.bin/.bcap) are profiled through the detector's "
         "per-record consume path. The default text output is "
         "count-ordered and deterministic across repeated runs.",
     )
     parser.add_argument("source", help="kernel source (.cu/.ptx) or a "
-                        "replay capture (.jsonl/.capture)")
+                        "replay capture (.jsonl/.capture/.bin/.bcap)")
     parser.add_argument("--kernel", help="kernel name (default: first)")
     parser.add_argument("--grid", type=int, default=1)
     parser.add_argument("--block", type=int, default=32)
@@ -1336,17 +1383,16 @@ def run_profile(argv: Optional[Sequence[str]] = None) -> int:
 
     source_lines: Dict[int, str] = {}
     try:
-        if args.source.endswith((".jsonl", ".capture")):
+        if args.source.endswith((".jsonl", ".capture", ".bin", ".bcap")):
             from time import perf_counter
 
             from .core.detector import BarracudaDetector
             from .core.reference import DetectorConfig
             from .events import record_to_ops
-            from .runtime.replay import load_capture
+            from .runtime.replay import load_capture_path
 
             profiler = Profiler()
-            with open(args.source) as stream:
-                layout, _kernel, records = load_capture(stream)
+            layout, _kernel, records, _fmt = load_capture_path(args.source)
             config = DetectorConfig()
             detector = BarracudaDetector(layout, config)
             for record in records:
@@ -1401,6 +1447,39 @@ def run_profile(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def run_convert(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro convert",
+        description="Convert a replay capture between the JSONL and binary "
+        "formats.  The source format is auto-detected from the magic bytes "
+        "and the conversion is lossless in both directions: converting "
+        "there and back yields the identical record stream.",
+    )
+    parser.add_argument("src", help="source capture (JSONL or binary)")
+    parser.add_argument("dst", help="destination path")
+    parser.add_argument("--to", choices=("jsonl", "binary"), default=None,
+                        help="target format (default: the opposite of the "
+                        "detected source format)")
+    parser.add_argument("--batch-records", type=int, default=None,
+                        metavar="N",
+                        help="records per columnar frame when writing "
+                        "binary captures")
+    args = parser.parse_args(argv)
+
+    from .runtime.replay import DEFAULT_BATCH_RECORDS, convert_capture
+
+    try:
+        src_fmt, dst_fmt, count = convert_capture(
+            args.src, args.dst, to_format=args.to,
+            batch_records=args.batch_records or DEFAULT_BATCH_RECORDS)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.src} ({src_fmt}) -> {args.dst} ({dst_fmt}): "
+          f"{count} record(s)")
+    return 0
+
+
 _SUBCOMMANDS = {
     "check": run_check,
     "lint": run_lint,
@@ -1411,6 +1490,7 @@ _SUBCOMMANDS = {
     "serve": run_serve,
     "submit": run_submit,
     "replay": run_replay,
+    "convert": run_convert,
 }
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..columnar import KIND_ATOMIC, KIND_LOAD, KIND_STORE, SPACES, ColumnarBatch
+from ..events import _locations, record_to_ops
 from ..trace.layout import GridLayout
 from ..trace.operations import (
     AcqRel,
@@ -74,6 +76,17 @@ class BarracudaDetector:
             else None
         )
         self._dispatch = None  # built lazily: handlers reference methods
+        # Shadow-cell expansion cache for the fused columnar loop: maps
+        # (tid, space code, addr, width) to the Location tuple the
+        # record expansion would produce.  Loops re-touch the same
+        # accesses every iteration, so this hits on nearly every lane.
+        self._loc_cells: Dict[Tuple[int, int, int, int], tuple] = {}
+        self._loc_granularity: Optional[int] = None
+        # Shadow-entry cache keyed by Location identity: the Location
+        # objects come from ``_loc_cells`` (interned per distinct access)
+        # and a shadow entry, once allocated, is never replaced — so one
+        # dict probe stands in for the page-table walk on every re-touch.
+        self._entry_cache: Dict[int, ShadowEntry] = {}
 
     # ------------------------------------------------------------------
     # Helpers
@@ -140,9 +153,23 @@ class BarracudaDetector:
         access: AccessType,
         pc: int,
         value: Optional[int] = None,
+        cv=None,
     ) -> None:
-        """``W_x ⪯ C_t`` with the same-value intra-warp filter (§3.3.1)."""
-        if self.clocks.covers(tid, entry.write_epoch):
+        """``W_x ⪯ C_t`` with the same-value intra-warp filter (§3.3.1).
+
+        ``cv`` is the clock-query provider: :attr:`clocks` by default, or
+        the per-record :class:`~repro.core.ptvc.ConvergedWarpView` the
+        fused columnar loop supplies (same answers, fewer lookups).
+        """
+        prior_epoch = entry.write_epoch
+        # FastTrack shortcuts: a bottom epoch is covered by anything, and
+        # a thread always covers its own prior epochs (its self clock is
+        # monotone), so only cross-thread epochs need a clock lookup.
+        if (
+            prior_epoch.clock == 0
+            or prior_epoch.tid == tid
+            or (cv or self.clocks).covers(tid, prior_epoch)
+        ):
             return
         if (
             self.config.filter_same_value
@@ -160,12 +187,15 @@ class BarracudaDetector:
         )
 
     def _check_reads(
-        self, entry: ShadowEntry, loc: Location, tid: int, access: AccessType, pc: int
+        self, entry: ShadowEntry, loc: Location, tid: int, access: AccessType,
+        pc: int, cv=None,
     ) -> None:
         """``R_x ⪯ C_t`` (epoch form) or ``R_x ⊑ C_t`` (map form)."""
+        if cv is None:
+            cv = self.clocks
         if entry.readers is not None:
             for reader, stamp in entry.readers.items():
-                if stamp > self.clocks.value(tid, reader):
+                if stamp > cv.value(tid, reader):
                     self._report_race(
                         loc,
                         tid,
@@ -176,75 +206,111 @@ class BarracudaDetector:
                         entry.read_pcs.get(reader, -1),
                         prior_clock=stamp,
                     )
-        elif entry.read_epoch is not None and not self.clocks.covers(
-            tid, entry.read_epoch
-        ):
-            self._report_race(
-                loc,
-                tid,
-                access,
-                entry.read_epoch.tid,
-                AccessType.READ,
-                pc,
-                entry.read_pcs.get(entry.read_epoch.tid, -1),
-                prior_clock=entry.read_epoch.clock,
-            )
-
-    # ------------------------------------------------------------------
-    # Memory access rules (Figure 2)
-    # ------------------------------------------------------------------
-    def _on_read(self, op: Read) -> None:
-        tid, loc = op.tid, op.loc
-        entry = self.shadow.entry(loc)
-        if self.provenance is not None:
-            self._record_provenance(loc, tid, AccessType.READ, op.pc)
-        self._check_write(entry, loc, tid, AccessType.READ, op.pc)
-        if entry.readers is not None:
-            # READSHARED
-            entry.readers.set(tid, self.clocks.value(tid, tid))
-        elif entry.read_epoch is not None and self.clocks.covers(
-            tid, entry.read_epoch
-        ):
-            # READEXCL
-            entry.read_epoch = self.clocks.epoch(tid)
         else:
-            # READINFLATE: first concurrent read.
-            keep = entry.read_epoch
-            entry.inflate_reads(keep if keep is not None else Epoch.bottom())
-            entry.readers.set(tid, self.clocks.value(tid, tid))
-        entry.read_pcs[tid] = op.pc
+            read_epoch = entry.read_epoch
+            if (
+                read_epoch is not None
+                and read_epoch.clock != 0
+                and read_epoch.tid != tid
+                and not cv.covers(tid, read_epoch)
+            ):
+                self._report_race(
+                    loc,
+                    tid,
+                    access,
+                    read_epoch.tid,
+                    AccessType.READ,
+                    pc,
+                    entry.read_pcs.get(read_epoch.tid, -1),
+                    prior_clock=read_epoch.clock,
+                )
 
-    def _on_write(self, op: Write) -> None:
-        tid, loc = op.tid, op.loc
-        entry = self.shadow.entry(loc)
+    # ------------------------------------------------------------------
+    # Memory access rules (Figure 2).  The per-lane bodies are the single
+    # source of truth: both the per-operation handlers and the fused
+    # columnar loop call them, so the two pipelines cannot drift.
+    # ------------------------------------------------------------------
+    def _read_lane(self, tid: int, loc: Location, pc: int,
+                   entry: Optional[ShadowEntry] = None, cv=None) -> None:
+        if entry is None:
+            entry = self.shadow.entry(loc)
+        if cv is None:
+            cv = self.clocks
         if self.provenance is not None:
-            self._record_provenance(loc, tid, AccessType.WRITE, op.pc, op.value)
-        self._check_write(entry, loc, tid, AccessType.WRITE, op.pc, value=op.value)
-        self._check_reads(entry, loc, tid, AccessType.WRITE, op.pc)
+            self._record_provenance(loc, tid, AccessType.READ, pc)
+        self._check_write(entry, loc, tid, AccessType.READ, pc, cv=cv)
+        readers = entry.readers
+        if readers is not None:
+            # READSHARED
+            readers.set(tid, cv.value(tid, tid))
+        else:
+            read_epoch = entry.read_epoch
+            if read_epoch is not None and (
+                read_epoch.clock == 0
+                or read_epoch.tid == tid  # own epoch: covered by monotonicity
+                or cv.covers(tid, read_epoch)
+            ):
+                # READEXCL
+                entry.read_epoch = cv.epoch(tid)
+            else:
+                # READINFLATE: first concurrent read.
+                entry.inflate_reads(
+                    read_epoch if read_epoch is not None else Epoch.bottom()
+                )
+                entry.readers.set(tid, cv.value(tid, tid))
+        entry.read_pcs[tid] = pc
+
+    def _write_lane(
+        self, tid: int, loc: Location, value: Optional[int], pc: int,
+        entry: Optional[ShadowEntry] = None, cv=None,
+        group: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        if entry is None:
+            entry = self.shadow.entry(loc)
+        if cv is None:
+            cv = self.clocks
+        if self.provenance is not None:
+            self._record_provenance(loc, tid, AccessType.WRITE, pc, value)
+        self._check_write(entry, loc, tid, AccessType.WRITE, pc, value=value,
+                          cv=cv)
+        self._check_reads(entry, loc, tid, AccessType.WRITE, pc, cv=cv)
         entry.reset_reads()
-        entry.write_epoch = self.clocks.epoch(tid)
+        entry.write_epoch = cv.epoch(tid)
         entry.atomic = False
-        entry.last_value = op.value
-        entry.last_group = self._group_of(tid)
-        entry.write_pc = op.pc
+        entry.last_value = value
+        entry.last_group = group if group is not None else self._group_of(tid)
+        entry.write_pc = pc
 
-    def _on_atomic(self, op: Atomic) -> None:
-        tid, loc = op.tid, op.loc
-        entry = self.shadow.entry(loc)
+    def _atomic_lane(self, tid: int, loc: Location, pc: int,
+                     entry: Optional[ShadowEntry] = None, cv=None,
+                     group: Optional[Tuple[int, int]] = None) -> None:
+        if entry is None:
+            entry = self.shadow.entry(loc)
+        if cv is None:
+            cv = self.clocks
         if self.provenance is not None:
-            self._record_provenance(loc, tid, AccessType.ATOMIC, op.pc)
+            self._record_provenance(loc, tid, AccessType.ATOMIC, pc)
         if not entry.atomic:
             # INITATOM*: the preceding write was non-atomic; Nvidia gives
             # no atomicity guarantee against it, so order is required.
-            self._check_write(entry, loc, tid, AccessType.ATOMIC, op.pc)
+            self._check_write(entry, loc, tid, AccessType.ATOMIC, pc, cv=cv)
         # Atomics never race with each other but do race with reads.
-        self._check_reads(entry, loc, tid, AccessType.ATOMIC, op.pc)
+        self._check_reads(entry, loc, tid, AccessType.ATOMIC, pc, cv=cv)
         entry.reset_reads()
-        entry.write_epoch = self.clocks.epoch(tid)
+        entry.write_epoch = cv.epoch(tid)
         entry.atomic = True
         entry.last_value = None
-        entry.last_group = self._group_of(tid)
-        entry.write_pc = op.pc
+        entry.last_group = group if group is not None else self._group_of(tid)
+        entry.write_pc = pc
+
+    def _on_read(self, op: Read) -> None:
+        self._read_lane(op.tid, op.loc, op.pc)
+
+    def _on_write(self, op: Write) -> None:
+        self._write_lane(op.tid, op.loc, op.value, op.pc)
+
+    def _on_atomic(self, op: Atomic) -> None:
+        self._atomic_lane(op.tid, op.loc, op.pc)
 
     # ------------------------------------------------------------------
     # Lockstep and branches
@@ -349,6 +415,121 @@ class BarracudaDetector:
         if self._dispatch is None:
             self._dispatch = self._handlers()
         self._dispatch[type(op)](op)
+
+    def process_columnar(self, batch: ColumnarBatch,
+                         granularity: int = 4) -> None:
+        """Consume one columnar warp-batch through the fused inner loop.
+
+        Semantically identical to expanding every record with
+        :func:`repro.events.record_to_ops` and calling :meth:`process`
+        per operation — same races in the same order, same
+        ``ops_processed``/``joins`` accounting (the differential suite
+        pins this across all 66 programs) — but without materializing a
+        single operation object.  Rows the fast path cannot prove
+        regular (non-memory kinds, extras rows, lanes outside the row's
+        warp) fall back to exactly that expansion.
+        """
+        layout = self.layout
+        clocks = self.clocks
+        if granularity != self._loc_granularity:
+            self._loc_cells.clear()
+            # The entry cache is keyed by Location identity; dropping the
+            # cells cache releases those objects, so the ids must go too.
+            self._entry_cache.clear()
+            self._loc_granularity = granularity
+        loc_cells = self._loc_cells
+        loc_cells_get = loc_cells.get
+        locations = _locations
+        entry_cache = self._entry_cache
+        entry_cache_get = entry_cache.get
+        shadow_entry = self.shadow.entry
+        deviant = clocks._deviant
+        converged_view = clocks.converged_view
+        kinds = batch.kinds
+        warps = batch.warps
+        pcs = batch.pcs
+        widths = batch.widths
+        lane_starts = batch.lane_starts
+        lane_tids = batch.lane_tids
+        lane_spaces = batch.lane_spaces
+        lane_addrs = batch.lane_addrs
+        lane_has_value = batch.lane_has_value
+        lane_values = batch.lane_values
+        read_lane = self._read_lane
+        write_lane = self._write_lane
+        atomic_lane = self._atomic_lane
+        active_mask = clocks.active_mask
+        end_instruction = clocks.end_instruction
+        instr = self._instr
+        instr_get = instr.get
+        process = self.process
+        tpb = layout.threads_per_block
+        ws = layout.warp_size
+        wpb = layout.warps_per_block
+        total_warps = layout.total_warps
+        for index in range(len(kinds)):
+            code = kinds[index]
+            start = lane_starts[index]
+            end = lane_starts[index + 1]
+            regular = code <= KIND_ATOMIC and 0 <= (warp := warps[index]) < total_warps
+            if regular:
+                # All lanes must live in the row's own warp: activeness
+                # and the lockstep join are per-warp state, and malformed
+                # captures may scatter tids (the per-op path handles
+                # those lane by lane).
+                base = (warp // wpb) * tpb
+                lo = base + (warp % wpb) * ws
+                hi = min(lo + ws, base + tpb)
+                for lane in range(start, end):
+                    tid = lane_tids[lane]
+                    if tid < lo or tid >= hi:
+                        regular = False
+                        break
+            if not regular:
+                for op in record_to_ops(batch.record(index), layout,
+                                        granularity):
+                    process(op)
+                continue
+            pc = pcs[index]
+            width = widths[index]
+            amask = active_mask(warp)
+            # One clock view for the whole record: memory accesses never
+            # deviate a thread or replace the group base, so the view's
+            # frozen warp/block max stays exact until the trailing endi.
+            cv = clocks if deviant else converged_view(warp, lo, hi)
+            # The warp-instruction identity every lane of this record
+            # shares (what _group_of would derive lane by lane).
+            group = None if code == KIND_LOAD else (warp, instr_get(warp, 0))
+            ops = 1
+            for lane in range(start, end):
+                tid = lane_tids[lane]
+                key = (tid, lane_spaces[lane], lane_addrs[lane], width)
+                cells = loc_cells_get(key)
+                if cells is None:
+                    cells = locations(layout, tid, SPACES[key[1]], key[2],
+                                      width, granularity)
+                    loc_cells[key] = cells
+                ops += len(cells)
+                if tid not in amask:
+                    continue
+                if code == KIND_STORE:
+                    value = lane_values[lane] if lane_has_value[lane] else None
+                else:
+                    value = None
+                for loc in cells:
+                    eid = id(loc)
+                    entry = entry_cache_get(eid)
+                    if entry is None:
+                        entry_cache[eid] = entry = shadow_entry(loc)
+                    if code == KIND_LOAD:
+                        read_lane(tid, loc, pc, entry, cv)
+                    elif code == KIND_STORE:
+                        write_lane(tid, loc, value, pc, entry, cv, group)
+                    else:
+                        atomic_lane(tid, loc, pc, entry, cv, group)
+            self.ops_processed += ops
+            end_instruction(warp)
+            instr[warp] = instr_get(warp, 0) + 1
 
     def process_trace(self, trace: Trace) -> DetectorReports:
         """Run a full trace and return the accumulated reports."""

@@ -123,6 +123,11 @@ class PTVCManager:
             w: [_Group(layout.initial_active_mask(w), StructuredVC(layout))]
             for w in layout.all_warps()
         }
+        #: Full-warp masks, interned once: the join fast path below and
+        #: the broadcast decision compare against these every record.
+        self._full_masks: Dict[int, FrozenSet[int]] = {
+            w: stack[0].amask for w, stack in self._stacks.items()
+        }
         #: Deviant threads: complete private clocks (SPARSEVC format).
         self._deviant: Dict[int, StructuredVC] = {}
         #: Join-fork operations performed (lockstep joins, branch joins,
@@ -186,6 +191,19 @@ class PTVCManager:
             return epoch.clock <= dev.get(owner)
         return epoch.clock <= dev.get(etid)
 
+    def converged_view(self, warp: int, lo: int, hi: int
+                       ) -> "ConvergedWarpView":
+        """A per-record clock-query view for ``warp``'s top group.
+
+        Only valid while no thread anywhere is deviant and only for
+        owner threads in ``[lo, hi)`` (the warp's tid range); the fused
+        columnar loop checks both before constructing one.  Memory
+        accesses never create deviants or replace the group base, so a
+        view stays exact for the duration of one record.
+        """
+        return ConvergedWarpView(self._top(warp).base, warp,
+                                 warp // self._wpb, lo, hi)
+
     def materialize(self, tid: int) -> StructuredVC:
         """``C_tid`` as a standalone clock (used by acquire/release)."""
         dev = self._deviant.get(tid)
@@ -210,7 +228,45 @@ class PTVCManager:
             return
         self.joins += 1
         group = self._top(warp)
-        joined = group.base.copy()
+        base = group.base
+        full_warp = members == self._full_masks.get(warp)
+        if full_warp and not self._deviant:
+            # Converged fast path (the paper's ~90% case): with no
+            # deviants, every member's self clock is one above the max
+            # of the layers covering it, and all members share the same
+            # warp/block layer entries — so the join high is one closed-
+            # form max over the *stored* entries instead of a per-lane
+            # ``get`` loop.  Bit-identical to the general path below.
+            high = base.warps.get(warp, 0)
+            block_value = base.blocks.get(warp // self._wpb, 0)
+            if block_value > high:
+                high = block_value
+            lanes = base.lanes
+            if lanes:
+                if len(lanes) <= len(members):
+                    for tid, clock in lanes.items():
+                        if clock > high and tid in members:
+                            high = clock
+                else:
+                    for tid in members:
+                        clock = lanes.get(tid, 0)
+                        if clock > high:
+                            high = clock
+            joined = base.copy()
+            # Targeted normalize: bases are kept normalized inductively,
+            # and the only new entry is this warp's, at ``high + 1`` —
+            # strictly above its block layer (``high`` already took the
+            # max) and above every member's lane entry (same reason), so
+            # the full re-filter reduces to dropping the member lanes.
+            lanes = joined.lanes
+            if lanes:
+                for tid in members:
+                    if tid in lanes:
+                        del lanes[tid]
+            joined.warps[warp] = high + 1
+            group.base = joined
+            return
+        joined = base.copy()
         high = 0
         deviants = []
         for tid in members:
@@ -219,13 +275,12 @@ class PTVCManager:
                 deviants.append((tid, dev))
                 self_clock = dev.get(tid)
             else:
-                self_clock = group.base.get(tid) + 1
+                self_clock = base.get(tid) + 1
             if self_clock > high:
                 high = self_clock
         for tid, dev in deviants:
             joined.join(dev)
             del self._deviant[tid]
-        full_warp = members == frozenset(self.layout.warp_tids(warp))
         if full_warp:
             # Uniform broadcast: every member issued epochs <= high and
             # will issue epochs >= high + 1, so one warp entry is exact
@@ -396,3 +451,61 @@ class PTVCManager:
         n = self.layout.total_threads
         stats.dense_entries = n * n
         return stats
+
+
+class ConvergedWarpView:
+    """Clock queries for one warp's record when nobody is deviant.
+
+    :meth:`PTVCManager.value`, :meth:`~PTVCManager.epoch` and
+    :meth:`~PTVCManager.covers` each re-derive the owner's warp id (a
+    divmod), index its stack, and take the max over three clock layers.
+    Within one memory record all those inputs are constant: the owner
+    threads share a warp, the top group's base is not replaced until the
+    trailing ``endi``, and memory accesses never create deviants.  This
+    view freezes the warp/block layer max once and answers the same
+    queries with a single lane-dict probe.
+
+    Exactness: for a thread ``t`` in ``[lo, hi)`` (this warp's tid
+    range), ``base.get(t) = max(lanes[t], warps[warp], blocks[block])``
+    and the last two terms are the frozen ``_wb`` — so ``_get`` equals
+    :meth:`StructuredVC.get` for those threads; any other thread falls
+    back to the real ``base.get``.  Owners are always members of this
+    warp (the fused loop only queries for its own active lanes).
+    """
+
+    __slots__ = ("_base", "_lanes", "_wb", "_lo", "_hi")
+
+    def __init__(self, base: StructuredVC, warp: int, block: int,
+                 lo: int, hi: int) -> None:
+        self._base = base
+        self._lanes = base.lanes
+        wb = base.warps.get(warp, 0)
+        block_value = base.blocks.get(block, 0)
+        self._wb = wb if wb >= block_value else block_value
+        self._lo = lo
+        self._hi = hi
+
+    def _get(self, tid: int) -> int:
+        """``base.get(tid)`` for a thread of this warp."""
+        value = self._lanes.get(tid, 0)
+        wb = self._wb
+        return value if value >= wb else wb
+
+    def value(self, owner: int, tid: int) -> int:
+        if owner == tid:
+            return self._get(tid) + 1
+        if self._lo <= tid < self._hi:
+            return self._get(tid)
+        return self._base.get(tid)
+
+    def epoch(self, tid: int) -> Epoch:
+        return Epoch(self._get(tid) + 1, tid)
+
+    def covers(self, owner: int, epoch: Epoch) -> bool:
+        etid = epoch.tid
+        if self._lo <= etid < self._hi:
+            value = self._get(etid)
+            if owner == etid:
+                value += 1
+            return epoch.clock <= value
+        return epoch.clock <= self._base.get(etid)

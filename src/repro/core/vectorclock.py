@@ -33,8 +33,13 @@ class Epoch:
 
     @staticmethod
     def bottom() -> "Epoch":
-        """The minimal epoch ``0@t0`` (written ⊥e in the paper)."""
-        return Epoch(0, 0)
+        """The minimal epoch ``0@t0`` (written ⊥e in the paper).
+
+        Returns a shared instance: epochs are immutable, and shadow
+        entries reset their read metadata to bottom on every write, so
+        interning the one bottom value saves an allocation per reset.
+        """
+        return _BOTTOM
 
     def leq(self, vc: "VectorClock") -> bool:
         """``c@t ⪯ V`` iff ``c <= V(t)`` — the O(1) FastTrack comparison."""
@@ -66,6 +71,10 @@ class Epoch:
 
     def __repr__(self) -> str:
         return f"{self.clock}@{self.tid}"
+
+
+#: The interned bottom epoch handed out by :meth:`Epoch.bottom`.
+_BOTTOM = Epoch(0, 0)
 
 
 class VectorClock:

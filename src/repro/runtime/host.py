@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from ..columnar import ColumnarBatch, iter_batches
 from ..core.detector import BarracudaDetector
 from ..core.races import DetectorReports
 from ..core.reference import DetectorConfig
@@ -29,7 +30,15 @@ from ..events import LogRecord, record_to_ops
 
 
 class HostDetector:
-    """Consumes log records and runs the BARRACUDA analysis."""
+    """Consumes log records and runs the BARRACUDA analysis.
+
+    With ``columnar=True`` ingested records are packed into columnar
+    warp-batches and run through the detector's fused inner loop
+    (:meth:`BarracudaDetector.process_columnar`) instead of being
+    expanded into per-thread operation objects.  Reports, operation
+    accounting and metrics are bit-identical either way; only the speed
+    differs.
+    """
 
     def __init__(
         self,
@@ -39,6 +48,7 @@ class HostDetector:
         batch_size: int = 64,
         obs: Observability = NULL_OBS,
         kernel: str = "",
+        columnar: bool = False,
     ) -> None:
         self.layout = layout
         self.detector = BarracudaDetector(layout, config)
@@ -47,6 +57,7 @@ class HostDetector:
         self.batch_size = batch_size
         self.records_processed = 0
         self.kernel = kernel
+        self.columnar = columnar
         # Pre-resolved instruments; None when metrics are disabled so
         # the per-record hot path pays one is-None check.
         self._events_by_kind = self._hot_pcs = self._hot_addrs = None
@@ -71,12 +82,29 @@ class HostDetector:
     # Consumption
     # ------------------------------------------------------------------
     def consume(self, records: Iterable[LogRecord]) -> None:
+        if self.columnar:
+            for batch in iter_batches(records):
+                self.consume_columnar(batch)
+            return
         for record in records:
             self.records_processed += 1
             if self._events_by_kind is not None:
                 self._observe_record(record)
             for op in record_to_ops(record, self.layout, self.granularity):
                 self.detector.process(op)
+
+    def consume_columnar(self, batch: ColumnarBatch) -> None:
+        """Ingest one columnar warp-batch through the fused loop.
+
+        The batch form of :meth:`consume`: same reports, same
+        ``records_processed``, same metrics — metrics still observe per
+        record, materializing rows only when instrumentation is on.
+        """
+        self.records_processed += len(batch)
+        if self._events_by_kind is not None:
+            for record in batch.iter_records():
+                self._observe_record(record)
+        self.detector.process_columnar(batch, self.granularity)
 
     def _observe_record(self, record: LogRecord) -> None:
         """Metrics-enabled path: profile one ingested record."""

@@ -371,6 +371,18 @@ class QueueSet(EventSink):
                 return self._emit_batch_faulty(records, fault)
         return self._emit_batch_core(records)
 
+    def emit_columnar(self, batch) -> int:
+        """Emit one columnar warp-batch (:class:`repro.columnar.ColumnarBatch`).
+
+        The batch's rows land in the same queues with the same commit
+        stamps as emitting its materialized records one by one, and the
+        :class:`QueueStats` accounting is exact: the per-queue runs go
+        through :meth:`LogQueue.push_batch`, whose depth/byte figures
+        are closed-form (``n`` records of ``RECORD_BYTES`` each raise
+        the depth ``depth0+1 .. depth0+n``), not per-record samples.
+        """
+        return self.emit_batch(batch.to_records())
+
     def _emit_batch_core(self, records: List[LogRecord]) -> int:
         total_stall = 0
         queue_for = self.queue_for_block

@@ -14,8 +14,16 @@ evolution.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, List, Optional, Tuple
+import struct
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..columnar import (
+    DEFAULT_BATCH_RECORDS,
+    ColumnarBatch,
+    decode_batch,
+    encode_batch,
+    iter_batches,
+)
 from ..core.races import DetectorReports
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
@@ -27,6 +35,14 @@ from ..trace.layout import GridLayout
 from ..trace.operations import Scope, Space
 
 FORMAT_VERSION = 1
+
+#: First bytes of a binary capture; anything else is treated as JSONL.
+BINARY_MAGIC = b"BCAP"
+BINARY_VERSION = 1
+#: Per-frame ceiling, mirroring the service protocol's framing cap: a
+#: length prefix beyond this is corruption, not an allocation request.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+_FRAME_LENGTH = struct.Struct("!I")
 
 
 class RecordingSink(EventSink):
@@ -223,18 +239,252 @@ def load_capture(stream: IO[str],
     return layout, kernel, records
 
 
-def replay(
+# ----------------------------------------------------------------------
+# Binary captures: the same header and records as JSONL, framed like the
+# service protocol (a length prefix per frame) with columnar batch
+# payloads.  Frame 0 is the JSON header; every later frame is one
+# :class:`~repro.columnar.ColumnarBatch` (see ``docs/performance.md``
+# for the byte-level spec).
+# ----------------------------------------------------------------------
+def _capture_header_dict(layout: GridLayout, kernel: str) -> dict:
+    return {
+        "format": "barracuda-capture",
+        "version": FORMAT_VERSION,
+        "kernel": kernel,
+        "layout": {
+            "num_blocks": layout.num_blocks,
+            "threads_per_block": layout.threads_per_block,
+            "warp_size": layout.warp_size,
+        },
+    }
+
+
+def write_frame(stream: IO[bytes], payload: bytes) -> None:
+    """Write one length-prefixed frame (the protocol's framing rule)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ReproError(
+            f"capture frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    stream.write(_FRAME_LENGTH.pack(len(payload)))
+    stream.write(payload)
+
+
+def read_frame(stream: IO[bytes]) -> Optional[bytes]:
+    """Read one frame; None at a clean EOF, :class:`ReproError` on a tear."""
+    prefix = stream.read(_FRAME_LENGTH.size)
+    if not prefix:
+        return None
+    if len(prefix) < _FRAME_LENGTH.size:
+        raise ReproError("truncated binary capture: torn frame length")
+    (length,) = _FRAME_LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ReproError(
+            f"corrupt binary capture: frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    payload = stream.read(length)
+    if len(payload) < length:
+        raise ReproError(
+            f"truncated binary capture: frame promised {length} bytes, "
+            f"got {len(payload)}"
+        )
+    return payload
+
+
+def write_binary_header(stream: IO[bytes], layout: GridLayout,
+                        kernel: str = "") -> None:
+    """Magic + version + header frame; call once before any batches."""
+    stream.write(BINARY_MAGIC)
+    stream.write(struct.pack("<H", BINARY_VERSION))
+    header = json.dumps(_capture_header_dict(layout, kernel))
+    write_frame(stream, header.encode("utf-8"))
+
+
+def write_binary_batch(stream: IO[bytes], batch: ColumnarBatch) -> None:
+    write_frame(stream, encode_batch(batch))
+
+
+def read_binary_header_line(stream: IO[bytes]) -> str:
+    """Validate magic/version; return the raw header JSON text.
+
+    The header frame carries the same JSON object as a JSONL capture's
+    first line, so transports (the service client) can forward it
+    verbatim without re-serializing.
+    """
+    magic = stream.read(len(BINARY_MAGIC))
+    if magic != BINARY_MAGIC:
+        raise ReproError("not a binary barracuda capture (bad magic)")
+    version_bytes = stream.read(2)
+    if len(version_bytes) < 2:
+        raise ReproError("truncated binary capture: missing version")
+    (version,) = struct.unpack("<H", version_bytes)
+    if version != BINARY_VERSION:
+        raise ReproError(f"unsupported binary capture version {version}")
+    header_frame = read_frame(stream)
+    if header_frame is None:
+        raise ReproError("truncated binary capture: missing header frame")
+    try:
+        return header_frame.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ReproError(
+            f"corrupt binary capture: header is not UTF-8: {exc}") from exc
+
+
+def read_binary_header(stream: IO[bytes]) -> Tuple[GridLayout, str]:
+    """Validate magic/version and parse the header frame."""
+    return read_header(read_binary_header_line(stream))
+
+
+def iter_binary_frames(stream: IO[bytes]) -> Iterator[bytes]:
+    """Raw encoded batch payloads until a clean EOF (header consumed).
+
+    The undecoded sibling of :func:`iter_binary_batches`, for transports
+    that forward frames without materializing records.
+    """
+    while True:
+        payload = read_frame(stream)
+        if payload is None:
+            return
+        yield payload
+
+
+def iter_binary_batches(stream: IO[bytes]) -> Iterator[ColumnarBatch]:
+    """Decode batch frames until a clean EOF (header already consumed)."""
+    while True:
+        payload = read_frame(stream)
+        if payload is None:
+            return
+        yield decode_batch(payload)
+
+
+def save_capture_binary(
+    stream: IO[bytes],
     layout: GridLayout,
     records: Iterable[LogRecord],
+    kernel: str = "",
+    batch_records: int = DEFAULT_BATCH_RECORDS,
+) -> int:
+    """Write a binary capture; returns the number of records written."""
+    write_binary_header(stream, layout, kernel)
+    count = 0
+    for batch in iter_batches(list(records), batch_records=batch_records):
+        write_binary_batch(stream, batch)
+        count += len(batch)
+    return count
+
+
+def load_capture_binary(
+    stream: IO[bytes],
+) -> Tuple[GridLayout, str, List[ColumnarBatch]]:
+    """Read a binary capture back; returns (layout, kernel, batches)."""
+    layout, kernel = read_binary_header(stream)
+    return layout, kernel, list(iter_binary_batches(stream))
+
+
+def detect_capture_format(path: str) -> str:
+    """``"binary"`` or ``"jsonl"``, decided by the magic bytes."""
+    with open(path, "rb") as stream:
+        magic = stream.read(len(BINARY_MAGIC))
+    return "binary" if magic == BINARY_MAGIC else "jsonl"
+
+
+def load_capture_path(
+    path: str, faults=NULL_FAULTS,
+) -> Tuple[GridLayout, str, List[LogRecord], str]:
+    """Load a capture of either format, materializing plain records.
+
+    Returns ``(layout, kernel, records, format)``.  Used by every CLI
+    consumer so ``.capture`` files are accepted regardless of how they
+    were written.
+    """
+    layout, kernel, batches, fmt = load_capture_path_batches(
+        path, faults=faults)
+    records: List[LogRecord] = []
+    for batch in batches:
+        records.extend(batch.iter_records())
+    return layout, kernel, records, fmt
+
+
+def load_capture_path_batches(
+    path: str, faults=NULL_FAULTS,
+) -> Tuple[GridLayout, str, List[ColumnarBatch], str]:
+    """Load a capture of either format as columnar batches.
+
+    JSONL captures are columnarized on load (bit-identical records);
+    binary captures decode straight into batches.
+    """
+    if detect_capture_format(path) == "binary":
+        with open(path, "rb") as stream:
+            layout, kernel, batches = load_capture_binary(stream)
+        return layout, kernel, batches, "binary"
+    with open(path, "r", encoding="utf-8") as stream:
+        layout, kernel, records = load_capture(stream, faults=faults)
+    return layout, kernel, list(iter_batches(records)), "jsonl"
+
+
+def convert_capture(
+    src: str, dst: str, to_format: Optional[str] = None,
+    batch_records: int = DEFAULT_BATCH_RECORDS,
+) -> Tuple[str, str, int]:
+    """Convert a capture between JSONL and binary (``repro convert``).
+
+    The target format defaults to the opposite of the (magic-detected)
+    source format.  Returns ``(source format, target format, records)``.
+    Lossless in both directions: the record streams compare equal.
+    """
+    layout, kernel, records, src_fmt = load_capture_path(src)
+    if to_format is None:
+        to_format = "jsonl" if src_fmt == "binary" else "binary"
+    if to_format not in ("jsonl", "binary"):
+        raise ReproError(f"unknown capture format {to_format!r}")
+    if to_format == "binary":
+        with open(dst, "wb") as stream:
+            count = save_capture_binary(
+                stream, layout, records, kernel=kernel,
+                batch_records=batch_records)
+    else:
+        with open(dst, "w", encoding="utf-8") as stream:
+            count = save_capture(stream, layout, records, kernel=kernel)
+    return src_fmt, to_format, count
+
+
+def replay_batches(
+    layout: GridLayout,
+    batches: Iterable[ColumnarBatch],
+    config: Optional[DetectorConfig] = None,
+) -> DetectorReports:
+    """Run the production detector over columnar batches (fused path).
+
+    Byte-identical reports to :func:`replay` on the same records — the
+    differential-equivalence suite pins this across all 66 programs.
+    """
+    from ..core.detector import BarracudaDetector
+
+    resolved = config or DetectorConfig()
+    detector = BarracudaDetector(layout, resolved)
+    granularity = resolved.granularity_bytes
+    for batch in batches:
+        detector.process_columnar(batch, granularity)
+    return detector.reports
+
+
+def replay(
+    layout: GridLayout,
+    records: Union[Iterable[LogRecord], Iterable[ColumnarBatch]],
     config: Optional[DetectorConfig] = None,
     reference: bool = False,
+    columnar: bool = False,
 ) -> DetectorReports:
     """Run the detector over a captured record stream.
 
     ``reference=True`` replays through the uncompressed reference
     detector instead of the production one — the capture format is how
     the two are cross-checked on real workloads, not just on random
-    traces.
+    traces.  ``records`` may mix plain :class:`LogRecord` items and
+    :class:`~repro.columnar.ColumnarBatch` items (the binary loader
+    yields the latter); ``columnar=True`` routes the production detector
+    through the fused batch loop, with identical reports either way.
     """
     from ..events import record_to_ops
 
@@ -247,7 +497,26 @@ def replay(
         from ..core.detector import BarracudaDetector
 
         detector = BarracudaDetector(layout, config)
-    for record in records:
-        for op in record_to_ops(record, layout, granularity):
-            detector.process(op)
+        if columnar:
+            plain: List[LogRecord] = []
+            for item in records:
+                if isinstance(item, ColumnarBatch):
+                    if plain:
+                        for batch in iter_batches(plain):
+                            detector.process_columnar(batch, granularity)
+                        plain = []
+                    detector.process_columnar(item, granularity)
+                else:
+                    plain.append(item)
+            for batch in iter_batches(plain):
+                detector.process_columnar(batch, granularity)
+            return detector.reports
+    for item in records:
+        if isinstance(item, ColumnarBatch):
+            for record in item.iter_records():
+                for op in record_to_ops(record, layout, granularity):
+                    detector.process(op)
+        else:
+            for op in record_to_ops(item, layout, granularity):
+                detector.process(op)
     return detector.reports

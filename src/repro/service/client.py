@@ -6,9 +6,12 @@ chunked batches (one batch in flight per ACK, so server-side
 backpressure translates directly into client-side pacing), close, and
 receive the job's :class:`~repro.core.races.DetectorReports`.
 
-The capture content itself is never parsed client-side — lines travel
-raw, and the service validates them per job — so a corrupt capture
-produces a clean server-reported error, identical for every client.
+The capture content itself is never parsed client-side — JSONL lines
+travel raw and binary captures travel as base64-armored columnar batch
+frames (:meth:`ServiceClient.submit_binary`; ``submit_path`` picks the
+transport by the file's magic bytes), and the service validates the
+content per job — so a corrupt capture produces a clean server-reported
+error, identical for every client.
 
 Transient failures — connection drops, truncated or garbled frames,
 stream desync — are retried by :func:`submit_capture` under a
@@ -284,10 +287,74 @@ class ServiceClient:
         self._expect(self._request(protocol.records_frame(job_id, list(lines))),
                      protocol.ACK)
 
+    def submit_binary(
+        self,
+        stream: IO[bytes],
+        config: Optional[DetectorConfig] = None,
+        resubmit_key: Optional[str] = None,
+        trace: Optional[SpanBuffer] = None,
+    ) -> JobResult:
+        """Stream one binary capture as one job.
+
+        Each columnar batch frame travels base64-armored in its own
+        RECORDS frame, undecoded on both the client and the server's
+        connection thread — the shard worker is the first (and only)
+        place the batch is materialized.  Framing doubles as pacing:
+        one batch in flight per ACK, like the line path.
+        """
+        if trace is None or not trace.enabled:
+            return self._submit_binary(stream, config, resubmit_key)
+        with trace.span("submit") as submit_span:
+            result = self._submit_binary(
+                stream, config, resubmit_key,
+                trace_payload=trace.context.child(submit_span).to_payload())
+        trace.absorb(result.spans)
+        return result
+
+    def _submit_binary(self, stream, config, resubmit_key,
+                       trace_payload: Optional[dict] = None) -> JobResult:
+        from ..runtime.replay import iter_binary_frames, read_binary_header_line
+
+        header_line = read_binary_header_line(stream)
+        reply = self._expect(
+            self._request(protocol.open_frame(header_line, config,
+                                              resubmit_key=resubmit_key,
+                                              trace=trace_payload)),
+            protocol.ACCEPT,
+        )
+        job_id = reply["job_id"]
+        for payload in iter_binary_frames(stream):
+            encoded, count = protocol.encode_batch_wire(payload)
+            self._expect(
+                self._request(protocol.batch_records_frame(
+                    job_id, encoded, count)),
+                protocol.ACK,
+            )
+        report = self._expect(self._request(protocol.close_frame(job_id)),
+                              protocol.REPORT)
+        payload = report.get("reports", {})
+        return JobResult(
+            job_id=job_id,
+            reports=protocol.reports_from_payload(payload),
+            stats=report.get("stats", {}),
+            records_processed=payload.get("records_processed", 0),
+            degraded=bool(report.get("degraded", False)),
+            failure_log=list(report.get("failure_log", [])),
+            spans=list(report.get("spans", [])),
+            flight=report.get("flight"),
+        )
+
     def submit_path(self, path: str, batch_size: int = DEFAULT_BATCH_SIZE,
                     config: Optional[DetectorConfig] = None,
                     resubmit_key: Optional[str] = None,
                     trace: Optional[SpanBuffer] = None) -> JobResult:
+        from ..runtime.replay import detect_capture_format
+
+        if detect_capture_format(path) == "binary":
+            with open(path, "rb") as stream:
+                return self.submit_binary(stream, config=config,
+                                          resubmit_key=resubmit_key,
+                                          trace=trace)
         with open(path) as stream:
             return self.submit(stream, batch_size=batch_size, config=config,
                                resubmit_key=resubmit_key, trace=trace)

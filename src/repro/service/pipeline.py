@@ -144,8 +144,51 @@ def _apply_worker_fault(fault, inline: bool) -> None:
     raise ReproError("injected poison record in batch")
 
 
-def _worker_batch(job_id: str, lines: Sequence[str]) -> Tuple[int, float]:
-    """Process one record batch; returns (records eaten, busy seconds)."""
+def _item_wire_size(item) -> int:
+    """Approximate wire bytes of one retained item (fault-site sizing)."""
+    return len(item) if isinstance(item, str) else len(item.get("batch", ""))
+
+
+def _consume_items(detector: HostDetector, items: Sequence,
+                   naive: bool) -> int:
+    """Feed a mixed line/binary-batch item sequence; returns records.
+
+    Runs of JSONL lines are ingested in one batched pass (the pipeline
+    analogue of the decoded engine's ``emit_batch``); binary batch
+    frames decode straight into the columnar fused loop.  Same records,
+    same order, same errors as the all-lines path.
+    """
+    count = 0
+    lines: List[str] = []
+
+    def flush() -> None:
+        if not lines:
+            return
+        if naive:
+            detector.consume(record_line_to_record(line) for line in lines)
+        else:
+            detector.consume(record_lines_to_records(lines))
+        del lines[:]
+
+    for item in items:
+        if isinstance(item, str):
+            lines.append(item)
+            count += 1
+            continue
+        flush()
+        batch = protocol.decode_batch_wire(item["batch"])
+        detector.consume_columnar(batch)
+        count += len(batch)
+    flush()
+    return count
+
+
+def _worker_batch(job_id: str, lines: Sequence) -> Tuple[int, float]:
+    """Process one record batch; returns (records eaten, busy seconds).
+
+    ``lines`` items are raw JSONL record lines or binary batch frames
+    (``{"batch": b64, "count": n}``) in submission order.
+    """
     detector = _WORKER_JOBS.get(job_id)
     if detector is None:
         raise ReproError(f"job {job_id!r} is not open on this shard")
@@ -153,31 +196,22 @@ def _worker_batch(job_id: str, lines: Sequence[str]) -> Tuple[int, float]:
     if faulty is not None:
         injector, inline = faulty
         fault = injector.check(fault_sites.WORKER_BATCH,
-                               sum(len(line) for line in lines))
+                               sum(_item_wire_size(item) for item in lines))
         if fault is not None:
             _apply_worker_fault(fault, inline)
     spans = _WORKER_SPANS.get(job_id)
+    naive = _WORKER_ENGINES.get(job_id) == "naive"
     start = time.perf_counter()
-    if _WORKER_ENGINES.get(job_id) == "naive":
-        if spans is None:
-            detector.consume(record_line_to_record(line) for line in lines)
-        else:
-            with spans.span("shard-batch", job=job_id, records=len(lines)):
-                detector.consume(record_line_to_record(line)
-                                 for line in lines)
-    elif spans is None:
-        # Batched ingest: one pass over the lines with the JSON decoder
-        # resolved once — the pipeline analogue of the decoded engine's
-        # ``emit_batch``.  Same records, same order, same errors.
-        detector.consume(record_lines_to_records(lines))
+    if spans is None:
+        count = _consume_items(detector, lines, naive)
     else:
         with spans.span("shard-batch", job=job_id, records=len(lines)):
-            detector.consume(record_lines_to_records(lines))
+            count = _consume_items(detector, lines, naive)
     busy = time.perf_counter() - start
     _WORKER_BATCHES.inc()
-    _WORKER_RECORDS.inc(len(lines))
+    _WORKER_RECORDS.inc(count)
     _WORKER_BUSY.inc(busy)
-    return len(lines), busy
+    return count, busy
 
 
 def _worker_close(job_id: str) -> dict:

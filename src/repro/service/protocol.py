@@ -6,16 +6,21 @@ connection and a server can ingest several jobs concurrently:
 
 * every frame is a 4-byte big-endian payload length followed by that
   many bytes of UTF-8 JSON — one object with a ``verb`` field;
-* capture content travels *as the raw JSONL lines*: the ``OPEN`` frame
-  carries the header line, ``RECORDS`` frames carry chunks of record
-  lines.  Parsing (and therefore rejecting) capture content happens on
-  the server side, per job, so a malformed capture fails its own job
-  with a clean error instead of crashing a client or the server.
+* capture content travels in one of two shapes: the ``OPEN`` frame
+  carries the header line (identical JSON for both capture formats),
+  and ``RECORDS`` frames carry either chunks of raw JSONL record
+  lines (``lines``) or one base64-armored binary columnar batch frame
+  (``batch`` + ``count``) — the latter is how ``submit`` streams a
+  binary capture without materializing records client-side.  Parsing
+  (and therefore rejecting) capture content happens on the server
+  side, per job, so a malformed capture fails its own job with a
+  clean error instead of crashing a client or the server.
 
 Client → server verbs::
 
     OPEN    {header_line, config?, trace?} -> ACCEPT {job_id} | ERROR
     RECORDS {job_id, lines: [str]}     -> ACK {job_id, accepted, pending} | ERROR
+    RECORDS {job_id, batch: str, count}-> ACK {job_id, accepted, pending} | ERROR
     CLOSE   {job_id}                   -> REPORT {job_id, reports, stats,
                                                   spans?, flight?} | ERROR
     STATS   {}                         -> STATS_REPLY {stats}
@@ -38,6 +43,7 @@ producing warp (§4.2).
 
 from __future__ import annotations
 
+import base64
 import json
 import socket
 import struct
@@ -200,6 +206,42 @@ def open_frame(header_line: str, config: Optional[DetectorConfig] = None,
 
 def records_frame(job_id: str, lines: Sequence[str]) -> dict:
     return {"verb": RECORDS, "job_id": job_id, "lines": list(lines)}
+
+
+def batch_records_frame(job_id: str, encoded: str, count: int) -> dict:
+    """``RECORDS`` carrying one base64 binary columnar batch frame.
+
+    ``count`` is the batch's record count, carried explicitly so the
+    server's ACK/backpressure accounting stays exact without decoding
+    the payload on the connection thread.
+    """
+    return {"verb": RECORDS, "job_id": job_id, "batch": encoded,
+            "count": count}
+
+
+def encode_batch_wire(payload: bytes) -> Tuple[str, int]:
+    """Base64-armor one encoded batch frame; returns (text, records).
+
+    The record count is peeked from the batch header
+    (:func:`repro.columnar.batch_record_count`), so forwarding a binary
+    capture frame costs one base64 pass, not a decode.
+    """
+    from ..columnar import batch_record_count
+
+    return (base64.b64encode(payload).decode("ascii"),
+            batch_record_count(payload))
+
+
+def decode_batch_wire(encoded: str):
+    """Decode a :func:`batch_records_frame` payload to a ColumnarBatch."""
+    from ..columnar import decode_batch
+
+    try:
+        payload = base64.b64decode(encoded.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ReproError(
+            f"corrupt batch frame: invalid base64 payload: {exc}") from exc
+    return decode_batch(payload)
 
 
 def close_frame(job_id: str) -> dict:

@@ -23,7 +23,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from ..core.reference import DetectorConfig
 from ..errors import ReproError
@@ -63,6 +63,13 @@ _EMPTY_REPORT_PAYLOAD = {
 }
 
 
+def _retained_record_count(items: Sequence[Union[str, dict]]) -> int:
+    """Records represented by retained items: one per line, ``count``
+    per binary batch frame."""
+    return sum(item["count"] if isinstance(item, dict) else 1
+               for item in items)
+
+
 @dataclass
 class _Job:
     """Server-side state of one in-flight capture submission."""
@@ -75,9 +82,11 @@ class _Job:
     #: Finished report replayed for an idempotent resubmission; when
     #: set, the job never touches the pool.
     cached: Optional[dict] = None
-    #: Every record line accepted so far, retained so a requeued job can
-    #: be replayed from scratch on a surviving shard.
-    lines: List[str] = field(default_factory=list)
+    #: Every record item accepted so far — a raw JSONL line (str) or a
+    #: binary batch frame (``{"batch": b64, "count": n}``) — retained in
+    #: arrival order so a requeued job can be replayed from scratch on a
+    #: surviving shard.
+    lines: List[Union[str, dict]] = field(default_factory=list)
     drained: asyncio.Event = field(default_factory=asyncio.Event)
     failed: bool = False
     error: str = ""
@@ -451,14 +460,31 @@ class RaceService:
         if job.failed:
             await self._send(writer, protocol.error_frame(job.error, job.job_id))
             return
-        lines = message.get("lines")
-        if not isinstance(lines, list) or not all(isinstance(l, str) for l in lines):
-            raise ReproError("RECORDS frame needs a list of record lines")
+        encoded = message.get("batch")
+        if encoded is not None:
+            # Binary transport: one base64 columnar batch frame with an
+            # explicit record count, forwarded to the shard undecoded.
+            if not isinstance(encoded, str):
+                raise ReproError("RECORDS batch payload must be a string")
+            count = message.get("count")
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 0:
+                raise ReproError(
+                    "RECORDS batch frame needs a non-negative record count")
+            items: List[Union[str, dict]] = [
+                {"batch": encoded, "count": count}]
+        else:
+            lines = message.get("lines")
+            if not isinstance(lines, list) \
+                    or not all(isinstance(l, str) for l in lines):
+                raise ReproError("RECORDS frame needs a list of record lines")
+            items = list(lines)
+            count = len(lines)
         if job.cached is not None or job.degraded:
             # Replayed or degraded jobs eat the stream without forwarding
             # it: the report is already decided.
             await self._send(writer, protocol.ack_frame(
-                job.job_id, len(lines), 0))
+                job.job_id, count, 0))
             return
         # Backpressure: hold the ACK while this job is over its high-water
         # mark (or mid-recovery).  The connection reads no further frames
@@ -473,14 +499,14 @@ class RaceService:
             return
         if job.degraded:
             await self._send(writer, protocol.ack_frame(
-                job.job_id, len(lines), 0))
+                job.job_id, count, 0))
             return
-        job.stats.batch_submitted(len(lines))
-        job.lines.extend(lines)
-        future = self.pool.submit_batch(job.job_id, lines)
+        job.stats.batch_submitted(count)
+        job.lines.extend(items)
+        future = self.pool.submit_batch(job.job_id, items)
         self._spawn_watch(job, future)
         await self._send(writer, protocol.ack_frame(
-            job.job_id, len(lines), job.stats.pending_records))
+            job.job_id, count, job.stats.pending_records))
 
     # ------------------------------------------------------------------
     # Batch watchdog + recovery
@@ -579,7 +605,7 @@ class RaceService:
                                    reason=f"requeue failed: {exc}")
                 job.degrade(f"requeue failed: {exc}")
                 return
-            job.stats.pending_records = len(job.lines)
+            job.stats.pending_records = _retained_record_count(job.lines)
             if job.lines:
                 replay = self.pool.submit_batch(job.job_id, list(job.lines))
                 self._spawn_watch(job, replay, replay=True)

@@ -224,6 +224,110 @@ class TestSubcommands:
         assert "no races detected" in capsys.readouterr().out
 
 
+class TestCaptureFormats:
+    """``--capture``/``--capture-format``, ``convert``, binary replay."""
+
+    def _check_with_capture(self, source, tmp_path, name, extra=()):
+        path = str(tmp_path / name)
+        code = run_cli(["check", source(RACY), "--grid", "2",
+                        "--buffer", "data:4", "--capture", path, *extra])
+        assert code == 1
+        return path
+
+    def test_check_capture_jsonl_then_replay(self, source, tmp_path, capsys):
+        path = self._check_with_capture(source, tmp_path, "cap.jsonl")
+        check_out = capsys.readouterr().out
+        assert "race report" in check_out
+        assert run_cli(["replay", path]) == 1
+        assert "race report" in capsys.readouterr().out
+
+    def test_check_capture_binary_auto_by_extension(
+        self, source, tmp_path, capsys
+    ):
+        from repro.runtime.replay import BINARY_MAGIC, detect_capture_format
+
+        binary = self._check_with_capture(source, tmp_path, "cap.bcap")
+        capsys.readouterr()
+        jsonl = self._check_with_capture(source, tmp_path, "cap.jsonl")
+        capsys.readouterr()
+        assert detect_capture_format(binary) == "binary"
+        with open(binary, "rb") as stream:
+            assert stream.read(4) == BINARY_MAGIC
+        # Both formats replay byte-identically.
+        assert run_cli(["replay", binary]) == 1
+        binary_out = capsys.readouterr().out
+        assert run_cli(["replay", jsonl]) == 1
+        assert capsys.readouterr().out == binary_out
+
+    def test_capture_format_flag_overrides_extension(self, source, tmp_path):
+        from repro.runtime.replay import detect_capture_format
+
+        path = self._check_with_capture(source, tmp_path, "cap.jsonl",
+                                        extra=["--capture-format", "binary"])
+        assert detect_capture_format(path) == "binary"
+
+    def test_columnar_flag_identical_output(self, source, tmp_path, capsys):
+        kernel = source(RACY)
+        args = ["check", kernel, "--grid", "2", "--buffer", "data:4",
+                "--stats"]
+        base_code = run_cli(args)
+        base_out = capsys.readouterr().out
+        columnar_code = run_cli(args + ["--columnar"])
+        columnar_out = capsys.readouterr().out
+        assert (columnar_code, columnar_out) == (base_code, base_out)
+
+    def test_convert_round_trip(self, source, tmp_path, capsys):
+        jsonl = self._check_with_capture(source, tmp_path, "cap.jsonl")
+        capsys.readouterr()
+        binary = str(tmp_path / "cap.bcap")
+        assert run_cli(["convert", jsonl, binary]) == 0
+        assert "(jsonl) -> " in capsys.readouterr().out
+        back = str(tmp_path / "back.jsonl")
+        assert run_cli(["convert", binary, back]) == 0
+        assert "(binary) -> " in capsys.readouterr().out
+        with open(jsonl) as a, open(back) as b:
+            assert a.read() == b.read()
+        # Both forms replay to the same exit code and output.
+        assert run_cli(["replay", jsonl]) == run_cli(["replay", binary])
+
+    def test_replay_columnar_identical_output(self, source, tmp_path, capsys):
+        path = self._check_with_capture(source, tmp_path, "cap.bcap")
+        capsys.readouterr()
+        base_code = run_cli(["replay", path])
+        base_out = capsys.readouterr().out
+        columnar_code = run_cli(["replay", path, "--columnar"])
+        columnar_out = capsys.readouterr().out
+        assert (columnar_code, columnar_out) == (base_code, base_out)
+
+    def test_convert_truncated_binary_exits_2(self, source, tmp_path, capsys):
+        binary = self._check_with_capture(source, tmp_path, "cap.bcap")
+        capsys.readouterr()
+        data = open(binary, "rb").read()
+        truncated = tmp_path / "trunc.bcap"
+        truncated.write_bytes(data[:len(data) - 9])
+        assert run_cli(["convert", str(truncated),
+                        str(tmp_path / "out.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_convert_garbage_and_missing_exit_2(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.bcap"
+        garbage.write_bytes(b"BCAP\x01\x00\xff\xff\xff\xff")
+        assert run_cli(["convert", str(garbage),
+                        str(tmp_path / "out.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert run_cli(["convert", str(tmp_path / "missing.bcap"),
+                        str(tmp_path / "out.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_convert_rejects_unwritable_destination(self, source, tmp_path,
+                                                    capsys):
+        jsonl = self._check_with_capture(source, tmp_path, "cap.jsonl")
+        capsys.readouterr()
+        assert run_cli(["convert", jsonl,
+                        str(tmp_path / "no-such-dir" / "out.bcap")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestEngineFlag:
     def test_both_engines_identical_output(self, source, capsys):
         path = source(RACY)

@@ -1,0 +1,392 @@
+"""Columnar warp-batches and the binary capture format.
+
+Three contracts pinned here:
+
+* **losslessness** — every :class:`LogRecord`, including adversarial
+  shapes the flat columns cannot express (huge addresses, ``None``
+  stored values, address maps disagreeing with the active mask), round
+  trips through the columnar batch and the binary codec unchanged;
+* **backend identity** — the pure-Python (stdlib ``array``) codec
+  produces bit-identical bytes and decoded values to the numpy one;
+* **accounting exactness** — ``QueueSet.emit_columnar`` is
+  observationally identical to per-record ``emit`` (same ``QueueStats``
+  to the last depth sample), and the fused detector/host paths report
+  exactly what the per-record paths report.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.columnar as columnar
+from repro.columnar import (
+    ColumnarBatch,
+    batch_record_count,
+    decode_batch,
+    encode_batch,
+    iter_batches,
+)
+from repro.core.detector import BarracudaDetector
+from repro.core.reference import DetectorConfig
+from repro.cudac import compile_cuda
+from repro.errors import ReproError
+from repro.events import LogRecord, RecordKind
+from repro.gpu import GpuDevice, ListSink
+from repro.gpu.hierarchy import LaunchConfig
+from repro.instrument import Instrumenter
+from repro.runtime import LogQueue, QueueSet
+from repro.runtime.host import HostDetector
+from repro.runtime.replay import (
+    convert_capture,
+    load_capture,
+    load_capture_binary,
+    load_capture_path,
+    replay,
+    save_capture,
+    save_capture_binary,
+)
+from repro.service import protocol
+from repro.trace.operations import Scope, Space
+
+RACY = """
+__global__ void racy(int* data) {
+    if (threadIdx.x == 0) {
+        data[0] = blockIdx.x + 1;
+    }
+    data[1] = 7;
+}
+"""
+
+
+def _capture(source=RACY, grid=2, block=32, warp_size=8):
+    module, _ = Instrumenter().instrument_module(compile_cuda(source))
+    device = GpuDevice()
+    data = device.alloc(16)
+    sink = ListSink()
+    device.launch(module, module.kernels[0].name, grid=grid, block=block,
+                  warp_size=warp_size, params={"data": data}, sink=sink,
+                  instrumented=True)
+    layout = LaunchConfig.of(grid, block, warp_size).layout()
+    return layout, sink.records
+
+
+def _race_keys(reports):
+    return [(r.loc, r.prior_tid, r.current_tid, r.kind, r.branch_ordering)
+            for r in reports.races]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: arbitrary records through batch + binary codec
+# ----------------------------------------------------------------------
+_TIDS = st.integers(min_value=0, max_value=7)
+_ADDRS = st.one_of(
+    st.integers(min_value=0, max_value=1 << 20),
+    # Outside int64: must survive via the extras side table.
+    st.integers(min_value=1 << 63, max_value=1 << 70),
+)
+
+
+@st.composite
+def log_records(draw):
+    kind = draw(st.sampled_from(list(RecordKind)))
+    active = frozenset(draw(st.sets(_TIDS, min_size=0, max_size=6)))
+    addr_tids = draw(st.sets(_TIDS, min_size=0, max_size=6))
+    addrs = {
+        tid: (draw(st.sampled_from([Space.GLOBAL, Space.SHARED])),
+              draw(_ADDRS))
+        for tid in addr_tids
+    }
+    values = {
+        tid: draw(st.one_of(st.none(),
+                            st.integers(min_value=-(1 << 40),
+                                        max_value=1 << 40)))
+        for tid in addr_tids if draw(st.booleans())
+    }
+    return LogRecord(
+        kind=kind,
+        warp=draw(st.integers(min_value=0, max_value=5)),
+        active=active,
+        addrs=addrs,
+        values=values,
+        scope=draw(st.sampled_from([None, Scope.BLOCK, Scope.GLOBAL])),
+        then_mask=frozenset(draw(st.sets(_TIDS, min_size=0, max_size=4))),
+        width=draw(st.sampled_from([1, 2, 4, 8])),
+        pc=draw(st.integers(min_value=-1, max_value=99)),
+    )
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(records=st.lists(log_records(), max_size=12))
+    def test_batch_and_binary_round_trip(self, records):
+        batch = ColumnarBatch.from_records(records)
+        assert batch.to_records() == records
+        payload = encode_batch(batch)
+        assert batch_record_count(payload) == len(records)
+        decoded = decode_batch(payload)
+        assert decoded.to_records() == records
+
+    @settings(max_examples=50, deadline=None)
+    @given(records=st.lists(log_records(), max_size=8),
+           batch_records=st.integers(min_value=1, max_value=5))
+    def test_binary_capture_round_trip(self, records, batch_records):
+        layout = LaunchConfig.of(2, 8, 4).layout()
+        stream = io.BytesIO()
+        written = save_capture_binary(stream, layout, records, kernel="k",
+                                      batch_records=batch_records)
+        assert written == len(records)
+        stream.seek(0)
+        loaded_layout, kernel, batches = load_capture_binary(stream)
+        assert loaded_layout == layout
+        assert kernel == "k"
+        assert [r for b in batches for r in b.iter_records()] == records
+
+    @settings(max_examples=100, deadline=None)
+    @given(records=st.lists(log_records(), max_size=10))
+    def test_wire_armor_round_trip(self, records):
+        payload = encode_batch(ColumnarBatch.from_records(records))
+        encoded, count = protocol.encode_batch_wire(payload)
+        assert count == len(records)
+        assert protocol.decode_batch_wire(encoded).to_records() == records
+
+
+class TestHostileInput:
+    def _payload(self):
+        layout, records = _capture()
+        stream = io.BytesIO()
+        save_capture_binary(stream, layout, records, kernel="k")
+        return stream.getvalue()
+
+    def test_truncations_rejected_cleanly(self):
+        data = self._payload()
+        # Every strict prefix either loads fewer complete frames or
+        # raises ReproError — never a different exception, never junk.
+        for cut in range(len(data) - 1):
+            stream = io.BytesIO(data[:cut])
+            try:
+                load_capture_binary(stream)
+            except ReproError:
+                continue
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ReproError, match="magic"):
+            load_capture_binary(io.BytesIO(b"JUNK" + self._payload()[4:]))
+
+    def test_bad_version_rejected(self):
+        data = bytearray(self._payload())
+        data[4] = 0xFF
+        with pytest.raises(ReproError, match="version"):
+            load_capture_binary(io.BytesIO(bytes(data)))
+
+    def test_oversized_frame_length_rejected(self):
+        data = self._payload()[:6] + b"\xff\xff\xff\xff"
+        with pytest.raises(ReproError, match="frame"):
+            load_capture_binary(io.BytesIO(data))
+
+    def test_garbage_batch_payload_rejected(self):
+        layout = LaunchConfig.of(1, 4, 4).layout()
+        stream = io.BytesIO()
+        save_capture_binary(stream, layout, [], kernel="k")
+        stream.write(b"\x00\x00\x00\x08garbage!")
+        stream.seek(0)
+        with pytest.raises(ReproError):
+            load_capture_binary(stream)
+
+    def test_batch_record_count_truncated_header(self):
+        with pytest.raises(ReproError, match="truncated"):
+            batch_record_count(b"\x01\x02")
+
+    def test_wire_bad_base64_rejected(self):
+        with pytest.raises(ReproError, match="base64"):
+            protocol.decode_batch_wire("not//valid base64!!")
+
+
+# ----------------------------------------------------------------------
+# Backend identity: numpy vs pure Python
+# ----------------------------------------------------------------------
+class TestBackendIdentity:
+    def test_pure_python_bytes_bit_identical(self, monkeypatch):
+        layout, records = _capture()
+        batch = ColumnarBatch.from_records(records)
+        default_bytes = encode_batch(batch)
+        monkeypatch.setattr(columnar, "_np", None)
+        pure_bytes = encode_batch(batch)
+        assert pure_bytes == default_bytes
+        assert decode_batch(default_bytes).to_records() == records
+        assert decode_batch(pure_bytes).to_records() == records
+
+    def test_pure_python_decode_matches(self, monkeypatch):
+        layout, records = _capture()
+        payload = encode_batch(ColumnarBatch.from_records(records))
+        monkeypatch.setattr(columnar, "_np", None)
+        assert decode_batch(payload).to_records() == records
+
+
+# ----------------------------------------------------------------------
+# QueueStats exactness under columnar emission
+# ----------------------------------------------------------------------
+class TestEmitColumnarEquivalence:
+    @staticmethod
+    def _stats_tuple(queue: LogQueue):
+        stats = queue.stats
+        return (stats.pushed, stats.max_depth, stats.stalls,
+                stats.stall_cycles, stats.wraps, stats.depth_samples,
+                stats.depth_total, stats.bytes_transferred)
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=5), max_size=48),
+        num_queues=st.integers(min_value=1, max_value=3),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    def test_emit_columnar_matches_per_record_emit(
+        self, blocks, num_queues, capacity
+    ):
+        def build(consumed):
+            def on_full(queue_set, index):
+                consumed.append(queue_set.queues[index].pop())
+
+            return QueueSet(
+                num_queues=num_queues,
+                capacity=capacity,
+                block_of_record=lambda r: r.warp,
+                on_full=on_full,
+            )
+
+        records = [
+            LogRecord(kind=RecordKind.LOAD, warp=block,
+                      active=frozenset({0}), addrs={0: (Space.GLOBAL, 0)})
+            for block in blocks
+        ]
+        consumed_single = []
+        single = build(consumed_single)
+        stall_single = sum(single.emit(r) for r in records)
+
+        consumed_columnar = []
+        batched = build(consumed_columnar)
+        stall_columnar = sum(
+            batched.emit_columnar(batch)
+            for batch in iter_batches(records, batch_records=7)
+        )
+
+        assert stall_columnar == stall_single
+        assert consumed_columnar == consumed_single
+        for queue_single, queue_batched in zip(single.queues, batched.queues):
+            assert self._stats_tuple(queue_batched) == self._stats_tuple(
+                queue_single)
+        assert batched.drain_in_order() == single.drain_in_order()
+        assert batched.total_bytes == single.total_bytes
+
+
+# ----------------------------------------------------------------------
+# Fused detector and host paths
+# ----------------------------------------------------------------------
+class TestFusedDetection:
+    def test_process_columnar_matches_per_op(self):
+        layout, records = _capture()
+        config = DetectorConfig()
+        per_record = replay(layout, records, config=config)
+        fused = replay(layout, records, config=config, columnar=True)
+        assert _race_keys(fused) == _race_keys(per_record)
+        assert fused.filtered_same_value == per_record.filtered_same_value
+        assert [str(d) for d in fused.barrier_divergences] == [
+            str(d) for d in per_record.barrier_divergences]
+
+    def test_detector_ops_accounting_identical(self):
+        layout, records = _capture()
+        config = DetectorConfig()
+        plain = BarracudaDetector(layout, config)
+        from repro.events import record_to_ops
+
+        for record in records:
+            for op in record_to_ops(record, layout, config.granularity_bytes):
+                plain.process(op)
+        fused = BarracudaDetector(layout, config)
+        for batch in iter_batches(records, batch_records=5):
+            fused.process_columnar(batch, config.granularity_bytes)
+        assert fused.ops_processed == plain.ops_processed
+        assert _race_keys(fused.reports) == _race_keys(plain.reports)
+
+    def test_host_columnar_consume_identical(self):
+        layout, records = _capture()
+        plain = HostDetector(layout)
+        plain.consume(records)
+        fused = HostDetector(layout, columnar=True)
+        fused.consume(records)
+        assert fused.records_processed == plain.records_processed
+        assert _race_keys(fused.reports) == _race_keys(plain.reports)
+
+    def test_session_columnar_host_identical(self):
+        from repro.runtime import BarracudaSession
+
+        launches = []
+        for columnar_host in (False, True):
+            session = BarracudaSession(columnar_host=columnar_host)
+            module = compile_cuda(RACY)
+            handle = session.register_module(module)
+            data = session.device.alloc(16)
+            launch = session.launch("racy", grid=2, block=32, warp_size=8,
+                                    params={"data": data})
+            launches.append(launch)
+        base, columnar_launch = launches
+        assert _race_keys(columnar_launch.reports) == _race_keys(base.reports)
+        assert columnar_launch.records == base.records
+        assert columnar_launch.queue_bytes == base.queue_bytes
+        assert columnar_launch.total_stalls == base.total_stalls
+        assert columnar_launch.max_queue_depth == base.max_queue_depth
+        assert (columnar_launch.mean_queue_occupancy
+                == base.mean_queue_occupancy)
+
+
+# ----------------------------------------------------------------------
+# Conversion shim
+# ----------------------------------------------------------------------
+class TestConvertCapture:
+    def test_lossless_both_directions(self, tmp_path):
+        layout, records = _capture()
+        src = tmp_path / "cap.jsonl"
+        with open(src, "w") as stream:
+            save_capture(stream, layout, records, kernel="racy")
+        binary = tmp_path / "cap.bcap"
+        src_fmt, dst_fmt, count = convert_capture(str(src), str(binary))
+        assert (src_fmt, dst_fmt, count) == ("jsonl", "binary", len(records))
+        back = tmp_path / "back.jsonl"
+        src_fmt, dst_fmt, count = convert_capture(str(binary), str(back))
+        assert (src_fmt, dst_fmt, count) == ("binary", "jsonl", len(records))
+        assert back.read_text() == src.read_text()
+        for path in (src, binary, back):
+            loaded_layout, kernel, loaded, _fmt = load_capture_path(str(path))
+            assert loaded_layout == layout
+            assert kernel == "racy"
+            assert loaded == records
+
+    def test_explicit_target_format(self, tmp_path):
+        layout, records = _capture()
+        src = tmp_path / "cap.jsonl"
+        with open(src, "w") as stream:
+            save_capture(stream, layout, records, kernel="racy")
+        copy = tmp_path / "copy.jsonl"
+        src_fmt, dst_fmt, _ = convert_capture(str(src), str(copy),
+                                              to_format="jsonl")
+        assert (src_fmt, dst_fmt) == ("jsonl", "jsonl")
+        assert copy.read_text() == src.read_text()
+
+    def test_unknown_target_format_rejected(self, tmp_path):
+        layout, records = _capture()
+        src = tmp_path / "cap.jsonl"
+        with open(src, "w") as stream:
+            save_capture(stream, layout, records)
+        with pytest.raises(ReproError, match="unknown capture format"):
+            convert_capture(str(src), str(tmp_path / "out"), to_format="xml")
+
+    def test_jsonl_loader_still_loads_converted_output(self, tmp_path):
+        layout, records = _capture()
+        binary = tmp_path / "cap.bcap"
+        with open(binary, "wb") as stream:
+            save_capture_binary(stream, layout, records, kernel="racy")
+        jsonl = tmp_path / "out.jsonl"
+        convert_capture(str(binary), str(jsonl))
+        with open(jsonl) as stream:
+            loaded_layout, kernel, loaded = load_capture(stream)
+        assert (loaded_layout, kernel, loaded) == (layout, "racy", records)

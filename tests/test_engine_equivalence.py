@@ -5,7 +5,16 @@ The decoded threaded-code engine (``repro.gpu.engine``) claims to be
 reports, same instruction/cycle accounting, same failures.  This suite
 holds it to that claim across every suite program (with and without
 static instrumentation pruning) and every Table 1 workload.
+
+The capture-format axis rides the same programs: every captured stream
+is round-tripped through both persistence formats (JSONL and binary
+columnar) and replayed through both detector paths (per-record and
+fused columnar), and all four combinations must yield the baseline's
+reports exactly.  ``repro convert``'s underlying shim is held to
+losslessness on every one of those captures.
 """
+
+import io
 
 from typing import Dict, Tuple
 
@@ -13,7 +22,15 @@ import pytest
 
 from repro.bench import ALL_WORKLOADS, run_workload
 from repro.errors import SimulationError, StepLimitExceeded
+from repro.gpu.hierarchy import LaunchConfig
 from repro.runtime import BarracudaSession
+from repro.runtime.replay import (
+    load_capture,
+    load_capture_binary,
+    replay,
+    save_capture,
+    save_capture_binary,
+)
 from repro.suite import ALL_PROGRAMS
 
 
@@ -70,6 +87,50 @@ def test_suite_program_equivalence(program, static_prune):
     naive = _run_suite_program(program, "naive", static_prune)
     decoded = _run_suite_program(program, "decoded", static_prune)
     assert naive == decoded
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+def test_capture_format_equivalence(program):
+    """66 programs × {jsonl, binary} × {per-record, columnar}.
+
+    The decoded engine's captured stream must survive both persistence
+    formats losslessly, and replaying any loaded form through either
+    detector path must reproduce the live launch's reports exactly.
+    """
+    outcome = _run_suite_program(program, "decoded", False)
+    if outcome[0] != "ok":
+        pytest.skip(f"program outcome {outcome[0]}: no capture to persist")
+    records = outcome[1]
+    races, divergences = outcome[3], outcome[4]
+    layout = LaunchConfig.of(
+        program.grid, program.block, program.warp_size).layout()
+
+    text = io.StringIO()
+    save_capture(text, layout, records, kernel=program.name)
+    text.seek(0)
+    jsonl_layout, jsonl_kernel, jsonl_records = load_capture(text)
+    assert (jsonl_layout, jsonl_kernel) == (layout, program.name)
+    assert jsonl_records == records
+
+    blob = io.BytesIO()
+    save_capture_binary(blob, layout, records, kernel=program.name,
+                        batch_records=64)
+    blob.seek(0)
+    bin_layout, bin_kernel, batches = load_capture_binary(blob)
+    assert (bin_layout, bin_kernel) == (layout, program.name)
+    bin_records = [r for batch in batches for r in batch.iter_records()]
+    assert bin_records == records
+
+    for loaded in (jsonl_records, bin_records):
+        for columnar in (False, True):
+            reports = replay(layout, loaded, columnar=columnar)
+            assert sorted(str(race) for race in reports.races) == races
+            assert sorted(
+                str(report) for report in reports.barrier_divergences
+            ) == divergences
+    # The binary loader's batches feed the fused loop directly too.
+    reports = replay(layout, batches, columnar=True)
+    assert sorted(str(race) for race in reports.races) == races
 
 
 @pytest.mark.parametrize("entry", ALL_WORKLOADS, ids=lambda w: w.name)

@@ -375,6 +375,82 @@ class TestServiceIntegration:
 # ----------------------------------------------------------------------
 # METRICS verb (the observability surface of the service)
 # ----------------------------------------------------------------------
+class TestBinaryCaptureSubmit:
+    """Binary captures stream as base64 columnar batch frames."""
+
+    def _binary_capture_file(self, tmp_path, name, batch_records=3):
+        from repro.runtime.replay import save_capture_binary
+
+        layout, records = _capture()
+        path = tmp_path / name
+        with open(path, "wb") as stream:
+            save_capture_binary(stream, layout, records, kernel="k",
+                                batch_records=batch_records)
+        return str(path), layout, records
+
+    def test_binary_submit_matches_jsonl_and_local_replay(
+        self, service, tmp_path
+    ):
+        sock, _ = service
+        jsonl_path, layout, records = _capture_file(tmp_path, "cap.jsonl")
+        bin_path, _, _ = self._binary_capture_file(tmp_path, "cap.bcap")
+        with ServiceClient(socket_path=sock) as client:
+            from_jsonl = client.submit_path(jsonl_path)
+            from_binary = client.submit_path(bin_path)
+        local = replay(layout, records)
+        assert _race_keys(from_binary.reports) == _race_keys(local)
+        assert _race_keys(from_binary.reports) == _race_keys(
+            from_jsonl.reports)
+        assert from_binary.records_processed == len(records)
+        assert (from_binary.reports.filtered_same_value
+                == from_jsonl.reports.filtered_same_value)
+
+    def test_binary_submit_through_worker_processes(self, tmp_path):
+        sock = str(tmp_path / "svc.sock")
+        bin_path, layout, records = self._binary_capture_file(
+            tmp_path, "cap.bcap", batch_records=2)
+        with ServiceThread(RaceService(socket_path=sock, workers=2)):
+            with ServiceClient(socket_path=sock) as client:
+                result = client.submit_path(bin_path)
+        assert _race_keys(result.reports) == _race_keys(replay(layout, records))
+        assert result.records_processed == len(records)
+
+    def test_batch_frame_validation(self, service):
+        sock, _ = service
+        with ServiceClient(socket_path=sock) as client:
+            reply = client._request(protocol.open_frame(GOOD_HEADER))
+            job_id = reply["job_id"]
+            # Non-string batch payload.
+            bad = protocol.batch_records_frame(job_id, "AAAA", 1)
+            bad["batch"] = 7
+            assert client._request(bad)["verb"] == protocol.ERROR
+            # Missing/negative count.
+            bad = protocol.batch_records_frame(job_id, "AAAA", 1)
+            del bad["count"]
+            assert client._request(bad)["verb"] == protocol.ERROR
+            bad = protocol.batch_records_frame(job_id, "AAAA", -3)
+            assert client._request(bad)["verb"] == protocol.ERROR
+
+    def test_corrupt_batch_payload_fails_job_cleanly(self, service, tmp_path):
+        sock, _ = service
+        with ServiceClient(socket_path=sock) as client:
+            reply = client._request(protocol.open_frame(GOOD_HEADER))
+            job_id = reply["job_id"]
+            # Well-formed frame, garbage payload: the job fails, the
+            # connection (and service) survive.
+            garbage = protocol.batch_records_frame(
+                job_id, "bm90IGEgYmF0Y2g=", 1)
+            client._request(garbage)
+            with pytest.raises(ServiceJobError):
+                client._raise_on_error(
+                    client._request(protocol.close_frame(job_id)))
+        # Service still healthy afterwards.
+        path, layout, records = _capture_file(tmp_path, "ok.jsonl")
+        with ServiceClient(socket_path=sock) as client:
+            result = client.submit_path(path)
+        assert _race_keys(result.reports) == _race_keys(replay(layout, records))
+
+
 class TestMetricsVerb:
     def _sample(self, parsed, name, **labels):
         for sample_labels, value in parsed.get(name, []):
