@@ -1,16 +1,27 @@
-"""Experiment E2 — §6.1: the 66-program concurrency suite.
+"""Experiment E2 — §6.1: the concurrency suite (paper's 66 + modern idioms).
 
 Regenerates the paper's accuracy comparison: BARRACUDA reports correctly
-on all 66 programs; the Racecheck model is correct on a minority (the
-paper measured 19/66 on its suite; our composition yields 30/66), with
-the same failure modes — global-memory blindness, intra-warp false
-positives, and hangs on spin-synchronization tests.
+on every suite program (the paper's 66 plus the shuffle/cp.async/grid-sync
+families); the Racecheck model is correct on a minority of the paper's
+subset (the paper measured 19/66; our composition yields 30/66), with the
+same failure modes — global-memory blindness, intra-warp false positives,
+and hangs on spin-synchronization tests.  A lint-calibration pass pins
+every program's ``expected_lint``/``lint_exceptions`` labels so static
+drift fails the benchmark, and dumps the calibration as JSON for the CI
+artifact.
 """
+
+import json
+import os
 
 from conftest import print_table
 
 from repro.baselines import run_ldetector, run_racecheck
-from repro.suite import ALL_PROGRAMS, run_program
+from repro.ptx import parse_ptx
+from repro.staticcheck import run_lint
+from repro.suite import ALL_PROGRAMS, Expected, MODERN_PROGRAMS, run_program
+
+TOTAL = len(ALL_PROGRAMS)
 
 
 def _barracuda_sweep():
@@ -33,9 +44,14 @@ def test_barracuda_accuracy(benchmark):
         ok, total = by_category.get(p.category, (0, 0))
         by_category[p.category] = (ok + v.matches(p), total + 1)
     rows = [f"{cat:<10} {ok:>3}/{total}" for cat, (ok, total) in sorted(by_category.items())]
-    rows.append(f"{'TOTAL':<10} {correct:>3}/{len(ALL_PROGRAMS)}   (paper: 66/66)")
+    rows.append(f"{'TOTAL':<10} {correct:>3}/{TOTAL}   (paper: 66/66 on its 66)")
     print_table("§6.1: BARRACUDA on the concurrency suite", "category   correct", rows)
-    assert correct == 66
+    assert correct == TOTAL
+    # The modern-idiom families are part of the sweep and all correct.
+    modern_names = {p.name for p in MODERN_PROGRAMS}
+    assert sum(v.matches(p) for p, v in results if p.name in modern_names) == len(
+        MODERN_PROGRAMS
+    )
 
 
 def test_racecheck_accuracy(benchmark):
@@ -51,14 +67,18 @@ def test_racecheck_accuracy(benchmark):
         if p.expected.value == "race" and p.race_space == "global" and v.races == 0
         and not v.hang
     ]
+    modern_names = {p.name for p in MODERN_PROGRAMS}
+    paper = [(p, v) for p, v in results if p.name not in modern_names]
+    paper_correct = sum(v.matches(p) for p, v in paper)
     rows = [
-        f"correct verdicts : {correct}/66   (paper: 19/66)",
+        f"correct verdicts : {correct}/{TOTAL}   "
+        f"(paper subset: {paper_correct}/{len(paper)}; paper: 19/66)",
         f"hangs            : {hangs}        ('hanging on the tests involving spinlocks')",
         f"false positives  : {len(false_positives)} ({', '.join(false_positives)})",
         f"missed global    : {len(missed_global)} programs",
     ]
     print_table("§6.1: CUDA-Racecheck model on the concurrency suite", "", rows)
-    assert correct < 66 / 2
+    assert paper_correct < len(paper) / 2
     assert hangs > 0
     assert false_positives  # intra-warp synchronization false alarms
     assert missed_global  # global memory is invisible to it
@@ -91,11 +111,69 @@ def test_three_way_comparison(benchmark):
     totals = (
         sum(barracuda.values()), sum(ldetector.values()), sum(racecheck.values())
     )
-    rows.append(f"{'TOTAL':<10} {totals[0]:>9}/66 {totals[1]:>9}/66 {totals[2]:>9}/66")
+    rows.append(
+        f"{'TOTAL':<10} {totals[0]:>9}/{TOTAL} {totals[1]:>9}/{TOTAL} "
+        f"{totals[2]:>9}/{TOTAL}"
+    )
     print_table(
         "§6.1/§7: three-way detector comparison (correct verdicts)",
         f"{'category':<10} {'BARRACUDA':>13} {'LDetector':>12} {'Racecheck':>12}",
         rows,
     )
-    assert totals[0] == 66
+    assert totals[0] == TOTAL
     assert totals[0] > totals[1] > totals[2]
+
+
+def test_lint_calibration(benchmark):
+    """The static lint against every suite program, modern families
+    included: racy/divergent programs must fire (at least) their
+    ``expected_lint`` rules, race-free programs must fire nothing beyond
+    their ``lint_exceptions`` — any drift fails the benchmark.  The full
+    calibration is written as JSON (``REPRO_LINT_CALIBRATION`` path, or
+    ``lint-calibration.json``) for the CI artifact upload.
+    """
+    def sweep():
+        calibration = []
+        for p in ALL_PROGRAMS:
+            module = parse_ptx(str(p.compile()))
+            fired = sorted({f.rule for f in run_lint(module)})
+            calibration.append(
+                {
+                    "program": p.name,
+                    "category": p.category,
+                    "expected": p.expected.value,
+                    "expected_lint": list(p.expected_lint),
+                    "lint_exceptions": list(p.lint_exceptions),
+                    "fired": fired,
+                }
+            )
+        return calibration
+
+    calibration = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    drift = []
+    for entry in calibration:
+        program = next(p for p in ALL_PROGRAMS if p.name == entry["program"])
+        fired = set(entry["fired"])
+        if program.expected is Expected.NO_RACE:
+            unexpected = fired - set(program.lint_exceptions)
+            if unexpected:
+                drift.append(f"{program.name}: unexpected {sorted(unexpected)}")
+        else:
+            missing = set(program.expected_lint) - fired
+            if missing:
+                drift.append(f"{program.name}: missing {sorted(missing)}")
+    path = os.environ.get("REPRO_LINT_CALIBRATION", "lint-calibration.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"programs": calibration}, handle, indent=2, sort_keys=True)
+    firing = sum(1 for entry in calibration if entry["fired"])
+    modern = [e for e in calibration if e["category"] in ("shuffle", "async")]
+    rows = [
+        f"programs linted  : {len(calibration)}",
+        f"programs firing  : {firing}",
+        f"modern families  : {len(modern)} "
+        f"({sum(1 for e in modern if e['fired'])} firing)",
+        f"label drift      : {len(drift)}",
+    ]
+    print_table("static lint calibration across the suite", "", rows)
+    assert not drift, "; ".join(drift)
+    assert modern  # the new families are part of the calibration

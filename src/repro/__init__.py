@@ -7,7 +7,8 @@ interpreter with SIMT lockstep-warp execution, a weak-memory model with
 per-architecture profiles, a binary instrumentation engine with
 acquire/release inference, GPU-to-host event queues, a mini CUDA-C
 compiler, the compressed-vector-clock race detection algorithm, the
-66-program concurrency suite, a CUDA-Racecheck-style baseline, and
+labeled concurrency suite (the paper's 66 programs plus modern
+warp-shuffle/cp.async/grid-sync families), a CUDA-Racecheck-style baseline, and
 benchmark harnesses regenerating every table and figure of the paper's
 evaluation.
 

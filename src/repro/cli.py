@@ -113,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "threaded code, default) or 'naive' (the legacy "
                         "re-decode-every-step interpreter); results are "
                         "identical, only speed differs")
+    parser.add_argument("--cooperative", action="store_true",
+                        help="cooperative launch: permit grid-wide "
+                        "synchronization (barrier.cluster / __grid_sync)")
     parser.add_argument("--no-prune", action="store_true",
                         help="disable the redundant-logging optimization")
     parser.add_argument("--prune-instrumentation", action="store_true",
@@ -340,6 +343,7 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
             scheduler=make_scheduler(args.scheduler, args.seed),
             max_steps=args.max_steps,
             capture_records=args.predict or bool(args.capture),
+            cooperative=args.cooperative,
         )
     except StepLimitExceeded as exc:
         print(f"HANG: {exc}", file=sys.stderr)
@@ -729,6 +733,9 @@ def run_sweep_cmd(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--arch", choices=sorted(_ARCHES), default="titanx")
     parser.add_argument("--engine", choices=("naive", "decoded"),
                         default="decoded")
+    parser.add_argument("--cooperative", action="store_true",
+                        help="cooperative launch: permit grid-wide "
+                        "synchronization (barrier.cluster / __grid_sync)")
     parser.add_argument("--max-steps", type=int, default=400_000)
     parser.add_argument("--schedules", type=int, default=9,
                         help="seeded schedule runs (cycled over the sweep "
@@ -775,6 +782,7 @@ def run_sweep_cmd(argv: Optional[Sequence[str]] = None) -> int:
             scalars=tuple(args.scalar),
             arch=args.arch,
             max_steps=args.max_steps,
+            cooperative=args.cooperative,
         )
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -335,15 +335,18 @@ class BarracudaDetector:
     # Barriers and synchronization (Figure 3)
     # ------------------------------------------------------------------
     def _on_barrier(self, op: Barrier) -> None:
-        expected = frozenset(self.layout.block_tids(op.block))
+        expected = frozenset(self.layout.barrier_tids(op.block))
         if op.active != expected:
             self.reports.barrier_divergences.append(
                 BarrierDivergenceReport(
                     block=op.block, missing=expected - op.active, pc=op.pc
                 )
             )
-        self.clocks.barrier(op.block, op.active)
-        for warp in self.layout.block_warps(op.block):
+        if op.block < 0:
+            self.clocks.grid_barrier(op.active)
+        else:
+            self.clocks.barrier(op.block, op.active)
+        for warp in self.layout.barrier_warps(op.block):
             self._advance_group(warp)
 
     def _on_acquire(self, op: Acquire) -> None:

@@ -383,6 +383,53 @@ class PTVCManager:
                     dev.set_lane(tid, max(dev.get(tid), group.base.get(tid)) + 1)
                     self._deviant[tid] = dev
 
+    def grid_barrier(self, active: FrozenSet[int]) -> None:
+        """Grid-wide (cooperative) barrier: the BAR rule over every warp.
+
+        Same algorithm as :meth:`barrier` but scoped to the whole grid;
+        the §4.3.2 broadcast applies per block (the block layer is the
+        compression unit), so a full-grid sync costs one block-layer
+        entry per block rather than one lane entry per thread.
+        """
+        self.joins += 1
+        warps = list(self.layout.all_warps())
+        full_grid = active == frozenset(self.layout.all_tids())
+        joined = StructuredVC(self.layout)
+        high = 0
+        for warp in warps:
+            group = self._top(warp)
+            if not group.amask & active:
+                continue
+            joined.join(group.base)
+            for tid in group.amask & active:
+                dev = self._deviant.get(tid)
+                if dev is not None:
+                    joined.join(dev)
+                    self_clock = dev.get(tid)
+                    del self._deviant[tid]
+                else:
+                    self_clock = group.base.get(tid) + 1
+                if self_clock > high:
+                    high = self_clock
+                if not full_grid:
+                    joined.set_lane(tid, max(self_clock, joined.get(tid)))
+        if full_grid:
+            for block in range(self.layout.num_blocks):
+                joined.set_block(block, high)
+        joined.normalize()
+        for warp in warps:
+            group = self._top(warp)
+            participating = group.amask & active
+            if not participating:
+                continue
+            if participating == group.amask:
+                group.base = joined
+            else:
+                for tid in participating:
+                    dev = joined.copy()
+                    dev.set_lane(tid, max(dev.get(tid), group.base.get(tid)) + 1)
+                    self._deviant[tid] = dev
+
     # ------------------------------------------------------------------
     # Point-to-point synchronization (deviation)
     # ------------------------------------------------------------------

@@ -325,7 +325,7 @@ class ReferenceDetector:
     # Barriers and synchronization (Figure 3)
     # ------------------------------------------------------------------
     def _on_barrier(self, op: Barrier) -> None:
-        expected = frozenset(self.layout.block_tids(op.block))
+        expected = frozenset(self.layout.barrier_tids(op.block))
         if op.active != expected:
             self.reports.barrier_divergences.append(
                 BarrierDivergenceReport(
@@ -333,13 +333,14 @@ class ReferenceDetector:
                 )
             )
         # Synchronize whichever threads actually arrived *and* are on the
-        # current path; for well-formed programs this is the whole block,
-        # as the BAR rule requires.
+        # current path; for well-formed programs this is the whole block
+        # (or, for a grid-wide barrier, the whole grid), as the BAR rule
+        # requires.
         participants = frozenset(
             tid for tid in op.active if self.stacks.is_active(tid)
         )
         self._join_fork(participants)
-        for warp in self.layout.block_warps(op.block):
+        for warp in self.layout.barrier_warps(op.block):
             self._advance_group(warp)
 
     def _on_acquire(self, op: Acquire) -> None:

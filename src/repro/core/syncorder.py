@@ -179,7 +179,7 @@ def instruction_groups(trace: Trace) -> List[Tuple[int, int]]:
             if isinstance(op, (EndInsn, If, Else, Fi)):
                 counters[op.warp] = counters.get(op.warp, 0) + 1
             elif isinstance(op, Barrier):
-                for warp in layout.block_warps(op.block):
+                for warp in layout.barrier_warps(op.block):
                     counters[warp] = counters.get(warp, 0) + 1
     return groups
 
@@ -324,7 +324,7 @@ def find_barrier_divergence(trace: Trace) -> List[int]:
     divergent = []
     for idx, op in enumerate(trace.ops):
         if isinstance(op, Barrier):
-            expected = frozenset(trace.layout.block_tids(op.block))
+            expected = frozenset(trace.layout.barrier_tids(op.block))
             if op.active != expected:
                 divergent.append(idx)
     return divergent

@@ -69,6 +69,22 @@ _FENCE_FUNCTIONS = {
     "__threadfence_system": ("membar", ("sys",)),
 }
 
+#: Warp shuffles: intrinsic -> (ptx mode, the ``c`` operand nvcc emits:
+#: clamp lane 0x1f for idx/down/bfly, 0 for up; segment mask zero).
+_SHUFFLE_FUNCTIONS = {
+    "__shfl_sync": ("idx", 0x1F),
+    "__shfl_up_sync": ("up", 0x00),
+    "__shfl_down_sync": ("down", 0x1F),
+    "__shfl_xor_sync": ("bfly", 0x1F),
+}
+
+_VOTE_FUNCTIONS = {
+    "__ballot_sync": "ballot",
+    "__any_sync": "any",
+    "__all_sync": "all",
+    "__uni_sync": "uni",
+}
+
 _COMPARE_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
 
 _INT_OPS = {
@@ -522,9 +538,95 @@ class _KernelCompiler:
             return _Value(ImmOperand(0), ast.IntType())
         if name in _ATOMIC_FUNCTIONS:
             return self._compile_atomic(name, expr.args)
+        if name in _SHUFFLE_FUNCTIONS:
+            return self._compile_shuffle(name, expr.args)
+        if name in _VOTE_FUNCTIONS:
+            return self._compile_vote(name, expr.args)
+        if name == "__pipeline_memcpy_async":
+            return self._compile_memcpy_async(expr.args)
+        if name == "__pipeline_commit":
+            if expr.args:
+                raise CudaCTypeError("__pipeline_commit takes no arguments")
+            self._emit("cp", ("async", "commit_group"))
+            return _Value(ImmOperand(0), ast.IntType())
+        if name == "__pipeline_wait_prior":
+            if len(expr.args) != 1 or not isinstance(expr.args[0], ast.IntLit):
+                raise CudaCTypeError(
+                    "__pipeline_wait_prior expects one integer literal"
+                )
+            self._emit(
+                "cp", ("async", "wait_group"), ImmOperand(expr.args[0].value)
+            )
+            return _Value(ImmOperand(0), ast.IntType())
+        if name == "__grid_sync":
+            if expr.args:
+                raise CudaCTypeError("__grid_sync takes no arguments")
+            self._emit("barrier", ("cluster", "sync"))
+            return _Value(ImmOperand(0), ast.IntType())
         if name in self.device_funcs:
             return self._compile_device_call(self.device_funcs[name], expr.args)
         raise CudaCTypeError(f"unknown function {name!r}")
+
+    def _compile_shuffle(self, name: str, args: Tuple[ast.Expr, ...]) -> _Value:
+        """``__shfl*_sync(mask, value, lane)`` → ``shfl.sync.<mode>.b32``."""
+        mode, cval = _SHUFFLE_FUNCTIONS[name]
+        if len(args) != 3:
+            raise CudaCTypeError(f"{name} expects 3 arguments (mask, value, lane)")
+        mask = self._compile_expr(args[0])
+        value = self._compile_expr(args[1])
+        lane = self._compile_expr(args[2])
+        dst = self._new_r()
+        self._emit(
+            "shfl", ("sync", mode, "b32"),
+            dst, value.operand, lane.operand, ImmOperand(cval), mask.operand,
+        )
+        return _Value(dst, ast.IntType(signed=False))
+
+    def _compile_vote(self, name: str, args: Tuple[ast.Expr, ...]) -> _Value:
+        """``__ballot_sync``/``__any_sync``/... → ``vote.sync.<mode>``."""
+        mode = _VOTE_FUNCTIONS[name]
+        if len(args) != 2:
+            raise CudaCTypeError(f"{name} expects 2 arguments (mask, predicate)")
+        mask = self._compile_expr(args[0])
+        pred = self._compile_cond(args[1])
+        if mode == "ballot":
+            dst = self._new_r()
+            self._emit(
+                "vote", ("sync", "ballot", "b32"), dst, pred, mask.operand
+            )
+            return _Value(dst, ast.IntType(signed=False))
+        voted = self._new_p()
+        self._emit("vote", ("sync", mode, "pred"), voted, pred, mask.operand)
+        reg = self._new_r()
+        self._emit("selp", ("u32",), reg, ImmOperand(1), ImmOperand(0), voted)
+        return _Value(reg, ast.IntType())
+
+    def _compile_memcpy_async(self, args: Tuple[ast.Expr, ...]) -> _Value:
+        """``__pipeline_memcpy_async(&shared[i], &global[j], size)``."""
+        if len(args) != 3 or not isinstance(args[2], ast.IntLit):
+            raise CudaCTypeError(
+                "__pipeline_memcpy_async expects (&dst[i], &src[j], size)"
+            )
+        for arg in args[:2]:
+            if not isinstance(arg, ast.AddressOf) or not isinstance(
+                arg.target, ast.Index
+            ):
+                raise CudaCTypeError(
+                    "__pipeline_memcpy_async operands must be &array[index]"
+                )
+        dst_space, dst_addr = self._compile_address(args[0].target)
+        src_space, src_addr = self._compile_address(args[1].target)
+        if dst_space != "shared" or src_space != "global":
+            raise CudaCTypeError(
+                "__pipeline_memcpy_async copies global -> shared "
+                f"(got {src_space} -> {dst_space})"
+            )
+        self._emit(
+            "cp", ("async", "ca", "shared", "global"),
+            MemOperand(dst_addr.name), MemOperand(src_addr.name),
+            ImmOperand(args[2].value),
+        )
+        return _Value(ImmOperand(0), ast.IntType())
 
     def _compile_device_call(self, func, args) -> _Value:
         if len(args) != len(func.params):

@@ -42,6 +42,12 @@ from .trace.operations import (
 #: Modeled size of one record in GPU memory (Figure 6).
 RECORD_BYTES = 16 + 8 * 32
 
+#: Sentinel block id carried by a grid-wide (cooperative) barrier
+#: record: BARRIER records put the block id in the ``warp`` field, and a
+#: grid sync belongs to every block at once.  All barrier consumers
+#: treat a negative block as "the whole grid".
+GRID_BARRIER_BLOCK = -1
+
 
 class RecordKind(enum.Enum):
     LOAD = "load"

@@ -82,6 +82,7 @@ class GpuDevice:
         max_steps: int = DEFAULT_MAX_STEPS,
         obs: Observability = NULL_OBS,
         engine: str = DEFAULT_ENGINE,
+        cooperative: bool = False,
     ) -> LaunchResult:
         """Run one kernel to completion and return its measurements.
 
@@ -89,6 +90,10 @@ class GpuDevice:
         pre-decoding threaded-code engine, default) or ``"naive"`` (the
         legacy re-decode-every-step interpreter); both produce identical
         results and event streams.
+
+        ``cooperative`` launches the grid cooperatively (every block
+        resident at once), which is what makes grid-wide
+        ``barrier.cluster`` synchronization legal.
 
         Raises :class:`StepLimitExceeded` if the kernel does not finish
         within ``max_steps`` warp-instruction slots (e.g. a spinlock that
@@ -109,6 +114,7 @@ class GpuDevice:
             global_symbols=self.global_symbols,
             sink=sink,
             instrumented=instrumented,
+            cooperative=cooperative,
         )
         if obs.profiler.enabled:
             # Hot-path profiling: the decoded engine wraps each closure

@@ -168,9 +168,9 @@ class DecodedKernelExecution(KernelExecution):
                         if len(frames) > 1:
                             frames.pop()
                             continue
-                        warp.done = True
                         if pops:
                             self._flush_pops(warp, pops)
+                        self._finish_warp(warp)
                         return
                     phase = stack.pop().phase
                     if emit_pops and phase is not _Phase.BASE:

@@ -42,7 +42,7 @@ from ..ptx.ast import (
 )
 from ..ptx.cfg import CFG
 from ..ptx.isa import FLOAT_TYPES, SIGNED_TYPES, type_width
-from ..events import LogRecord, RecordKind
+from ..events import GRID_BARRIER_BLOCK, LogRecord, RecordKind
 from ..trace.layout import GridLayout
 from ..trace.operations import Scope, Space
 from .hierarchy import LaunchConfig
@@ -146,6 +146,13 @@ class WarpState:
     at_barrier: bool = False
     instructions: int = 0
     cycles: int = 0
+    #: Deferred shared-side STORE records of ``cp.async`` copies issued
+    #: but not yet committed to a group (empty on uninstrumented runs).
+    async_pending: List[LogRecord] = field(default_factory=list)
+    #: Committed-but-unwaited ``cp.async`` groups, oldest first.
+    async_groups: List[List[LogRecord]] = field(default_factory=list)
+    #: Waiting at a grid-wide (cooperative) barrier, not a block one.
+    at_grid_barrier: bool = False
 
     @property
     def frame(self) -> _Frame:
@@ -224,6 +231,7 @@ class KernelExecution:
         global_symbols: Dict[str, int],
         sink: Optional[EventSink] = None,
         instrumented: bool = False,
+        cooperative: bool = False,
     ) -> None:
         self.module = module
         self.kernel = kernel
@@ -235,6 +243,8 @@ class KernelExecution:
         self.shared_mem = SharedMemory()
         self.sink = sink
         self.instrumented = instrumented
+        #: Cooperative launch: required for grid-wide ``barrier.cluster``.
+        self.cooperative = cooperative
         self.result = LaunchResult()
         # Static contexts: the kernel plus every device function.
         self._contexts: Dict[str, ExecContext] = {}
@@ -398,7 +408,7 @@ class KernelExecution:
                             # ran off its end; resume the caller.
                             warp.frames.pop()
                             continue
-                        warp.done = True
+                        self._finish_warp(warp)
                         return
                     self._pop_path(warp)
                     continue
@@ -460,6 +470,19 @@ class KernelExecution:
             entry.pc += 1
             warp.at_barrier = True
             return
+        if opcode == "barrier":
+            # barrier.cluster.sync: grid-wide synchronization, only legal
+            # on a cooperative launch (every block resident at once).
+            if not self.cooperative:
+                raise SimulationError(
+                    f"{warp.frame.ctx.kernel.name!r}: {insn.full_opcode} at "
+                    f"pc {entry.pc} requires a cooperative launch "
+                    "(launch with cooperative=True)"
+                )
+            entry.pc += 1
+            warp.at_barrier = True
+            warp.at_grid_barrier = True
+            return
         if opcode == "membar" or opcode == "fence":
             if not insn.has_modifier("cta"):
                 self.global_mem.drain_all()
@@ -480,6 +503,12 @@ class KernelExecution:
             self._exec_store(warp, insn, active)
         elif opcode in ("atom", "red"):
             self._exec_atomic(warp, insn, active)
+        elif opcode == "shfl":
+            self._exec_shfl(warp, entry, insn, active)
+        elif opcode == "vote":
+            self._exec_vote(warp, entry, insn, active)
+        elif opcode == "cp":
+            self._exec_cp(warp, entry, insn, active)
         else:
             self._exec_arith(insn, active)
         entry.pc += 1
@@ -542,7 +571,7 @@ class KernelExecution:
             # advanced past the call instruction).
             warp.frames.pop()
             return
-        warp.done = True
+        self._finish_warp(warp)
 
     def _exec_call(self, warp: WarpState, entry: _StackEntry, insn: Instruction) -> None:
         """Enter a device function with the current active threads.
@@ -719,6 +748,277 @@ class KernelExecution:
             if dst is not None:
                 self._set_reg(tid, dst.name, _wrap(old, type_name))
 
+    # -- warp-synchronous exchange (shfl.sync / vote.sync) ----------------
+    def _warp_sync_lanes(
+        self, warp: WarpState, entry: _StackEntry, insn: Instruction,
+        active: Sequence[int], operand: Operand,
+    ) -> FrozenSet[int]:
+        """Validate a ``.sync`` membermask; returns the required lanes.
+
+        The mask names the lanes that must reach the instruction
+        together.  Lanes the warp does not have (partial warps) are
+        ignored; a mask with no live lane, or one naming a lane that
+        diverged away, is a malformed sync and raises.
+        """
+        if active:
+            mask = int(self._value(active[0], operand))
+        elif isinstance(operand, ImmOperand):
+            mask = int(operand.value)
+        else:
+            mask = 0
+        lane_of = self.layout.lane_of
+        existing = {lane_of(t) for t in self.layout.warp_tids(warp.warp)}
+        required = frozenset(l for l in existing if (mask >> l) & 1)
+        name = warp.frame.ctx.kernel.name
+        if not required:
+            raise SimulationError(
+                f"{name!r}: {insn.full_opcode} at pc {entry.pc} has "
+                f"membermask 0x{mask & 0xFFFFFFFF:08x} selecting no live "
+                "lane of the warp"
+            )
+        active_lanes = {lane_of(t) for t in active}
+        missing = required - active_lanes
+        if missing:
+            raise SimulationError(
+                f"{name!r}: {insn.full_opcode} at pc {entry.pc} with "
+                f"membermask 0x{mask & 0xFFFFFFFF:08x} requires lane(s) "
+                f"{sorted(missing)} that did not reach it; all mask lanes "
+                "must arrive together"
+            )
+        return required
+
+    def _exec_shfl(
+        self, warp: WarpState, entry: _StackEntry, insn: Instruction,
+        active: Sequence[int],
+    ) -> None:
+        """``shfl.sync.{up,down,bfly,idx}.b32 d, a, b, c, membermask``.
+
+        Register-level lane exchange (PTX ISA 9.7.9.3): no memory is
+        touched and no record is emitted — by construction the detector
+        cannot flag the communication as a race.  Lanes outside the
+        membermask keep their own value (defined fallback).
+        """
+        mode = next(
+            (m for m in insn.modifiers if m in ("up", "down", "bfly", "idx")),
+            None,
+        )
+        if mode is None or len(insn.operands) != 5:
+            raise SimulationError(f"unsupported opcode {insn.full_opcode!r}")
+        dst, src, boff, cop, maskop = insn.operands
+        required = self._warp_sync_lanes(warp, entry, insn, active, maskop)
+        lane_of = self.layout.lane_of
+        type_name = insn.value_type()
+        # Gather every source lane's value before any write: the exchange
+        # is simultaneous across the warp.
+        lane_values = {
+            lane_of(t): self._value(t, src)
+            for t in active
+            if lane_of(t) in required
+        }
+        results = {}
+        for tid in active:
+            lane = lane_of(tid)
+            own = self._value(tid, src)
+            if lane not in required:
+                results[tid] = own
+                continue
+            b = int(self._value(tid, boff)) & 31
+            c = int(self._value(tid, cop))
+            cval = c & 31
+            segmask = (c >> 8) & 31
+            max_lane = (lane & segmask) | (cval & ~segmask & 31)
+            min_lane = lane & segmask
+            if mode == "up":
+                j = lane - b
+                in_bounds = j >= min_lane
+            elif mode == "down":
+                j = lane + b
+                in_bounds = j <= max_lane
+            elif mode == "bfly":
+                j = lane ^ b
+                in_bounds = j <= max_lane
+            else:  # idx
+                j = min_lane | (b & ~segmask & 31)
+                in_bounds = j <= max_lane
+            if in_bounds and j in lane_values:
+                results[tid] = lane_values[j]
+            else:
+                results[tid] = own
+        for tid, value in results.items():
+            self._set_reg(tid, dst.name, _wrap(value, type_name))
+
+    def _exec_vote(
+        self, warp: WarpState, entry: _StackEntry, insn: Instruction,
+        active: Sequence[int],
+    ) -> None:
+        """``vote.sync.{ballot.b32,any.pred,all.pred,uni.pred}``.
+
+        Warp-wide predicate reduction over the membermask's lanes; like
+        shfl, pure register traffic.  Lanes outside the mask get the
+        defined fallbacks: 0 for ballot, their own predicate for
+        any/all, 1 for uni.
+        """
+        mode = next(
+            (m for m in insn.modifiers
+             if m in ("ballot", "any", "all", "uni")),
+            None,
+        )
+        if mode is None or len(insn.operands) != 3:
+            raise SimulationError(f"unsupported opcode {insn.full_opcode!r}")
+        dst, src, maskop = insn.operands
+        required = self._warp_sync_lanes(warp, entry, insn, active, maskop)
+        lane_of = self.layout.lane_of
+        type_name = insn.value_type()
+        preds = {
+            lane_of(t): bool(self._value(t, src))
+            for t in active
+            if lane_of(t) in required
+        }
+        if mode == "ballot":
+            joined = 0
+            for lane, value in preds.items():
+                if value:
+                    joined |= 1 << lane
+        elif mode == "any":
+            joined = 1 if any(preds.values()) else 0
+        elif mode == "all":
+            joined = 1 if all(preds.values()) else 0
+        else:  # uni: all participating lanes agree
+            joined = 1 if len(set(preds.values())) <= 1 else 0
+        for tid in active:
+            lane = lane_of(tid)
+            if lane in required:
+                value = joined
+            elif mode == "ballot":
+                value = 0
+            elif mode == "uni":
+                value = 1
+            else:
+                value = 1 if self._value(tid, src) else 0
+            self._set_reg(tid, dst.name, _wrap(value, type_name))
+
+    # -- asynchronous copies (cp.async) -----------------------------------
+    def _exec_cp(
+        self, warp: WarpState, entry: _StackEntry, insn: Instruction,
+        active: Sequence[int],
+    ) -> None:
+        """``cp.async`` copies and their commit/wait bookkeeping.
+
+        The global read happens (and is logged) at issue; the shared
+        write's *record* is deferred until the copy's completion edge —
+        ``wait_group``/``wait_all``, or warp exit for copies never
+        waited on.  The deferral is what lets the detector see an
+        unwaited copy's store as unordered with post-barrier readers.
+        """
+        mods = insn.modifiers
+        name = warp.frame.ctx.kernel.name
+        if "async" not in mods:
+            raise SimulationError(f"unsupported opcode {insn.full_opcode!r}")
+        if "commit_group" in mods:
+            warp.async_groups.append(warp.async_pending)
+            warp.async_pending = []
+            return
+        if "wait_all" in mods:
+            self._flush_async(warp, 0, include_uncommitted=True)
+            return
+        if "wait_group" in mods:
+            if len(insn.operands) != 1 or not isinstance(
+                insn.operands[0], ImmOperand
+            ):
+                raise SimulationError(
+                    f"{name!r}: {insn.full_opcode} at pc {entry.pc} needs "
+                    "one immediate group count"
+                )
+            keep = int(insn.operands[0].value)
+            if keep < 0:
+                raise SimulationError(
+                    f"{name!r}: {insn.full_opcode} at pc {entry.pc}: group "
+                    f"count must be non-negative, got {keep}"
+                )
+            self._flush_async(warp, keep)
+            return
+        if len(insn.operands) != 3:
+            raise SimulationError(
+                f"{name!r}: {insn.full_opcode} at pc {entry.pc} needs "
+                "destination, source, and size operands"
+            )
+        dst, src, size_op = insn.operands
+        if not isinstance(dst, MemOperand) or not isinstance(src, MemOperand):
+            raise SimulationError(
+                f"{name!r}: {insn.full_opcode} at pc {entry.pc}: copy "
+                "operands must be addresses"
+            )
+        size = int(size_op.value) if isinstance(size_op, ImmOperand) else -1
+        if size not in (4, 8, 16):
+            raise SimulationError(
+                f"{name!r}: {insn.full_opcode} at pc {entry.pc}: copy size "
+                "must be 4, 8, or 16 bytes"
+            )
+        if not active:
+            return
+        src_addrs = {}
+        dst_addrs = {}
+        values = {}
+        for tid in active:
+            saddr = self._address(tid, src)
+            daddr = self._address(tid, dst)
+            raw = self.global_mem.load(warp.block, saddr, size)
+            self.shared_mem.store(warp.block, daddr, size, raw)
+            src_addrs[tid] = (Space.GLOBAL, saddr)
+            dst_addrs[tid] = (Space.SHARED, daddr)
+            values[tid] = raw
+        if self.sink is None or not self.instrumented:
+            return
+        frozen = self.intern_mask(active)
+        load = LogRecord(
+            kind=RecordKind.LOAD,
+            warp=warp.warp,
+            active=frozen,
+            addrs=src_addrs,
+            width=size,
+            pc=insn.line,
+        )
+        warp.cycles += self.sink.emit(load)
+        self.result.records_emitted += 1
+        warp.async_pending.append(
+            LogRecord(
+                kind=RecordKind.STORE,
+                warp=warp.warp,
+                active=frozen,
+                addrs=dst_addrs,
+                values=values,
+                width=size,
+                pc=insn.line,
+            )
+        )
+
+    def _flush_async(
+        self, warp: WarpState, keep_groups: int,
+        include_uncommitted: bool = False,
+    ) -> None:
+        """Emit the deferred stores of completed ``cp.async`` groups."""
+        records: List[LogRecord] = []
+        while len(warp.async_groups) > keep_groups:
+            records.extend(warp.async_groups.pop(0))
+        if include_uncommitted and warp.async_pending:
+            records.extend(warp.async_pending)
+            warp.async_pending = []
+        if not records or self.sink is None or not self.instrumented:
+            return
+        warp.cycles += self.sink.emit_batch(records)
+        self.result.records_emitted += len(records)
+
+    def _finish_warp(self, warp: WarpState) -> None:
+        """Mark a warp done; unwaited copies complete at exit.
+
+        A ``cp.async`` nobody waited on still lands eventually — modeled
+        as completing when the warp retires, which places its shared
+        store after any barrier the program crossed in between: exactly
+        the unordered shape the detector must flag.
+        """
+        warp.done = True
+        self._flush_async(warp, 0, include_uncommitted=True)
+
     # -- arithmetic -------------------------------------------------------
     def _exec_arith(self, insn: Instruction, active: Sequence[int]) -> None:
         opcode = insn.opcode
@@ -806,10 +1106,34 @@ class KernelExecution:
         if not any(w.at_barrier for w in self.warps):
             return False
         released = False
+        # Grid-wide (cooperative) barrier: released only when every live
+        # warp of every block has arrived at it; one BARRIER record with
+        # the grid sentinel block id carries the union of their masks.
+        live_all = [w for w in self.warps if not w.done]
+        if live_all and all(
+            w.at_barrier and w.at_grid_barrier for w in live_all
+        ):
+            masks = [self.frozen_active(w.frame.stack[-1]) for w in live_all]
+            active = masks[0] if len(masks) == 1 else frozenset().union(*masks)
+            if self.sink is not None and self.instrumented:
+                record = LogRecord(
+                    kind=RecordKind.BARRIER,
+                    warp=GRID_BARRIER_BLOCK,
+                    active=active,
+                )
+                stall = self.sink.emit(record)
+                live_all[0].cycles += stall
+                self.result.records_emitted += 1
+            for w in live_all:
+                w.at_barrier = False
+                w.at_grid_barrier = False
+            return True
         for block in range(self.layout.num_blocks):
             warps = [self.warps[w] for w in self.layout.block_warps(block)]
             live = [w for w in warps if not w.done]
-            if live and all(w.at_barrier for w in live):
+            if live and all(
+                w.at_barrier and not w.at_grid_barrier for w in live
+            ):
                 masks = [self.frozen_active(w.frame.stack[-1]) for w in live]
                 active = masks[0] if len(masks) == 1 else frozenset().union(*masks)
                 if self.sink is not None and self.instrumented:

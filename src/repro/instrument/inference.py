@@ -101,6 +101,7 @@ def classify_kernel(kernel: Kernel) -> Dict[int, Classification]:
             "exit",
             "call",
             "bra",
+            "cp",  # async copies touch shared memory out of band
         ) and statement.opcode not in FENCE_OPCODES
 
     def fence_after(index: int, budget: int = 32) -> Optional[Scope]:

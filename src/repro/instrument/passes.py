@@ -364,7 +364,7 @@ class Instrumenter:
             if isinstance(statement, Instruction)
             and (
                 statement.opcode in FENCE_OPCODES
-                or statement.opcode in ("bar", "barrier")
+                or statement.opcode in ("bar", "barrier", "cp")
                 or statement.opcode in ATOMIC_OPCODES
             )
         }

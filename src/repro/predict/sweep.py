@@ -100,6 +100,8 @@ class LaunchSpec:
     scalars: Tuple[Tuple[str, int], ...] = ()
     arch: str = "titanx"
     max_steps: int = 400_000
+    #: Cooperative launch: permits grid-wide sync (barrier.cluster).
+    cooperative: bool = False
 
     def __post_init__(self) -> None:
         if self.arch not in ARCHES:
@@ -131,6 +133,7 @@ class LaunchSpec:
             scalars=tuple(program.scalars),
             arch=getattr(program, "arch", "titanx"),
             max_steps=program.max_steps,
+            cooperative=getattr(program, "cooperative", False),
         )
 
     def to_payload(self) -> dict:
@@ -147,6 +150,7 @@ class LaunchSpec:
             "scalars": [[name, value] for name, value in self.scalars],
             "arch": self.arch,
             "max_steps": self.max_steps,
+            "cooperative": self.cooperative,
         }
 
     @classmethod
@@ -169,6 +173,7 @@ class LaunchSpec:
                 ),
                 arch=str(payload.get("arch", "titanx")),
                 max_steps=int(payload.get("max_steps", 400_000)),
+                cooperative=bool(payload.get("cooperative", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed launch spec: {exc}") from exc
@@ -203,6 +208,7 @@ def run_spec(
         scheduler=scheduler,
         max_steps=spec.max_steps,
         capture_records=capture,
+        cooperative=spec.cooperative,
     )
 
 

@@ -85,6 +85,23 @@ BRANCH_OPCODES: FrozenSet[str] = frozenset({"bra"})
 EXIT_OPCODES: FrozenSet[str] = frozenset({"ret", "exit"})
 CALL_OPCODES: FrozenSet[str] = frozenset({"call"})
 
+#: Warp-level register exchange (``shfl.sync``) and votes
+#: (``vote.sync``): sync-free communication that moves values between
+#: lanes without touching memory, so it must never be instrumented or
+#: flagged as a memory race.
+SHUFFLE_OPCODES: FrozenSet[str] = frozenset({"shfl"})
+VOTE_OPCODES: FrozenSet[str] = frozenset({"vote"})
+
+#: Asynchronous global-to-shared copies (``cp.async`` and its
+#: ``commit_group``/``wait_group`` bookkeeping).  The copy's completion
+#: edge is the wait, not the issue; the interpreter emits the records
+#: itself, so the opcode is deliberately *not* in
+#: :data:`INSTRUMENTED_OPCODES`.
+ASYNC_COPY_OPCODES: FrozenSet[str] = frozenset({"cp"})
+
+#: Warp-wide intrinsics as a group (shuffle + vote).
+WARP_SYNC_OPCODES = SHUFFLE_OPCODES | VOTE_OPCODES
+
 #: Atomic operations commonly used to take a lock (§3.1: ``atom.cas``
 #: followed by a fence is treated as an acquire)...
 LOCK_ACQUIRE_ATOMS: FrozenSet[str] = frozenset({"cas"})
@@ -115,6 +132,8 @@ ALL_OPCODES = (
     | EXIT_OPCODES
     | CALL_OPCODES
     | LOG_OPCODES
+    | WARP_SYNC_OPCODES
+    | ASYNC_COPY_OPCODES
 )
 
 

@@ -195,8 +195,12 @@ class BarracudaSession:
         compare_native: bool = False,
         native_scheduler: Optional[Scheduler] = None,
         capture_records: bool = False,
+        cooperative: bool = False,
     ) -> SessionLaunch:
         """Launch a kernel under race detection.
+
+        ``cooperative`` requests a cooperative launch (every block
+        resident), which legalizes grid-wide ``barrier.cluster`` sync.
 
         With ``compare_native`` the pristine kernel runs first against a
         snapshot of device global memory, which is restored before the
@@ -223,6 +227,7 @@ class BarracudaSession:
                 scheduler=native_scheduler,
                 max_steps=max_steps,
                 engine=self.engine,
+                cooperative=cooperative,
             )
             self.device.global_mem.restore(image)
         from ..gpu.hierarchy import LaunchConfig
@@ -266,6 +271,7 @@ class BarracudaSession:
             max_steps=max_steps,
             obs=self.obs,
             engine=self.engine,
+            cooperative=cooperative,
         )
         with self.obs.tracer.span("queue-drain", kernel=kernel_name):
             host.drain(queues)

@@ -556,6 +556,11 @@ def prune_private_sites(kernel: Kernel, module: Optional[Module] = None) -> Set[
     for statement in kernel.body:
         if isinstance(statement, Instruction) and statement.opcode == "call":
             return set()
+        if isinstance(statement, Instruction) and statement.opcode == "cp":
+            # cp.async reads global and writes shared memory out of band;
+            # those accesses are invisible to the site collector, so no
+            # region of the kernel can be proven private.
+            return set()
     sites = collect_access_sites(kernel, module)
     if any(site.region is None for site in sites):
         return set()

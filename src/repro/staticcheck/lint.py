@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..instrument.inference import AccessClass, Classification, classify_kernel
-from ..ptx.ast import Instruction, Kernel, Module, RegOperand
+from ..ptx.ast import ImmOperand, Instruction, Kernel, Module, RegOperand
 from ..ptx.cfg import CFG, EXIT_BLOCK
 from ..ptx.isa import BARRIER_OPCODES, EXIT_OPCODES
 from ..trace.operations import Scope
@@ -98,29 +98,70 @@ class KernelContext:
         no (unpredicated) ``bar``?  Barriers order the two accesses for
         every thread of the block; a barrier-free path means some block
         can interleave them."""
-        key = (src, dst)
+        key = (src, dst, "bar")
         cached = self._path_cache.get(key)
         if cached is not None:
             return cached
-        result = self._barrier_free_path(src, dst)
+        result = self._barrier_free_path(src, dst, BARRIER_OPCODES)
         self._path_cache[key] = result
         return result
 
-    def _scan(self, start: int, end: int, dst: int) -> str:
+    def grid_barrier_free_path(self, src: int, dst: int) -> bool:
+        """Like :meth:`barrier_free_path`, but only a *grid-wide* barrier
+        (``barrier.cluster`` under a cooperative launch) blocks: a plain
+        ``bar.sync`` cannot order accesses from different blocks."""
+        key = (src, dst, "grid")
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._barrier_free_path(src, dst, frozenset({"barrier"}))
+        self._path_cache[key] = result
+        return result
+
+    def any_path(self, src: int, dst: int) -> bool:
+        """Is ``dst`` reachable from after ``src`` at all (nothing but
+        kernel exit blocks the scan)?"""
+        key = (src, dst, "any")
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._barrier_free_path(src, dst, frozenset())
+        self._path_cache[key] = result
+        return result
+
+    def grid_barrier_ordered(self, a_index: int, b_index: int) -> bool:
+        """Does a grid-wide barrier separate the two sites?  True only
+        when the sites are sequentially related (some path connects them)
+        and *every* such path crosses a ``barrier.cluster``.  Sites in
+        sibling branch arms have no connecting path and stay concurrent —
+        different blocks never order by program order alone."""
+        connected = self.any_path(a_index, b_index) or self.any_path(
+            b_index, a_index
+        )
+        if not connected:
+            return False
+        return not (
+            self.grid_barrier_free_path(a_index, b_index)
+            or self.grid_barrier_free_path(b_index, a_index)
+        )
+
+    def _scan(self, start: int, end: int, dst: int, blocking: FrozenSet[str]) -> str:
         for index in range(start, end):
             if index == dst:
                 return "found"
             statement = self.body[index]
             if isinstance(statement, Instruction) and statement.pred is None:
-                if statement.opcode in BARRIER_OPCODES:
+                if statement.opcode in blocking:
                     return "blocked"
                 if statement.opcode in EXIT_OPCODES:
                     return "blocked"
         return "continue"
 
-    def _barrier_free_path(self, src: int, dst: int) -> bool:
+    def _barrier_free_path(
+        self, src: int, dst: int, blocking: FrozenSet[str]
+    ) -> bool:
         src_block = self.cfg.block_of(src)
-        verdict = self._scan(src + 1, src_block.end, dst)
+        verdict = self._scan(src + 1, src_block.end, dst, blocking)
         if verdict == "found":
             return True
         if verdict == "blocked":
@@ -133,7 +174,7 @@ class KernelContext:
                 continue
             seen.add(block_index)
             block = self.cfg.blocks[block_index]
-            verdict = self._scan(block.start, block.end, dst)
+            verdict = self._scan(block.start, block.end, dst, blocking)
             if verdict == "found":
                 return True
             if verdict == "blocked":
@@ -399,7 +440,11 @@ def _data_pairs(
                 if not (a.is_write or b.is_write):
                     continue
                 if ctx.cfg.block_of(a.index).index == ctx.cfg.block_of(b.index).index:
-                    if _stride_loop_pair(ctx, a, b):
+                    # Straight-line pairs are ordered by program order —
+                    # but only within one thread block.  A pair that
+                    # *certainly* spans blocks (e.g. data[gid] stored,
+                    # data[N-gid] loaded) has no such order and stays in.
+                    if _stride_loop_pair(ctx, a, b) or ctx.certainly_cross_block(a, b):
                         yield (a, b)
                     continue
                 yield (a, b)
@@ -552,6 +597,8 @@ def _rule_global_race(ctx: KernelContext) -> Iterable[Finding]:
         if not ctx.may_conflict(a, b):
             continue
         cross_block = ctx.certainly_cross_block(a, b)
+        if cross_block and ctx.grid_barrier_ordered(a.index, b.index):
+            continue  # a grid-wide barrier orders even cross-block pairs
         if not cross_block and not ctx.concurrent_unordered(a, b):
             continue
         handshakes = [ctx.handshake(w, r) for w, r in _oriented(a, b)]
@@ -761,6 +808,141 @@ def _rule_unfenced_lock(ctx: KernelContext) -> Iterable[Finding]:
             )
 
 
+#: The full warp membermask: every lane participates.
+_FULL_MASK = 0xFFFFFFFF
+
+
+def _is_async_wait(statement: object) -> bool:
+    return (
+        isinstance(statement, Instruction)
+        and statement.opcode == "cp"
+        and statement.has_modifier("wait_group", "wait_all")
+    )
+
+
+def _is_async_copy(statement: object) -> bool:
+    return (
+        isinstance(statement, Instruction)
+        and statement.opcode == "cp"
+        and not statement.has_modifier("wait_group", "wait_all", "commit_group")
+    )
+
+
+def _wait_free_exit_path(ctx: KernelContext, src: int) -> bool:
+    """Is there a CFG path from after ``src`` to kernel exit crossing no
+    ``cp.async.wait_group``/``wait_all``?  Then the deferred shared-memory
+    store of the copy completes only at warp exit — after any barrier the
+    kernel used to publish the tile."""
+
+    def scan(start: int, end: int) -> str:
+        for index in range(start, end):
+            statement = ctx.body[index]
+            if isinstance(statement, Instruction) and statement.pred is None:
+                if _is_async_wait(statement):
+                    return "blocked"
+                if statement.opcode in EXIT_OPCODES:
+                    return "exit"
+        return "continue"
+
+    src_block = ctx.cfg.block_of(src)
+    verdict = scan(src + 1, src_block.end)
+    if verdict == "exit":
+        return True
+    if verdict == "blocked":
+        return False
+    seen: Set[int] = set()
+    stack = list(src_block.successors)
+    while stack:
+        block_index = stack.pop()
+        if block_index == EXIT_BLOCK:
+            return True  # fell off the kernel without a wait
+        if block_index in seen:
+            continue
+        seen.add(block_index)
+        block = ctx.cfg.blocks[block_index]
+        verdict = scan(block.start, block.end)
+        if verdict == "exit":
+            return True
+        if verdict == "blocked":
+            continue
+        stack.extend(block.successors)
+    return False
+
+
+def _rule_async_copy_unwaited(ctx: KernelContext) -> Iterable[Finding]:
+    """A ``cp.async`` copy that can reach kernel exit with no wait: its
+    deferred shared-memory store drains only when the warp exits, so it
+    lands *after* any ``bar.sync`` other threads relied on to order their
+    reads of the tile — the modern-idiom analogue of a missing barrier."""
+    for index, statement in enumerate(ctx.body):
+        if not _is_async_copy(statement):
+            continue
+        if _wait_free_exit_path(ctx, index):
+            yield Finding(
+                rule="async-copy-unwaited",
+                severity=SEVERITY_WARNING,
+                kernel=ctx.kernel.name,
+                line=statement.line,
+                message=(
+                    "cp.async copy reaches kernel exit on some path with no "
+                    "cp.async.wait_group/wait_all: the deferred shared-memory "
+                    "store completes only at warp exit, after any bar.sync "
+                    "that readers of the tile synchronized on"
+                ),
+            )
+
+
+def _rule_partial_vote_sync(ctx: KernelContext) -> Iterable[Finding]:
+    """Membermask/divergence mismatches on warp-synchronous operations
+    (``shfl.sync``/``vote.sync``): a *partial* immediate mask in convergent
+    code silently hands fallback values to the excluded lanes, and a *full*
+    mask inside a thread-divergent region traps — lanes in the other arm
+    never arrive at the collective."""
+    divergent_branch: Dict[int, BranchInfo] = {}
+    for info in ctx.guards.branches.values():
+        if not ctx.taint.is_divergent(info.index):
+            continue
+        for index in info.region():
+            divergent_branch.setdefault(index, info)
+    for index, statement in enumerate(ctx.body):
+        if not isinstance(statement, Instruction):
+            continue
+        if statement.opcode not in ("shfl", "vote"):
+            continue
+        mask_op = statement.operands[-1] if statement.operands else None
+        if not isinstance(mask_op, ImmOperand):
+            continue  # computed masks: assume the author matched them
+        mask = mask_op.value & _FULL_MASK
+        info = divergent_branch.get(index)
+        if mask != _FULL_MASK and info is None:
+            yield Finding(
+                rule="partial-vote-sync",
+                severity=SEVERITY_WARNING,
+                kernel=ctx.kernel.name,
+                line=statement.line,
+                message=(
+                    f"{statement.opcode}.sync with partial membermask "
+                    f"0x{mask:08x} outside any divergent branch: every lane "
+                    "executes the collective but the excluded lanes receive "
+                    "fallback values, not the synchronized result"
+                ),
+            )
+        elif mask == _FULL_MASK and info is not None:
+            yield Finding(
+                rule="partial-vote-sync",
+                severity=SEVERITY_WARNING,
+                kernel=ctx.kernel.name,
+                line=statement.line,
+                message=(
+                    f"{statement.opcode}.sync with the full membermask "
+                    "0xffffffff inside a thread-divergent branch region: "
+                    "lanes that took the other arm never arrive, and the "
+                    "warp-level collective traps waiting for them"
+                ),
+                related_lines=(info.line,),
+            )
+
+
 #: The rule registry: name -> (callable, severity, one-line description).
 RULES: Dict[str, Tuple[Callable[[KernelContext], Iterable[Finding]], str, str]] = {
     "barrier-divergence": (
@@ -803,6 +985,16 @@ RULES: Dict[str, Tuple[Callable[[KernelContext], Iterable[Finding]], str, str]] 
         SEVERITY_WARNING,
         "CAS/Exch lock idiom missing its acquire/release fence (§6.3)",
     ),
+    "async-copy-unwaited": (
+        _rule_async_copy_unwaited,
+        SEVERITY_WARNING,
+        "cp.async copy reaching kernel exit with no wait_group/wait_all",
+    ),
+    "partial-vote-sync": (
+        _rule_partial_vote_sync,
+        SEVERITY_WARNING,
+        "shfl/vote membermask inconsistent with branch divergence",
+    ),
 }
 
 #: Callables to actually run (insufficient-fence-scope shares the
@@ -815,6 +1007,8 @@ _RULE_RUNNERS = [
     _rule_atomic_mixed,
     _rule_unfenced_flag,
     _rule_unfenced_lock,
+    _rule_async_copy_unwaited,
+    _rule_partial_vote_sync,
 ]
 
 

@@ -141,6 +141,21 @@ def _instruction_taint(insn: Instruction, taints: Dict[str, Taint]) -> Taint:
         return frozenset({MEM})
     if opcode == "atom":
         return frozenset({MEM})  # the returned prior value
+    if opcode == "vote":
+        # A vote joins the predicate of every mask lane, so with the full
+        # immediate membermask the result is *warp-uniform* even when the
+        # inputs vary per thread: strip the intra-warp taint bits.  A
+        # partial or computed mask keeps them — lanes outside the mask
+        # receive per-lane fallback values.
+        result = NO_TAINT
+        for operand in insn.operands[1:]:
+            result |= _operand_taint(operand, taints)
+        if insn.pred is not None:
+            result |= taints.get(insn.pred[0], NO_TAINT)
+        mask = insn.operands[-1] if insn.operands else None
+        if isinstance(mask, ImmOperand) and mask.value & 0xFFFFFFFF == 0xFFFFFFFF:
+            result = result - frozenset({TID, LANE})
+        return result
     # Arithmetic / moves / setp / selp: join the source taints.  The
     # guard predicate is joined too: a predicated definition merges with
     # the fall-through value, so it inherits the predicate's variability.

@@ -1,4 +1,11 @@
-"""The 66-program CUDA concurrency bug suite (paper §6.1)."""
+"""The CUDA concurrency bug suite (paper §6.1 plus modern idioms).
+
+The paper's original 66 programs are extended with two modern-idiom
+families: warp shuffle/vote intrinsics (:data:`SHUFFLE_PROGRAMS`) and
+cp.async / grid-wide synchronization (:data:`ASYNC_PROGRAMS`).  Use
+``len(ALL_PROGRAMS)`` — never a hard-coded count — when asserting over
+the registry.
+"""
 
 from .model import Buffer, Expected, SuiteProgram, Verdict, run_program
 from .programs_atomics import ATOMIC_PROGRAMS
@@ -9,10 +16,13 @@ from .programs_grid import GRID_PROGRAMS
 from .programs_locks import LOCK_PROGRAMS
 from .programs_memory import MEMORY_PROGRAMS
 from .programs_warp import MISC_PROGRAMS, WARP_PROGRAMS
+from .programs_shuffle import SHUFFLE_PROGRAMS
+from .programs_async import ASYNC_PROGRAMS
 
-#: All 66 programs, in suite order.  The schedule-sensitive companions
-#: (:data:`SCHEDULE_PROGRAMS`) are deliberately excluded: their verdict
-#: depends on the schedule, which is the point of ``repro.predict``.
+#: Every suite program, in suite order.  The schedule-sensitive
+#: companions (:data:`SCHEDULE_PROGRAMS`) are deliberately excluded:
+#: their verdict depends on the schedule, which is the point of
+#: ``repro.predict``.
 ALL_PROGRAMS = (
     MEMORY_PROGRAMS
     + BRANCH_PROGRAMS
@@ -22,7 +32,15 @@ ALL_PROGRAMS = (
     + GRID_PROGRAMS
     + WARP_PROGRAMS
     + MISC_PROGRAMS
+    + SHUFFLE_PROGRAMS
+    + ASYNC_PROGRAMS
 )
+
+#: The modern-idiom subset (the families added on top of the paper's 66).
+MODERN_PROGRAMS = tuple(SHUFFLE_PROGRAMS) + tuple(ASYNC_PROGRAMS)
+
+#: The paper's original suite size; ALL_PROGRAMS grows beyond it.
+PAPER_PROGRAM_COUNT = 66
 
 
 def program(name: str) -> SuiteProgram:

@@ -4,7 +4,10 @@ The paper validates BARRACUDA against a hand-built suite of 66 small CUDA
 programs covering "subtle data races or race-free behavior via global
 memory, shared memory, within and across warps and blocks, and using a
 variety of atomic and memory fence instructions to implement locks,
-whole-grid barriers and flag synchronization".
+whole-grid barriers and flag synchronization".  Our suite keeps those 66
+and extends them with modern-idiom families the paper predates: warp
+shuffle/vote exchanges, ``cp.async`` tile pipelines, and cooperative
+grid-wide synchronization.
 
 Each :class:`SuiteProgram` carries its source (mini CUDA-C, or PTX for
 the cases that need instruction-level control such as predication), its
@@ -82,6 +85,9 @@ class SuiteProgram:
     #: Memory-model profile to simulate ("titanx" or "k520"); the
     #: schedule-sensitive weak-memory programs need the relaxed profile.
     arch: str = "titanx"
+    #: Launch cooperatively (cudaLaunchCooperativeKernel): required by
+    #: programs using ``barrier.cluster`` / ``__grid_sync()``.
+    cooperative: bool = False
 
     def compile(self) -> Module:
         if self.is_ptx:
@@ -165,6 +171,7 @@ def run_program(
             params=params,
             scheduler=scheduler,
             max_steps=program.max_steps,
+            cooperative=program.cooperative,
         )
     except StepLimitExceeded:
         verdict.hang = True

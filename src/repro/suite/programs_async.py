@@ -1,0 +1,164 @@
+"""Suite programs: cp.async copies and grid-wide synchronization.
+
+``cp.async`` issues a global→shared copy whose shared-memory *store*
+completes asynchronously: only ``cp.async.wait_group``/``wait_all`` (or
+warp exit) makes it visible.  The detector models the deferred store by
+emitting it at the completion point, so a copy that is never waited on
+lands *after* any ``__syncthreads()`` the block used to publish the tile
+— the modern-idiom analogue of a missing barrier, and the shape the
+``async-copy-unwaited`` lint flags.  The grid-wide members use
+``__grid_sync()`` (``barrier.cluster`` under a cooperative launch),
+which is the only barrier that can order accesses across blocks.
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+ASYNC_PROGRAMS = [
+    SuiteProgram(
+        name="async_copy_unwaited",
+        expected_lint=("async-copy-unwaited",),
+        category="async",
+        description="cp.async with commit but no wait: the deferred "
+        "shared store drains only at warp exit, after the "
+        "barrier the other warp's cross-read synchronized on.",
+        source="""
+__global__ void async_unwaited(int* src, int* out) {
+    __shared__ int tile[64];
+    __pipeline_memcpy_async(&tile[threadIdx.x], &src[threadIdx.x], 4);
+    __pipeline_commit();
+    __syncthreads();
+    out[threadIdx.x] = tile[63 - threadIdx.x];
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=64,
+        warp_size=32,
+        buffers=(Buffer("src", 64, init=tuple(range(64))), Buffer("out", 64)),
+    ),
+    SuiteProgram(
+        name="async_copy_waited",
+        category="async",
+        description="The fixed companion: wait_group 0 before the barrier "
+        "completes the copy, so the post-barrier cross-read is "
+        "ordered and nothing fires.",
+        source="""
+__global__ void async_waited(int* src, int* out) {
+    __shared__ int tile[64];
+    __pipeline_memcpy_async(&tile[threadIdx.x], &src[threadIdx.x], 4);
+    __pipeline_commit();
+    __pipeline_wait_prior(0);
+    __syncthreads();
+    out[threadIdx.x] = tile[63 - threadIdx.x];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=64,
+        warp_size=32,
+        buffers=(Buffer("src", 64, init=tuple(range(64))), Buffer("out", 64)),
+    ),
+    SuiteProgram(
+        name="async_copy_wait_after_barrier",
+        # Known static miss: a wait exists on every path, so the
+        # async-copy-unwaited CFG scan is satisfied — the *ordering* of
+        # the wait against the barrier is what is wrong, which only the
+        # dynamic completion-edge model observes (docs/static-analysis.md).
+        expected_lint=(),
+        category="async",
+        description="The subtle variant: the wait is on the wrong side of "
+        "the barrier.  Each warp's deferred store completes "
+        "after the barrier, unordered against the other warp's "
+        "cross-read — statically quiet, dynamically racy.",
+        source="""
+__global__ void async_late_wait(int* src, int* out) {
+    __shared__ int tile[64];
+    __pipeline_memcpy_async(&tile[threadIdx.x], &src[threadIdx.x], 4);
+    __pipeline_commit();
+    __syncthreads();
+    __pipeline_wait_prior(0);
+    out[threadIdx.x] = tile[63 - threadIdx.x];
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=64,
+        warp_size=32,
+        buffers=(Buffer("src", 64, init=tuple(range(64))), Buffer("out", 64)),
+    ),
+    SuiteProgram(
+        name="async_copy_commit_groups",
+        category="async",
+        description="Two copies in two commit groups; wait_group 1 "
+        "completes only the older group, whose tile is the only "
+        "one read after the barrier.  The younger group drains "
+        "at exit untouched by anyone — race-free, and the lint "
+        "stays quiet because a wait covers every path.",
+        source="""
+__global__ void async_groups(int* src, int* out) {
+    __shared__ int a[64];
+    __shared__ int b[64];
+    __pipeline_memcpy_async(&a[threadIdx.x], &src[threadIdx.x], 4);
+    __pipeline_commit();
+    __pipeline_memcpy_async(&b[threadIdx.x], &src[threadIdx.x], 4);
+    __pipeline_commit();
+    __pipeline_wait_prior(1);
+    __syncthreads();
+    out[threadIdx.x] = a[63 - threadIdx.x];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=64,
+        warp_size=32,
+        buffers=(Buffer("src", 64, init=tuple(range(64))), Buffer("out", 64)),
+    ),
+    SuiteProgram(
+        name="grid_sync_missing",
+        expected_lint=("global-race",),
+        category="async",
+        description="Block 1 reads the slots block 0 wrote with only a "
+        "__syncthreads between: bar.sync cannot order blocks, "
+        "and there is no __grid_sync.",
+        source="""
+__global__ void grid_missing(int* data, int* out) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    data[gid] = gid + 1;
+    __syncthreads();
+    out[gid] = data[127 - gid];
+}
+""",
+        expected=Expected.RACE,
+        race_space="global",
+        grid=2,
+        block=64,
+        warp_size=32,
+        cooperative=True,
+        buffers=(Buffer("data", 128), Buffer("out", 128)),
+    ),
+    SuiteProgram(
+        name="grid_sync_fixed",
+        category="async",
+        description="The fixed companion: __grid_sync() (barrier.cluster "
+        "under a cooperative launch) joins every warp of every "
+        "block, ordering the cross-block exchange.",
+        source="""
+__global__ void grid_fixed(int* data, int* out) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    data[gid] = gid + 1;
+    __grid_sync();
+    out[gid] = data[127 - gid];
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=2,
+        block=64,
+        warp_size=32,
+        cooperative=True,
+        buffers=(Buffer("data", 128), Buffer("out", 128)),
+    ),
+]

@@ -119,6 +119,26 @@ __global__ void drain_reorder(int* a, int* b, int* out) {
 }
 """
 
+_ASYNC_HANDOFF_SOURCE = """
+__global__ void async_handoff(int* src, int* flag, int* out) {
+    __shared__ int tile[32];
+    if (threadIdx.x == 0) {
+        __pipeline_memcpy_async(&tile[0], &src[0], 4);
+        __pipeline_commit();
+        __pipeline_wait_prior(0);
+        __threadfence();
+        flag[0] = 1;
+    }
+    if (threadIdx.x == 32) {
+        for (int i = 0; i < 24; i = i + 1) { }
+        int seen = flag[0];
+        __threadfence();
+        out[0] = tile[0];
+        out[1] = seen;
+    }
+}
+"""
+
 SCHEDULE_PROGRAMS = [
     SuiteProgram(
         name="handoff_no_spin",
@@ -133,6 +153,24 @@ SCHEDULE_PROGRAMS = [
         grid=2,
         block=32,
         buffers=(Buffer("data", 4), Buffer("flag", 4), Buffer("out", 4)),
+        max_steps=50_000,
+    ),
+    SuiteProgram(
+        name="async_handoff_no_spin",
+        category="schedule",
+        description="cp.async tile handoff without a spin: the producer "
+        "warp's deferred shared store completes at wait_group 0 and is "
+        "flag-released; the delayed reader observes the flag under the "
+        "fair schedule, but reader-first permutations race on the "
+        "shared tile word — the modern-idiom analog of "
+        "handoff_no_spin.",
+        source=_ASYNC_HANDOFF_SOURCE,
+        expected=Expected.NO_RACE,  # the default-schedule verdict
+        race_space="shared",
+        grid=1,
+        block=64,
+        buffers=(Buffer("src", 4, (42,)), Buffer("flag", 4),
+                 Buffer("out", 4)),
         max_steps=50_000,
     ),
     SuiteProgram(

@@ -1,0 +1,185 @@
+"""Suite programs: warp shuffle and vote intrinsics (modern idioms).
+
+``shfl.sync``/``vote.sync`` move values between the lanes of one warp
+through the register file — no memory traffic at all.  A detector that
+models them as loads and stores false-positives on every warp-level
+reduction; BARRACUDA's warp-granularity model executes them as register
+exchanges and emits *zero* memory events for them.  The racy members of
+this family misuse the shuffled value (as an index into unsynchronized
+shared memory), the clean members are the classic sync-free reduction
+and scan idioms, and the bait members exercise the membermask-aware
+static classification (``partial-vote-sync``, and full-mask votes being
+warp-uniform).
+"""
+
+from __future__ import annotations
+
+from .model import Buffer, Expected, SuiteProgram
+
+SHUFFLE_PROGRAMS = [
+    SuiteProgram(
+        name="shfl_butterfly_reduction",
+        category="shuffle",
+        description="The canonical sync-free warp reduction: butterfly "
+        "shuffles fold the warp's values into every lane with "
+        "no shared memory and no barrier.  Must be completely "
+        "silent — dynamically and statically.",
+        source="""
+__global__ void butterfly(int* data, int* out) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int v = data[gid];
+    v += __shfl_xor_sync(0xFFFFFFFF, v, 1);
+    v += __shfl_xor_sync(0xFFFFFFFF, v, 2);
+    v += __shfl_xor_sync(0xFFFFFFFF, v, 4);
+    v += __shfl_xor_sync(0xFFFFFFFF, v, 8);
+    v += __shfl_xor_sync(0xFFFFFFFF, v, 16);
+    out[gid] = v;
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=2,
+        block=32,
+        buffers=(Buffer("data", 64, init=tuple(range(64))), Buffer("out", 64)),
+    ),
+    SuiteProgram(
+        name="shfl_broadcast_lane0",
+        category="shuffle",
+        description="Lane 0's value is broadcast to the whole warp via "
+        "shfl.idx: a register move, not a shared-memory "
+        "publication, so no barrier is needed.",
+        source="""
+__global__ void broadcast(int* data, int* out) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int v = data[gid];
+    int leader = __shfl_sync(0xFFFFFFFF, v, 0);
+    out[gid] = leader;
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=2,
+        block=32,
+        buffers=(Buffer("data", 64, init=tuple(range(64))), Buffer("out", 64)),
+    ),
+    SuiteProgram(
+        name="shfl_up_inclusive_scan",
+        category="shuffle",
+        description="An inclusive warp scan with shfl.up: out-of-segment "
+        "lanes keep their own value (the defined fallback), so "
+        "no predication is needed and nothing touches memory.",
+        source="""
+__global__ void scan(int* data, int* out) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int v = data[gid];
+    int lane = threadIdx.x % 32;
+    int t1 = __shfl_up_sync(0xFFFFFFFF, v, 1);
+    if (lane >= 1) { v = v + t1; }
+    int t2 = __shfl_up_sync(0xFFFFFFFF, v, 2);
+    if (lane >= 2) { v = v + t2; }
+    int t4 = __shfl_up_sync(0xFFFFFFFF, v, 4);
+    if (lane >= 4) { v = v + t4; }
+    out[gid] = v;
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("data", 32, init=tuple(1 for _ in range(32))), Buffer("out", 32)),
+    ),
+    SuiteProgram(
+        name="vote_uniform_guarded_barrier",
+        category="shuffle",
+        description="False-positive bait: a barrier guarded by a full-mask "
+        "__all_sync vote.  The vote joins every lane, so the "
+        "branch is warp-uniform by construction and the barrier "
+        "can never diverge — the membermask-aware taint must "
+        "not flag barrier-divergence here.",
+        source="""
+__global__ void vote_guard(int* out) {
+    __shared__ int s[64];
+    s[threadIdx.x] = threadIdx.x;
+    int all_in = __all_sync(0xFFFFFFFF, threadIdx.x < 4096);
+    if (all_in) {
+        __syncthreads();
+        out[threadIdx.x] = s[63 - threadIdx.x];
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=64,
+        buffers=(Buffer("out", 64),),
+    ),
+    SuiteProgram(
+        name="ballot_partial_mask_convergent",
+        # partial-vote-sync is the *expected* static warning here: the
+        # mask excludes live lanes in convergent code, so those lanes
+        # receive the defined fallback (0), not the ballot.  Dynamically
+        # this is race-free — the fallback is defined, not a race.
+        lint_exceptions=("partial-vote-sync",),
+        category="shuffle",
+        description="A ballot whose immediate mask covers only half the "
+        "warp, executed by all lanes: the excluded lanes get 0 "
+        "(the defined fallback).  Race-free at runtime, but "
+        "the partial-vote-sync lint flags the mask mismatch.",
+        source="""
+__global__ void partial_ballot(int* out) {
+    int b = __ballot_sync(0x0000FFFF, threadIdx.x % 2 == 0);
+    out[threadIdx.x] = b;
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=32,
+        buffers=(Buffer("out", 32),),
+    ),
+    SuiteProgram(
+        name="shfl_exchange_missing_barrier",
+        expected_lint=("shared-race",),
+        category="shuffle",
+        description="A warp-shuffle stage publishes its result to shared "
+        "memory and the *other* warp reads it with no barrier: "
+        "the shuffle is register-only and emits no events, but "
+        "the cross-warp shared exchange it feeds races.",
+        source="""
+__global__ void shfl_exchange(int* out) {
+    __shared__ int s[64];
+    int t = threadIdx.x;
+    int j = __shfl_xor_sync(0xFFFFFFFF, t, 1);
+    s[threadIdx.x] = j;
+    if (j >= 0) {
+        out[threadIdx.x] = s[63 - threadIdx.x];
+    }
+}
+""",
+        expected=Expected.RACE,
+        race_space="shared",
+        grid=1,
+        block=64,
+        warp_size=32,
+        buffers=(Buffer("out", 64),),
+    ),
+    SuiteProgram(
+        name="shfl_exchange_with_barrier",
+        category="shuffle",
+        description="The fixed companion: one __syncthreads between the "
+        "shuffle-fed publication and the cross-warp read makes "
+        "the exchange race-free.",
+        source="""
+__global__ void shfl_exchange_ok(int* out) {
+    __shared__ int s[64];
+    int t = threadIdx.x;
+    int j = __shfl_xor_sync(0xFFFFFFFF, t, 1);
+    s[threadIdx.x] = j;
+    __syncthreads();
+    if (j >= 0) {
+        out[threadIdx.x] = s[63 - threadIdx.x];
+    }
+}
+""",
+        expected=Expected.NO_RACE,
+        grid=1,
+        block=64,
+        warp_size=32,
+        buffers=(Buffer("out", 64),),
+    ),
+]

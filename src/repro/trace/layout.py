@@ -133,6 +133,21 @@ class GridLayout:
     def all_warps(self) -> Iterator[int]:
         return iter(range(self.total_warps))
 
+    # A negative block id on a barrier is the grid-wide (cooperative)
+    # sync sentinel (:data:`repro.events.GRID_BARRIER_BLOCK`): the
+    # barrier's scope is the whole grid, not one block.
+    def barrier_tids(self, block: int) -> List[int]:
+        """TIDs a barrier at ``block`` synchronizes (grid-wide if < 0)."""
+        if block < 0:
+            return list(range(self.total_threads))
+        return self.block_tids(block)
+
+    def barrier_warps(self, block: int) -> List[int]:
+        """Warps a barrier at ``block`` synchronizes (grid-wide if < 0)."""
+        if block < 0:
+            return list(range(self.total_warps))
+        return self.block_warps(block)
+
     def initial_active_mask(self, warp: int) -> FrozenSet[int]:
         """The launch-time active mask of ``warp`` (§3.3 initial state).
 

@@ -276,7 +276,7 @@ def check_feasible(trace: Trace) -> None:
             i += 1
         elif isinstance(op, Barrier):
             arrived = frozenset().union(
-                *(stacks.active(w) for w in trace.layout.block_warps(op.block))
+                *(stacks.active(w) for w in trace.layout.barrier_warps(op.block))
             )
             if op.active != arrived:
                 raise TraceError(

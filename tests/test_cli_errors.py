@@ -187,6 +187,121 @@ class TestSubmitErrors:
         assert "succeeded on attempt 2" in err
 
 
+_BAD_MASK_PTX = """
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry k(
+    .param .u64 out
+)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<4>;
+
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %tid.x;
+    shfl.sync.bfly.b32 %r2, %r1, 1, 31, 256;
+    cvt.s64.s32 %rd2, %r1;
+    mul.lo.s64 %rd3, %rd2, 4;
+    add.s64 %rd3, %rd1, %rd3;
+    st.global.u32 [%rd3], %r2;
+    ret;
+}
+"""
+
+_BAD_SIZE_PTX = """
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry k(
+    .param .u64 src
+)
+{
+    .reg .u32 %r<3>;
+    .reg .u64 %rd<3>;
+    .shared .align 4 .b8 tile[32];
+
+    ld.param.u64 %rd1, [src];
+    mov.u64 %rd2, tile;
+    cp.async.ca.shared.global [%rd2], [%rd1], 3;
+    cp.async.wait_all;
+    ret;
+}
+"""
+
+_BAD_WAIT_PTX = """
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry k(
+    .param .u64 src
+)
+{
+    .reg .u32 %r<3>;
+    .reg .u64 %rd<3>;
+    .shared .align 4 .b8 tile[32];
+
+    ld.param.u64 %rd1, [src];
+    mov.u64 %rd2, tile;
+    cp.async.ca.shared.global [%rd2], [%rd1], 4;
+    cp.async.commit_group;
+    cp.async.wait_group %r1;
+    ret;
+}
+"""
+
+_GRID_SYNC_CU = """
+__global__ void g(int* out) {
+    out[threadIdx.x] = 1;
+    __grid_sync();
+}
+"""
+
+
+class TestModernIdiomErrors:
+    """Malformed shuffle masks, cp.async misuse, and non-cooperative
+    grid sync all surface as one-line ``error:`` diagnostics, never
+    tracebacks."""
+
+    ARGS = ["--block", "8", "--warp-size", "8"]
+
+    def _check(self, tmp_path, name, text, buffer):
+        path = tmp_path / name
+        path.write_text(text)
+        return cli.main(["check", str(path), "--buffer", buffer] + self.ARGS)
+
+    def test_membermask_with_no_live_lane(self, tmp_path, capsys):
+        code = self._check(tmp_path, "mask.ptx", _BAD_MASK_PTX, "out:8")
+        assert code == 2
+        assert "membermask" in _assert_clean_error(capsys)
+
+    def test_cp_async_bad_copy_size(self, tmp_path, capsys):
+        code = self._check(tmp_path, "size.ptx", _BAD_SIZE_PTX, "src:8")
+        assert code == 2
+        assert "copy size" in _assert_clean_error(capsys)
+
+    def test_cp_async_wait_group_without_immediate(self, tmp_path, capsys):
+        code = self._check(tmp_path, "wait.ptx", _BAD_WAIT_PTX, "src:8")
+        assert code == 2
+        assert "group count" in _assert_clean_error(capsys)
+
+    def test_grid_sync_without_cooperative_flag(self, tmp_path, capsys):
+        code = self._check(tmp_path, "grid.cu", _GRID_SYNC_CU, "out:8")
+        assert code == 2
+        assert "cooperative" in _assert_clean_error(capsys)
+
+    def test_grid_sync_with_cooperative_flag_runs(self, tmp_path, capsys):
+        path = tmp_path / "grid.cu"
+        path.write_text(_GRID_SYNC_CU)
+        code = cli.main(["check", str(path), "--buffer", "out:8",
+                         "--cooperative"] + self.ARGS)
+        assert code == 0
+        assert "no races" in capsys.readouterr().out
+
+
 class TestLintExitCodes:
     """``repro lint --fail-on`` picks which findings drive the exit code."""
 

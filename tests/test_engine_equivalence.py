@@ -61,6 +61,7 @@ def _run_suite_program(program, engine: str, static_prune: bool) -> Tuple:
             params=params,
             max_steps=program.max_steps,
             capture_records=True,
+            cooperative=program.cooperative,
         )
     except StepLimitExceeded:
         return ("hang",)
@@ -91,7 +92,7 @@ def test_suite_program_equivalence(program, static_prune):
 
 @pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
 def test_capture_format_equivalence(program):
-    """66 programs × {jsonl, binary} × {per-record, columnar}.
+    """Every suite program × {jsonl, binary} × {per-record, columnar}.
 
     The decoded engine's captured stream must survive both persistence
     formats losslessly, and replaying any loaded form through either

@@ -94,5 +94,5 @@ class TestAgainstTheSuite:
 
     def test_correct_on_a_fraction_of_the_suite(self):
         correct = sum(run_ldetector(p).matches(p) for p in ALL_PROGRAMS)
-        assert correct == 40
-        assert correct < 66
+        assert correct == 48
+        assert correct < len(ALL_PROGRAMS)

@@ -272,6 +272,45 @@ class TestScheduleSweeps:
         assert len(result.predicted) >= 1
         assert result.relaxed_edges
 
+    def test_async_handoff_confirmed(self, sweeps):
+        # Modern-idiom prediction: the cp.async tile handoff's deferred
+        # shared store is flag-released; the base schedule observes the
+        # flag, but reader-first permutations manifest the shared-tile
+        # race and its witness replay confirms it.
+        result = sweeps["async_handoff_no_spin"]
+        assert result.base_races == []
+        assert result.confirmed
+        for race in result.confirmed:
+            assert race.predicted
+            assert race.witness is not None
+            assert "shared" in str(race)
+
+    def test_async_handoff_trace_predicted(self):
+        # The relaxation analysis alone sees it too: the only ordering
+        # between the flushed cp.async store and the tile read is a
+        # single non-spinning acquire edge, which is relaxable.
+        spec = LaunchSpec.from_program(
+            schedule_program("async_handoff_no_spin"))
+        launch = run_spec(spec, capture=True)
+        assert launch.races == []
+        trace = trace_from_records(launch.captured_records, spec.layout())
+        result = predict_races(trace)
+        assert len(result.predicted) >= 1
+
+    def test_cooperative_spec_sweeps_grid_sync_program(self):
+        # A cooperative LaunchSpec threads the launch flag through every
+        # sweep phase: the grid_sync_missing race is base-visible and no
+        # run dies on the barrier.cluster cooperative check.
+        from repro.suite import program as suite_program
+
+        spec = LaunchSpec.from_program(suite_program("grid_sync_missing"))
+        assert spec.cooperative
+        result = run_sweep(spec, schedules=3, seed=MASTER_SEED)
+        assert result.base_races
+        assert all(run["error"] is None for run in result.runs)
+        payload = spec.to_payload()
+        assert LaunchSpec.from_payload(payload) == spec
+
     def test_spin_control_is_silent(self, sweeps):
         # Negative control: spin evidence forces the edge, so nothing is
         # predicted; serializing strategies starve the spinner into a
